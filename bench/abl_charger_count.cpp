@@ -1,0 +1,28 @@
+// Ablation: fleet sizing — service cost as a function of the number of
+// mobile chargers q (1..10), n = 200, linear distribution, fixed cycles.
+// One depot stays co-located with the base station; the rest are random.
+//
+// Expected outcome: diminishing returns — the first few depots cut the
+// cost substantially (shorter approach legs), then the curve flattens:
+// total tour length is dominated by the sensor-visiting legs, which q
+// cannot reduce below the MSF weight.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/false);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+
+  FigureReport report("Ablation A2", "service cost vs charger count q",
+                      "q");
+  return mwc::bench::run_figure(ctx, report, [&] {
+    for (std::size_t q = 1; q <= 10; ++q) {
+      auto config = ctx.base;
+      config.deployment.q = q;
+      report.add_point({static_cast<double>(q),
+                        run_policies(config, kinds, ctx.pool.get())});
+    }
+  });
+}

@@ -1,0 +1,41 @@
+// Ablation A7: tour constructor inside Algorithm 2. The paper uses the
+// double-tree shortcut (2-approx); this bench swaps in the
+// Christofides-style MST+matching constructor (and optionally 2-opt on
+// top of either) and measures the effect on the Fig.-1 comparison.
+//
+// Expected outcome: Christofides cuts absolute service costs ~8-12%, the
+// MinTotalDistance-vs-Greedy *ratio* barely moves — the paper's headline
+// is about scheduling, not tour construction.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  using namespace mwc::exp;
+  auto ctx = bench::make_context(argc, argv, /*variable=*/false);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+  const struct {
+    const char* name;
+    tsp::TourConstruction construction;
+  } variants[] = {
+      {"double-tree (paper)", tsp::TourConstruction::kDoubleTree},
+      {"christofides", tsp::TourConstruction::kChristofides},
+  };
+
+  int rc = 0;
+  for (const auto& variant : variants) {
+    FigureReport report(std::string("Ablation A7 (") + variant.name + ")",
+                        "tour constructor inside Algorithm 2", "n");
+    rc |= bench::run_figure(ctx, report, [&] {
+      for (std::size_t n : {100u, 200u, 400u}) {
+        auto config = ctx.base;
+        config.deployment.n = n;
+        config.sim.tour_construction = variant.construction;
+        report.add_point({static_cast<double>(n),
+                          run_policies(config, kinds, ctx.pool.get())});
+      }
+    });
+  }
+  return rc;
+}

@@ -1,0 +1,115 @@
+// Ablation: fleet variants beyond the paper — capacity-limited chargers
+// (per-trip length budget, cf. Liang et al. [7]) and min-max fleets
+// (several vehicles per depot minimizing the longest tour, cf. Xu et al.
+// [16]) — applied to one full-network charging round at n = 200.
+//
+// Expected outcomes: total travelled distance grows as the per-trip
+// budget tightens (extra return legs), and the round makespan falls
+// roughly as 1/k with k vehicles per depot until the farthest round trip
+// dominates.
+#include <iostream>
+#include <numeric>
+
+#include "charging/fleet.hpp"
+#include "charging/min_total_distance.hpp"
+#include "sim/simulator.hpp"
+#include "wsn/cycles.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "wsn/deployment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  auto ctx = bench::make_context(argc, argv, /*variable=*/false);
+
+  Rng rng(ctx.base.seed);
+  const wsn::Network network =
+      wsn::deploy_random(ctx.base.deployment, rng);
+  std::vector<std::size_t> ids(network.n());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+
+  std::printf("=== Ablation A4a: capacity-limited chargers (n=%zu, q=%zu) "
+              "===\n",
+              network.n(), network.q());
+  {
+    ConsoleTable table(
+        {"capacity (km)", "trips", "total (km)", "max trip (km)",
+         "overhead"});
+    const auto unlimited = charging::plan_capacitated_round(network, ids,
+                                                            1e12);
+    // Smallest feasible budget: the longest single round trip from a
+    // tour's own depot (capacities below it admit no split).
+    double floor_m = 0.0;
+    for (const auto& depot_trips : unlimited.trips) {
+      for (const auto& trip : depot_trips) {
+        if (trip.tour.size() < 2) continue;
+        const auto root = trip.tour.order().front();
+        for (std::size_t v : trip.tour.order()) {
+          if (v == root) continue;
+          // Combined indexing: depots then sensors in `ids` order.
+          const auto& depot_pos = network.depots()[root];
+          const auto& sensor_pos =
+              network.sensor(ids[v - network.q()]).position;
+          floor_m = std::max(floor_m,
+                             2.0 * geom::distance(depot_pos, sensor_pos));
+        }
+      }
+    }
+    std::printf("(smallest feasible per-trip budget: %.2f km)\n",
+                floor_m / 1000.0);
+    for (double cap_km : {20.0, 10.0, 6.0, 4.0, 3.0, 2.0}) {
+      if (cap_km * 1000.0 < floor_m) continue;
+      const auto plan =
+          charging::plan_capacitated_round(network, ids, cap_km * 1000.0);
+      table.add_row({fmt_fixed(cap_km, 1), std::to_string(plan.num_trips),
+                     fmt_fixed(plan.total_length / 1000.0, 2),
+                     fmt_fixed(plan.max_trip_length / 1000.0, 2),
+                     fmt_fixed(100.0 * (plan.total_length /
+                                            unlimited.total_length -
+                                        1.0),
+                               1) +
+                         "%"});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\n=== Ablation A4c: full MinTotalDistance runs under trip "
+              "budgets ===\n");
+  {
+    ConsoleTable table({"capacity (km)", "MTD cost (km)", "overhead"});
+    const wsn::CycleModel cycles(network, ctx.base.cycles, 1);
+    double baseline = 0.0;
+    for (double cap_km : {0.0, 10.0, 6.0, 4.0, 3.0}) {
+      auto sim_options = ctx.base.sim;
+      sim_options.trip_capacity = cap_km * 1000.0;
+      mwc::sim::Simulator simulator(network, cycles, sim_options);
+      mwc::charging::MinTotalDistancePolicy policy;
+      const auto result = simulator.run(policy);
+      if (cap_km == 0.0) baseline = result.service_cost;
+      table.add_row(
+          {cap_km == 0.0 ? "unlimited" : fmt_fixed(cap_km, 0),
+           fmt_fixed(result.service_cost / 1000.0, 1),
+           fmt_fixed(100.0 * (result.service_cost / baseline - 1.0), 1) +
+               "%"});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\n=== Ablation A4b: min-max fleets (vehicles per depot) "
+              "===\n");
+  {
+    ConsoleTable table({"k", "total (km)", "makespan tour (km)",
+                        "speedup vs k=1"});
+    const double single =
+        charging::plan_minmax_round(network, ids, 1).max_trip_length;
+    for (std::size_t k = 1; k <= 8; ++k) {
+      const auto plan = charging::plan_minmax_round(network, ids, k);
+      table.add_row({std::to_string(k),
+                     fmt_fixed(plan.total_length / 1000.0, 2),
+                     fmt_fixed(plan.max_trip_length / 1000.0, 2),
+                     fmt_fixed(single / plan.max_trip_length, 2) + "x"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation: what the geometric cycle rounding + power-of-two round
+// alignment buys. Compares MinTotalDistance against
+//  * PerSensorPeriodic — each sensor on its own exact cadence, batching
+//    only coincidental deadlines (no rounding, no alignment), and
+//  * PeriodicAll — the naive "charge everyone every τ_min" strategy the
+//    paper dismisses in Sec. III-C.
+//
+// Expected outcome: MinTotalDistance < PerSensorPeriodic << PeriodicAll
+// under the linear distribution; rounding costs at most 2x in frequency
+// but wins far more through tour sharing.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/false);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kPerSensorPeriodic,
+                              PolicyKind::kPeriodicAll};
+
+  FigureReport report("Ablation A3",
+                      "cycle rounding & round alignment ablation", "n");
+  return mwc::bench::run_figure(ctx, report, [&] {
+    for (std::size_t n : {100u, 200u, 300u}) {
+      auto config = ctx.base;
+      config.deployment.n = n;
+      report.add_point({static_cast<double>(n),
+                        run_policies(config, kinds, ctx.pool.get())});
+    }
+  });
+}

@@ -1,0 +1,32 @@
+// Ablation: does polishing Algorithm 2's tours with 2-opt/Or-opt change
+// the MinTotalDistance-vs-Greedy story? (Library extension; the paper
+// stops at the double-tree shortcut.)
+//
+// Expected outcome: both policies improve by a similar factor, so the
+// *ratio* — the paper's headline claim — is essentially unchanged.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/false);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+
+  int rc = 0;
+  for (bool improve : {false, true}) {
+    FigureReport report(
+        improve ? "Ablation A1 (2-opt on)" : "Ablation A1 (2-opt off)",
+        "tour improvement ablation, linear distribution", "n");
+    rc |= mwc::bench::run_figure(ctx, report, [&] {
+      for (std::size_t n : {100u, 200u, 400u}) {
+        auto config = ctx.base;
+        config.deployment.n = n;
+        config.sim.improve_tours = improve;
+        report.add_point({static_cast<double>(n),
+                          run_policies(config, kinds, ctx.pool.get())});
+      }
+    });
+  }
+  return rc;
+}

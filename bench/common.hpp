@@ -1,0 +1,73 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every binary accepts:
+//   --trials N    topologies per data point (default 10; paper used 100)
+//   --threads N   worker threads (default: hardware)
+//   --seed S      master seed
+//   --csv PATH    also write the series to a CSV file
+//   --improve     polish tours with 2-opt/Or-opt (ablation)
+// and honours MWC_TRIALS as a fallback for --trials, so
+// `MWC_TRIALS=100 ./fig1_network_size` reproduces the paper-scale run.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "exp/config.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace mwc::bench {
+
+struct BenchContext {
+  exp::ExperimentConfig base;
+  std::unique_ptr<ThreadPool> pool;
+  std::string csv_path;
+  std::string svg_path;
+};
+
+inline BenchContext make_context(int argc, char** argv, bool variable) {
+  CliArgs args(argc, argv);
+  BenchContext ctx;
+  ctx.base = variable ? exp::paper_defaults_variable()
+                      : exp::paper_defaults();
+  const long long default_trials = env_int_or("MWC_TRIALS", 10);
+  ctx.base.trials = static_cast<std::size_t>(
+      args.get_int_or("trials", default_trials));
+  ctx.base.seed = static_cast<std::uint64_t>(
+      args.get_int_or("seed", static_cast<long long>(ctx.base.seed)));
+  ctx.base.sim.improve_tours = args.get_bool_or("improve", false);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int_or("threads", 0));
+  ctx.pool = std::make_unique<ThreadPool>(threads);
+  ctx.csv_path = args.get_or("csv", "");
+  ctx.svg_path = args.get_or("svg", "");
+  return ctx;
+}
+
+/// Runs the sweep in `fill` (which mutates the report), prints it, and
+/// writes the CSV if requested.
+template <typename FillFn>
+int run_figure(BenchContext& ctx, exp::FigureReport& report, FillFn&& fill) {
+  Timer timer;
+  fill();
+  report.print();
+  std::printf("(%zu trials/point, %.1f s total)\n\n", ctx.base.trials,
+              timer.elapsed_seconds());
+  if (!ctx.csv_path.empty()) {
+    report.write_csv(ctx.csv_path);
+    std::printf("wrote %s\n", ctx.csv_path.c_str());
+  }
+  if (!ctx.svg_path.empty()) {
+    report.write_svg(ctx.svg_path);
+    std::printf("wrote %s\n", ctx.svg_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace mwc::bench

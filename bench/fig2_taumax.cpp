@@ -1,0 +1,49 @@
+// Fig. 2 of the paper: service cost vs the maximum charging cycle τ_max
+// (1..50) at n = 200, fixed cycles, under (a) linear and (b) random
+// distributions.
+//
+// Expected shape (paper): near-identical costs while τ_max <= 10; the gap
+// then grows with τ_max under the linear distribution, and stays marginal
+// under the random one.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  using namespace mwc::exp;
+  auto ctx = bench::make_context(argc, argv, /*variable=*/false);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+  const double taumax_values[] = {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+
+  int rc = 0;
+  const struct {
+    const char* id;
+    const char* title;
+    wsn::CycleDistribution distribution;
+  } panels[] = {
+      {"Fig. 2(a)", "service cost vs tau_max, linear distribution",
+       wsn::CycleDistribution::kLinear},
+      {"Fig. 2(b)", "service cost vs tau_max, random distribution",
+       wsn::CycleDistribution::kRandom},
+  };
+
+  for (const auto& panel : panels) {
+    FigureReport report(panel.id, panel.title, "tau_max");
+    rc |= bench::run_figure(ctx, report, [&] {
+      for (double taumax : taumax_values) {
+        auto config = ctx.base;
+        config.cycles.distribution = panel.distribution;
+        config.cycles.tau_max = taumax;
+        // σ jitter cannot exceed the [τ_min, τ_max] band meaningfully
+        // when the band collapses.
+        config.cycles.sigma =
+            std::min(config.cycles.sigma, (taumax - 1.0) / 2.0);
+        report.add_point({taumax,
+                          run_policies(config, kinds, ctx.pool.get())});
+      }
+    });
+    if (!ctx.csv_path.empty() || !ctx.svg_path.empty()) break;
+  }
+  return rc;
+}

@@ -1,0 +1,26 @@
+// Fig. 4 of the paper: MinTotalDistance-var vs Greedy under variable
+// cycles, sweeping τ_max at n = 200 (linear distribution, ΔT = 10, σ = 2).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
+                              PolicyKind::kGreedy};
+  const double taumax_values[] = {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+
+  FigureReport report("Fig. 4",
+                      "service cost vs tau_max, variable cycles",
+                      "tau_max");
+  return mwc::bench::run_figure(ctx, report, [&] {
+    for (double taumax : taumax_values) {
+      auto config = ctx.base;
+      config.cycles.tau_max = taumax;
+      config.cycles.sigma =
+          std::min(config.cycles.sigma, (taumax - 1.0) / 2.0);
+      report.add_point({taumax,
+                        run_policies(config, kinds, ctx.pool.get())});
+    }
+  });
+}

@@ -1,0 +1,28 @@
+// Fig. 5 of the paper: stability of charging cycles — service cost vs the
+// slot length ΔT (cycles are redrawn each slot), n = 200, τ_max = 50,
+// σ = 2.
+//
+// Expected shape (paper): MinTotalDistance-var approaches Greedy as ΔT
+// shrinks toward 1 (extremely unstable cycles) and wins clearly once
+// cycles are stable for even a few time units (ΔT >= 4).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
+                              PolicyKind::kGreedy};
+  const double slot_values[] = {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0};
+
+  FigureReport report("Fig. 5",
+                      "service cost vs slot length DT, variable cycles",
+                      "DT");
+  return mwc::bench::run_figure(ctx, report, [&] {
+    for (double slot : slot_values) {
+      auto config = ctx.base;
+      config.sim.slot_length = slot;
+      report.add_point({slot, run_policies(config, kinds, ctx.pool.get())});
+    }
+  });
+}

@@ -1,0 +1,28 @@
+// Fig. 6 of the paper: impact of the charging-cycle variance σ — service
+// cost vs σ (0..50) at n = 200, τ_max = 50, ΔT = 10, linear distribution.
+//
+// Expected shape (paper): both costs grow with σ; the heuristic's
+// advantage erodes and vanishes around σ = 50, where short-cycle sensors
+// appear far from the base station.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc::exp;
+  auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
+
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
+                              PolicyKind::kGreedy};
+  const double sigma_values[] = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+
+  FigureReport report("Fig. 6",
+                      "service cost vs cycle variance sigma",
+                      "sigma");
+  return mwc::bench::run_figure(ctx, report, [&] {
+    for (double sigma : sigma_values) {
+      auto config = ctx.base;
+      config.cycles.sigma = sigma;
+      report.add_point({sigma,
+                        run_policies(config, kinds, ctx.pool.get())});
+    }
+  });
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks of the algorithmic kernels: Prim's dense MST, the
+// q-rooted MSF/TSP (Algorithms 1 and 2), and the tour improvers. These
+// back the complexity claims in the paper (O(n^2) per scheduling).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/mst.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/improve.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mwc::Rng;
+using mwc::geom::Point;
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  return pts;
+}
+
+mwc::tsp::QRootedInstance random_instance(std::size_t q, std::size_t m,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  mwc::tsp::QRootedInstance inst;
+  for (std::size_t l = 0; l < q; ++l)
+    inst.depots.push_back({rng.uniform(0.0, 1000.0),
+                           rng.uniform(0.0, 1000.0)});
+  for (std::size_t k = 0; k < m; ++k)
+    inst.sensors.push_back({rng.uniform(0.0, 1000.0),
+                            rng.uniform(0.0, 1000.0)});
+  return inst;
+}
+
+void BM_PrimMstDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 1);
+  for (auto _ : state) {
+    auto mst = mwc::graph::prim_mst(
+        n, [&](std::size_t a, std::size_t b) {
+          return mwc::geom::distance(pts[a], pts[b]);
+        });
+    benchmark::DoNotOptimize(mst.total_weight);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_PrimMstDense)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_QRootedMsf(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = random_instance(5, m, 2);
+  for (auto _ : state) {
+    auto forest = mwc::tsp::q_rooted_msf(inst);
+    benchmark::DoNotOptimize(forest.total_weight);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(BM_QRootedMsf)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_QRootedTsp(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = random_instance(5, m, 3);
+  for (auto _ : state) {
+    auto tours = mwc::tsp::q_rooted_tsp(inst);
+    benchmark::DoNotOptimize(tours.total_length);
+  }
+}
+BENCHMARK(BM_QRootedTsp)->Range(64, 1024);
+
+void BM_QRootedTspImproved(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = random_instance(5, m, 4);
+  for (auto _ : state) {
+    auto tours = mwc::tsp::q_rooted_tsp(inst, {.improve = true});
+    benchmark::DoNotOptimize(tours.total_length);
+  }
+}
+BENCHMARK(BM_QRootedTspImproved)->Range(64, 256);
+
+void BM_DoubleTreeTour(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 5);
+  for (auto _ : state) {
+    auto tour = mwc::tsp::double_tree_tour(pts);
+    benchmark::DoNotOptimize(tour.size());
+  }
+}
+BENCHMARK(BM_DoubleTreeTour)->Range(64, 1024);
+
+void BM_TwoOpt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 6);
+  const auto base = mwc::tsp::nearest_neighbor_tour(pts);
+  for (auto _ : state) {
+    auto tour = base;
+    benchmark::DoNotOptimize(mwc::tsp::two_opt(tour, pts));
+  }
+}
+BENCHMARK(BM_TwoOpt)->Range(32, 256);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Microbenchmark: uniform-grid vs kd-tree nearest-neighbour queries over
+// sensor deployments (the spatial-index design choice called out in
+// DESIGN.md). Uniform deployments favour the grid; the kd-tree is
+// insensitive to clustering.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "geom/kdtree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mwc::Rng;
+using mwc::geom::BBox;
+using mwc::geom::GridIndex;
+using mwc::geom::KdTree;
+using mwc::geom::Point;
+
+std::vector<Point> uniform_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  return pts;
+}
+
+std::vector<Point> clustered_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  const std::size_t clusters = 8;
+  std::vector<Point> centers;
+  for (std::size_t c = 0; c < clusters; ++c)
+    centers.push_back({rng.uniform(100.0, 900.0),
+                       rng.uniform(100.0, 900.0)});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = centers[i % clusters];
+    pts.push_back({c.x + rng.normal(0.0, 20.0), c.y + rng.normal(0.0, 20.0)});
+  }
+  return pts;
+}
+
+std::vector<Point> queries(std::size_t n, std::uint64_t seed) {
+  return uniform_points(n, seed);
+}
+
+template <typename MakePoints>
+void bench_grid(benchmark::State& state, MakePoints&& make) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = make(n, 1);
+  const GridIndex index(pts, BBox::square(1000.0));
+  const auto qs = queries(1024, 2);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.nearest(qs[qi++ & 1023]));
+  }
+}
+
+template <typename MakePoints>
+void bench_kdtree(benchmark::State& state, MakePoints&& make) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = make(n, 1);
+  const KdTree index(pts);
+  const auto qs = queries(1024, 2);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.nearest(qs[qi++ & 1023]));
+  }
+}
+
+void BM_GridNN_Uniform(benchmark::State& state) {
+  bench_grid(state, uniform_points);
+}
+void BM_KdTreeNN_Uniform(benchmark::State& state) {
+  bench_kdtree(state, uniform_points);
+}
+void BM_GridNN_Clustered(benchmark::State& state) {
+  bench_grid(state, clustered_points);
+}
+void BM_KdTreeNN_Clustered(benchmark::State& state) {
+  bench_kdtree(state, clustered_points);
+}
+
+BENCHMARK(BM_GridNN_Uniform)->Range(256, 4096);
+BENCHMARK(BM_KdTreeNN_Uniform)->Range(256, 4096);
+BENCHMARK(BM_GridNN_Clustered)->Range(256, 4096);
+BENCHMARK(BM_KdTreeNN_Clustered)->Range(256, 4096);
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = uniform_points(n, 3);
+  for (auto _ : state) {
+    GridIndex index(pts, BBox::square(1000.0));
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = uniform_points(n, 3);
+  for (auto _ : state) {
+    KdTree index(pts);
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_GridBuild)->Range(256, 4096);
+BENCHMARK(BM_KdTreeBuild)->Range(256, 4096);
+
+}  // namespace

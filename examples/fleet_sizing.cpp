@@ -1,0 +1,70 @@
+// Fleet sizing study: how many mobile chargers (and depots) does a
+// deployment actually need? Sweeps q, reports the service cost, the
+// per-charger utilization split, and the marginal saving of each extra
+// charger — the operational question a network owner asks before buying
+// vehicles.
+//
+//   ./fleet_sizing [--n 200] [--qmax 8] [--trials 5]
+#include <cstdio>
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  using namespace mwc::exp;
+  CliArgs args(argc, argv);
+
+  auto config = paper_defaults();
+  config.deployment.n =
+      static_cast<std::size_t>(args.get_int_or("n", 200));
+  config.trials = static_cast<std::size_t>(args.get_int_or("trials", 5));
+  const auto qmax = static_cast<std::size_t>(args.get_int_or("qmax", 8));
+
+  std::printf("fleet sizing: n=%zu sensors, linear cycles [%.0f, %.0f], "
+              "T=%.0f, %zu topologies per point\n\n",
+              config.deployment.n, config.cycles.tau_min,
+              config.cycles.tau_max, config.sim.horizon, config.trials);
+
+  ConsoleTable table({"q", "cost (km)", "marginal saving", "km/charger",
+                      "busiest charger"});
+  double previous_cost = 0.0;
+  for (std::size_t q = 1; q <= qmax; ++q) {
+    config.deployment.q = q;
+
+    // Average the per-charger breakdown over the trials directly.
+    std::vector<double> costs;
+    std::vector<double> per_charger(q, 0.0);
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      const auto result =
+          run_trial(config, PolicyKind::kMinTotalDistance, trial);
+      costs.push_back(result.service_cost);
+      for (std::size_t l = 0; l < q; ++l)
+        per_charger[l] += result.per_charger_cost[l] / double(config.trials);
+    }
+    const auto stats = summarize(costs);
+    double busiest = 0.0;
+    for (double c : per_charger) busiest = std::max(busiest, c);
+
+    std::string marginal = "-";
+    if (q > 1 && previous_cost > 0.0) {
+      marginal = fmt_fixed(
+                     100.0 * (previous_cost - stats.mean) / previous_cost,
+                     1) +
+                 "%";
+    }
+    table.add_row({std::to_string(q), fmt_fixed(stats.mean / 1000.0, 1),
+                   marginal,
+                   fmt_fixed(stats.mean / 1000.0 / double(q), 1),
+                   fmt_fixed(busiest / 1000.0, 1)});
+    previous_cost = stats.mean;
+  }
+  table.print(std::cout);
+  std::printf("\nReading: the co-located depot handles the base-station "
+              "hotspot; extra depots mainly shorten approach legs, so "
+              "returns diminish once the field is covered.\n");
+  return 0;
+}

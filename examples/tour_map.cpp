@@ -1,0 +1,65 @@
+// Tour map: renders a deployment, its multihop routing tree, and the
+// charging tours of selected MinTotalDistance rounds to SVG files you can
+// open in any browser — the visual sanity check for everything the other
+// examples compute.
+//
+//   ./tour_map [--n 150] [--q 5] [--out /tmp]
+// writes <out>/mwc_network.svg, <out>/mwc_routing.svg,
+//        <out>/mwc_round_k<k>.svg for each cycle class k.
+#include <cstdio>
+#include <string>
+
+#include "charging/min_total_distance.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "viz/render.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  CliArgs args(argc, argv);
+  const std::string out = args.get_or("out", "/tmp");
+
+  wsn::DeploymentConfig deployment;
+  deployment.n = static_cast<std::size_t>(args.get_int_or("n", 150));
+  deployment.q = static_cast<std::size_t>(args.get_int_or("q", 5));
+  Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 12)));
+  const wsn::Network network = wsn::deploy_random(deployment, rng);
+
+  // 1. Deployment map.
+  viz::render_network(network).save(out + "/mwc_network.svg");
+  std::printf("wrote %s/mwc_network.svg\n", out.c_str());
+
+  // 2. Routing tree that motivates the linear cycle distribution.
+  wsn::EnergyModelConfig energy;
+  energy.comm_range = 180.0;
+  const auto profile = wsn::compute_energy_profile(network, energy);
+  viz::render_routing_tree(network, profile)
+      .save(out + "/mwc_routing.svg");
+  std::printf("wrote %s/mwc_routing.svg\n", out.c_str());
+
+  // 3. One tour map per cycle class of the MinTotalDistance schedule:
+  //    class k's map shows the round that charges V_0 ∪ ... ∪ V_k.
+  wsn::CycleModelConfig cycles_config;
+  const wsn::CycleModel cycle_model(network, cycles_config, 5);
+  const auto schedule = charging::build_min_total_distance_schedule(
+      network, cycle_model.fixed_cycles(), /*T=*/1000.0);
+
+  std::vector<std::size_t> cumulative;
+  for (std::size_t k = 0; k <= schedule.partition.K; ++k) {
+    cumulative.insert(cumulative.end(),
+                      schedule.partition.groups[k].begin(),
+                      schedule.partition.groups[k].end());
+    std::sort(cumulative.begin(), cumulative.end());
+    const std::string path =
+        out + "/mwc_round_k" + std::to_string(k) + ".svg";
+    viz::render_round(network, cumulative, schedule.tours_by_depth[k])
+        .save(path);
+    std::printf("wrote %s  (%zu sensors, %.1f km of tours)\n", path.c_str(),
+                cumulative.size(),
+                schedule.tours_by_depth[k].total_length / 1000.0);
+  }
+  return 0;
+}

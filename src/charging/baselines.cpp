@@ -1,0 +1,94 @@
+#include "charging/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace mwc::charging {
+
+namespace {
+constexpr double kTimeTolerance = 1e-9;
+}
+
+void PeriodicAllPolicy::reset(const StateView& view) {
+  period_ = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < view.network().n(); ++i)
+    period_ = std::min(period_, view.cycle(i));
+  next_time_ = period_;
+}
+
+std::optional<Dispatch> PeriodicAllPolicy::next_dispatch(
+    const StateView& view) {
+  const std::size_t n = view.network().n();
+  if (n == 0 || !std::isfinite(period_)) return std::nullopt;
+  if (next_time_ >= view.horizon()) return std::nullopt;
+  Dispatch dispatch;
+  dispatch.time = std::max(next_time_, view.now());
+  dispatch.sensors.resize(n);
+  std::iota(dispatch.sensors.begin(), dispatch.sensors.end(),
+            std::size_t{0});
+  return dispatch;
+}
+
+void PeriodicAllPolicy::on_dispatch_executed(const StateView& view,
+                                             const Dispatch& dispatch) {
+  (void)view;
+  next_time_ = dispatch.time + period_;
+}
+
+void PeriodicAllPolicy::on_cycles_updated(const StateView& view) {
+  // Track the global minimum period, and never plan past the earliest
+  // depletion: a redraw can leave a sensor with less residual life than
+  // the current period.
+  period_ = std::numeric_limits<double>::infinity();
+  double min_residual = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < view.network().n(); ++i) {
+    period_ = std::min(period_, view.cycle(i));
+    min_residual = std::min(min_residual, view.residual_life(i));
+  }
+  next_time_ = std::min(next_time_, view.now() + 0.9 * min_residual);
+}
+
+std::optional<Dispatch> PerSensorPeriodicPolicy::next_dispatch(
+    const StateView& view) {
+  const std::size_t n = view.network().n();
+  if (n == 0) return std::nullopt;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (double d : due_) earliest = std::min(earliest, d);
+  earliest = std::max(earliest, view.now());
+  if (earliest >= view.horizon()) return std::nullopt;
+
+  Dispatch dispatch;
+  dispatch.time = earliest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (due_[i] <= earliest + kTimeTolerance) dispatch.sensors.push_back(i);
+  }
+  MWC_ASSERT(!dispatch.sensors.empty());
+  return dispatch;
+}
+
+void PerSensorPeriodicPolicy::reset(const StateView& view) {
+  due_.resize(view.network().n());
+  for (std::size_t i = 0; i < due_.size(); ++i)
+    due_[i] = margin_ * view.cycle(i);
+}
+
+void PerSensorPeriodicPolicy::on_dispatch_executed(const StateView& view,
+                                                   const Dispatch& dispatch) {
+  for (std::size_t i : dispatch.sensors)
+    due_[i] = dispatch.time + margin_ * view.cycle(i);
+}
+
+void PerSensorPeriodicPolicy::on_cycles_updated(const StateView& view) {
+  // Clamp deadlines so no sensor outlives its (possibly shrunken) residual
+  // life.
+  for (std::size_t i = 0; i < due_.size(); ++i) {
+    due_[i] = std::min(due_[i],
+                       view.now() + margin_ * view.residual_life(i));
+  }
+}
+
+}  // namespace mwc::charging

@@ -1,0 +1,47 @@
+// Reference baselines that are NOT from the paper (clearly labelled as
+// library extras). They bracket the design space:
+//
+//  * PeriodicAll — the "naive strategy" Sec. III-C dismisses: charge every
+//    sensor every τ_min. Trivially feasible and maximally expensive;
+//    an upper anchor for the experiment plots.
+//  * PerSensorPeriodic — charge each sensor at exactly its own cycle τ_i
+//    with no coordination (each deadline its own dispatch). Shows what the
+//    geometric rounding + round alignment of Algorithm 3 buys.
+#pragma once
+
+#include "charging/schedule.hpp"
+
+namespace mwc::charging {
+
+class PeriodicAllPolicy final : public Policy {
+ public:
+  std::string name() const override { return "PeriodicAll"; }
+
+  void reset(const StateView& view) override;
+  std::optional<Dispatch> next_dispatch(const StateView& view) override;
+  void on_dispatch_executed(const StateView& view,
+                            const Dispatch& dispatch) override;
+  void on_cycles_updated(const StateView& view) override;
+
+ private:
+  double period_ = 0.0;
+  double next_time_ = 0.0;  ///< time of the next planned full charge
+};
+
+class PerSensorPeriodicPolicy final : public Policy {
+ public:
+  std::string name() const override { return "PerSensorPeriodic"; }
+
+  void reset(const StateView& view) override;
+  std::optional<Dispatch> next_dispatch(const StateView& view) override;
+  void on_dispatch_executed(const StateView& view,
+                            const Dispatch& dispatch) override;
+  void on_cycles_updated(const StateView& view) override;
+
+ private:
+  /// Safety margin: charge at fraction `margin_` of the cycle.
+  static constexpr double margin_ = 0.9;
+  std::vector<double> due_;  ///< next charge deadline per sensor
+};
+
+}  // namespace mwc::charging

@@ -1,0 +1,146 @@
+#include "charging/exact_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tsp/exact.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::charging {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ExactScheduleResult solve_exact_schedule(const wsn::Network& network,
+                                         const std::vector<double>& cycles,
+                                         double horizon) {
+  const std::size_t n = network.n();
+  MWC_ASSERT(cycles.size() == n);
+  MWC_ASSERT_MSG(n >= 1 && n <= 10, "exact solver: n too large");
+  MWC_ASSERT_MSG(horizon > 0.0 && horizon == std::floor(horizon),
+                 "exact solver: horizon must be a positive integer");
+  const auto T = static_cast<std::size_t>(horizon);
+
+  std::vector<std::size_t> tau(n);
+  std::size_t num_states = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    MWC_ASSERT_MSG(cycles[i] >= 1.0 && cycles[i] == std::floor(cycles[i]),
+                   "exact solver: cycles must be positive integers");
+    tau[i] = static_cast<std::size_t>(cycles[i]);
+    num_states *= tau[i] + 1;  // ages 0..tau_i
+    MWC_ASSERT_MSG(num_states <= 2'000'000,
+                   "exact solver: state space too large");
+  }
+
+  // Optimal cost of every chargeable subset (brute-force q-rooted TSP).
+  const std::size_t num_subsets = std::size_t{1} << n;
+  std::vector<double> subset_cost(num_subsets, 0.0);
+  for (std::size_t mask = 1; mask < num_subsets; ++mask) {
+    tsp::QRootedInstance instance;
+    instance.depots = network.depots();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i))
+        instance.sensors.push_back(network.sensor(i).position);
+    }
+    subset_cost[mask] = tsp::brute_force_q_rooted_tsp(instance);
+  }
+
+  // Mixed-radix state <-> age decoding.
+  std::vector<std::size_t> stride(n);
+  {
+    std::size_t acc = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      stride[i] = acc;
+      acc *= tau[i] + 1;
+    }
+  }
+  const auto age_of = [&](std::size_t state, std::size_t i) {
+    return (state / stride[i]) % (tau[i] + 1);
+  };
+
+  // dp[state] at time t; parent pointers for reconstruction.
+  std::vector<double> dp(num_states, kInf), next(num_states, kInf);
+  // from[t][state] = (previous state, mask charged at time t).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> from(
+      T, std::vector<std::pair<std::size_t, std::size_t>>(
+             num_states, {num_states, 0}));
+
+  dp[0] = 0.0;  // all ages zero at t = 0
+
+  // Dispatches may happen at t = 1..T-1 (the paper schedules none at T).
+  for (std::size_t t = 1; t + 1 <= T; ++t) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t state = 0; state < num_states; ++state) {
+      if (dp[state] == kInf) continue;
+      // Everyone ages by one tick; a charged sensor closes a gap of
+      // (age + 1) <= tau (guaranteed by the aging check), an uncharged
+      // one must still be within its cycle.
+      for (std::size_t mask = 0; mask < num_subsets; ++mask) {
+        std::size_t new_state = 0;
+        bool feasible = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t aged = age_of(state, i) + 1;
+          if (aged > tau[i]) {
+            feasible = false;
+            break;
+          }
+          const bool charged = (mask >> i) & 1;
+          new_state += (charged ? 0 : aged) * stride[i];
+        }
+        if (!feasible) continue;
+        const double cand = dp[state] + subset_cost[mask];
+        if (cand < next[new_state]) {
+          next[new_state] = cand;
+          from[t][new_state] = {state, mask};
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Terminal filter: ages are at time T-1; the final gap to T is age + 1.
+  ExactScheduleResult result;
+  result.cost = kInf;
+  std::size_t best_state = num_states;
+  for (std::size_t state = 0; state < num_states; ++state) {
+    if (dp[state] == kInf) continue;
+    bool terminal_ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (age_of(state, i) + 1 > tau[i]) {
+        terminal_ok = false;
+        break;
+      }
+    }
+    if (terminal_ok && dp[state] < result.cost) {
+      result.cost = dp[state];
+      best_state = state;
+    }
+  }
+  MWC_ASSERT_MSG(std::isfinite(result.cost),
+                 "exact solver: no feasible schedule (T too long?)");
+
+  // Reconstruct dispatches by walking parents from T-1 back to 1.
+  std::size_t state = best_state;
+  for (std::size_t t = T - 1; t >= 1; --t) {
+    const auto [prev, mask] = from[t][state];
+    MWC_ASSERT(prev != num_states);
+    if (mask != 0) {
+      Dispatch d;
+      d.time = static_cast<double>(t);
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) d.sensors.push_back(i);
+      }
+      result.dispatches.push_back(std::move(d));
+    }
+    state = prev;
+    if (t == 1) break;
+  }
+  std::reverse(result.dispatches.begin(), result.dispatches.end());
+  return result;
+}
+
+}  // namespace mwc::charging

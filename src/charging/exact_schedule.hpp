@@ -1,0 +1,33 @@
+// Exact solver for the service cost minimization problem on small
+// instances, restricted to integer dispatch times.
+//
+// With integer maximum charging cycles and dispatches on the unit time
+// grid, the problem is a shortest path over per-sensor "ages" (time since
+// last charge): state = (a_1..a_n) with a_i <= τ_i, transitions choose
+// the subset charged at the next tick and pay that subset's *optimal*
+// q-rooted tour cost (brute force). Grid restriction only raises the
+// optimum, so `alg_cost <= 2(K+2) * grid_OPT` is implied by Theorem 2 —
+// and measuring `alg_cost / grid_OPT` gives a (pessimistic) empirical
+// approximation ratio. Exponential: intended for n <= 6, τ <= 6, T <= 24.
+#pragma once
+
+#include <vector>
+
+#include "charging/schedule.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::charging {
+
+struct ExactScheduleResult {
+  double cost = 0.0;
+  std::vector<Dispatch> dispatches;  ///< at integer times in [1, T-1]
+};
+
+/// Optimal grid schedule. `cycles` must be positive integers (as doubles)
+/// and `horizon` a positive integer. Asserts the instance is small enough
+/// (state space <= ~2e6 and n <= 10).
+ExactScheduleResult solve_exact_schedule(const wsn::Network& network,
+                                         const std::vector<double>& cycles,
+                                         double horizon);
+
+}  // namespace mwc::charging

@@ -1,0 +1,126 @@
+#include "charging/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mwc::charging {
+
+namespace {
+constexpr double kTimeTolerance = 1e-9;
+}
+
+GreedyPolicy::GreedyPolicy(const GreedyOptions& options) : options_(options) {}
+
+void GreedyPolicy::reset(const StateView& view) {
+  if (options_.threshold > 0.0) {
+    effective_threshold_ = options_.threshold;
+  } else {
+    double tau_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < view.network().n(); ++i)
+      tau_min = std::min(tau_min, view.cycle(i));
+    effective_threshold_ = tau_min;
+  }
+  effective_interval_ = options_.check_interval > 0.0
+                            ? std::min(options_.check_interval,
+                                       effective_threshold_)
+                            : effective_threshold_;
+  not_before_.assign(view.network().n(), 0.0);
+
+  predictors_.clear();
+  if (options_.prediction_gamma > 0.0) {
+    predictors_.reserve(view.network().n());
+    for (std::size_t i = 0; i < view.network().n(); ++i) {
+      predictors_.emplace_back(options_.prediction_gamma,
+                               1.0 / view.cycle(i));
+    }
+  }
+}
+
+double GreedyPolicy::estimated_residual(const StateView& view,
+                                        std::size_t i) const {
+  const double exact = view.residual_life(i);
+  if (predictors_.empty()) return exact;
+  // The base station knows the energy *fraction* (from the last charge
+  // and reported consumption) but projects the lifetime with the
+  // predicted rate: l̂ = re / ρ̂ = exact · (τ̂ / τ_true).
+  const double tau_true = view.cycle(i);
+  const double tau_hat = predictors_[i].predicted_cycle(1.0);
+  if (tau_true <= 0.0 || !std::isfinite(tau_hat)) return exact;
+  return exact * (tau_hat / tau_true);
+}
+
+double GreedyPolicy::request_time(const StateView& view,
+                                  std::size_t i) const {
+  const double now = view.now();
+  const double residual = estimated_residual(view, i);
+  // Moment the sensor is (or was) due: its residual life hits Δl.
+  const double due = now + std::max(residual - effective_threshold_, 0.0);
+  const double target = std::max({due, now, not_before_[i]});
+  // Serve it at the next check boundary at/after the target, unless the
+  // sensor cannot survive that long (possible right after a cycle
+  // redraw) — then rescue off-grid at the target itself.
+  const double boundary =
+      std::ceil((target - kTimeTolerance) / effective_interval_) *
+      effective_interval_;
+  if (boundary <= now + residual + kTimeTolerance) return boundary;
+  return target;
+}
+
+std::optional<Dispatch> GreedyPolicy::next_dispatch(const StateView& view) {
+  const std::size_t n = view.network().n();
+  if (n == 0) return std::nullopt;
+
+  double earliest = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i)
+    earliest = std::min(earliest, request_time(view, i));
+  if (earliest >= view.horizon()) return std::nullopt;
+
+  Dispatch dispatch;
+  dispatch.time = earliest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (request_time(view, i) <= earliest + kTimeTolerance)
+      dispatch.sensors.push_back(i);
+  }
+  MWC_ASSERT(!dispatch.sensors.empty());
+  return dispatch;
+}
+
+void GreedyPolicy::on_dispatch_executed(const StateView& view,
+                                        const Dispatch& dispatch) {
+  // Clamp each charged sensor's next trigger: a sensor with τ_i <= Δl
+  // would otherwise re-request at the same instant forever. The clamp
+  // never exceeds half the (possibly shrunken) cycle, so it cannot
+  // outlive the sensor.
+  for (std::size_t i : dispatch.sensors) {
+    const double tau = view.cycle(i);
+    const double period = tau > 2.0 * effective_threshold_
+                              ? tau - effective_threshold_
+                              : tau / 2.0;
+    not_before_[i] = dispatch.time + period;
+  }
+}
+
+void GreedyPolicy::on_cycles_updated(const StateView& view) {
+  // Sensors report their monitored rates; feed the predictors first so
+  // the estimates below already include this slot's observation.
+  if (!predictors_.empty()) {
+    for (std::size_t i = 0; i < predictors_.size(); ++i)
+      predictors_[i].observe(1.0 / view.cycle(i));
+  }
+  // Request times are recomputed from the view on demand, but the
+  // anti-retrigger clamp must never outlive a sensor (as far as the base
+  // station can tell): if a redraw shrank a sensor's residual life, relax
+  // its clamp so the threshold crossing (or an immediate rescue) stays
+  // reachable.
+  for (std::size_t i = 0; i < not_before_.size(); ++i) {
+    const double safe_latest =
+        view.now() +
+        std::max(estimated_residual(view, i) - effective_threshold_, 0.0);
+    not_before_[i] = std::min(not_before_[i], safe_latest);
+  }
+}
+
+}  // namespace mwc::charging

@@ -1,0 +1,14 @@
+#include "charging/schedule.hpp"
+
+#include <algorithm>
+
+namespace mwc::charging {
+
+void normalize(Dispatch& dispatch) {
+  std::sort(dispatch.sensors.begin(), dispatch.sensors.end());
+  dispatch.sensors.erase(
+      std::unique(dispatch.sensors.begin(), dispatch.sensors.end()),
+      dispatch.sensors.end());
+}
+
+}  // namespace mwc::charging

@@ -1,0 +1,68 @@
+// MinTotalDistance-var (Sec. VI of the paper): the heuristic for variable
+// maximum charging cycles.
+//
+// The base station keeps the current power-of-two plan. When sensors
+// report new cycles τ̂_i(t), the plan survives if every sensor satisfies
+// τ̂'_i(t-1) <= τ̂_i(t) < 2 τ̂'_i(t-1) (its assigned cycle is still legal
+// and not overly conservative). Otherwise the plan is rebuilt:
+//
+//  1. Run Algorithm 3 from the current time t with the updated cycles —
+//     this assumes full batteries, which sensors no longer have.
+//  2. Rescue set V^a = sensors whose residual lifetime is below their new
+//     assigned cycle (they would die before their first planned charge).
+//     Sensors with residual life < τ̂_1 form V^a_t, charged immediately in
+//     a new scheduling (C'_0, t).
+//  3. Remaining rescue sensors are partitioned by residual lifetime into
+//     V^a_0..V^a_K (v ∈ V^a_k iff 2^k τ̂_1 <= l̂ < 2^(k+1) τ̂_1) and
+//     folded into the earliest 2^k + 1 schedulings. Each V^a_k is
+//     distributed by one q-rooted-MSF run on the auxiliary graph G^(k)
+//     whose roots are the *schedulings* C'_0..C'_{2^k} (root-to-sensor
+//     distance = nearest node of that scheduling, depots included) — each
+//     resulting tree's sensors join its root scheduling.
+#pragma once
+
+#include <deque>
+
+#include "charging/rounding.hpp"
+#include "charging/schedule.hpp"
+
+namespace mwc::charging {
+
+struct VarHeuristicOptions {
+  /// Relative cycle-change threshold below which a sensor does not even
+  /// report (the paper's per-sensor variation threshold); 0 reports all.
+  double report_threshold = 0.0;
+};
+
+class MinTotalDistanceVarPolicy final : public Policy {
+ public:
+  explicit MinTotalDistanceVarPolicy(const VarHeuristicOptions& options = {});
+
+  std::string name() const override { return "MinTotalDistance-var"; }
+
+  void reset(const StateView& view) override;
+  std::optional<Dispatch> next_dispatch(const StateView& view) override;
+  void on_dispatch_executed(const StateView& view,
+                            const Dispatch& dispatch) override;
+  void on_cycles_updated(const StateView& view) override;
+
+  /// Number of full plan recomputations performed so far (observability;
+  /// the ΔT experiment correlates cost with recompute frequency).
+  std::size_t recompute_count() const noexcept { return recompute_count_; }
+
+ private:
+  void recompute_plan(const StateView& view);
+  /// True if the existing plan remains feasible and near-optimal under
+  /// the newly reported cycles (the paper's τ̂' <= τ̂ < 2 τ̂' test).
+  bool plan_still_applicable(const StateView& view) const;
+
+  VarHeuristicOptions options_;
+  std::deque<Dispatch> plan_;
+  /// Assigned (rounded) cycle per sensor under the current plan.
+  std::vector<double> assigned_;
+  /// Cycle each sensor last *reported* to the base station.
+  std::vector<double> reported_cycle_;
+  std::size_t recompute_count_ = 0;
+};
+
+}  // namespace mwc::charging

@@ -1,0 +1,27 @@
+#include "exp/config.hpp"
+
+namespace mwc::exp {
+
+ExperimentConfig paper_defaults() {
+  ExperimentConfig config;
+  config.deployment.n = 200;
+  config.deployment.q = 5;
+  config.deployment.field_side = 1000.0;
+  config.deployment.depot_at_base_station = true;
+  config.cycles.distribution = wsn::CycleDistribution::kLinear;
+  config.cycles.tau_min = 1.0;
+  config.cycles.tau_max = 50.0;
+  config.cycles.sigma = 2.0;
+  config.sim.horizon = 1000.0;
+  config.sim.slot_length = 0.0;  // fixed cycles
+  config.trials = 100;
+  return config;
+}
+
+ExperimentConfig paper_defaults_variable() {
+  ExperimentConfig config = paper_defaults();
+  config.sim.slot_length = 10.0;  // ΔT
+  return config;
+}
+
+}  // namespace mwc::exp

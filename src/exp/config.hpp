@@ -1,0 +1,31 @@
+// Experiment configuration: one struct tying together deployment, cycle
+// model, and simulation options, with the paper's Sec. VII-A defaults.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::exp {
+
+struct ExperimentConfig {
+  wsn::DeploymentConfig deployment;   ///< n, q, field side, depot placement
+  wsn::CycleModelConfig cycles;       ///< distribution, τ bounds, σ
+  sim::SimOptions sim;                ///< T, ΔT, tour polish
+  std::size_t trials = 100;           ///< topologies per data point
+  std::uint64_t seed = 20140917;      ///< master seed (all streams derive)
+  std::size_t threads = 0;            ///< worker threads; 0 = hardware
+};
+
+/// The paper's default setting: 1000 m x 1000 m field, BS at the centre,
+/// q = 5 (one depot at the BS), n = 200, T = 1000, τ ∈ [1, 50], σ = 2,
+/// fixed cycles (ΔT unset), 100 trials.
+ExperimentConfig paper_defaults();
+
+/// Same but with per-slot cycle redraws enabled at ΔT = 10 (the
+/// variable-maximum-charging-cycle experiments, Figs. 3-6).
+ExperimentConfig paper_defaults_variable();
+
+}  // namespace mwc::exp

@@ -1,0 +1,120 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "viz/chart.hpp"
+
+namespace mwc::exp {
+
+FigureReport::FigureReport(std::string figure_id, std::string title,
+                           std::string x_label, double unit_scale)
+    : figure_id_(std::move(figure_id)),
+      title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      unit_scale_(unit_scale) {
+  MWC_ASSERT(unit_scale_ > 0.0);
+}
+
+void FigureReport::add_point(SeriesPoint point) {
+  if (!points_.empty()) {
+    MWC_ASSERT_MSG(point.outcomes.size() == points_.front().outcomes.size(),
+                   "all series points must cover the same policies");
+  }
+  points_.push_back(std::move(point));
+}
+
+double FigureReport::ratio_at(std::size_t idx) const {
+  const auto& p = points_.at(idx);
+  MWC_ASSERT(p.outcomes.size() >= 2);
+  const double denom = p.outcomes[1].cost.mean;
+  return denom > 0.0 ? p.outcomes[0].cost.mean / denom : 0.0;
+}
+
+void FigureReport::print() const {
+  std::cout << "=== " << figure_id_ << ": " << title_ << " ===\n";
+  if (points_.empty()) {
+    std::cout << "(no data)\n";
+    return;
+  }
+
+  std::vector<std::string> headers{x_label_};
+  const auto& first = points_.front().outcomes;
+  bool any_dead = false;
+  for (const auto& o : first) {
+    headers.push_back(o.name + " (km)");
+    headers.push_back("ci95");
+  }
+  if (first.size() >= 2) headers.push_back("ratio");
+  for (const auto& p : points_)
+    for (const auto& o : p.outcomes) any_dead |= o.total_dead > 0;
+  if (any_dead) headers.push_back("dead");
+
+  ConsoleTable table(std::move(headers));
+  for (std::size_t idx = 0; idx < points_.size(); ++idx) {
+    const auto& p = points_[idx];
+    std::vector<std::string> row{fmt_fixed(p.x, 0)};
+    std::size_t dead = 0;
+    for (const auto& o : p.outcomes) {
+      row.push_back(fmt_fixed(o.cost.mean / unit_scale_, 1));
+      row.push_back(fmt_fixed(o.cost.ci95 / unit_scale_, 1));
+      dead += o.total_dead;
+    }
+    if (p.outcomes.size() >= 2) row.push_back(fmt_fixed(ratio_at(idx), 3));
+    if (any_dead) row.push_back(std::to_string(dead));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+void FigureReport::write_svg(const std::string& path) const {
+  MWC_ASSERT_MSG(!points_.empty(), "no data to plot");
+  std::vector<viz::Series> series(points_.front().outcomes.size());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    series[s].label = points_.front().outcomes[s].name;
+    for (const auto& p : points_) {
+      series[s].xs.push_back(p.x);
+      series[s].ys.push_back(p.outcomes[s].cost.mean / unit_scale_);
+    }
+  }
+  viz::ChartOptions options;
+  options.title = figure_id_ + ": " + title_;
+  options.x_label = x_label_;
+  options.y_label = "Service Cost (km)";
+  viz::save_line_chart(series, options, path);
+}
+
+void FigureReport::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"figure", x_label_, "policy",
+                                  "cost_mean",
+
+                                  "cost_ci95", "cost_stddev", "cost_min",
+                                  "cost_max", "dispatches", "charges",
+                                  "dead", "trials"};
+  csv.header(header);
+  for (const auto& p : points_) {
+    for (const auto& o : p.outcomes) {
+      csv.field(figure_id_)
+          .field(p.x)
+          .field(o.name)
+          .field(o.cost.mean / unit_scale_)
+          .field(o.cost.ci95 / unit_scale_)
+          .field(o.cost.stddev / unit_scale_)
+          .field(o.cost.min / unit_scale_)
+          .field(o.cost.max / unit_scale_)
+          .field(o.mean_dispatches)
+          .field(o.mean_charges)
+          .field(static_cast<long long>(o.total_dead))
+          .field(static_cast<long long>(o.trials));
+      csv.end_row();
+    }
+  }
+  csv.flush();
+}
+
+}  // namespace mwc::exp

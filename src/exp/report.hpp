@@ -1,0 +1,51 @@
+// Paper-figure-style reporting: one table per figure, a row per x value,
+// a cost column per policy plus their ratio, with optional CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace mwc::exp {
+
+struct SeriesPoint {
+  double x = 0.0;
+  std::vector<AggregateOutcome> outcomes;  ///< one per policy, fixed order
+};
+
+class FigureReport {
+ public:
+  /// `figure_id` like "Fig. 1(a)"; `x_label` like "n" or "tau_max";
+  /// `unit_scale` divides costs before display (1000 turns metres to km).
+  FigureReport(std::string figure_id, std::string title, std::string x_label,
+               double unit_scale = 1000.0);
+
+  void add_point(SeriesPoint point);
+
+  const std::vector<SeriesPoint>& points() const noexcept { return points_; }
+
+  /// Prints the header, the aligned series table (cost per policy, the
+  /// first-vs-second ratio when >= 2 policies, dead-sensor counts if any),
+  /// to stdout.
+  void print() const;
+
+  /// Writes the full per-point aggregates to `path` as CSV.
+  void write_csv(const std::string& path) const;
+
+  /// Renders the figure as an SVG line chart (one series per policy,
+  /// cost in km over the swept parameter) to `path`.
+  void write_svg(const std::string& path) const;
+
+  /// Ratio of policy 0's mean cost to policy 1's at point `idx`.
+  double ratio_at(std::size_t idx) const;
+
+ private:
+  std::string figure_id_;
+  std::string title_;
+  std::string x_label_;
+  double unit_scale_;
+  std::vector<SeriesPoint> points_;
+};
+
+}  // namespace mwc::exp

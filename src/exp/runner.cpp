@@ -1,0 +1,103 @@
+#include "exp/runner.hpp"
+
+#include <mutex>
+
+#include "charging/baselines.hpp"
+#include "charging/greedy.hpp"
+#include "charging/min_total_distance.hpp"
+#include "charging/var_heuristic.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::exp {
+
+std::unique_ptr<charging::Policy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kMinTotalDistance:
+      return std::make_unique<charging::MinTotalDistancePolicy>();
+    case PolicyKind::kMinTotalDistanceVar:
+      return std::make_unique<charging::MinTotalDistanceVarPolicy>();
+    case PolicyKind::kGreedy:
+      return std::make_unique<charging::GreedyPolicy>();
+    case PolicyKind::kPeriodicAll:
+      return std::make_unique<charging::PeriodicAllPolicy>();
+    case PolicyKind::kPerSensorPeriodic:
+      return std::make_unique<charging::PerSensorPeriodicPolicy>();
+  }
+  MWC_ASSERT_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+std::unique_ptr<charging::Policy> make_policy(
+    PolicyKind kind, const ExperimentConfig& config) {
+  if (kind == PolicyKind::kGreedy) {
+    // The paper's greedy: request threshold Δl = τ_min of the cycle
+    // distribution, requests batched at the same granularity.
+    charging::GreedyOptions options;
+    options.threshold = config.cycles.tau_min;
+    return std::make_unique<charging::GreedyPolicy>(options);
+  }
+  return make_policy(kind);
+}
+
+std::string policy_name(PolicyKind kind) {
+  return make_policy(kind)->name();
+}
+
+sim::SimResult run_trial(const ExperimentConfig& config, PolicyKind kind,
+                         std::size_t trial_index) {
+  // Stream ids: deployment uses (seed, 2k), cycles use (seed, 2k+1), so
+  // topology and cycle draws are independent but shared across policies.
+  Rng deploy_rng(config.seed, 2 * trial_index);
+  const wsn::Network network = wsn::deploy_random(config.deployment,
+                                                  deploy_rng);
+  const wsn::CycleModel cycles(network, config.cycles,
+                               mix64(config.seed, 2 * trial_index + 1));
+  sim::Simulator simulator(network, cycles, config.sim);
+  auto policy = make_policy(kind, config);
+  return simulator.run(*policy);
+}
+
+AggregateOutcome run_policy(const ExperimentConfig& config, PolicyKind kind,
+                            ThreadPool* pool) {
+  std::vector<sim::SimResult> results(config.trials);
+  const auto body = [&](std::size_t trial) {
+    results[trial] = run_trial(config, kind, trial);
+  };
+  if (pool != nullptr && config.trials > 1) {
+    parallel_for(*pool, 0, config.trials, body);
+  } else {
+    serial_for(0, config.trials, body);
+  }
+
+  AggregateOutcome outcome;
+  outcome.kind = kind;
+  outcome.name = policy_name(kind);
+  outcome.trials = config.trials;
+  std::vector<double> costs;
+  costs.reserve(results.size());
+  for (const auto& r : results) {
+    costs.push_back(r.service_cost);
+    outcome.mean_dispatches +=
+        static_cast<double>(r.num_dispatches) / double(config.trials);
+    outcome.mean_charges +=
+        static_cast<double>(r.num_sensor_charges) / double(config.trials);
+    outcome.total_dead += r.dead_sensors;
+    outcome.wall_seconds += r.wall_seconds;
+  }
+  outcome.cost = summarize(costs);
+  return outcome;
+}
+
+std::vector<AggregateOutcome> run_policies(const ExperimentConfig& config,
+                                           std::span<const PolicyKind> kinds,
+                                           ThreadPool* pool) {
+  std::vector<AggregateOutcome> outcomes;
+  outcomes.reserve(kinds.size());
+  for (PolicyKind kind : kinds) {
+    outcomes.push_back(run_policy(config, kind, pool));
+  }
+  return outcomes;
+}
+
+}  // namespace mwc::exp

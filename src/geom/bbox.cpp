@@ -1,0 +1,20 @@
+#include "geom/bbox.hpp"
+
+#include <algorithm>
+
+namespace mwc::geom {
+
+void BBox::expand(const Point& p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+double BBox::distance2_to(const Point& p) const {
+  const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+  const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+  return dx * dx + dy * dy;
+}
+
+}  // namespace mwc::geom

@@ -1,0 +1,52 @@
+// Axis-aligned bounding boxes; used by deployment (the field) and by the
+// spatial indices for pruning.
+#pragma once
+
+#include "geom/point.hpp"
+
+namespace mwc::geom {
+
+struct BBox {
+  Point lo{0.0, 0.0};
+  Point hi{0.0, 0.0};
+
+  constexpr BBox() = default;
+  constexpr BBox(Point low, Point high) : lo(low), hi(high) {}
+
+  /// The square field [0, side] x [0, side].
+  static constexpr BBox square(double side) {
+    return BBox{{0.0, 0.0}, {side, side}};
+  }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point center() const { return midpoint(lo, hi); }
+
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr bool intersects(const BBox& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+
+  /// Grows the box (in place) to contain p; a default box adopts p.
+  void expand(const Point& p);
+
+  /// Squared distance from p to the box (0 when inside).
+  double distance2_to(const Point& p) const;
+
+  /// Smallest box containing the given points; default box when empty.
+  template <typename It>
+  static BBox of(It first, It last) {
+    BBox b;
+    if (first == last) return b;
+    b.lo = b.hi = *first;
+    for (auto it = std::next(first); it != last; ++it) b.expand(*it);
+    return b;
+  }
+};
+
+}  // namespace mwc::geom

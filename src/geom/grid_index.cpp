@@ -1,0 +1,154 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mwc::geom {
+
+GridIndex::GridIndex(std::span<const Point> points, const BBox& bounds,
+                     double target_per_cell)
+    : points_(points.begin(), points.end()), bounds_(bounds) {
+  MWC_ASSERT(target_per_cell > 0.0);
+  const std::size_t n = points_.size();
+  if (n == 0) {
+    nx_ = ny_ = 1;
+    cell_start_.assign(2, 0);
+    return;
+  }
+  // Ensure the bounds actually cover the points (callers may pass the
+  // nominal field; clamp outliers in).
+  for (const auto& p : points_) bounds_.expand(p);
+
+  const double cells_target =
+      std::max(1.0, static_cast<double>(n) / target_per_cell);
+  const double aspect =
+      bounds_.height() > 0.0 && bounds_.width() > 0.0
+          ? bounds_.width() / bounds_.height()
+          : 1.0;
+  nx_ = static_cast<std::size_t>(
+      std::max(1.0, std::round(std::sqrt(cells_target * aspect))));
+  ny_ = static_cast<std::size_t>(
+      std::max(1.0, std::round(cells_target / static_cast<double>(nx_))));
+  cell_w_ = bounds_.width() > 0.0 ? bounds_.width() / double(nx_) : 1.0;
+  cell_h_ = bounds_.height() > 0.0 ? bounds_.height() / double(ny_) : 1.0;
+
+  // Counting sort of points into cells (CSR).
+  const std::size_t num_cells = nx_ * ny_;
+  std::vector<std::size_t> counts(num_cells, 0);
+  std::vector<std::size_t> cell_id(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_id[i] = cell_of(points_[i]);
+    ++counts[cell_id[i]];
+  }
+  cell_start_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  cell_items_.resize(n);
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) cell_items_[cursor[cell_id[i]]++] = i;
+}
+
+std::size_t GridIndex::cell_of(const Point& p) const {
+  const double fx = cell_w_ > 0.0 ? (p.x - bounds_.lo.x) / cell_w_ : 0.0;
+  const double fy = cell_h_ > 0.0 ? (p.y - bounds_.lo.y) / cell_h_ : 0.0;
+  const auto cx = std::min(nx_ - 1, static_cast<std::size_t>(std::max(0.0, fx)));
+  const auto cy = std::min(ny_ - 1, static_cast<std::size_t>(std::max(0.0, fy)));
+  return cy * nx_ + cx;
+}
+
+void GridIndex::scan_cell(std::size_t cx, std::size_t cy, const Point& query,
+                          std::size_t& best, double& best_d2) const {
+  const std::size_t c = cy * nx_ + cx;
+  for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+    const std::size_t i = cell_items_[k];
+    const double d2 = distance2(points_[i], query);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+}
+
+std::pair<std::size_t, double> GridIndex::nearest_with_distance(
+    const Point& query) const {
+  if (points_.empty())
+    return {0, std::numeric_limits<double>::infinity()};
+
+  // Expanding ring search around the query's cell. Stop once the closest
+  // possible point in the next ring cannot beat the best found.
+  const double fx = cell_w_ > 0.0 ? (query.x - bounds_.lo.x) / cell_w_ : 0.0;
+  const double fy = cell_h_ > 0.0 ? (query.y - bounds_.lo.y) / cell_h_ : 0.0;
+  const auto qx = static_cast<long long>(std::floor(fx));
+  const auto qy = static_cast<long long>(std::floor(fy));
+
+  std::size_t best = points_.size();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const long long max_ring =
+      static_cast<long long>(std::max(nx_, ny_)) +
+      std::max(std::abs(qx), std::abs(qy)) + 1;
+
+  for (long long ring = 0; ring <= max_ring; ++ring) {
+    if (best < points_.size()) {
+      // Minimum distance from query to any cell in this ring.
+      const double ring_gap =
+          (static_cast<double>(ring) - 1.0) * std::min(cell_w_, cell_h_);
+      if (ring_gap > 0.0 && ring_gap * ring_gap > best_d2) break;
+    }
+    bool visited_any = false;
+    for (long long dy = -ring; dy <= ring; ++dy) {
+      for (long long dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // ring only
+        const long long cx = qx + dx;
+        const long long cy = qy + dy;
+        if (cx < 0 || cy < 0 || cx >= static_cast<long long>(nx_) ||
+            cy >= static_cast<long long>(ny_))
+          continue;
+        visited_any = true;
+        scan_cell(static_cast<std::size_t>(cx), static_cast<std::size_t>(cy),
+                  query, best, best_d2);
+      }
+    }
+    if (!visited_any && best < points_.size()) break;
+  }
+  MWC_ASSERT(best < points_.size());
+  return {best, std::sqrt(best_d2)};
+}
+
+std::size_t GridIndex::nearest(const Point& query) const {
+  return nearest_with_distance(query).first;
+}
+
+std::vector<std::size_t> GridIndex::within(const Point& query,
+                                           double radius) const {
+  std::vector<std::size_t> result;
+  if (points_.empty() || radius < 0.0) return result;
+  const double r2 = radius * radius;
+
+  const long long x_lo = static_cast<long long>(
+      std::floor((query.x - radius - bounds_.lo.x) / cell_w_));
+  const long long x_hi = static_cast<long long>(
+      std::floor((query.x + radius - bounds_.lo.x) / cell_w_));
+  const long long y_lo = static_cast<long long>(
+      std::floor((query.y - radius - bounds_.lo.y) / cell_h_));
+  const long long y_hi = static_cast<long long>(
+      std::floor((query.y + radius - bounds_.lo.y) / cell_h_));
+
+  for (long long cy = std::max(0LL, y_lo);
+       cy <= std::min<long long>(ny_ - 1, y_hi); ++cy) {
+    for (long long cx = std::max(0LL, x_lo);
+         cx <= std::min<long long>(nx_ - 1, x_hi); ++cx) {
+      const std::size_t c =
+          static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx);
+      for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const std::size_t i = cell_items_[k];
+        if (distance2(points_[i], query) <= r2) result.push_back(i);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mwc::geom

@@ -1,0 +1,54 @@
+// Uniform-grid spatial index for nearest-neighbour queries over a static
+// point set. Expected O(1) NN for uniformly deployed sensors; used by the
+// greedy policy and by the variable-cycle heuristic's nearest-scheduling
+// insertion. A kd-tree alternative lives in geom/kdtree.hpp; the two are
+// cross-validated in tests and compared in bench/micro_spatial.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace mwc::geom {
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  /// Builds an index over `points` within `bounds`. `target_per_cell`
+  /// controls the grid resolution (cells sized so that a uniform
+  /// distribution averages roughly that many points per cell).
+  GridIndex(std::span<const Point> points, const BBox& bounds,
+            double target_per_cell = 2.0);
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Index of the nearest point to `query`; size() when the index is empty.
+  std::size_t nearest(const Point& query) const;
+
+  /// Nearest point and its distance. Returns {size(), +inf} when empty.
+  std::pair<std::size_t, double> nearest_with_distance(
+      const Point& query) const;
+
+  /// All point indices within `radius` of `query` (unsorted).
+  std::vector<std::size_t> within(const Point& query, double radius) const;
+
+ private:
+  std::size_t cell_of(const Point& p) const;
+  void scan_cell(std::size_t cx, std::size_t cy, const Point& query,
+                 std::size_t& best, double& best_d2) const;
+
+  std::vector<Point> points_;
+  BBox bounds_;
+  std::size_t nx_ = 0, ny_ = 0;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> cell_items_;
+};
+
+}  // namespace mwc::geom

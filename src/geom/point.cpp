@@ -1,0 +1,15 @@
+#include "geom/point.hpp"
+
+#include <ostream>
+
+namespace mwc::geom {
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace mwc::geom

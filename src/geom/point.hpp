@@ -1,0 +1,61 @@
+// 2-D points and basic vector algebra for the planar WSN field.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace mwc::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point operator/(double s) const { return {x / s, y / s}; }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Squared Euclidean norm.
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Euclidean distance.
+double distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt in comparisons).
+constexpr double distance2(const Point& a, const Point& b) {
+  return (a - b).norm2();
+}
+
+/// Dot product of position vectors.
+constexpr double dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Z-component of the cross product (a x b); >0 when b is CCW of a.
+constexpr double cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Midpoint of the segment ab.
+constexpr Point midpoint(const Point& a, const Point& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Linear interpolation a + t (b - a).
+constexpr Point lerp(const Point& a, const Point& b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace mwc::geom

@@ -1,0 +1,40 @@
+#include "graph/dsu.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace mwc::graph {
+
+Dsu::Dsu(std::size_t n) { reset(n); }
+
+void Dsu::reset(std::size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  size_.assign(n, 1);
+  num_sets_ = n;
+}
+
+std::size_t Dsu::find(std::size_t x) noexcept {
+  MWC_DEBUG_ASSERT(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool Dsu::unite(std::size_t a, std::size_t b) noexcept {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::size_t Dsu::set_size(std::size_t x) noexcept { return size_[find(x)]; }
+
+}  // namespace mwc::graph

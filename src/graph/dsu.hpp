@@ -1,0 +1,41 @@
+// Disjoint-set union (union-find) with path halving and union by size.
+// Backs Kruskal's MST and connectivity checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mwc::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n = 0);
+
+  /// Resets to n singleton sets.
+  void reset(std::size_t n);
+
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Representative of x's set (with path halving).
+  std::size_t find(std::size_t x) noexcept;
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) noexcept;
+
+  bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  /// Number of elements in x's set.
+  std::size_t set_size(std::size_t x) noexcept;
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const noexcept { return num_sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace mwc::graph

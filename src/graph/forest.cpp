@@ -1,0 +1,78 @@
+#include "graph/forest.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace mwc::graph {
+
+RootedTree::RootedTree(std::size_t root, std::span<const Edge> edges)
+    : root_(root), edges_(edges.begin(), edges.end()) {
+  for (const Edge& e : edges_) total_weight_ += e.w;
+
+  // Discover nodes by DFS from the root so `nodes_` is deterministic and
+  // `valid()` can compare reachable count to edge count.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> adj;
+  for (const Edge& e : edges_) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::unordered_set<std::size_t> seen{root_};
+  std::vector<std::size_t> stack{root_};
+  nodes_.push_back(root_);
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    const auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (std::size_t v : it->second) {
+      if (seen.insert(v).second) {
+        nodes_.push_back(v);
+        stack.push_back(v);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> RootedTree::preorder() const {
+  std::unordered_map<std::size_t, std::vector<std::size_t>> adj;
+  for (const Edge& e : edges_) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  std::unordered_set<std::size_t> seen{root_};
+  // Explicit stack DFS; children pushed in reverse so they pop in
+  // insertion order.
+  std::vector<std::size_t> stack{root_};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    const auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    const auto& nbrs = it->second;
+    for (auto rit = nbrs.rbegin(); rit != nbrs.rend(); ++rit) {
+      if (seen.insert(*rit).second) stack.push_back(*rit);
+    }
+  }
+  return order;
+}
+
+bool RootedTree::valid() const {
+  // A tree on k nodes has k-1 edges and all nodes reachable from the root.
+  if (nodes_.empty()) return false;
+  if (nodes_.size() != edges_.size() + 1) return false;
+  // nodes_ was built by reachability, so membership implies connectivity;
+  // verify no edge mentions a node outside the reachable set.
+  std::unordered_set<std::size_t> node_set(nodes_.begin(), nodes_.end());
+  for (const Edge& e : edges_) {
+    if (!node_set.count(e.u) || !node_set.count(e.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace mwc::graph

@@ -1,0 +1,114 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/dsu.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+template <typename DistFn>
+MstResult prim_impl(std::size_t n, DistFn&& dist, std::size_t root) {
+  MstResult result;
+  if (n == 0) return result;
+  MWC_ASSERT(root < n);
+
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, kNone);
+  std::vector<bool> in_tree(n, false);
+
+  best[root] = 0.0;
+  result.edges.reserve(n > 0 ? n - 1 : 0);
+
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    // Extract the cheapest fringe node.
+    std::size_t u = kNone;
+    double u_cost = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < u_cost) {
+        u_cost = best[v];
+        u = v;
+      }
+    }
+    MWC_ASSERT_MSG(u != kNone, "graph must be connected (finite distances)");
+    in_tree[u] = true;
+    if (best_from[u] != kNone) {
+      result.edges.push_back(Edge{best_from[u], u, best[u]});
+      result.total_weight += best[u];
+    }
+    // Relax all non-tree nodes through u.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = dist(u, v);
+      if (d < best[v]) {
+        best[v] = d;
+        best_from[v] = u;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MstResult prim_mst(std::size_t n,
+                   const std::function<double(std::size_t, std::size_t)>& dist,
+                   std::size_t root) {
+  return prim_impl(n, dist, root);
+}
+
+MstResult prim_mst(const mwc::geom::DistanceMatrix& dist, std::size_t root) {
+  return prim_impl(dist.size(),
+                   [&](std::size_t i, std::size_t j) { return dist(i, j); },
+                   root);
+}
+
+MstResult kruskal_mst(std::size_t n, std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  Dsu dsu(n);
+  MstResult result;
+  for (const Edge& e : edges) {
+    MWC_DEBUG_ASSERT(e.u < n && e.v < n);
+    if (dsu.unite(e.u, e.v)) {
+      result.edges.push_back(e);
+      result.total_weight += e.w;
+      if (result.edges.size() + 1 == n) break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> mst_parents(std::size_t n,
+                                     std::span<const Edge> edges,
+                                     std::size_t root) {
+  MWC_ASSERT(root < n);
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<std::size_t> parent(n, kNone);
+  std::vector<std::size_t> stack{root};
+  parent[root] = root;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adj[u]) {
+      if (parent[v] == kNone) {
+        parent[v] = u;
+        stack.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace mwc::graph

@@ -1,0 +1,51 @@
+// Minimum spanning trees on dense metric graphs.
+//
+// Prim's O(n^2) variant is the workhorse: the q-rooted algorithms operate
+// on complete Euclidean graphs where the dense scan is optimal. Kruskal is
+// provided for sparse edge lists and as an independent cross-check in the
+// property tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/distance.hpp"
+
+namespace mwc::graph {
+
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double w = 0.0;
+};
+
+struct MstResult {
+  std::vector<Edge> edges;  ///< n-1 edges for a connected graph of n nodes
+  double total_weight = 0.0;
+};
+
+/// Prim's algorithm over a complete graph given by a distance oracle
+/// `dist(i, j)` on n nodes, starting from node `root`. O(n^2) time,
+/// O(n) extra space.
+MstResult prim_mst(std::size_t n,
+                   const std::function<double(std::size_t, std::size_t)>& dist,
+                   std::size_t root = 0);
+
+/// Prim's algorithm over a precomputed distance matrix (fast path, no
+/// std::function indirection in the inner loop).
+MstResult prim_mst(const mwc::geom::DistanceMatrix& dist,
+                   std::size_t root = 0);
+
+/// Kruskal's algorithm on an explicit edge list over n nodes. Returns the
+/// minimum spanning forest (spanning tree if connected).
+MstResult kruskal_mst(std::size_t n, std::vector<Edge> edges);
+
+/// Parent array (parent[root] == root) of the MST re-rooted at `root`,
+/// computed from its edge list. Helper for decomposing contracted MSTs.
+std::vector<std::size_t> mst_parents(std::size_t n,
+                                     std::span<const Edge> edges,
+                                     std::size_t root);
+
+}  // namespace mwc::graph

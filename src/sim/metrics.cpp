@@ -1,0 +1,39 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mwc::sim {
+
+SimResult average(const std::vector<SimResult>& results) {
+  SimResult avg;
+  if (results.empty()) return avg;
+  const double inv = 1.0 / static_cast<double>(results.size());
+
+  std::size_t max_chargers = 0;
+  for (const auto& r : results)
+    max_chargers = std::max(max_chargers, r.per_charger_cost.size());
+  avg.per_charger_cost.assign(max_chargers, 0.0);
+
+  double dispatches = 0.0, charges = 0.0, dead = 0.0, wall = 0.0;
+  avg.min_residual_at_charge = std::numeric_limits<double>::infinity();
+  for (const auto& r : results) {
+    avg.service_cost += r.service_cost * inv;
+    for (std::size_t l = 0; l < r.per_charger_cost.size(); ++l)
+      avg.per_charger_cost[l] += r.per_charger_cost[l] * inv;
+    dispatches += static_cast<double>(r.num_dispatches) * inv;
+    charges += static_cast<double>(r.num_sensor_charges) * inv;
+    dead += static_cast<double>(r.dead_sensors) * inv;
+    wall += r.wall_seconds * inv;
+    avg.min_residual_at_charge =
+        std::min(avg.min_residual_at_charge, r.min_residual_at_charge);
+  }
+  avg.num_dispatches = static_cast<std::size_t>(dispatches + 0.5);
+  avg.num_sensor_charges = static_cast<std::size_t>(charges + 0.5);
+  avg.dead_sensors = static_cast<std::size_t>(dead + 0.5);
+  avg.wall_seconds = wall;
+  return avg;
+}
+
+}  // namespace mwc::sim

@@ -1,0 +1,210 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "charging/fleet.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mwc::sim {
+
+namespace {
+constexpr double kTimeTolerance = 1e-9;
+}
+
+/// StateView implementation backed by the simulator's live arrays.
+class Simulator::View final : public charging::StateView {
+ public:
+  View(const wsn::Network& network, double horizon)
+      : network_(network), horizon_(horizon) {}
+
+  const wsn::Network& network() const override { return network_; }
+  double horizon() const override { return horizon_; }
+  double now() const override { return now_; }
+  double residual_life(std::size_t i) const override {
+    return residual_[i];
+  }
+  double cycle(std::size_t i) const override { return cycles_[i]; }
+
+  // Simulator-side mutators.
+  double now_ = 0.0;
+  std::vector<double> residual_;
+  std::vector<double> cycles_;
+
+ private:
+  const wsn::Network& network_;
+  double horizon_;
+};
+
+Simulator::Simulator(const wsn::Network& network,
+                     const wsn::CycleProcess& cycles,
+                     const SimOptions& options)
+    : network_(network), cycle_model_(cycles), options_(options) {
+  MWC_ASSERT(options.horizon > 0.0);
+  MWC_ASSERT(cycles.n() == network.n());
+}
+
+std::uint64_t Simulator::set_hash(const std::vector<std::size_t>& sensors) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + sensors.size();
+  for (std::size_t id : sensors) h = mix64(h, id);
+  return h;
+}
+
+Simulator::TourCost Simulator::dispatch_cost(
+    const std::vector<std::size_t>& sensors) {
+  const std::uint64_t key =
+      options_.cache_tour_costs ? set_hash(sensors) : 0;
+  if (options_.cache_tour_costs) {
+    const auto it = cost_cache_.find(key);
+    if (it != cost_cache_.end()) return it->second;
+  }
+
+  if (options_.trip_capacity > 0.0) {
+    // Range-limited vehicles: plan the round as capacity-respecting
+    // trips; each depot's trip lengths accumulate on its charger.
+    const auto plan = charging::plan_capacitated_round(
+        network_, sensors, options_.trip_capacity);
+    TourCost cost;
+    cost.total = plan.total_length;
+    cost.per_depot.reserve(plan.trips.size());
+    for (const auto& depot_trips : plan.trips) {
+      double depot_cost = 0.0;
+      for (const auto& trip : depot_trips) depot_cost += trip.length;
+      cost.per_depot.push_back(depot_cost);
+    }
+    if (options_.cache_tour_costs) cost_cache_.emplace(key, cost);
+    return cost;
+  }
+
+  tsp::QRootedInstance instance;
+  instance.depots = network_.depots();
+  instance.sensors.reserve(sensors.size());
+  for (std::size_t id : sensors)
+    instance.sensors.push_back(network_.sensor(id).position);
+
+  tsp::QRootedOptions tour_options;
+  tour_options.improve = options_.improve_tours;
+  tour_options.construction = options_.tour_construction;
+  const auto tours = tsp::q_rooted_tsp(instance, tour_options);
+  const auto points = instance.combined_points();
+
+  TourCost cost;
+  cost.total = tours.total_length;
+  cost.per_depot.reserve(tours.tours.size());
+  for (const auto& tour : tours.tours)
+    cost.per_depot.push_back(tour.length(points));
+
+  if (options_.cache_tour_costs) cost_cache_.emplace(key, cost);
+  return cost;
+}
+
+SimResult Simulator::run(charging::Policy& policy) {
+  Timer timer;
+  SimResult result;
+  const std::size_t n = network_.n();
+  const double T = options_.horizon;
+
+  View view(network_, T);
+  view.now_ = 0.0;
+  view.cycles_ = cycle_model_.cycles_at_slot(0);
+  view.residual_ = view.cycles_;  // all sensors fully charged at t = 0
+
+  result.per_charger_cost.assign(network_.q(), 0.0);
+  std::vector<bool> currently_dead(n, false);
+  std::vector<bool> ever_dead(n, false);
+
+  policy.reset(view);
+
+  std::size_t slot = 0;
+  const bool variable = options_.slot_length > 0.0;
+
+  // Advances the clock to `target`, recording depletion events.
+  const auto advance_to = [&](double target) {
+    const double delta = target - view.now_;
+    MWC_DEBUG_ASSERT(delta >= -kTimeTolerance);
+    if (delta <= 0.0) {
+      view.now_ = target;
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!currently_dead[i] && view.residual_[i] < delta - kTimeTolerance) {
+        currently_dead[i] = true;
+        if (!ever_dead[i]) {
+          ever_dead[i] = true;
+          ++result.dead_sensors;
+        }
+        result.deaths.push_back(DeathEvent{i, view.now_ + view.residual_[i]});
+      }
+      view.residual_[i] = std::max(0.0, view.residual_[i] - delta);
+    }
+    view.now_ = target;
+  };
+
+  while (view.now_ < T) {
+    const double next_slot_time =
+        variable ? static_cast<double>(slot + 1) * options_.slot_length
+                 : std::numeric_limits<double>::infinity();
+
+    auto dispatch = policy.next_dispatch(view);
+    double dispatch_time = std::numeric_limits<double>::infinity();
+    if (dispatch) {
+      MWC_ASSERT_MSG(dispatch->time >= view.now_ - kTimeTolerance,
+                     "policy scheduled a dispatch in the past");
+      MWC_ASSERT_MSG(!dispatch->sensors.empty(),
+                     "policy scheduled an empty dispatch");
+      dispatch_time = std::max(dispatch->time, view.now_);
+    }
+
+    const double t_next = std::min({next_slot_time, dispatch_time, T});
+    advance_to(t_next);
+    if (view.now_ >= T) break;
+
+    if (dispatch && dispatch_time <= t_next + kTimeTolerance &&
+        dispatch_time <= next_slot_time) {
+      // Execute the dispatch.
+      const auto cost = dispatch_cost(dispatch->sensors);
+      result.service_cost += cost.total;
+      for (std::size_t l = 0; l < cost.per_depot.size(); ++l)
+        result.per_charger_cost[l] += cost.per_depot[l];
+      ++result.num_dispatches;
+      result.num_sensor_charges += dispatch->sensors.size();
+      if (options_.record_dispatches) {
+        result.dispatch_log.push_back(
+            DispatchRecord{dispatch_time, dispatch->sensors, cost.total});
+      }
+      for (std::size_t id : dispatch->sensors) {
+        result.min_residual_at_charge =
+            std::min(result.min_residual_at_charge, view.residual_[id]);
+        view.residual_[id] = view.cycles_[id];
+        currently_dead[id] = false;
+      }
+      policy.on_dispatch_executed(view, *dispatch);
+      MWC_ASSERT_MSG(result.num_dispatches <= options_.max_dispatches,
+                     "dispatch cap exceeded (runaway policy?)");
+      continue;
+    }
+
+    if (variable && view.now_ + kTimeTolerance >= next_slot_time) {
+      // Slot boundary: redraw cycles; residual energy *fraction* carries
+      // over, so residual lifetime rescales by τ_new / τ_old.
+      ++slot;
+      const auto new_cycles = cycle_model_.cycles_at_slot(slot);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double old_tau = view.cycles_[i];
+        if (old_tau > 0.0) {
+          view.residual_[i] *= new_cycles[i] / old_tau;
+        }
+        view.cycles_[i] = new_cycles[i];
+      }
+      policy.on_cycles_updated(view);
+    }
+  }
+
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace mwc::sim

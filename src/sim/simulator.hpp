@@ -1,0 +1,84 @@
+// Event-driven network simulator.
+//
+// Time is continuous. Per-sensor state is the residual lifetime — the time
+// left until depletion at the current consumption rate; this is exact for
+// piecewise-constant rates, which is what the slot model produces:
+//   * advancing by δ subtracts δ,
+//   * a full charge resets it to the current cycle τ_i(t),
+//   * a slot redraw rescales it by τ_new/τ_old (the *energy fraction* is
+//     what carries over when the consumption rate changes).
+//
+// The simulator alternates between the policy's next planned dispatch and
+// the next slot boundary (variable-cycle runs only), executes whichever
+// comes first, and charges each dispatch's service cost as the total
+// length of the q closed tours that Algorithm 2 (tsp::q_rooted_tsp) builds
+// over the dispatch set — identical costing for every policy. Costs are
+// memoized by dispatch set, which collapses the K+1 distinct round classes
+// of MinTotalDistance to K+1 tour constructions per run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "charging/schedule.hpp"
+#include "sim/metrics.hpp"
+#include "tsp/qrooted.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::sim {
+
+struct SimOptions {
+  double horizon = 1000.0;     ///< monitoring period T
+  /// Slot length ΔT for cycle redraws; <= 0 freezes cycles at slot 0
+  /// (the fixed-maximum-charging-cycle setting).
+  double slot_length = 0.0;
+  /// Polish tours with 2-opt/Or-opt (ablation; default matches the paper).
+  bool improve_tours = false;
+  /// Per-group tour constructor (ablation; default matches the paper).
+  tsp::TourConstruction tour_construction =
+      tsp::TourConstruction::kDoubleTree;
+  /// Per-trip travel budget of each charger (metres); > 0 splits every
+  /// round's tours via charging::plan_capacitated_round, adding the
+  /// return legs a range-limited vehicle actually drives. <= 0 matches
+  /// the paper's unlimited-range model.
+  double trip_capacity = 0.0;
+  /// Memoize tour costs per distinct dispatch set.
+  bool cache_tour_costs = true;
+  /// Record every executed dispatch into SimResult::dispatch_log (for
+  /// replay validation and debugging).
+  bool record_dispatches = false;
+  /// Hard cap on dispatches (guards against a runaway policy).
+  std::size_t max_dispatches = 10'000'000;
+};
+
+class Simulator {
+ public:
+  Simulator(const wsn::Network& network, const wsn::CycleProcess& cycles,
+            const SimOptions& options);
+
+  /// Runs one full monitoring period under `policy`. Restartable: each
+  /// call re-initializes all state.
+  SimResult run(charging::Policy& policy);
+
+  const SimOptions& options() const noexcept { return options_; }
+
+ private:
+  class View;
+
+  struct TourCost {
+    double total = 0.0;
+    std::vector<double> per_depot;
+  };
+
+  TourCost dispatch_cost(const std::vector<std::size_t>& sensors);
+  static std::uint64_t set_hash(const std::vector<std::size_t>& sensors);
+
+  const wsn::Network& network_;
+  const wsn::CycleProcess& cycle_model_;
+  SimOptions options_;
+  std::unordered_map<std::uint64_t, TourCost> cost_cache_;
+};
+
+}  // namespace mwc::sim

@@ -1,0 +1,183 @@
+#include "tsp/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/mst.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Held-Karp over an explicit point list; returns (optimal length, order)
+// with order beginning at local index 0.
+std::pair<double, std::vector<std::size_t>> held_karp_impl(
+    std::span<const geom::Point> pts) {
+  const std::size_t n = pts.size();
+  if (n == 0) return {0.0, {}};
+  if (n == 1) return {0.0, {0}};
+  MWC_ASSERT_MSG(n <= 20, "held_karp: instance too large");
+
+  const std::size_t m = n - 1;           // nodes 1..n-1 vary; node 0 fixed
+  const std::size_t full = std::size_t{1} << m;
+
+  std::vector<double> dist(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dist[i * n + j] = geom::distance(pts[i], pts[j]);
+
+  // dp[mask][j]: best path 0 -> (visits mask) -> node j+1.
+  std::vector<double> dp(full * m, kInf);
+  std::vector<std::size_t> from(full * m, 0);
+  for (std::size_t j = 0; j < m; ++j)
+    dp[(std::size_t{1} << j) * m + j] = dist[0 * n + (j + 1)];
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      const double cur = dp[mask * m + j];
+      if (cur == kInf) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (std::size_t{1} << k)) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << k);
+        const double cand = cur + dist[(j + 1) * n + (k + 1)];
+        if (cand < dp[nmask * m + k]) {
+          dp[nmask * m + k] = cand;
+          from[nmask * m + k] = j;
+        }
+      }
+    }
+  }
+
+  double best = kInf;
+  std::size_t best_j = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double cand = dp[(full - 1) * m + j] + dist[(j + 1) * n + 0];
+    if (cand < best) {
+      best = cand;
+      best_j = j;
+    }
+  }
+
+  // Reconstruct.
+  std::vector<std::size_t> order(n);
+  std::size_t mask = full - 1;
+  std::size_t j = best_j;
+  for (std::size_t pos = n - 1; pos >= 1; --pos) {
+    order[pos] = j + 1;
+    const std::size_t pj = from[mask * m + j];
+    mask ^= (std::size_t{1} << j);
+    j = pj;
+    if (pos == 1) break;
+  }
+  order[0] = 0;
+  return {best, order};
+}
+
+}  // namespace
+
+Tour held_karp_tsp(std::span<const geom::Point> points) {
+  auto [len, order] = held_karp_impl(points);
+  (void)len;
+  return Tour(std::move(order));
+}
+
+double held_karp_anchored_length(std::span<const geom::Point> points,
+                                 std::size_t anchor,
+                                 std::span<const std::size_t> subset) {
+  if (subset.empty()) return 0.0;
+  std::vector<geom::Point> pts;
+  pts.reserve(subset.size() + 1);
+  pts.push_back(points[anchor]);
+  for (std::size_t s : subset) {
+    MWC_DEBUG_ASSERT(s != anchor);
+    pts.push_back(points[s]);
+  }
+  return held_karp_impl(pts).first;
+}
+
+namespace {
+
+// Iterates all q^m assignments, invoking fn(assignment) with
+// assignment[k] = depot of sensor k.
+template <typename Fn>
+void for_each_assignment(std::size_t q, std::size_t m, Fn&& fn) {
+  MWC_ASSERT_MSG(m <= 10, "brute force: too many sensors");
+  const double combos = std::pow(static_cast<double>(q),
+                                 static_cast<double>(m));
+  MWC_ASSERT_MSG(combos <= 2.5e6, "brute force: q^m too large");
+
+  std::vector<std::size_t> assignment(m, 0);
+  for (;;) {
+    fn(assignment);
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < m) {
+      if (++assignment[pos] < q) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == m) break;
+  }
+}
+
+}  // namespace
+
+double brute_force_q_rooted_tsp(const QRootedInstance& instance) {
+  const std::size_t q = instance.q();
+  const std::size_t m = instance.m();
+  MWC_ASSERT(q >= 1);
+  const auto points = instance.combined_points();
+
+  double best = kInf;
+  for_each_assignment(q, m, [&](const std::vector<std::size_t>& assignment) {
+    double total = 0.0;
+    std::vector<std::size_t> group;
+    for (std::size_t l = 0; l < q && total < best; ++l) {
+      group.clear();
+      for (std::size_t k = 0; k < m; ++k) {
+        if (assignment[k] == l) group.push_back(q + k);
+      }
+      total += held_karp_anchored_length(points, l, group);
+    }
+    best = std::min(best, total);
+  });
+  return best;
+}
+
+double brute_force_q_rooted_msf(const QRootedInstance& instance) {
+  const std::size_t q = instance.q();
+  const std::size_t m = instance.m();
+  MWC_ASSERT(q >= 1);
+  const auto points = instance.combined_points();
+
+  double best = kInf;
+  for_each_assignment(q, m, [&](const std::vector<std::size_t>& assignment) {
+    double total = 0.0;
+    std::vector<std::size_t> group;
+    for (std::size_t l = 0; l < q && total < best; ++l) {
+      group.clear();
+      group.push_back(l);
+      for (std::size_t k = 0; k < m; ++k) {
+        if (assignment[k] == l) group.push_back(q + k);
+      }
+      if (group.size() == 1) continue;
+      const auto mst = graph::prim_mst(
+          group.size(),
+          [&](std::size_t a, std::size_t b) {
+            return geom::distance(points[group[a]], points[group[b]]);
+          },
+          0);
+      total += mst.total_weight;
+    }
+    best = std::min(best, total);
+  });
+  return best;
+}
+
+}  // namespace mwc::tsp

@@ -1,0 +1,35 @@
+// Exact solvers for small instances, used by the property tests to verify
+// Lemma 1 (MSF optimality) and Theorem 1 (2-approximation bound), and by
+// the optional optimal baseline on toy networks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/point.hpp"
+#include "tsp/qrooted.hpp"
+#include "tsp/tour.hpp"
+
+namespace mwc::tsp {
+
+/// Optimal TSP tour via Held-Karp dynamic programming. O(2^n n^2); n <= 20
+/// enforced. Returns the optimal closed tour starting at node 0.
+Tour held_karp_tsp(std::span<const geom::Point> points);
+
+/// Optimal closed-tour length through `subset` of `points` that must also
+/// include `anchor` (an index into points). Helper for the q-rooted brute
+/// force. The subset must not contain the anchor.
+double held_karp_anchored_length(std::span<const geom::Point> points,
+                                 std::size_t anchor,
+                                 std::span<const std::size_t> subset);
+
+/// Optimal q-rooted TSP by enumerating all q^m sensor->depot assignments
+/// and solving each depot's tour exactly. Exponential; m <= 10 and
+/// q^m <= ~2e6 enforced. Returns the optimal total length.
+double brute_force_q_rooted_tsp(const QRootedInstance& instance);
+
+/// Optimal q-rooted MSF total weight by enumerating all q^m assignments
+/// and taking each group's anchored MST. Exponential; same limits.
+double brute_force_q_rooted_msf(const QRootedInstance& instance);
+
+}  // namespace mwc::tsp

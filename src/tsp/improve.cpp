@@ -1,0 +1,120 @@
+#include "tsp/improve.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+namespace {
+
+double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
+  return geom::distance(pts[a], pts[b]);
+}
+
+}  // namespace
+
+double two_opt(Tour& tour, std::span<const geom::Point> points,
+               const ImproveOptions& opts) {
+  auto& order = tour.order();
+  const std::size_t n = order.size();
+  if (n < 4) return 0.0;
+
+  double total_gain = 0.0;
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      // j+1 wraps; skip adjacent pairs.
+      for (std::size_t j = i + 2; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // same edge pair
+        // Re-read endpoints each step: an accepted reversal earlier in
+        // this pass changes order[i+1..].
+        const std::size_t a = order[i];
+        const std::size_t b = order[i + 1];
+        const std::size_t c = order[j];
+        const std::size_t d = order[(j + 1) % n];
+        const double before = dist(points, a, b) + dist(points, c, d);
+        const double after = dist(points, a, c) + dist(points, b, d);
+        if (before - after > opts.min_gain) {
+          std::reverse(order.begin() + i + 1, order.begin() + j + 1);
+          total_gain += before - after;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return total_gain;
+}
+
+double or_opt(Tour& tour, std::span<const geom::Point> points,
+              const ImproveOptions& opts) {
+  auto& order = tour.order();
+  const std::size_t n = order.size();
+  if (n < 4) return 0.0;
+
+  double total_gain = 0.0;
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t seg_len = 1; seg_len <= 3 && n >= seg_len + 2;
+         ++seg_len) {
+      for (std::size_t i = 0; i + seg_len <= n; ++i) {
+        // Segment order[i .. i+seg_len-1] (no wraparound).
+        const std::size_t p = order[(i + n - 1) % n];
+        const std::size_t s0 = order[i];
+        const std::size_t s1 = order[i + seg_len - 1];
+        const std::size_t q = order[(i + seg_len) % n];
+        if (p == s1 || q == s0) continue;  // segment is the whole tour
+        const double removal_gain = dist(points, p, s0) +
+                                    dist(points, s1, q) - dist(points, p, q);
+        if (removal_gain <= opts.min_gain) continue;
+
+        // Tour with the segment removed; try every insertion slot in it.
+        std::vector<std::size_t> rest;
+        rest.reserve(n - seg_len);
+        rest.insert(rest.end(), order.begin(), order.begin() + i);
+        rest.insert(rest.end(), order.begin() + i + seg_len, order.end());
+        const std::size_t r = rest.size();
+
+        double best_delta = -opts.min_gain;
+        std::size_t best_slot = r;  // insert after rest[best_slot]
+        for (std::size_t j = 0; j < r; ++j) {
+          const std::size_t u = rest[j];
+          const std::size_t v = rest[(j + 1) % r];
+          const double insertion_cost = dist(points, u, s0) +
+                                        dist(points, s1, v) -
+                                        dist(points, u, v);
+          const double delta = insertion_cost - removal_gain;  // < 0 good
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_slot = j;
+          }
+        }
+        if (best_slot == r) continue;
+
+        std::vector<std::size_t> seg(order.begin() + i,
+                                     order.begin() + i + seg_len);
+        rest.insert(rest.begin() + best_slot + 1, seg.begin(), seg.end());
+        order = std::move(rest);
+        total_gain += -best_delta;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return total_gain;
+}
+
+double improve_tour(Tour& tour, std::span<const geom::Point> points,
+                    const ImproveOptions& opts) {
+  double total = 0.0;
+  for (std::size_t round = 0; round < opts.max_passes; ++round) {
+    const double g = two_opt(tour, points, opts) + or_opt(tour, points, opts);
+    total += g;
+    if (g <= opts.min_gain) break;
+  }
+  return total;
+}
+
+}  // namespace mwc::tsp

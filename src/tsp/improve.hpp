@@ -1,0 +1,36 @@
+// Local-search tour improvement: 2-opt and Or-opt.
+//
+// The paper's algorithms stop at the double-tree shortcut; these polishers
+// are the library's optional extension (`bench/abl_tour_improvement`
+// measures whether they change the MinTotalDistance-vs-Greedy story; they
+// do not, both policies improve roughly equally).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/point.hpp"
+#include "tsp/tour.hpp"
+
+namespace mwc::tsp {
+
+struct ImproveOptions {
+  std::size_t max_passes = 16;   ///< full sweeps before giving up
+  double min_gain = 1e-9;        ///< ignore numerically-zero improvements
+};
+
+/// 2-opt: repeatedly reverses segments while any reversal shortens the
+/// tour. In-place; returns the total gain (>= 0).
+double two_opt(Tour& tour, std::span<const geom::Point> points,
+               const ImproveOptions& opts = {});
+
+/// Or-opt: relocates segments of length 1..3 to better positions.
+/// In-place; returns the total gain (>= 0).
+double or_opt(Tour& tour, std::span<const geom::Point> points,
+              const ImproveOptions& opts = {});
+
+/// 2-opt followed by Or-opt, iterated until neither improves.
+double improve_tour(Tour& tour, std::span<const geom::Point> points,
+                    const ImproveOptions& opts = {});
+
+}  // namespace mwc::tsp

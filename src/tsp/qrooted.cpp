@@ -1,0 +1,235 @@
+#include "tsp/qrooted.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "graph/mst.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/improve.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+std::vector<geom::Point> QRootedInstance::combined_points() const {
+  std::vector<geom::Point> pts;
+  pts.reserve(total_nodes());
+  pts.insert(pts.end(), depots.begin(), depots.end());
+  pts.insert(pts.end(), sensors.begin(), sensors.end());
+  return pts;
+}
+
+QRootedForest q_rooted_msf(const QRootedInstance& instance) {
+  const std::size_t q = instance.q();
+  const std::size_t m = instance.m();
+  MWC_ASSERT_MSG(q >= 1, "q-rooted MSF needs at least one depot");
+
+  QRootedForest result;
+  result.trees.reserve(q);
+
+  if (m == 0) {
+    for (std::size_t l = 0; l < q; ++l)
+      result.trees.emplace_back(l, std::span<const graph::Edge>{});
+    return result;
+  }
+
+  // Auxiliary contracted graph G_r: node 0 is the virtual root r (all q
+  // depots merged), nodes 1..m are the sensors. w_r(0, k) is the distance
+  // from sensor k to its nearest depot; remember which depot realizes it.
+  std::vector<double> root_dist(m, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> nearest_depot(m, 0);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t l = 0; l < q; ++l) {
+      const double d =
+          geom::distance(instance.sensors[k], instance.depots[l]);
+      if (d < root_dist[k]) {
+        root_dist[k] = d;
+        nearest_depot[k] = l;
+      }
+    }
+  }
+
+  const auto aux_dist = [&](std::size_t i, std::size_t j) -> double {
+    if (i == j) return 0.0;
+    if (i == 0) return root_dist[j - 1];
+    if (j == 0) return root_dist[i - 1];
+    return geom::distance(instance.sensors[i - 1], instance.sensors[j - 1]);
+  };
+
+  const auto mst = graph::prim_mst(m + 1, aux_dist, /*root=*/0);
+
+  // Un-contract: an MST edge (0, k) becomes (nearest_depot[k-1], sensor).
+  // Each subtree hanging off the virtual root attaches through exactly one
+  // such edge, so assigning subtree edges to that depot partitions the MST
+  // into q depot-rooted trees (possibly several subtrees per depot).
+  const auto parent = graph::mst_parents(m + 1, mst.edges, /*root=*/0);
+
+  // owner[aux_node] = depot owning that node's subtree (sensors only).
+  std::vector<std::size_t> owner(m + 1, q);
+  // Resolve owners top-down: a sensor attached to the root gets its
+  // nearest depot; otherwise it inherits its parent's owner. Iterate until
+  // fixed point (parents can appear after children in edge order, so walk
+  // by increasing depth via repeated sweeps; MST has <= m+1 nodes so the
+  // loop is cheap).
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t v = 1; v <= m; ++v) {
+        if (owner[v] != q) continue;
+        if (parent[v] == 0) {
+          owner[v] = nearest_depot[v - 1];
+          changed = true;
+        } else if (owner[parent[v]] != q) {
+          owner[v] = owner[parent[v]];
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Build per-depot edge lists in combined index space.
+  std::vector<std::vector<graph::Edge>> depot_edges(q);
+  for (const auto& e : mst.edges) {
+    const std::size_t a = e.u;
+    const std::size_t b = e.v;
+    if (a == 0 || b == 0) {
+      const std::size_t s = (a == 0) ? b : a;  // sensor aux index
+      const std::size_t depot = nearest_depot[s - 1];
+      depot_edges[depot].push_back(
+          graph::Edge{depot, q + (s - 1), e.w});
+    } else {
+      const std::size_t depot = owner[a];
+      MWC_DEBUG_ASSERT(owner[a] == owner[b]);
+      depot_edges[depot].push_back(
+          graph::Edge{q + (a - 1), q + (b - 1), e.w});
+    }
+  }
+
+  for (std::size_t l = 0; l < q; ++l) {
+    result.trees.emplace_back(l, depot_edges[l]);
+    result.total_weight += result.trees.back().total_weight();
+  }
+  MWC_DEBUG_ASSERT(std::abs(result.total_weight - mst.total_weight) <
+                   1e-6 * (1.0 + mst.total_weight));
+  return result;
+}
+
+QRootedTours q_rooted_tsp(const QRootedInstance& instance,
+                          const QRootedOptions& options) {
+  const auto forest = q_rooted_msf(instance);
+  const auto points = instance.combined_points();
+
+  QRootedTours result;
+  result.tours.reserve(forest.trees.size());
+  for (const auto& tree : forest.trees) {
+    Tour tour;
+    switch (options.construction) {
+      case TourConstruction::kDoubleTree:
+        tour = tree_to_tour(tree.edges(), tree.root());
+        break;
+      case TourConstruction::kChristofides: {
+        // Re-solve the group's tour from scratch; the MSF only decides
+        // which depot serves which sensors.
+        const auto& nodes = tree.nodes();
+        std::vector<geom::Point> group_points;
+        group_points.reserve(nodes.size());
+        std::size_t local_root = 0;
+        for (std::size_t k = 0; k < nodes.size(); ++k) {
+          if (nodes[k] == tree.root()) local_root = k;
+          group_points.push_back(points[nodes[k]]);
+        }
+        Tour local = christofides_tour(group_points, local_root);
+        std::vector<std::size_t> order;
+        order.reserve(local.size());
+        for (std::size_t v : local.order()) order.push_back(nodes[v]);
+        tour = Tour(std::move(order));
+        break;
+      }
+    }
+    if (options.improve && tour.size() >= 4) {
+      improve_tour(tour, points);
+    }
+    result.total_length += tour.length(points);
+    result.tours.push_back(std::move(tour));
+  }
+  return result;
+}
+
+MultiRootAssignment q_rooted_msf_assign(
+    std::size_t num_roots,
+    const std::function<double(std::size_t, std::size_t)>& root_dist,
+    std::span<const geom::Point> sensors) {
+  MWC_ASSERT(num_roots >= 1);
+  const std::size_t m = sensors.size();
+
+  MultiRootAssignment result;
+  result.groups.assign(num_roots, {});
+  if (m == 0) return result;
+
+  std::vector<double> best_root_dist(m,
+                                     std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> nearest_root(m, 0);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t r = 0; r < num_roots; ++r) {
+      const double d = root_dist(r, k);
+      if (d < best_root_dist[k]) {
+        best_root_dist[k] = d;
+        nearest_root[k] = r;
+      }
+    }
+  }
+
+  const auto aux_dist = [&](std::size_t i, std::size_t j) -> double {
+    if (i == j) return 0.0;
+    if (i == 0) return best_root_dist[j - 1];
+    if (j == 0) return best_root_dist[i - 1];
+    return geom::distance(sensors[i - 1], sensors[j - 1]);
+  };
+  const auto mst = graph::prim_mst(m + 1, aux_dist, /*root=*/0);
+  result.total_weight = mst.total_weight;
+
+  const auto parent = graph::mst_parents(m + 1, mst.edges, /*root=*/0);
+  std::vector<std::size_t> owner(m + 1, num_roots);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 1; v <= m; ++v) {
+      if (owner[v] != num_roots) continue;
+      if (parent[v] == 0) {
+        owner[v] = nearest_root[v - 1];
+        changed = true;
+      } else if (owner[parent[v]] != num_roots) {
+        owner[v] = owner[parent[v]];
+        changed = true;
+      }
+    }
+  }
+  for (std::size_t v = 1; v <= m; ++v) {
+    MWC_DEBUG_ASSERT(owner[v] < num_roots);
+    result.groups[owner[v]].push_back(v - 1);
+  }
+  return result;
+}
+
+bool covers_all_sensors(const QRootedInstance& instance,
+                        const QRootedTours& tours) {
+  const std::size_t q = instance.q();
+  if (tours.tours.size() != q) return false;
+
+  std::unordered_set<std::size_t> covered;
+  for (std::size_t l = 0; l < q; ++l) {
+    const auto& order = tours.tours[l].order();
+    if (order.empty() || order.front() != l) return false;
+    for (std::size_t v : order) {
+      if (v < q) {
+        if (v != l) return false;  // tours may contain only their own depot
+      } else {
+        if (!covered.insert(v).second) return false;  // disjoint on sensors
+      }
+    }
+  }
+  return covered.size() == instance.m();
+}
+
+}  // namespace mwc::tsp

@@ -1,0 +1,110 @@
+// Algorithms 1 and 2 of the paper: the exact q-rooted minimum spanning
+// forest and the 2-approximate q-rooted TSP.
+//
+// Instance convention: nodes are indexed in a combined space where indices
+// 0..q-1 are the q depots and q..q+m-1 are the m to-be-charged sensors.
+// All edge lists, trees, and tours returned here use combined indices.
+//
+//   q-rooted MSF (exact, Lemma 1):
+//     contract the q depots into one virtual root, take the MST of the
+//     contracted complete graph, and un-contract — each virtual-root edge
+//     maps back to the depot realizing the minimum distance.
+//
+//   q-rooted TSP (2-approximation, Theorem 1):
+//     double each MSF tree's edges, take the Eulerian circuit, shortcut
+//     repeated nodes. Each resulting closed tour contains its own depot
+//     and the q tours jointly cover all sensors.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "graph/forest.hpp"
+#include "tsp/tour.hpp"
+
+namespace mwc::tsp {
+
+/// A q-rooted instance: depot positions plus sensor positions.
+struct QRootedInstance {
+  std::vector<geom::Point> depots;
+  std::vector<geom::Point> sensors;
+
+  std::size_t q() const noexcept { return depots.size(); }
+  std::size_t m() const noexcept { return sensors.size(); }
+  std::size_t total_nodes() const noexcept { return q() + m(); }
+
+  /// Position of combined-index node i.
+  const geom::Point& point(std::size_t i) const noexcept {
+    return i < depots.size() ? depots[i] : sensors[i - depots.size()];
+  }
+
+  /// All positions in combined order (depots first). O(q + m) copy.
+  std::vector<geom::Point> combined_points() const;
+};
+
+/// Result of Algorithm 1. trees[l] is rooted at depot l (combined index l);
+/// depots that serve no sensors get an empty tree of just their root.
+struct QRootedForest {
+  std::vector<graph::RootedTree> trees;
+  double total_weight = 0.0;
+};
+
+/// Exact q-rooted MSF (Algorithm 1). Requires q >= 1. O((q + m)^2).
+QRootedForest q_rooted_msf(const QRootedInstance& instance);
+
+/// Result of Algorithm 2. tours[l] starts at depot l; a tour of size one
+/// (just the depot) means charger l stays home. Lengths use the Euclidean
+/// metric on the instance points.
+struct QRootedTours {
+  std::vector<Tour> tours;
+  double total_length = 0.0;
+};
+
+enum class TourConstruction {
+  /// The paper's Algorithm 2: double each MSF tree, Euler tour, shortcut.
+  kDoubleTree,
+  /// Library extension: keep the MSF's sensor-to-depot grouping but build
+  /// each group's tour with christofides_tour (ablation A7).
+  kChristofides,
+};
+
+struct QRootedOptions {
+  /// Apply 2-opt/Or-opt to each tour after construction (library
+  /// extension, off by default to match the paper).
+  bool improve = false;
+  TourConstruction construction = TourConstruction::kDoubleTree;
+};
+
+/// 2-approximate q-rooted TSP (Algorithm 2). Requires q >= 1.
+QRootedTours q_rooted_tsp(const QRootedInstance& instance,
+                          const QRootedOptions& options = {});
+
+/// Validates the Theorem-1 structural guarantees: each tour is closed
+/// through its own depot, tours are node-disjoint on sensors, and their
+/// union covers every sensor. Test/assert helper.
+bool covers_all_sensors(const QRootedInstance& instance,
+                        const QRootedTours& tours);
+
+/// Generalized q-rooted MSF where each "root" is an arbitrary entity with
+/// a caller-supplied distance to every sensor (the variable-cycle
+/// heuristic's auxiliary graphs G^(k) use whole *schedulings* as roots,
+/// with root-to-sensor distance = nearest node of that scheduling).
+///
+/// Runs the same contraction: one virtual root whose distance to sensor s
+/// is min over roots of root_dist(r, s); MST; un-contract. Returns which
+/// sensors belong to each root's tree plus the forest weight. `groups[r]`
+/// lists local sensor indices (0..m-1).
+struct MultiRootAssignment {
+  std::vector<std::vector<std::size_t>> groups;
+  double total_weight = 0.0;
+};
+
+MultiRootAssignment q_rooted_msf_assign(
+    std::size_t num_roots,
+    const std::function<double(std::size_t, std::size_t)>& root_dist,
+    std::span<const geom::Point> sensors);
+
+}  // namespace mwc::tsp

@@ -1,0 +1,134 @@
+#include "tsp/split.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+namespace {
+
+// The tour's nodes in visiting order, rotated to start right after the
+// root (the root itself excluded).
+std::vector<std::size_t> nodes_after_root(const Tour& tour,
+                                          std::size_t root) {
+  Tour rotated = tour;
+  rotated.rotate_to_front(root);
+  return {rotated.order().begin() + 1, rotated.order().end()};
+}
+
+void finalize(SplitResult& result, std::span<const geom::Point> points) {
+  result.total_length = 0.0;
+  result.max_length = 0.0;
+  for (const auto& t : result.tours) {
+    const double len = t.length(points);
+    result.total_length += len;
+    result.max_length = std::max(result.max_length, len);
+  }
+}
+
+}  // namespace
+
+SplitResult split_tour_capacity(std::span<const geom::Point> points,
+                                const Tour& tour, std::size_t root,
+                                double capacity) {
+  MWC_ASSERT(capacity > 0.0);
+  SplitResult result;
+  if (tour.size() <= 1) {
+    result.tours.emplace_back(std::vector<std::size_t>{root});
+    return result;
+  }
+  const auto nodes = nodes_after_root(tour, root);
+  for (std::size_t v : nodes) {
+    const double round_trip = 2.0 * geom::distance(points[root], points[v]);
+    MWC_ASSERT_MSG(round_trip <= capacity + 1e-9,
+                   "capacity below a node's round trip: no feasible split");
+  }
+
+  std::vector<std::size_t> current{root};
+  double current_len = 0.0;  // closed length of `current`
+  for (std::size_t v : nodes) {
+    const std::size_t last = current.back();
+    const double detour_to_v = geom::distance(points[last], points[v]) +
+                               geom::distance(points[v], points[root]) -
+                               geom::distance(points[last], points[root]);
+    if (current.size() > 1 && current_len + detour_to_v > capacity + 1e-9) {
+      result.tours.emplace_back(std::move(current));
+      current = {root};
+      current_len = 0.0;
+    }
+    const std::size_t tail = current.back();
+    current_len += geom::distance(points[tail], points[v]) +
+                   geom::distance(points[v], points[root]) -
+                   (current.size() > 1
+                        ? geom::distance(points[tail], points[root])
+                        : 0.0);
+    current.push_back(v);
+  }
+  if (current.size() > 1) result.tours.emplace_back(std::move(current));
+  if (result.tours.empty())
+    result.tours.emplace_back(std::vector<std::size_t>{root});
+  finalize(result, points);
+  return result;
+}
+
+SplitResult split_tour_minmax(std::span<const geom::Point> points,
+                              const Tour& tour, std::size_t root,
+                              std::size_t k) {
+  MWC_ASSERT(k >= 1);
+  SplitResult result;
+  if (tour.size() <= 1) {
+    for (std::size_t j = 0; j < k; ++j)
+      result.tours.emplace_back(std::vector<std::size_t>{root});
+    return result;
+  }
+  const auto nodes = nodes_after_root(tour, root);
+  const std::size_t m = nodes.size();
+
+  // Prefix path costs along the tour: cost[i] = root -> nodes[0..i].
+  std::vector<double> prefix(m, 0.0);
+  prefix[0] = geom::distance(points[root], points[nodes[0]]);
+  for (std::size_t i = 1; i < m; ++i) {
+    prefix[i] =
+        prefix[i - 1] + geom::distance(points[nodes[i - 1]], points[nodes[i]]);
+  }
+  const double total_path =
+      prefix[m - 1] + geom::distance(points[nodes[m - 1]], points[root]);
+
+  // Cut after the last node whose prefix cost is <= j * total / k
+  // (Frederickson's splitting rule, adapted to closed tours).
+  std::size_t start = 0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    std::size_t end = m;  // exclusive
+    if (j < k) {
+      const double threshold =
+          static_cast<double>(j) * total_path / static_cast<double>(k);
+      end = start;
+      while (end < m && prefix[end] <= threshold) ++end;
+    }
+    std::vector<std::size_t> segment{root};
+    for (std::size_t i = start; i < end; ++i) segment.push_back(nodes[i]);
+    result.tours.emplace_back(std::move(segment));
+    start = end;
+  }
+  MWC_DEBUG_ASSERT(start == m);
+  finalize(result, points);
+  return result;
+}
+
+double minmax_split_lower_bound(std::span<const geom::Point> points,
+                                const Tour& tour, std::size_t root,
+                                std::size_t k) {
+  MWC_ASSERT(k >= 1);
+  if (tour.size() <= 1) return 0.0;
+  double farthest = 0.0;
+  for (std::size_t v : tour.order()) {
+    farthest = std::max(farthest,
+                        2.0 * geom::distance(points[root], points[v]));
+  }
+  // Any cover must serve the farthest node with a closed trip through the
+  // root — a true lower bound regardless of how the tour is split.
+  return farthest;
+}
+
+}  // namespace mwc::tsp

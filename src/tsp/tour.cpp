@@ -1,0 +1,42 @@
+#include "tsp/tour.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+double Tour::length(std::span<const geom::Point> points) const {
+  return length_with([&](std::size_t a, std::size_t b) {
+    MWC_DEBUG_ASSERT(a < points.size() && b < points.size());
+    return geom::distance(points[a], points[b]);
+  });
+}
+
+bool Tour::is_simple() const {
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t v : order_) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+bool Tour::visits(std::size_t v) const {
+  return std::find(order_.begin(), order_.end(), v) != order_.end();
+}
+
+void Tour::rotate_to_front(std::size_t v) {
+  const auto it = std::find(order_.begin(), order_.end(), v);
+  MWC_ASSERT_MSG(it != order_.end(), "rotate_to_front: node not on tour");
+  std::rotate(order_.begin(), it, order_.end());
+}
+
+double total_length(std::span<const Tour> tours,
+                    std::span<const geom::Point> points) {
+  double sum = 0.0;
+  for (const auto& t : tours) sum += t.length(points);
+  return sum;
+}
+
+}  // namespace mwc::tsp

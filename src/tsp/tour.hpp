@@ -1,0 +1,59 @@
+// Closed tours over indexed points.
+//
+// A `Tour` is a cyclic visiting order; the stored sequence lists each node
+// once and the closing edge back to the first node is implicit. Tours with
+// zero or one node have zero length (a charger that never leaves its depot).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace mwc::tsp {
+
+class Tour {
+ public:
+  Tour() = default;
+  explicit Tour(std::vector<std::size_t> order) : order_(std::move(order)) {}
+
+  const std::vector<std::size_t>& order() const noexcept { return order_; }
+  std::vector<std::size_t>& order() noexcept { return order_; }
+
+  std::size_t size() const noexcept { return order_.size(); }
+  bool empty() const noexcept { return order_.empty(); }
+
+  /// Total closed length under the Euclidean metric on `points`.
+  double length(std::span<const geom::Point> points) const;
+
+  /// Total closed length under an arbitrary distance oracle.
+  template <typename DistFn>
+  double length_with(DistFn&& dist) const {
+    if (order_.size() < 2) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < order_.size(); ++i)
+      total += dist(order_[i], order_[i + 1]);
+    total += dist(order_.back(), order_.front());
+    return total;
+  }
+
+  /// True if every node appears exactly once.
+  bool is_simple() const;
+
+  /// True if the tour visits node `v`.
+  bool visits(std::size_t v) const;
+
+  /// Rotates the order in place so that `v` comes first. Requires that the
+  /// tour visits v. Length is unchanged (tours are cyclic).
+  void rotate_to_front(std::size_t v);
+
+ private:
+  std::vector<std::size_t> order_;
+};
+
+/// Sum of lengths over a set of tours.
+double total_length(std::span<const Tour> tours,
+                    std::span<const geom::Point> points);
+
+}  // namespace mwc::tsp

@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros used across libmwc.
+//
+// MWC_ASSERT is active in all build types (the library is a research
+// artifact: silent corruption is worse than an abort). MWC_DEBUG_ASSERT
+// compiles away in NDEBUG builds and is meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mwc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mwc assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mwc::detail
+
+#define MWC_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::mwc::detail::assert_fail(#expr, __FILE__, __LINE__,    \
+                                            nullptr);                     \
+  } while (0)
+
+#define MWC_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) ::mwc::detail::assert_fail(#expr, __FILE__, __LINE__,    \
+                                            (msg));                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define MWC_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define MWC_DEBUG_ASSERT(expr) MWC_ASSERT(expr)
+#endif

@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mwc {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // --name value (when the next token is not itself a flag), else bool.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[std::string(arg)] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  const auto v = get(name);
+  return v ? *v : def;
+}
+
+long long CliArgs::get_int_or(const std::string& name, long long def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  return (end && *end == '\0') ? parsed : def;
+}
+
+double CliArgs::get_double_or(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return (end && *end == '\0') ? parsed : def;
+}
+
+bool CliArgs::get_bool_or(const std::string& name, bool def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  return def;
+}
+
+long long env_int_or(const char* name, long long def) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  return (end && *end == '\0') ? parsed : def;
+}
+
+}  // namespace mwc

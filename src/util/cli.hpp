@@ -1,0 +1,39 @@
+// Tiny command-line flag parser shared by bench and example binaries.
+// Supports --name=value, --name value, and boolean --name. Unrecognized
+// flags are reported; positional arguments are collected.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mwc {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  long long get_int_or(const std::string& name, long long def) const;
+  double get_double_or(const std::string& name, double def) const;
+  bool get_bool_or(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as integer, returning `def` when unset or
+/// malformed. Benches use MWC_TRIALS to scale trial counts.
+long long env_int_or(const char* name, long long def);
+
+}  // namespace mwc

@@ -1,0 +1,71 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mwc {
+
+std::string csv_escape(std::string_view value) {
+  const bool needs_quote =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+void CsvWriter::raw_field(std::string_view value) {
+  if (row_started_) out_ << ',';
+  out_ << csv_escape(value);
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  raw_field(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  raw_field(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  raw_field(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t value) {
+  return field(static_cast<long long>(value));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) raw_field(f);
+  end_row();
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace mwc

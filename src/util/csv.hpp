@@ -1,0 +1,46 @@
+// Minimal RFC-4180-ish CSV writer for experiment outputs.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mwc {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes, or
+/// newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row. Usually called once, first.
+  void header(const std::vector<std::string>& names);
+
+  /// Begins accumulating a row field-by-field.
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(std::size_t value);
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Writes a whole row at once.
+  void row(const std::vector<std::string>& fields);
+
+  /// Flushes buffered output to disk.
+  void flush();
+
+ private:
+  void raw_field(std::string_view value);
+
+  std::ofstream out_;
+  bool row_started_ = false;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+std::string csv_escape(std::string_view value);
+
+}  // namespace mwc

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mwc {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed))
+    return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[mwc %s] %s\n", level_tag(level), buf);
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "debug") return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+}  // namespace mwc

@@ -1,0 +1,32 @@
+// Tiny leveled logger. Single global sink (stderr), printf-style payloads,
+// thread-safe line emission. Benches set the level from --verbose flags.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace mwc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line ("[level] message\n") if `level` is enabled.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/// Parses "error"/"warn"/"info"/"debug" (case-insensitive). Returns kInfo
+/// for anything unrecognized.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+#define MWC_LOG_ERROR(...) ::mwc::log_message(::mwc::LogLevel::kError, __VA_ARGS__)
+#define MWC_LOG_WARN(...) ::mwc::log_message(::mwc::LogLevel::kWarn, __VA_ARGS__)
+#define MWC_LOG_INFO(...) ::mwc::log_message(::mwc::LogLevel::kInfo, __VA_ARGS__)
+#define MWC_LOG_DEBUG(...) ::mwc::log_message(::mwc::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace mwc

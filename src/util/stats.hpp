@@ -1,0 +1,65 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mwc {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return n_ > 0 ? mean_ * double(n_) : 0.0; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary statistics of a finished sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width of the mean
+};
+
+/// Computes a full summary (copies and sorts the data internally).
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolation quantile of *sorted* data, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Sample Pearson correlation of two equal-length series.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(std::span<const double> xs);
+
+}  // namespace mwc

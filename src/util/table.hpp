@@ -1,0 +1,37 @@
+// Aligned console tables for paper-style experiment reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mwc {
+
+/// Accumulates rows of strings and prints them column-aligned, in the style
+/// the benches use to echo each figure's series.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience row builder: formats doubles with `precision` decimals.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 1);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header separator to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (helper shared by benches).
+std::string fmt_fixed(double v, int precision = 1);
+
+}  // namespace mwc

@@ -1,0 +1,74 @@
+// Fixed-size thread pool with a blocking work queue plus a `parallel_for`
+// helper. The experiment runner uses it to execute independent simulation
+// trials concurrently; determinism is preserved because every trial derives
+// its own Rng stream from (seed, trial_index), independent of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mwc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes its result/exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until all currently queued and running tasks finish.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`, in chunks. Blocks until
+/// done; rethrows the first task exception encountered.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 1);
+
+/// Sequential fallback used when a caller opts out of threading.
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace mwc

@@ -1,0 +1,165 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "viz/svg.hpp"
+
+namespace mwc::viz {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  }
+  return buf;
+}
+
+std::string fmt_px(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+double nice_tick_step(double span, std::size_t max_ticks) {
+  MWC_ASSERT(span > 0.0 && max_ticks >= 2);
+  const double raw = span / static_cast<double>(max_ticks);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * mult >= raw) return mag * mult;
+  }
+  return mag * 10.0;
+}
+
+std::string render_line_chart(const std::vector<Series>& series,
+                              const ChartOptions& options) {
+  MWC_ASSERT_MSG(!series.empty(), "chart needs at least one series");
+  double x_lo = std::numeric_limits<double>::infinity(), x_hi = -x_lo;
+  double y_lo = std::numeric_limits<double>::infinity(), y_hi = -y_lo;
+  for (const auto& s : series) {
+    MWC_ASSERT_MSG(s.xs.size() == s.ys.size(), "ragged series");
+    MWC_ASSERT_MSG(!s.xs.empty(), "empty series");
+    for (double x : s.xs) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+    }
+    for (double y : s.ys) {
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (options.y_from_zero) y_lo = std::min(y_lo, 0.0);
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  y_hi *= 1.05;  // headroom
+
+  const double ml = 70.0, mr = 20.0, mt = 40.0, mb = 55.0;
+  const double plot_w = options.width_px - ml - mr;
+  const double plot_h = options.height_px - mt - mb;
+  const auto px = [&](double x) {
+    return ml + (x - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  const auto py = [&](double y) {
+    return mt + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h;
+  };
+
+  std::string doc =
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+      fmt_px(options.width_px) + "\" height=\"" +
+      fmt_px(options.height_px) + "\">\n" +
+      "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Gridlines + ticks.
+  const double x_step = nice_tick_step(x_hi - x_lo, options.x_ticks);
+  const double y_step = nice_tick_step(y_hi - y_lo, options.y_ticks);
+  for (double x = std::ceil(x_lo / x_step) * x_step; x <= x_hi + 1e-9;
+       x += x_step) {
+    doc += "<line x1=\"" + fmt_px(px(x)) + "\" y1=\"" + fmt_px(mt) +
+           "\" x2=\"" + fmt_px(px(x)) + "\" y2=\"" + fmt_px(mt + plot_h) +
+           "\" stroke=\"#eee\"/>\n";
+    doc += "<text x=\"" + fmt_px(px(x)) + "\" y=\"" +
+           fmt_px(mt + plot_h + 18) +
+           "\" font-size=\"11\" font-family=\"sans-serif\" "
+           "text-anchor=\"middle\">" +
+           fmt(x) + "</text>\n";
+  }
+  for (double y = std::ceil(y_lo / y_step) * y_step; y <= y_hi + 1e-9;
+       y += y_step) {
+    doc += "<line x1=\"" + fmt_px(ml) + "\" y1=\"" + fmt_px(py(y)) +
+           "\" x2=\"" + fmt_px(ml + plot_w) + "\" y2=\"" + fmt_px(py(y)) +
+           "\" stroke=\"#eee\"/>\n";
+    doc += "<text x=\"" + fmt_px(ml - 6) + "\" y=\"" + fmt_px(py(y) + 4) +
+           "\" font-size=\"11\" font-family=\"sans-serif\" "
+           "text-anchor=\"end\">" +
+           fmt(y) + "</text>\n";
+  }
+
+  // Axes.
+  doc += "<line x1=\"" + fmt_px(ml) + "\" y1=\"" + fmt_px(mt + plot_h) +
+         "\" x2=\"" + fmt_px(ml + plot_w) + "\" y2=\"" +
+         fmt_px(mt + plot_h) + "\" stroke=\"#333\"/>\n";
+  doc += "<line x1=\"" + fmt_px(ml) + "\" y1=\"" + fmt_px(mt) +
+         "\" x2=\"" + fmt_px(ml) + "\" y2=\"" + fmt_px(mt + plot_h) +
+         "\" stroke=\"#333\"/>\n";
+
+  // Labels + title.
+  doc += "<text x=\"" + fmt_px(ml + plot_w / 2) + "\" y=\"" +
+         fmt_px(options.height_px - 12) +
+         "\" font-size=\"13\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\">" +
+         options.x_label + "</text>\n";
+  doc += "<text x=\"16\" y=\"" + fmt_px(mt + plot_h / 2) +
+         "\" font-size=\"13\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\" transform=\"rotate(-90 16 " +
+         fmt_px(mt + plot_h / 2) + ")\">" + options.y_label + "</text>\n";
+  doc += "<text x=\"" + fmt_px(options.width_px / 2) +
+         "\" y=\"22\" font-size=\"15\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\">" +
+         options.title + "</text>\n";
+
+  // Series with markers + legend.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& color = tour_color(s);
+    std::string pts;
+    for (std::size_t i = 0; i < series[s].xs.size(); ++i) {
+      pts += fmt_px(px(series[s].xs[i])) + "," +
+             fmt_px(py(series[s].ys[i])) + " ";
+    }
+    doc += "<polyline points=\"" + pts + "\" fill=\"none\" stroke=\"" +
+           color + "\" stroke-width=\"2\"/>\n";
+    for (std::size_t i = 0; i < series[s].xs.size(); ++i) {
+      doc += "<circle cx=\"" + fmt_px(px(series[s].xs[i])) + "\" cy=\"" +
+             fmt_px(py(series[s].ys[i])) + "\" r=\"3.5\" fill=\"" + color +
+             "\"/>\n";
+    }
+    const double ly = mt + 10 + 18 * static_cast<double>(s);
+    doc += "<line x1=\"" + fmt_px(ml + 12) + "\" y1=\"" + fmt_px(ly) +
+           "\" x2=\"" + fmt_px(ml + 40) + "\" y2=\"" + fmt_px(ly) +
+           "\" stroke=\"" + color + "\" stroke-width=\"2\"/>\n";
+    doc += "<text x=\"" + fmt_px(ml + 46) + "\" y=\"" + fmt_px(ly + 4) +
+           "\" font-size=\"12\" font-family=\"sans-serif\">" +
+           series[s].label + "</text>\n";
+  }
+  doc += "</svg>\n";
+  return doc;
+}
+
+void save_line_chart(const std::vector<Series>& series,
+                     const ChartOptions& options, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_line_chart: cannot open " + path);
+  out << render_line_chart(series, options);
+}
+
+}  // namespace mwc::viz

@@ -1,0 +1,40 @@
+// Minimal SVG line charts — enough to replicate the paper's figures
+// (service cost vs a swept parameter, one line per algorithm) without any
+// plotting dependency. Axes with tick labels, legend, markers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mwc::viz {
+
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  ///< same length as xs
+};
+
+struct ChartOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  double width_px = 640.0;
+  double height_px = 420.0;
+  /// Force the y axis to start at zero (the paper's figures do).
+  bool y_from_zero = true;
+  std::size_t x_ticks = 6;
+  std::size_t y_ticks = 6;
+};
+
+/// Renders the chart as a complete SVG document.
+std::string render_line_chart(const std::vector<Series>& series,
+                              const ChartOptions& options);
+
+/// Renders and writes to `path`. Throws std::runtime_error on failure.
+void save_line_chart(const std::vector<Series>& series,
+                     const ChartOptions& options, const std::string& path);
+
+/// "Nice" tick step >= span/max_ticks (1/2/5 x 10^k). Exposed for tests.
+double nice_tick_step(double span, std::size_t max_ticks);
+
+}  // namespace mwc::viz

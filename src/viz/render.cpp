@@ -1,0 +1,84 @@
+#include "viz/render.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mwc::viz {
+
+namespace {
+
+void draw_base_layer(SvgCanvas& canvas, const wsn::Network& network,
+                     const RenderOptions& options) {
+  for (const auto& sensor : network.sensors()) {
+    canvas.circle(sensor.position, options.sensor_radius_px, "#888");
+  }
+  canvas.circle(network.base_station(), options.sensor_radius_px * 2.2,
+                "#D55E00", "#333", 1.0);
+  for (std::size_t l = 0; l < network.q(); ++l) {
+    canvas.square(network.depots()[l], options.sensor_radius_px * 1.8,
+                  tour_color(l));
+    if (options.label_depots) {
+      canvas.text(network.depots()[l] + geom::Point{8.0, 8.0},
+                  "D" + std::to_string(l));
+    }
+  }
+}
+
+}  // namespace
+
+SvgCanvas render_network(const wsn::Network& network,
+                         const RenderOptions& options) {
+  SvgCanvas canvas(network.field(), options.width_px);
+  draw_base_layer(canvas, network, options);
+  return canvas;
+}
+
+SvgCanvas render_round(const wsn::Network& network,
+                       const std::vector<std::size_t>& sensor_ids,
+                       const tsp::QRootedTours& tours,
+                       const RenderOptions& options) {
+  SvgCanvas canvas(network.field(), options.width_px);
+
+  const std::size_t q = network.q();
+  MWC_ASSERT(tours.tours.size() == q);
+  const auto node_point = [&](std::size_t combined) -> geom::Point {
+    if (combined < q) return network.depots()[combined];
+    const std::size_t sensor_id = sensor_ids[combined - q];
+    return network.sensor(sensor_id).position;
+  };
+
+  for (std::size_t l = 0; l < q; ++l) {
+    const auto& order = tours.tours[l].order();
+    if (order.size() < 2) continue;
+    std::vector<geom::Point> pts;
+    pts.reserve(order.size());
+    for (std::size_t v : order) pts.push_back(node_point(v));
+    canvas.polyline(pts, /*closed=*/true, tour_color(l), 1.8, 0.85);
+  }
+  draw_base_layer(canvas, network, options);
+  // Highlight the charged sensors over the base layer.
+  for (std::size_t id : sensor_ids) {
+    canvas.circle(network.sensor(id).position,
+                  options.sensor_radius_px * 1.2, "#0072B2");
+  }
+  return canvas;
+}
+
+SvgCanvas render_routing_tree(const wsn::Network& network,
+                              const wsn::EnergyProfile& profile,
+                              const RenderOptions& options) {
+  SvgCanvas canvas(network.field(), options.width_px);
+  MWC_ASSERT(profile.route_parent.size() == network.n());
+  for (std::size_t v = 0; v < network.n(); ++v) {
+    const std::size_t parent = profile.route_parent[v];
+    const geom::Point to = parent == wsn::EnergyProfile::kToBaseStation
+                               ? network.base_station()
+                               : network.sensor(parent).position;
+    canvas.line(network.sensor(v).position, to, "#009E73", 1.0, 0.6);
+  }
+  draw_base_layer(canvas, network, options);
+  return canvas;
+}
+
+}  // namespace mwc::viz

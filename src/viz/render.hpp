@@ -1,0 +1,39 @@
+// High-level renderers: deployments, routing trees, and charging tours to
+// SVG. Used by the tour_map example and handy when debugging schedules.
+#pragma once
+
+#include <string>
+
+#include "tsp/qrooted.hpp"
+#include "viz/svg.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::viz {
+
+struct RenderOptions {
+  double width_px = 800.0;
+  bool label_depots = true;
+  /// Scale sensor dot size by this many px.
+  double sensor_radius_px = 3.0;
+};
+
+/// Network only: sensors (dots), base station (large dot), depots
+/// (squares).
+SvgCanvas render_network(const wsn::Network& network,
+                         const RenderOptions& options = {});
+
+/// Network plus one charging round's q tours, one color per charger.
+/// `tours` must come from an instance built over `sensor_ids` in order
+/// (combined indexing: depots first).
+SvgCanvas render_round(const wsn::Network& network,
+                       const std::vector<std::size_t>& sensor_ids,
+                       const tsp::QRootedTours& tours,
+                       const RenderOptions& options = {});
+
+/// Network plus the multihop routing tree of an energy profile.
+SvgCanvas render_routing_tree(const wsn::Network& network,
+                              const wsn::EnergyProfile& profile,
+                              const RenderOptions& options = {});
+
+}  // namespace mwc::viz

@@ -1,0 +1,112 @@
+#include "viz/svg.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mwc::viz {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(const geom::BBox& world, double width_px,
+                     double margin_px)
+    : world_(world), width_px_(width_px), margin_px_(margin_px) {
+  MWC_ASSERT(world.width() > 0.0 && world.height() > 0.0);
+  MWC_ASSERT(width_px > 2.0 * margin_px);
+  scale_ = (width_px - 2.0 * margin_px) / world.width();
+  height_px_ = world.height() * scale_ + 2.0 * margin_px;
+}
+
+geom::Point SvgCanvas::to_px(const geom::Point& p) const {
+  return {margin_px_ + (p.x - world_.lo.x) * scale_,
+          height_px_ - margin_px_ - (p.y - world_.lo.y) * scale_};
+}
+
+void SvgCanvas::circle(const geom::Point& center, double radius_px,
+                       const std::string& fill, const std::string& stroke,
+                       double stroke_width) {
+  const auto c = to_px(center);
+  body_ += "<circle cx=\"" + fmt(c.x) + "\" cy=\"" + fmt(c.y) +
+           "\" r=\"" + fmt(radius_px) + "\" fill=\"" + fill +
+           "\" stroke=\"" + stroke + "\" stroke-width=\"" +
+           fmt(stroke_width) + "\"/>\n";
+}
+
+void SvgCanvas::line(const geom::Point& a, const geom::Point& b,
+                     const std::string& stroke, double width,
+                     double opacity) {
+  const auto pa = to_px(a);
+  const auto pb = to_px(b);
+  body_ += "<line x1=\"" + fmt(pa.x) + "\" y1=\"" + fmt(pa.y) +
+           "\" x2=\"" + fmt(pb.x) + "\" y2=\"" + fmt(pb.y) +
+           "\" stroke=\"" + stroke + "\" stroke-width=\"" + fmt(width) +
+           "\" stroke-opacity=\"" + fmt(opacity) + "\"/>\n";
+}
+
+void SvgCanvas::polyline(const std::vector<geom::Point>& points, bool closed,
+                         const std::string& stroke, double width,
+                         double opacity) {
+  if (points.size() < 2) return;
+  body_ += closed ? "<polygon points=\"" : "<polyline points=\"";
+  for (const auto& p : points) {
+    const auto px = to_px(p);
+    body_ += fmt(px.x) + "," + fmt(px.y) + " ";
+  }
+  body_ += "\" fill=\"none\" stroke=\"" + stroke + "\" stroke-width=\"" +
+           fmt(width) + "\" stroke-opacity=\"" + fmt(opacity) + "\"/>\n";
+}
+
+void SvgCanvas::square(const geom::Point& center, double half_px,
+                       const std::string& fill) {
+  const auto c = to_px(center);
+  body_ += "<rect x=\"" + fmt(c.x - half_px) + "\" y=\"" +
+           fmt(c.y - half_px) + "\" width=\"" + fmt(2 * half_px) +
+           "\" height=\"" + fmt(2 * half_px) + "\" fill=\"" + fill +
+           "\"/>\n";
+}
+
+void SvgCanvas::text(const geom::Point& at, const std::string& content,
+                     double size_px, const std::string& fill) {
+  const auto p = to_px(at);
+  body_ += "<text x=\"" + fmt(p.x) + "\" y=\"" + fmt(p.y) +
+           "\" font-size=\"" + fmt(size_px) +
+           "\" font-family=\"sans-serif\" fill=\"" + fill + "\">" +
+           content + "</text>\n";
+}
+
+std::string SvgCanvas::str() const {
+  std::string doc =
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+      fmt(width_px_) + "\" height=\"" + fmt(height_px_) +
+      "\" viewBox=\"0 0 " + fmt(width_px_) + " " + fmt(height_px_) +
+      "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  doc += body_;
+  doc += "</svg>\n";
+  return doc;
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SvgCanvas: cannot open " + path);
+  out << str();
+}
+
+const std::string& tour_color(std::size_t index) {
+  static const std::array<std::string, 8> kPalette = {
+      "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+      "#56B4E9", "#D55E00", "#F0E442", "#000000"};
+  return kPalette[index % kPalette.size()];
+}
+
+}  // namespace mwc::viz

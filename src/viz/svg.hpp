@@ -1,0 +1,62 @@
+// Minimal SVG canvas — enough to draw deployments, routing trees, and
+// charging tours for reports and debugging (no external dependencies).
+// Y-axis is flipped so field coordinates render in the conventional
+// "origin at bottom-left" orientation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace mwc::viz {
+
+class SvgCanvas {
+ public:
+  /// `world` is the region drawn; `width_px` fixes the raster width, the
+  /// height follows the world aspect ratio. `margin_px` pads all sides.
+  SvgCanvas(const geom::BBox& world, double width_px = 800.0,
+            double margin_px = 20.0);
+
+  void circle(const geom::Point& center, double radius_px,
+              const std::string& fill, const std::string& stroke = "none",
+              double stroke_width = 1.0);
+
+  void line(const geom::Point& a, const geom::Point& b,
+            const std::string& stroke, double width = 1.0,
+            double opacity = 1.0);
+
+  /// Polyline through world points; closed polylines return to the start.
+  void polyline(const std::vector<geom::Point>& points, bool closed,
+                const std::string& stroke, double width = 1.5,
+                double opacity = 1.0);
+
+  /// Small square marker (used for depots).
+  void square(const geom::Point& center, double half_px,
+              const std::string& fill);
+
+  void text(const geom::Point& at, const std::string& content,
+            double size_px = 12.0, const std::string& fill = "#333");
+
+  /// Completed SVG document.
+  std::string str() const;
+
+  /// Writes the document to `path`. Throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  geom::Point to_px(const geom::Point& world_point) const;
+
+  geom::BBox world_;
+  double width_px_;
+  double height_px_;
+  double margin_px_;
+  double scale_;
+  std::string body_;
+};
+
+/// Categorical palette (color-blind-safe Okabe-Ito) for per-charger tours.
+const std::string& tour_color(std::size_t index);
+
+}  // namespace mwc::viz

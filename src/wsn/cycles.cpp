@@ -1,0 +1,70 @@
+#include "wsn/cycles.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::wsn {
+
+std::vector<double> CycleProcess::cycles_at_slot(std::size_t slot) const {
+  std::vector<double> cycles;
+  cycles.reserve(n());
+  for (std::size_t i = 0; i < n(); ++i)
+    cycles.push_back(cycle_at_slot(i, slot));
+  return cycles;
+}
+
+CycleModel::CycleModel(const Network& network, const CycleModelConfig& config,
+                       std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  MWC_ASSERT(config.tau_min > 0.0);
+  MWC_ASSERT(config.tau_max >= config.tau_min);
+  MWC_ASSERT(config.sigma >= 0.0);
+
+  means_.reserve(network.n());
+  const double d_max = network.max_distance_to_base();
+  for (std::size_t i = 0; i < network.n(); ++i) {
+    double mean = 0.0;
+    switch (config.distribution) {
+      case CycleDistribution::kLinear: {
+        const double frac =
+            d_max > 0.0 ? network.distance_to_base(i) / d_max : 0.0;
+        mean = config.tau_min + (config.tau_max - config.tau_min) * frac;
+        break;
+      }
+      case CycleDistribution::kRandom: {
+        Rng rng(seed_, mix64(0xA11CE5ULL, i));
+        mean = rng.uniform(config.tau_min, config.tau_max);
+        break;
+      }
+    }
+    means_.push_back(mean);
+  }
+}
+
+CycleModel CycleModel::from_means(std::vector<double> means,
+                                  const CycleModelConfig& config,
+                                  std::uint64_t seed) {
+  MWC_ASSERT(config.tau_min > 0.0);
+  MWC_ASSERT(config.tau_max >= config.tau_min);
+  MWC_ASSERT(config.sigma >= 0.0);
+  for (double m : means) MWC_ASSERT_MSG(m > 0.0, "means must be positive");
+  CycleModel model;
+  model.config_ = config;
+  model.seed_ = seed;
+  model.means_ = std::move(means);
+  return model;
+}
+
+double CycleModel::cycle_at_slot(std::size_t i, std::size_t slot) const {
+  MWC_ASSERT(i < means_.size());
+  double tau = means_[i];
+  if (config_.sigma > 0.0) {
+    Rng rng(seed_, mix64(i + 1, slot));
+    tau += rng.uniform(-config_.sigma, config_.sigma);
+  }
+  return std::clamp(tau, config_.tau_min, config_.tau_max);
+}
+
+}  // namespace mwc::wsn

@@ -1,0 +1,87 @@
+// Maximum-charging-cycle models (Sec. VII-A of the paper).
+//
+// Two distributions:
+//   * linear — a sensor's mean cycle τ̄_i grows linearly with its distance
+//     to the base station (sensors near the BS relay traffic for everyone
+//     and drain fastest): τ̄_i = τ_min + (τ_max - τ_min) · d_i / d_max.
+//   * random — τ̄_i drawn uniformly from [τ_min, τ_max] once per topology
+//     (multimedia WSNs, where load is not distance-correlated).
+//
+// The realized cycle for time slot s is τ̄_i plus uniform jitter ±σ,
+// clamped back into [τ_min, τ_max]. σ = 0 makes cycles exactly the means.
+// Draws are a pure function of (seed, sensor, slot): random access, no
+// state, bitwise reproducible regardless of evaluation order or threading.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace mwc::wsn {
+
+/// Abstract source of per-slot maximum charging cycles. The simulator
+/// consumes this interface, so alternative dynamics (the jittered
+/// stationary model below, the Markov storm process in wsn/storm.hpp,
+/// trace replays, ...) plug in interchangeably.
+class CycleProcess {
+ public:
+  virtual ~CycleProcess() = default;
+
+  /// Number of sensors covered.
+  virtual std::size_t n() const = 0;
+
+  /// Realized cycle of sensor i during slot `slot`; must be positive.
+  virtual double cycle_at_slot(std::size_t i, std::size_t slot) const = 0;
+
+  /// All n cycles for one slot (default loops over cycle_at_slot).
+  virtual std::vector<double> cycles_at_slot(std::size_t slot) const;
+};
+
+enum class CycleDistribution { kLinear, kRandom };
+
+struct CycleModelConfig {
+  CycleDistribution distribution = CycleDistribution::kLinear;
+  double tau_min = 1.0;
+  double tau_max = 50.0;
+  double sigma = 2.0;  ///< per-slot jitter half-width
+};
+
+class CycleModel final : public CycleProcess {
+ public:
+  /// `seed` scopes all draws; two models with equal (network, config,
+  /// seed) produce identical cycles.
+  CycleModel(const Network& network, const CycleModelConfig& config,
+             std::uint64_t seed);
+
+  /// Builds a model from explicit per-sensor mean cycles (e.g. cycles
+  /// derived from a routing-tree energy profile) instead of a synthetic
+  /// distribution. Jitter/clamping still follow `config` (cycles are
+  /// clamped to [tau_min, tau_max]; widen the band to cover the means).
+  static CycleModel from_means(std::vector<double> means,
+                               const CycleModelConfig& config,
+                               std::uint64_t seed);
+
+  const CycleModelConfig& config() const noexcept { return config_; }
+  std::size_t n() const override { return means_.size(); }
+
+  /// Mean (slot-independent) cycle of sensor i.
+  double mean_cycle(std::size_t i) const { return means_[i]; }
+
+  /// Realized cycle of sensor i during slot `slot`. Always within
+  /// [tau_min, tau_max].
+  double cycle_at_slot(std::size_t i, std::size_t slot) const override;
+
+  /// Fixed-cycle assignment used by the fixed-τ experiments: slot 0 draws.
+  std::vector<double> fixed_cycles() const { return cycles_at_slot(0); }
+
+ private:
+  CycleModel() = default;
+
+  CycleModelConfig config_;
+  std::uint64_t seed_ = 0;
+  std::vector<double> means_;
+};
+
+}  // namespace mwc::wsn

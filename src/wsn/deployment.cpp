@@ -1,0 +1,77 @@
+#include "wsn/deployment.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mwc::wsn {
+
+namespace {
+
+std::vector<geom::Point> random_depots(const DeploymentConfig& config,
+                                       const geom::Point& base_station,
+                                       Rng& rng) {
+  std::vector<geom::Point> depots;
+  depots.reserve(config.q);
+  std::size_t remaining = config.q;
+  if (config.depot_at_base_station && config.q > 0) {
+    depots.push_back(base_station);
+    --remaining;
+  }
+  for (std::size_t l = 0; l < remaining; ++l) {
+    depots.push_back({rng.uniform(0.0, config.field_side),
+                      rng.uniform(0.0, config.field_side)});
+  }
+  return depots;
+}
+
+}  // namespace
+
+Network deploy_random(const DeploymentConfig& config, Rng& rng) {
+  MWC_ASSERT(config.field_side > 0.0);
+  const auto field = geom::BBox::square(config.field_side);
+  const geom::Point base_station = field.center();
+
+  std::vector<Sensor> sensors;
+  sensors.reserve(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    sensors.push_back(Sensor{
+        i,
+        {rng.uniform(0.0, config.field_side),
+         rng.uniform(0.0, config.field_side)},
+        config.battery_capacity});
+  }
+  auto depots = random_depots(config, base_station, rng);
+  return Network(std::move(sensors), base_station, std::move(depots), field);
+}
+
+Network deploy_grid(const DeploymentConfig& config, double jitter_fraction,
+                    Rng& rng) {
+  MWC_ASSERT(config.field_side > 0.0);
+  MWC_ASSERT(jitter_fraction >= 0.0 && jitter_fraction <= 0.5);
+  const auto field = geom::BBox::square(config.field_side);
+  const geom::Point base_station = field.center();
+
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.n))));
+  const auto rows_needed =
+      (config.n + cols - 1) / cols;
+  const double dx = config.field_side / static_cast<double>(cols);
+  const double dy = config.field_side / static_cast<double>(rows_needed);
+
+  std::vector<Sensor> sensors;
+  sensors.reserve(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    const double cx = (static_cast<double>(c) + 0.5) * dx;
+    const double cy = (static_cast<double>(r) + 0.5) * dy;
+    const double jx = rng.uniform(-jitter_fraction, jitter_fraction) * dx;
+    const double jy = rng.uniform(-jitter_fraction, jitter_fraction) * dy;
+    sensors.push_back(Sensor{i, {cx + jx, cy + jy}, config.battery_capacity});
+  }
+  auto depots = random_depots(config, base_station, rng);
+  return Network(std::move(sensors), base_station, std::move(depots), field);
+}
+
+}  // namespace mwc::wsn

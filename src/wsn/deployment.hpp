@@ -1,0 +1,32 @@
+// Random network deployment following the paper's experimental setup
+// (Sec. VII-A): sensors uniform in a square field, base station at the
+// centre, q depots with one optionally co-located with the base station
+// (the paper co-locates one because the most energy-hungry sensors cluster
+// around the base station) and the rest uniform random.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::wsn {
+
+struct DeploymentConfig {
+  std::size_t n = 200;             ///< number of sensors
+  std::size_t q = 5;               ///< number of depots / mobile chargers
+  double field_side = 1000.0;      ///< square field side length (metres)
+  bool depot_at_base_station = true;  ///< co-locate depot 0 with the BS
+  double battery_capacity = 1.0;   ///< B_i for every sensor
+};
+
+/// Deploys a random network; consumes values from `rng` (callers derive a
+/// dedicated stream per topology for reproducibility).
+Network deploy_random(const DeploymentConfig& config, Rng& rng);
+
+/// Deploys sensors on a jittered grid (used by examples that want an
+/// even-coverage monitoring layout rather than a uniform-random one).
+Network deploy_grid(const DeploymentConfig& config, double jitter_fraction,
+                    Rng& rng);
+
+}  // namespace mwc::wsn

@@ -1,0 +1,130 @@
+#include "wsn/energy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "geom/point.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::wsn {
+
+EnergyProfile compute_energy_profile(const Network& network,
+                                     const EnergyModelConfig& config) {
+  const std::size_t n = network.n();
+  EnergyProfile profile;
+  profile.route_parent.assign(n, EnergyProfile::kToBaseStation);
+  profile.hops.assign(n, 0);
+  profile.load.assign(n, 0.0);
+  profile.rate.assign(n, 0.0);
+  profile.cycle.assign(n, 0.0);
+  if (n == 0) return profile;
+
+  // Dijkstra from the base station over the unit-disk graph. Node n is the
+  // base station.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n + 1, kInf);
+  std::vector<std::size_t> parent(n + 1, EnergyProfile::kToBaseStation);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[n] = 0.0;
+  heap.emplace(0.0, n);
+
+  const auto& pts = network.sensor_points();
+  const auto pos = [&](std::size_t v) -> const geom::Point& {
+    return v == n ? network.base_station() : pts[v];
+  };
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double w = geom::distance(pos(u), pos(v));
+      if (w > config.comm_range) continue;
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        parent[v] = u;
+        heap.emplace(dist[v], v);
+      }
+    }
+  }
+
+  // Unreachable nodes: direct long-range uplink (or hard failure).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dist[v] == kInf) {
+      MWC_ASSERT_MSG(config.allow_direct_fallback,
+                     "communication graph is disconnected");
+      parent[v] = n;
+      dist[v] = geom::distance(pts[v], network.base_station());
+    }
+  }
+
+  // Hop counts and topological order (children before parents for load
+  // accumulation). Sort by descending distance — a child is always
+  // strictly farther than its parent on a shortest-path tree.
+  std::vector<std::size_t> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dist[a] > dist[b];
+  });
+
+  for (std::size_t v = 0; v < n; ++v) {
+    profile.route_parent[v] =
+        parent[v] == n ? EnergyProfile::kToBaseStation : parent[v];
+    std::size_t hops = 0;
+    for (std::size_t u = v; parent[u] != EnergyProfile::kToBaseStation &&
+                            u != n;) {
+      u = parent[u];
+      ++hops;
+      if (u == n) break;
+    }
+    profile.hops[v] = std::max<std::size_t>(hops, 1);
+    profile.load[v] = config.gen_rate;  // own data
+  }
+
+  for (std::size_t v : order) {
+    const std::size_t p = parent[v];
+    if (p != EnergyProfile::kToBaseStation && p != n) {
+      profile.load[p] += profile.load[v];
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const double received = profile.load[v] - config.gen_rate;  // relayed in
+    profile.rate[v] = profile.load[v] * config.e_tx +
+                      received * config.e_rx +
+                      config.gen_rate * config.e_sense;
+    const double capacity = network.sensor(v).battery_capacity;
+    profile.cycle[v] = profile.rate[v] > 0.0
+                           ? capacity / profile.rate[v]
+                           : std::numeric_limits<double>::infinity();
+  }
+  return profile;
+}
+
+Battery::Battery(double capacity) : capacity_(capacity), level_(capacity) {
+  MWC_ASSERT(capacity > 0.0);
+}
+
+double Battery::discharge(double rate, double duration) {
+  MWC_ASSERT(rate >= 0.0 && duration >= 0.0);
+  const double requested = rate * duration;
+  const double consumed = std::min(requested, level_);
+  level_ -= consumed;
+  return consumed;
+}
+
+double Battery::recharge_full() {
+  const double added = capacity_ - level_;
+  level_ = capacity_;
+  return added;
+}
+
+double Battery::lifetime_at(double rate) const {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return level_ / rate;
+}
+
+}  // namespace mwc::wsn

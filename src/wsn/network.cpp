@@ -1,0 +1,26 @@
+#include "wsn/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mwc::wsn {
+
+Network::Network(std::vector<Sensor> sensors, geom::Point base_station,
+                 std::vector<geom::Point> depots, geom::BBox field)
+    : sensors_(std::move(sensors)),
+      base_station_(base_station),
+      depots_(std::move(depots)),
+      field_(field) {
+  sensor_points_.reserve(sensors_.size());
+  dist_to_base_.reserve(sensors_.size());
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    MWC_ASSERT_MSG(sensors_[i].id == i, "sensor ids must equal their index");
+    sensor_points_.push_back(sensors_[i].position);
+    const double d = geom::distance(sensors_[i].position, base_station_);
+    dist_to_base_.push_back(d);
+    max_dist_to_base_ = std::max(max_dist_to_base_, d);
+  }
+}
+
+}  // namespace mwc::wsn

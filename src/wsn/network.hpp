@@ -1,0 +1,54 @@
+// The wireless sensor network: n sensors, one stationary base station, and
+// q depots each housing one mobile charger (Sec. III-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+#include "wsn/sensor.hpp"
+
+namespace mwc::wsn {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Sensor ids must equal their index. At least one depot is required for
+  /// any charging to happen; an empty depot list is allowed only for
+  /// partially-constructed test fixtures.
+  Network(std::vector<Sensor> sensors, geom::Point base_station,
+          std::vector<geom::Point> depots, geom::BBox field);
+
+  std::size_t n() const noexcept { return sensors_.size(); }
+  std::size_t q() const noexcept { return depots_.size(); }
+
+  const std::vector<Sensor>& sensors() const noexcept { return sensors_; }
+  const Sensor& sensor(std::size_t i) const { return sensors_[i]; }
+  const geom::Point& base_station() const noexcept { return base_station_; }
+  const std::vector<geom::Point>& depots() const noexcept { return depots_; }
+  const geom::BBox& field() const noexcept { return field_; }
+
+  /// Positions of all sensors, indexed by sensor id.
+  const std::vector<geom::Point>& sensor_points() const noexcept {
+    return sensor_points_;
+  }
+
+  /// Distance from sensor i to the base station (cached).
+  double distance_to_base(std::size_t i) const { return dist_to_base_[i]; }
+
+  /// Largest sensor-to-base-station distance (0 when there are no sensors).
+  double max_distance_to_base() const noexcept { return max_dist_to_base_; }
+
+ private:
+  std::vector<Sensor> sensors_;
+  geom::Point base_station_;
+  std::vector<geom::Point> depots_;
+  geom::BBox field_;
+  std::vector<geom::Point> sensor_points_;
+  std::vector<double> dist_to_base_;
+  double max_dist_to_base_ = 0.0;
+};
+
+}  // namespace mwc::wsn

@@ -1,0 +1,69 @@
+#include "wsn/predictor.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mwc::wsn {
+
+EwmaPredictor::EwmaPredictor(double gamma, double initial_rate)
+    : gamma_(gamma), predicted_(initial_rate) {
+  MWC_ASSERT(gamma > 0.0 && gamma < 1.0);
+}
+
+void EwmaPredictor::observe(double rate) {
+  predicted_ = gamma_ * rate + (1.0 - gamma_) * predicted_;
+}
+
+double EwmaPredictor::predicted_cycle(double battery_capacity) const {
+  if (predicted_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return battery_capacity / predicted_;
+}
+
+double EwmaPredictor::predicted_residual_lifetime(
+    double residual_energy) const {
+  if (predicted_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return residual_energy / predicted_;
+}
+
+FleetPredictor::FleetPredictor(double gamma,
+                               std::vector<double> initial_rates,
+                               double report_threshold)
+    : report_threshold_(report_threshold) {
+  MWC_ASSERT(report_threshold >= 0.0);
+  predictors_.reserve(initial_rates.size());
+  last_reported_rate_ = initial_rates;
+  for (double r : initial_rates) predictors_.emplace_back(gamma, r);
+}
+
+std::vector<std::size_t> FleetPredictor::observe(
+    const std::vector<double>& rates) {
+  MWC_ASSERT(rates.size() == predictors_.size());
+  std::vector<std::size_t> reporters;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    predictors_[i].observe(rates[i]);
+    const double predicted = predictors_[i].predicted_rate();
+    const double baseline = last_reported_rate_[i];
+    const double rel_change =
+        baseline > 0.0 ? std::abs(predicted - baseline) / baseline
+                       : std::numeric_limits<double>::infinity();
+    if (rel_change > report_threshold_ ||
+        (report_threshold_ == 0.0 && predicted != baseline)) {
+      reporters.push_back(i);
+      last_reported_rate_[i] = predicted;
+    }
+  }
+  return reporters;
+}
+
+double FleetPredictor::predicted_rate(std::size_t i) const {
+  return predictors_[i].predicted_rate();
+}
+
+double FleetPredictor::predicted_cycle(std::size_t i,
+                                       double battery_capacity) const {
+  return predictors_[i].predicted_cycle(battery_capacity);
+}
+
+}  // namespace mwc::wsn

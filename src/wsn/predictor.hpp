@@ -1,0 +1,60 @@
+// Exponentially-weighted moving-average energy prediction (Sec. VI-A):
+//   ρ̂_i(t+1) = γ ρ_i(t) + (1-γ) ρ̂_i(t)
+// The base station uses the predicted rate to estimate each sensor's
+// residual lifetime l̂_i(t) = re_i(t)/ρ̂_i(t+1) and maximum charging cycle
+// τ̂_i(t) = B_i/ρ̂_i(t+1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mwc::wsn {
+
+class EwmaPredictor {
+ public:
+  /// gamma in (0, 1): weight of the newest observation.
+  EwmaPredictor(double gamma, double initial_rate);
+
+  /// Feeds the monitored rate ρ(t); updates ρ̂(t+1).
+  void observe(double rate);
+
+  double predicted_rate() const noexcept { return predicted_; }
+
+  /// τ̂ = B / ρ̂ (infinite for non-positive predictions).
+  double predicted_cycle(double battery_capacity) const;
+
+  /// l̂ = residual_energy / ρ̂.
+  double predicted_residual_lifetime(double residual_energy) const;
+
+  double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+  double predicted_;
+};
+
+/// One EWMA predictor per sensor, with change-detection: `significant_change`
+/// mirrors the paper's per-sensor variation threshold — the sensor only
+/// reports to the base station when its predicted cycle moved by more than
+/// `threshold` (relative).
+class FleetPredictor {
+ public:
+  FleetPredictor(double gamma, std::vector<double> initial_rates,
+                 double report_threshold = 0.0);
+
+  std::size_t size() const noexcept { return predictors_.size(); }
+
+  /// Feeds the current rates; returns ids of sensors whose predicted cycle
+  /// changed by more than the report threshold since their last report.
+  std::vector<std::size_t> observe(const std::vector<double>& rates);
+
+  double predicted_rate(std::size_t i) const;
+  double predicted_cycle(std::size_t i, double battery_capacity) const;
+
+ private:
+  std::vector<EwmaPredictor> predictors_;
+  std::vector<double> last_reported_rate_;
+  double report_threshold_;
+};
+
+}  // namespace mwc::wsn

@@ -1,0 +1,26 @@
+// Sensor node model.
+//
+// The scheduling algorithms work in "cycle space": a sensor's maximum
+// charging cycle τ_i is the time a full battery lasts (τ_i = B_i / ρ_i).
+// The battery capacity is kept for the physical energy model
+// (wsn/energy.hpp); the core algorithms only ever consume τ values.
+#pragma once
+
+#include <cstddef>
+
+#include "geom/point.hpp"
+
+namespace mwc::wsn {
+
+struct Sensor {
+  std::size_t id = 0;           ///< index within its network, 0..n-1
+  geom::Point position;         ///< location in the field (metres)
+  double battery_capacity = 1.0;  ///< B_i, normalized energy units
+
+  bool operator==(const Sensor& other) const {
+    return id == other.id && position == other.position &&
+           battery_capacity == other.battery_capacity;
+  }
+};
+
+}  // namespace mwc::wsn

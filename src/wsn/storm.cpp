@@ -1,0 +1,103 @@
+#include "wsn/storm.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::wsn {
+
+StormCycleProcess::StormCycleProcess(const Network& network,
+                                     const StormConfig& config,
+                                     std::uint64_t seed)
+    : config_(config),
+      seed_(seed),
+      positions_(network.sensor_points()),
+      field_(network.field()) {
+  MWC_ASSERT(config.tau_min > 0.0);
+  MWC_ASSERT(config.tau_max >= config.tau_min);
+  MWC_ASSERT(config.p_enter >= 0.0 && config.p_enter <= 1.0);
+  MWC_ASSERT(config.p_exit >= 0.0 && config.p_exit <= 1.0);
+  MWC_ASSERT(config.stress_factor >= 1.0);
+
+  means_.reserve(network.n());
+  const double d_max = network.max_distance_to_base();
+  for (std::size_t i = 0; i < network.n(); ++i) {
+    double mean = 0.0;
+    switch (config.distribution) {
+      case CycleDistribution::kLinear: {
+        const double frac =
+            d_max > 0.0 ? network.distance_to_base(i) / d_max : 0.0;
+        mean = config.tau_min + (config.tau_max - config.tau_min) * frac;
+        break;
+      }
+      case CycleDistribution::kRandom: {
+        Rng rng(seed_, mix64(0x5707D1ULL, i));
+        mean = rng.uniform(config.tau_min, config.tau_max);
+        break;
+      }
+    }
+    means_.push_back(mean);
+  }
+  // Slot 0: everyone calm.
+  states_.emplace_back(network.n(), std::uint8_t{0});
+}
+
+void StormCycleProcess::ensure_slots(std::size_t slot) const {
+  while (states_.size() <= slot) {
+    const std::size_t s = states_.size();
+    const auto& prev = states_.back();
+    std::vector<std::uint8_t> next(prev.size(), 0);
+
+    if (config_.regional) {
+      // A storm cell wanders across the field (deterministic per seed):
+      // everyone within storm_radius of the centre storms.
+      Rng rng(seed_, mix64(0xCE11ULL, s));
+      const geom::Point center{
+          field_.lo.x + rng.uniform() * field_.width(),
+          field_.lo.y + rng.uniform() * field_.height()};
+      const bool active = rng.uniform() < 0.5;  // storm present this slot?
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        next[i] = active && geom::distance(positions_[i], center) <=
+                                config_.storm_radius
+                      ? 1
+                      : 0;
+      }
+    } else {
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        Rng rng(seed_, mix64(i + 1, s));
+        if (prev[i]) {
+          next[i] = rng.uniform() < config_.p_exit ? 0 : 1;
+        } else {
+          next[i] = rng.uniform() < config_.p_enter ? 1 : 0;
+        }
+      }
+    }
+    states_.push_back(std::move(next));
+  }
+}
+
+bool StormCycleProcess::storming(std::size_t i, std::size_t slot) const {
+  MWC_ASSERT(i < means_.size());
+  ensure_slots(slot);
+  return states_[slot][i] != 0;
+}
+
+double StormCycleProcess::cycle_at_slot(std::size_t i,
+                                        std::size_t slot) const {
+  MWC_ASSERT(i < means_.size());
+  ensure_slots(slot);
+  double tau = means_[i];
+  if (states_[slot][i]) tau /= config_.stress_factor;
+  return std::clamp(tau, config_.tau_min, config_.tau_max);
+}
+
+double StormCycleProcess::storm_fraction(std::size_t slot) const {
+  ensure_slots(slot);
+  if (means_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (std::uint8_t s : states_[slot]) count += s;
+  return static_cast<double>(count) / static_cast<double>(means_.size());
+}
+
+}  // namespace mwc::wsn

@@ -1,0 +1,73 @@
+// Markov-modulated charging cycles: the "storm" workload process.
+//
+// The paper motivates variable cycles with flood-detection networks whose
+// sampling rates jump when a storm passes (Sec. II: "high data sampling
+// rates ... when there is a storm"). This process models exactly that:
+// each sensor carries a two-state Markov chain evolving per slot —
+// *calm*, where its cycle equals the stationary mean (optionally
+// jittered), and *storm*, where consumption is `stress_factor` times
+// higher so the cycle divides by it. Storm entry can be spatially
+// correlated (a storm cell sweeps a region) via a shared regional chain.
+//
+// Unlike CycleModel's stateless hash-based draws, a Markov chain's state
+// depends on its history; states are therefore computed iteratively and
+// memoized per sensor. One instance serves one simulation trial; memoized
+// access is not thread-safe across concurrent callers (each trial owns
+// its process, which is how the experiment runner uses it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsn/cycles.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::wsn {
+
+struct StormConfig {
+  double tau_min = 1.0;
+  double tau_max = 50.0;
+  /// Stationary (calm) cycle layout across the field.
+  CycleDistribution distribution = CycleDistribution::kLinear;
+  /// Per-slot probability that a calm sensor enters a storm.
+  double p_enter = 0.05;
+  /// Per-slot probability that a storming sensor calms down.
+  double p_exit = 0.25;
+  /// Consumption multiplier during a storm (cycle divides by this).
+  double stress_factor = 4.0;
+  /// If true, one regional chain drives all sensors within the storm
+  /// radius of a moving storm centre instead of independent chains.
+  bool regional = false;
+  double storm_radius = 300.0;  ///< metres, regional mode only
+};
+
+class StormCycleProcess final : public CycleProcess {
+ public:
+  StormCycleProcess(const Network& network, const StormConfig& config,
+                    std::uint64_t seed);
+
+  std::size_t n() const override { return means_.size(); }
+  double cycle_at_slot(std::size_t i, std::size_t slot) const override;
+
+  /// True if sensor i is storming during `slot`.
+  bool storming(std::size_t i, std::size_t slot) const;
+
+  /// Fraction of sensors storming during `slot` (observability helper).
+  double storm_fraction(std::size_t slot) const;
+
+  double mean_cycle(std::size_t i) const { return means_[i]; }
+  const StormConfig& config() const noexcept { return config_; }
+
+ private:
+  void ensure_slots(std::size_t slot) const;
+
+  StormConfig config_;
+  std::uint64_t seed_;
+  std::vector<double> means_;
+  std::vector<geom::Point> positions_;
+  geom::BBox field_;
+  // states_[slot][sensor]: 1 = storm. Grown lazily.
+  mutable std::vector<std::vector<std::uint8_t>> states_;
+};
+
+}  // namespace mwc::wsn

@@ -1,0 +1,85 @@
+#include "wsn/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mwc::wsn {
+
+TraceCycleProcess::TraceCycleProcess(std::vector<std::vector<double>> rows)
+    : rows_(std::move(rows)) {
+  MWC_ASSERT_MSG(!rows_.empty(), "trace needs at least one slot");
+  const std::size_t width = rows_.front().size();
+  MWC_ASSERT_MSG(width > 0, "trace needs at least one sensor");
+  for (const auto& row : rows_) {
+    MWC_ASSERT_MSG(row.size() == width, "ragged trace rows");
+    for (double tau : row)
+      MWC_ASSERT_MSG(tau > 0.0, "cycles must be positive");
+  }
+}
+
+std::size_t TraceCycleProcess::n() const { return rows_.front().size(); }
+
+double TraceCycleProcess::cycle_at_slot(std::size_t i,
+                                        std::size_t slot) const {
+  MWC_DEBUG_ASSERT(i < n());
+  const std::size_t s = slot < rows_.size() ? slot : rows_.size() - 1;
+  return rows_[s][i];
+}
+
+TraceCycleProcess load_cycle_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_cycle_trace: cannot open " + path);
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;  // header/comment
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || value <= 0.0) {
+        throw std::runtime_error("load_cycle_trace: bad value '" + field +
+                                 "' at line " + std::to_string(line_no));
+      }
+      row.push_back(value);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw std::runtime_error("load_cycle_trace: ragged row at line " +
+                               std::to_string(line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty())
+    throw std::runtime_error("load_cycle_trace: no data rows in " + path);
+  return TraceCycleProcess(std::move(rows));
+}
+
+void save_cycle_trace(const CycleProcess& process, std::size_t slots,
+                      const std::string& path) {
+  MWC_ASSERT(slots >= 1);
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_cycle_trace: cannot open " + path);
+  // Header written raw (CSV quoting would hide the '#' comment marker).
+  out << "# mwc cycle trace: rows = slots; columns = sensors\n";
+  char buf[64];
+  for (std::size_t s = 0; s < slots; ++s) {
+    for (std::size_t i = 0; i < process.n(); ++i) {
+      std::snprintf(buf, sizeof buf, "%.9g", process.cycle_at_slot(i, s));
+      out << (i == 0 ? "" : ",") << buf;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace mwc::wsn

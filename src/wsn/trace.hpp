@@ -1,0 +1,44 @@
+// Trace-driven charging cycles: replay measured (or exported) per-slot
+// cycle values instead of a synthetic process. Bridges the simulator to
+// real deployments — log each sensor's observed maximum charging cycle
+// per slot into a CSV, then re-run any scheduling policy against the
+// exact same history.
+//
+// CSV format: one row per slot, n comma-separated positive cycle values
+// per row; a '#'-prefixed first line is treated as a header and skipped.
+// Slots beyond the trace hold the last row's values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wsn/cycles.hpp"
+
+namespace mwc::wsn {
+
+class TraceCycleProcess final : public CycleProcess {
+ public:
+  /// `rows[s][i]` = cycle of sensor i during slot s. All rows must have
+  /// equal size and strictly positive entries; at least one row.
+  explicit TraceCycleProcess(std::vector<std::vector<double>> rows);
+
+  std::size_t n() const override;
+  double cycle_at_slot(std::size_t i, std::size_t slot) const override;
+
+  /// Number of recorded slots (access beyond holds the last row).
+  std::size_t recorded_slots() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Parses the CSV format above. Throws std::runtime_error on unreadable
+/// files or malformed content (ragged rows, non-positive values).
+TraceCycleProcess load_cycle_trace(const std::string& path);
+
+/// Writes `process`'s first `slots` slots in the CSV format above
+/// (header line included), e.g. to snapshot a synthetic run for replay.
+void save_cycle_trace(const CycleProcess& process, std::size_t slots,
+                      const std::string& path);
+
+}  // namespace mwc::wsn

@@ -1,0 +1,125 @@
+#include "charging/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../support/fake_view.hpp"
+
+namespace mwc::charging {
+namespace {
+
+using mwc::testing::FakeView;
+using mwc::testing::small_network;
+
+TEST(PeriodicAll, ChargesEveryoneEveryTauMin) {
+  const auto net = small_network(4, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({3.0, 6.0, 9.0, 12.0});
+  view.fill_full();
+
+  PeriodicAllPolicy policy;
+  policy.reset(view);
+
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 3.0);
+  EXPECT_EQ(d->sensors.size(), 4u);
+  policy.on_dispatch_executed(view, *d);
+
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 6.0);
+}
+
+TEST(PeriodicAll, StopsAtHorizon) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 10.0);
+  view.set_all_cycles({4.0, 8.0});
+  view.fill_full();
+  PeriodicAllPolicy policy;
+  policy.reset(view);
+  int dispatches = 0;
+  while (auto d = policy.next_dispatch(view)) {
+    EXPECT_LT(d->time, 10.0);
+    policy.on_dispatch_executed(view, *d);
+    ++dispatches;
+  }
+  EXPECT_EQ(dispatches, 2);  // t = 4, 8
+}
+
+TEST(PeriodicAll, ShrinkingCycleTightensPeriod) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({5.0, 10.0});
+  view.fill_full();
+  PeriodicAllPolicy policy;
+  policy.reset(view);
+
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 5.0);
+  policy.on_dispatch_executed(view, *d);
+  view.set_now(5.0);
+  view.fill_full();
+
+  view.set_cycle(0, 2.0);
+  view.set_residual(0, 2.0);
+  policy.on_cycles_updated(view);
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  // Pulled in to 90% of the earliest depletion: 5 + 0.9 * 2.
+  EXPECT_DOUBLE_EQ(d->time, 6.8);
+}
+
+TEST(PerSensorPeriodic, ChargesEachAtOwnCadence) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({10.0, 20.0});
+  view.fill_full();
+  PerSensorPeriodicPolicy policy;
+  policy.reset(view);
+
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 9.0);  // margin 0.9 * 10
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0}));
+  policy.on_dispatch_executed(view, *d);
+
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  // Sensor 1's first deadline and sensor 0's second coincide at 18.
+  EXPECT_DOUBLE_EQ(d->time, 18.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PerSensorPeriodic, BatchesCoincidentDeadlines) {
+  const auto net = small_network(3, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({10.0, 10.0, 30.0});
+  view.fill_full();
+  PerSensorPeriodicPolicy policy;
+  policy.reset(view);
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PerSensorPeriodic, CycleUpdateClampsDeadlines) {
+  const auto net = small_network(1, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({20.0});
+  view.fill_full();
+  PerSensorPeriodicPolicy policy;
+  policy.reset(view);
+  // At t=0 the deadline is 18. Cycle collapses: residual now 2.
+  view.set_cycle(0, 2.0);
+  view.set_residual(0, 2.0);
+  policy.on_cycles_updated(view);
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_LE(d->time, 1.8 + 1e-9);
+}
+
+}  // namespace
+}  // namespace mwc::charging

@@ -1,0 +1,98 @@
+#include "charging/exact_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "charging/min_total_distance.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::charging {
+namespace {
+
+wsn::Network tiny_network(std::size_t n, std::size_t q,
+                          std::uint64_t seed) {
+  wsn::DeploymentConfig config;
+  config.n = n;
+  config.q = q;
+  config.field_side = 100.0;
+  mwc::Rng rng(seed);
+  return wsn::deploy_random(config, rng);
+}
+
+void expect_feasible(const ExactScheduleResult& result,
+                     const std::vector<double>& cycles, double T) {
+  std::vector<double> last(cycles.size(), 0.0);
+  for (const auto& d : result.dispatches) {
+    for (std::size_t i : d.sensors) {
+      EXPECT_LE(d.time - last[i], cycles[i] + 1e-9);
+      last[i] = d.time;
+    }
+  }
+  for (std::size_t i = 0; i < cycles.size(); ++i)
+    EXPECT_LE(T - last[i], cycles[i] + 1e-9) << "sensor " << i;
+}
+
+TEST(ExactSchedule, NoChargeNeededWhenHorizonFitsCycle) {
+  const auto net = tiny_network(2, 1, 1);
+  const auto result = solve_exact_schedule(net, {4.0, 4.0}, 4.0);
+  EXPECT_EQ(result.cost, 0.0);
+  EXPECT_TRUE(result.dispatches.empty());
+}
+
+TEST(ExactSchedule, SingleSensorSingleCharge) {
+  const auto net = tiny_network(1, 1, 2);
+  // tau = 2, T = 4: exactly one charge at t = 2 suffices.
+  const auto result = solve_exact_schedule(net, {2.0}, 4.0);
+  const double round_trip =
+      2.0 * geom::distance(net.depots()[0], net.sensor(0).position);
+  EXPECT_NEAR(result.cost, round_trip, 1e-9);
+  ASSERT_EQ(result.dispatches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.dispatches[0].time, 2.0);
+  expect_feasible(result, {2.0}, 4.0);
+}
+
+TEST(ExactSchedule, BatchingBeatsSeparateTrips) {
+  // Two co-located sensors with equal cycles: the optimum charges both in
+  // one tour, never separately.
+  const auto net = tiny_network(2, 1, 3);
+  const auto result = solve_exact_schedule(net, {2.0, 2.0}, 6.0);
+  expect_feasible(result, {2.0, 2.0}, 6.0);
+  for (const auto& d : result.dispatches)
+    EXPECT_EQ(d.sensors.size(), 2u);  // always batched
+}
+
+class ExactVsAlgorithm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsAlgorithm, OptimumNeverAboveMinTotalDistance) {
+  const auto seed = GetParam();
+  mwc::Rng meta(seed);
+  const auto n = static_cast<std::size_t>(meta.uniform_int(2, 4));
+  const auto q = static_cast<std::size_t>(meta.uniform_int(1, 2));
+  const auto net = tiny_network(n, q, seed ^ 0x7);
+  std::vector<double> cycles;
+  for (std::size_t i = 0; i < n; ++i)
+    cycles.push_back(static_cast<double>(meta.uniform_int(1, 4)));
+  const double T = 8.0;
+
+  const auto exact = solve_exact_schedule(net, cycles, T);
+  expect_feasible(exact, cycles, T);
+  const auto alg = build_min_total_distance_schedule(net, cycles, T);
+
+  EXPECT_LE(exact.cost, alg.total_cost + 1e-9) << "n=" << n << " q=" << q;
+  // Theorem 2 (a fortiori against the grid optimum).
+  const double bound =
+      2.0 * (static_cast<double>(alg.partition.K) + 2.0);
+  EXPECT_LE(alg.total_cost, bound * exact.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsAlgorithm,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(ExactScheduleDeath, RejectsNonIntegerInputs) {
+  const auto net = tiny_network(1, 1, 9);
+  EXPECT_DEATH(solve_exact_schedule(net, {1.5}, 4.0), "integers");
+  EXPECT_DEATH(solve_exact_schedule(net, {2.0}, 4.5), "integer");
+}
+
+}  // namespace
+}  // namespace mwc::charging

@@ -1,0 +1,156 @@
+#include "charging/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::charging {
+namespace {
+
+wsn::Network test_network(std::size_t n = 60, std::size_t q = 3,
+                          std::uint64_t seed = 1) {
+  wsn::DeploymentConfig config;
+  config.n = n;
+  config.q = q;
+  config.field_side = 1000.0;
+  mwc::Rng rng(seed);
+  return wsn::deploy_random(config, rng);
+}
+
+std::vector<std::size_t> all_ids(const wsn::Network& net) {
+  std::vector<std::size_t> ids(net.n());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  return ids;
+}
+
+// Sensors covered by a plan, in combined indexing (>= q).
+std::set<std::size_t> covered_nodes(const FleetPlan& plan, std::size_t q) {
+  std::set<std::size_t> covered;
+  for (const auto& depot_trips : plan.trips)
+    for (const auto& trip : depot_trips)
+      for (std::size_t v : trip.tour.order())
+        if (v >= q) covered.insert(v);
+  return covered;
+}
+
+TEST(CapacitatedRound, CoversEverySensorWithinBudget) {
+  const auto net = test_network();
+  const auto ids = all_ids(net);
+  const double capacity = 1500.0;  // comfortably above any round trip
+  const auto plan = plan_capacitated_round(net, ids, capacity);
+
+  EXPECT_EQ(covered_nodes(plan, net.q()).size(), net.n());
+  EXPECT_LE(plan.max_trip_length, capacity + 1e-6);
+  EXPECT_GT(plan.num_trips, 0u);
+  EXPECT_EQ(plan.vehicles_per_depot, 1u);
+}
+
+TEST(CapacitatedRound, GenerousBudgetMatchesPlainRound) {
+  const auto net = test_network(40, 4, 2);
+  const auto ids = all_ids(net);
+  const auto plan = plan_capacitated_round(net, ids, 1e9);
+
+  tsp::QRootedInstance instance;
+  instance.depots = net.depots();
+  instance.sensors = net.sensor_points();
+  const auto plain = tsp::q_rooted_tsp(instance);
+  EXPECT_NEAR(plan.total_length, plain.total_length, 1e-6);
+}
+
+TEST(CapacitatedRound, TighterBudgetCostsMoreTrips) {
+  const auto net = test_network(80, 2, 3);
+  const auto ids = all_ids(net);
+  const auto loose = plan_capacitated_round(net, ids, 5000.0);
+  const auto tight = plan_capacitated_round(net, ids, 1800.0);
+  EXPECT_GE(tight.num_trips, loose.num_trips);
+  EXPECT_GE(tight.total_length, loose.total_length - 1e-9);
+  EXPECT_LE(tight.max_trip_length, 1800.0 + 1e-6);
+}
+
+TEST(MinMaxRound, OneChargerPerDepotIsPlainRound) {
+  const auto net = test_network(50, 3, 4);
+  const auto ids = all_ids(net);
+  const auto plan = plan_minmax_round(net, ids, 1);
+
+  tsp::QRootedInstance instance;
+  instance.depots = net.depots();
+  instance.sensors = net.sensor_points();
+  const auto plain = tsp::q_rooted_tsp(instance);
+  EXPECT_NEAR(plan.total_length, plain.total_length, 1e-6);
+}
+
+TEST(MinMaxRound, MoreChargersShrinkMakespan) {
+  const auto net = test_network(100, 2, 5);
+  const auto ids = all_ids(net);
+  double prev = plan_minmax_round(net, ids, 1).max_trip_length;
+  for (std::size_t k : {2u, 4u}) {
+    const auto plan = plan_minmax_round(net, ids, k);
+    EXPECT_LE(plan.max_trip_length, prev + 1e-9) << "k=" << k;
+    EXPECT_EQ(covered_nodes(plan, net.q()).size(), net.n());
+    prev = plan.max_trip_length;
+  }
+}
+
+TEST(MinMaxRound, EmptySensorSet) {
+  const auto net = test_network(10, 3, 6);
+  const auto plan = plan_minmax_round(net, {}, 2);
+  EXPECT_EQ(plan.num_trips, 0u);
+  EXPECT_EQ(plan.total_length, 0.0);
+}
+
+TEST(RoundDuration, SequentialVsParallelTrips) {
+  const auto net = test_network(60, 2, 7);
+  const auto ids = all_ids(net);
+  DurationModel model;
+  model.travel_speed = 5.0;
+  model.charge_seconds = 30.0;
+
+  const auto single = plan_minmax_round(net, ids, 1);
+  const auto fleet = plan_minmax_round(net, ids, 4);
+  const double t_single = round_duration_seconds(single, model);
+  const double t_fleet = round_duration_seconds(fleet, model);
+  EXPECT_LT(t_fleet, t_single);
+  EXPECT_GT(t_fleet, 0.0);
+}
+
+TEST(RoundDuration, CapacitatedTripsAreSequential) {
+  const auto net = test_network(60, 2, 8);
+  const auto ids = all_ids(net);
+  DurationModel model;
+
+  const auto one_trip = plan_capacitated_round(net, ids, 1e9);
+  const auto many_trips = plan_capacitated_round(net, ids, 1800.0);
+  // Splitting adds return legs, so the sequential duration grows.
+  EXPECT_GE(round_duration_seconds(many_trips, model),
+            round_duration_seconds(one_trip, model) - 1e-9);
+}
+
+TEST(RoundDuration, ScalesWithChargingTime) {
+  const auto net = test_network(30, 2, 9);
+  const auto ids = all_ids(net);
+  const auto plan = plan_minmax_round(net, ids, 1);
+  DurationModel fast{5.0, 0.0};
+  DurationModel slow{5.0, 120.0};
+  EXPECT_GT(round_duration_seconds(plan, slow),
+            round_duration_seconds(plan, fast));
+}
+
+TEST(RoundDuration, PaperAssumptionHoldsAtDefaults) {
+  // Sec. III-A argues a charging round is orders of magnitude shorter
+  // than a fully-charged sensor's lifetime (weeks). Check the default
+  // duration model keeps a full-network round under a few hours.
+  const auto net = test_network(200, 5, 10);
+  const auto ids = all_ids(net);
+  const auto plan = plan_minmax_round(net, ids, 1);
+  DurationModel model;  // 5 m/s, 60 s per sensor
+  const double seconds = round_duration_seconds(plan, model);
+  EXPECT_LT(seconds, 6.0 * 3600.0);
+}
+
+}  // namespace
+}  // namespace mwc::charging

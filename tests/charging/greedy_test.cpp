@@ -1,0 +1,234 @@
+#include "charging/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../support/fake_view.hpp"
+
+namespace mwc::charging {
+namespace {
+
+using mwc::testing::FakeView;
+using mwc::testing::small_network;
+
+TEST(Greedy, DefaultThresholdIsTauMin) {
+  const auto net = small_network(3, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({2.0, 5.0, 9.0});
+  view.fill_full();
+  GreedyPolicy policy;
+  policy.reset(view);
+  EXPECT_DOUBLE_EQ(policy.threshold(), 2.0);
+}
+
+TEST(Greedy, ExplicitThreshold) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({4.0, 4.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.5});
+  policy.reset(view);
+  EXPECT_DOUBLE_EQ(policy.threshold(), 1.5);
+}
+
+TEST(Greedy, DispatchWhenFirstSensorHitsThreshold) {
+  const auto net = small_network(3, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({4.0, 6.0, 10.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  // Sensor 0 (τ=4) hits residual=1 at t=3.
+  EXPECT_DOUBLE_EQ(d->time, 3.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0}));
+}
+
+TEST(Greedy, BatchesCrossingsWithinOneCheckWindow) {
+  // δ = Δl = 1: sensors crossing at 2.7 and 3.0 share the boundary t=3.
+  const auto net = small_network(3, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({3.7, 4.0, 30.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+  EXPECT_DOUBLE_EQ(policy.check_interval(), 1.0);
+
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 3.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Greedy, CoarseIntervalClampedToThreshold) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({5.0, 5.0});
+  view.fill_full();
+  GreedyPolicy policy(
+      GreedyOptions{.threshold = 2.0, .check_interval = 10.0});
+  policy.reset(view);
+  EXPECT_DOUBLE_EQ(policy.check_interval(), 2.0);
+}
+
+TEST(Greedy, BatchesSensorsBelowThresholdAtDispatchTime) {
+  const auto net = small_network(3, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({4.0, 4.0, 20.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 3.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Greedy, ImmediateDispatchWhenAlreadyBelowThreshold) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({10.0, 10.0});
+  view.set_residual(0, 0.5);
+  view.set_residual(1, 10.0);
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+  view.set_now(5.0);
+
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 5.0);  // now
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0}));
+}
+
+TEST(Greedy, NoDispatchBeyondHorizon) {
+  const auto net = small_network(1, 1);
+  FakeView view(net, 5.0);
+  view.set_all_cycles({10.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+  // Trigger would be at t=9 >= T=5.
+  EXPECT_FALSE(policy.next_dispatch(view).has_value());
+}
+
+TEST(Greedy, TinyCycleSensorDoesNotRetriggerInstantly) {
+  // τ == Δl: after a charge, the next request must be at least Δl later.
+  const auto net = small_network(1, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({1.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 0.0);  // immediately below threshold
+  policy.on_dispatch_executed(view, *d);
+  view.fill_full();  // simulator recharges
+
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_GE(d->time, 0.5);  // clamped forward by half the cycle
+}
+
+TEST(GreedyPrediction, ExactKnowledgeWhenGammaZero) {
+  const auto net = small_network(2, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({4.0, 8.0});
+  view.fill_full();
+  GreedyPolicy exact(GreedyOptions{.threshold = 1.0});
+  GreedyPolicy predicted(
+      GreedyOptions{.threshold = 1.0, .prediction_gamma = 0.5});
+  exact.reset(view);
+  predicted.reset(view);
+  // Before any cycle change, the predictor is initialized to the truth,
+  // so both policies agree.
+  const auto de = exact.next_dispatch(view);
+  const auto dp = predicted.next_dispatch(view);
+  ASSERT_TRUE(de && dp);
+  EXPECT_DOUBLE_EQ(de->time, dp->time);
+  EXPECT_EQ(de->sensors, dp->sensors);
+}
+
+TEST(GreedyPrediction, LaggingPredictorDelaysRequestAfterShrink) {
+  const auto net = small_network(1, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({16.0});
+  view.fill_full();
+  GreedyPolicy predicted(
+      GreedyOptions{.threshold = 1.0, .prediction_gamma = 0.5});
+  predicted.reset(view);
+
+  // Cycle halves; the EWMA only partially tracks it, so the estimated
+  // residual exceeds the true one and the request comes later than an
+  // exact-knowledge policy's would.
+  view.set_cycle(0, 8.0);
+  view.set_residual(0, 8.0);
+  predicted.on_cycles_updated(view);
+
+  GreedyPolicy exact(GreedyOptions{.threshold = 1.0});
+  exact.reset(view);
+
+  const auto dp = predicted.next_dispatch(view);
+  const auto de = exact.next_dispatch(view);
+  ASSERT_TRUE(dp && de);
+  // τ̂ = 1/(0.5/8 + 0.5/16) ≈ 10.67 > 8, so est residual ≈ 10.67 > 8.
+  EXPECT_GT(dp->time, de->time);
+}
+
+TEST(GreedyPrediction, PredictorConvergesUnderStableCycles) {
+  const auto net = small_network(1, 1);
+  FakeView view(net, 1000.0);
+  view.set_all_cycles({16.0});
+  view.fill_full();
+  GreedyPolicy predicted(
+      GreedyOptions{.threshold = 1.0, .prediction_gamma = 0.5});
+  predicted.reset(view);
+
+  // Residual chosen so the threshold crossing is strictly inside a check
+  // window: the EWMA converges to the truth from above, and an exactly
+  // on-boundary crossing would let the +epsilon flip the ceil().
+  view.set_cycle(0, 8.0);
+  view.set_residual(0, 8.5);
+  for (int slot = 0; slot < 20; ++slot) predicted.on_cycles_updated(view);
+
+  GreedyPolicy exact(GreedyOptions{.threshold = 1.0});
+  exact.reset(view);
+  const auto dp = predicted.next_dispatch(view);
+  const auto de = exact.next_dispatch(view);
+  ASSERT_TRUE(dp && de);
+  EXPECT_NEAR(dp->time, de->time, 1e-6);
+}
+
+TEST(Greedy, CycleShrinkRelaxesClamp) {
+  const auto net = small_network(1, 1);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({20.0});
+  view.fill_full();
+  GreedyPolicy policy(GreedyOptions{.threshold = 1.0});
+  policy.reset(view);
+
+  // Charge at t=19 (trigger), clamp pushes next to t=19+19=38.
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 19.0);
+  view.advance(19.0);
+  view.fill_full();
+  policy.on_dispatch_executed(view, *d);
+
+  // Cycle collapses to 2 => residual rescales to 2; sensor dies at t=21
+  // unless the clamp is relaxed.
+  view.set_cycle(0, 2.0);
+  view.set_residual(0, 2.0);
+  policy.on_cycles_updated(view);
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_LE(d->time, 20.0 + 1e-9);  // rescue at/before residual==threshold
+}
+
+}  // namespace
+}  // namespace mwc::charging

@@ -1,0 +1,141 @@
+#include "charging/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::charging {
+namespace {
+
+TEST(Partition, Empty) {
+  const auto p = partition_by_cycles({});
+  EXPECT_TRUE(p.groups.empty());
+  EXPECT_TRUE(p.assigned.empty());
+}
+
+TEST(Partition, UniformCyclesSingleClass) {
+  const auto p = partition_by_cycles({3.0, 3.0, 3.0});
+  EXPECT_EQ(p.K, 0u);
+  EXPECT_DOUBLE_EQ(p.tau1, 3.0);
+  ASSERT_EQ(p.groups.size(), 1u);
+  EXPECT_EQ(p.groups[0].size(), 3u);
+  for (double a : p.assigned) EXPECT_DOUBLE_EQ(a, 3.0);
+}
+
+TEST(Partition, PaperExample) {
+  // τ = {1, 1.5, 2, 3.9, 4, 50}: K = floor(log2 50) = 5.
+  const std::vector<double> cycles{1.0, 1.5, 2.0, 3.9, 4.0, 50.0};
+  const auto p = partition_by_cycles(cycles);
+  EXPECT_DOUBLE_EQ(p.tau1, 1.0);
+  EXPECT_EQ(p.K, 5u);
+  EXPECT_EQ(p.level[0], 0u);  // [1,2)
+  EXPECT_EQ(p.level[1], 0u);
+  EXPECT_EQ(p.level[2], 1u);  // [2,4)
+  EXPECT_EQ(p.level[3], 1u);
+  EXPECT_EQ(p.level[4], 2u);  // [4,8)
+  EXPECT_EQ(p.level[5], 5u);  // [32,64)
+  EXPECT_DOUBLE_EQ(p.assigned[3], 2.0);
+  EXPECT_DOUBLE_EQ(p.assigned[5], 32.0);
+}
+
+TEST(Partition, ClassCycles) {
+  const auto p = partition_by_cycles({1.0, 8.0});
+  EXPECT_DOUBLE_EQ(p.class_cycle(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.class_cycle(3), 8.0);
+}
+
+// Eq. (1): τ_i/2 < τ'_i <= τ_i for random cycle sets.
+class RoundingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundingProperty, EqOneBoundsHold) {
+  mwc::Rng rng(GetParam());
+  std::vector<double> cycles;
+  for (int i = 0; i < 200; ++i) cycles.push_back(rng.uniform(1.0, 50.0));
+  const auto p = partition_by_cycles(cycles);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    EXPECT_LE(p.assigned[i], cycles[i] * (1 + 1e-12));
+    EXPECT_GT(p.assigned[i], cycles[i] / 2.0 * (1 - 1e-12));
+    // And the assignment is exactly 2^level * tau1.
+    EXPECT_DOUBLE_EQ(p.assigned[i], p.class_cycle(p.level[i]));
+  }
+}
+
+TEST_P(RoundingProperty, GroupsPartitionSensors) {
+  mwc::Rng rng(GetParam() ^ 0xF0);
+  std::vector<double> cycles;
+  for (int i = 0; i < 150; ++i) cycles.push_back(rng.uniform(0.5, 80.0));
+  const auto p = partition_by_cycles(cycles);
+  std::vector<int> seen(cycles.size(), 0);
+  for (std::size_t k = 0; k < p.groups.size(); ++k) {
+    for (std::size_t i : p.groups[k]) {
+      EXPECT_EQ(p.level[i], k);
+      ++seen[i];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Partition, ExactPowerBoundaries) {
+  // τ_i exactly at 2^k boundaries: must land in class k, not k-1.
+  const std::vector<double> cycles{1.0, 2.0, 4.0, 8.0, 16.0};
+  const auto p = partition_by_cycles(cycles);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    EXPECT_EQ(p.level[i], i);
+    EXPECT_DOUBLE_EQ(p.assigned[i], cycles[i]);
+  }
+}
+
+TEST(RoundDepth, TrailingZerosCapped) {
+  const auto p = partition_by_cycles({1.0, 10.0});  // K = 3
+  EXPECT_EQ(p.K, 3u);
+  EXPECT_EQ(round_depth(p, 1), 0u);
+  EXPECT_EQ(round_depth(p, 2), 1u);
+  EXPECT_EQ(round_depth(p, 4), 2u);
+  EXPECT_EQ(round_depth(p, 8), 3u);
+  EXPECT_EQ(round_depth(p, 16), 3u);  // capped at K
+  EXPECT_EQ(round_depth(p, 6), 1u);
+  EXPECT_EQ(round_depth(p, 12), 2u);
+}
+
+TEST(RoundSensorSet, UnionStructureMatchesPaper) {
+  // Classes: sensor 0 -> V0, sensor 1 -> V1, sensor 2 -> V2.
+  const std::vector<double> cycles{1.0, 2.0, 4.0};
+  const auto p = partition_by_cycles(cycles);
+  EXPECT_EQ(round_sensor_set(p, 1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(round_sensor_set(p, 2), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(round_sensor_set(p, 3), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(round_sensor_set(p, 4), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(round_sensor_set(p, 6), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(round_sensor_set(p, 8), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RoundSensorSet, EverySensorChargedAtItsAssignedPeriod) {
+  mwc::Rng rng(42);
+  std::vector<double> cycles;
+  for (int i = 0; i < 60; ++i) cycles.push_back(rng.uniform(1.0, 50.0));
+  const auto p = partition_by_cycles(cycles);
+  const std::size_t horizon_rounds = std::size_t{1} << (p.K + 2);
+  std::vector<std::size_t> last_round(cycles.size(), 0);
+  for (std::size_t j = 1; j <= horizon_rounds; ++j) {
+    for (std::size_t i : round_sensor_set(p, j)) {
+      const std::size_t gap_rounds = j - last_round[i];
+      const double gap = static_cast<double>(gap_rounds) * p.tau1;
+      EXPECT_NEAR(gap, p.assigned[i], 1e-9)
+          << "sensor " << i << " at round " << j;
+      last_round[i] = j;
+    }
+  }
+}
+
+TEST(PartitionDeath, NonPositiveCycleAborts) {
+  EXPECT_DEATH(partition_by_cycles({1.0, -2.0}), "positive");
+}
+
+}  // namespace
+}  // namespace mwc::charging

@@ -1,0 +1,29 @@
+#include "charging/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwc::charging {
+namespace {
+
+TEST(Normalize, SortsAndDeduplicates) {
+  Dispatch d;
+  d.sensors = {5, 1, 3, 1, 5};
+  normalize(d);
+  EXPECT_EQ(d.sensors, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(Normalize, EmptyOk) {
+  Dispatch d;
+  normalize(d);
+  EXPECT_TRUE(d.sensors.empty());
+}
+
+TEST(Normalize, AlreadySortedUnchanged) {
+  Dispatch d;
+  d.sensors = {0, 2, 9};
+  normalize(d);
+  EXPECT_EQ(d.sensors, (std::vector<std::size_t>{0, 2, 9}));
+}
+
+}  // namespace
+}  // namespace mwc::charging

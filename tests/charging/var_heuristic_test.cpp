@@ -1,0 +1,178 @@
+#include "charging/var_heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "../support/fake_view.hpp"
+
+namespace mwc::charging {
+namespace {
+
+using mwc::testing::FakeView;
+using mwc::testing::small_network;
+
+TEST(VarHeuristic, InitialPlanMatchesAlgorithmThree) {
+  const auto net = small_network(3, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({1.0, 2.0, 4.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+  EXPECT_EQ(policy.recompute_count(), 0u);
+
+  auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 1.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0}));
+  policy.on_dispatch_executed(view, *d);
+
+  d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 2.0);
+  EXPECT_EQ(d->sensors, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(VarHeuristic, SmallCycleDriftKeepsPlan) {
+  const auto net = small_network(4, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({2.0, 4.0, 8.0, 8.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  // Drift within [τ', 2τ') for every sensor: assigned are {2,4,8,8}.
+  view.set_all_cycles({2.5, 5.0, 9.0, 8.5});
+  policy.on_cycles_updated(view);
+  EXPECT_EQ(policy.recompute_count(), 0u);
+}
+
+TEST(VarHeuristic, CycleShrinkForcesRecompute) {
+  const auto net = small_network(4, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({2.0, 4.0, 8.0, 8.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  view.set_cycle(2, 3.0);  // below its assigned 8 -> infeasible plan
+  policy.on_cycles_updated(view);
+  EXPECT_EQ(policy.recompute_count(), 1u);
+}
+
+TEST(VarHeuristic, CycleGrowthBeyondTwiceForcesRecompute) {
+  const auto net = small_network(3, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({2.0, 4.0, 8.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  view.set_cycle(0, 4.5);  // >= 2 * assigned(2.0) -> wasteful plan
+  policy.on_cycles_updated(view);
+  EXPECT_EQ(policy.recompute_count(), 1u);
+}
+
+TEST(VarHeuristic, RescueChargesDyingSensorImmediately) {
+  const auto net = small_network(3, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({4.0, 8.0, 8.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  // Advance to t=10; sensor 2's cycle collapses and its residual life is
+  // below the new τ̂_1 — it must be charged at once (C'_0).
+  view.set_now(10.0);
+  view.set_cycle(2, 2.0);
+  view.set_residual(2, 0.5);
+  view.set_residual(0, 4.0);
+  view.set_residual(1, 8.0);
+  policy.on_cycles_updated(view);
+  EXPECT_GE(policy.recompute_count(), 1u);
+
+  const auto d = policy.next_dispatch(view);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(d->time, 10.0);
+  EXPECT_TRUE(std::count(d->sensors.begin(), d->sensors.end(), 2u));
+}
+
+TEST(VarHeuristic, RescueInsertsIntoEarlyScheduling) {
+  const auto net = small_network(4, 2);
+  FakeView view(net, 1000.0);
+  view.set_all_cycles({2.0, 4.0, 16.0, 16.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  // Sensor 3 reports a shrink: new τ = 12 (assigned was 16 -> infeasible);
+  // its residual 5 lies in [2*2, 2*4) => class k=1, so it must appear in
+  // one of the schedulings at t, t+2 or t+4.
+  view.set_now(0.0);
+  view.set_cycle(3, 12.0);
+  view.set_residual(3, 5.0);
+  policy.on_cycles_updated(view);
+  ASSERT_GE(policy.recompute_count(), 1u);
+
+  double charged_at = -1.0;
+  for (int step = 0; step < 4 && charged_at < 0.0; ++step) {
+    auto d = policy.next_dispatch(view);
+    ASSERT_TRUE(d);
+    if (std::count(d->sensors.begin(), d->sensors.end(), 3u))
+      charged_at = d->time;
+    policy.on_dispatch_executed(view, *d);
+  }
+  ASSERT_GE(charged_at, 0.0) << "rescued sensor never scheduled early";
+  EXPECT_LE(charged_at, 5.0);  // before its residual life expires
+}
+
+TEST(VarHeuristic, PlanCoversAllSensorsWithinAssignedCycles) {
+  const auto net = small_network(12, 3, 5);
+  FakeView view(net, 64.0);
+  std::vector<double> cycles{1.0, 1.5, 2.0, 3.0, 4.0, 6.0,
+                             8.0, 12.0, 16.0, 16.0, 5.0, 7.0};
+  view.set_all_cycles(cycles);
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy policy;
+  policy.reset(view);
+
+  std::vector<double> last(cycles.size(), 0.0);
+  while (true) {
+    auto d = policy.next_dispatch(view);
+    if (!d) break;
+    for (std::size_t i : d->sensors) {
+      EXPECT_LE(d->time - last[i], cycles[i] + 1e-9);
+      last[i] = d->time;
+    }
+    view.set_now(d->time);
+    policy.on_dispatch_executed(view, *d);
+  }
+  for (std::size_t i = 0; i < cycles.size(); ++i)
+    EXPECT_LE(64.0 - last[i], cycles[i] + 1e-9) << "sensor " << i;
+}
+
+TEST(VarHeuristic, ReportThresholdSuppressesRecomputes) {
+  const auto net = small_network(3, 2);
+  FakeView view(net, 100.0);
+  view.set_all_cycles({2.0, 4.0, 8.0});
+  view.fill_full();
+
+  MinTotalDistanceVarPolicy lenient(
+      VarHeuristicOptions{.report_threshold = 0.9});
+  lenient.reset(view);
+  // 50% shrink on sensor 2 stays under the 90% reporting bar.
+  view.set_cycle(2, 4.0);
+  lenient.on_cycles_updated(view);
+  EXPECT_EQ(lenient.recompute_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mwc::charging

@@ -1,0 +1,32 @@
+#include "exp/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwc::exp {
+namespace {
+
+TEST(PaperDefaults, MatchSectionSevenA) {
+  const auto config = paper_defaults();
+  EXPECT_EQ(config.deployment.n, 200u);
+  EXPECT_EQ(config.deployment.q, 5u);
+  EXPECT_DOUBLE_EQ(config.deployment.field_side, 1000.0);
+  EXPECT_TRUE(config.deployment.depot_at_base_station);
+  EXPECT_EQ(config.cycles.distribution, wsn::CycleDistribution::kLinear);
+  EXPECT_DOUBLE_EQ(config.cycles.tau_min, 1.0);
+  EXPECT_DOUBLE_EQ(config.cycles.tau_max, 50.0);
+  EXPECT_DOUBLE_EQ(config.cycles.sigma, 2.0);
+  EXPECT_DOUBLE_EQ(config.sim.horizon, 1000.0);
+  EXPECT_DOUBLE_EQ(config.sim.slot_length, 0.0);
+  EXPECT_EQ(config.trials, 100u);
+}
+
+TEST(PaperDefaultsVariable, EnablesSlots) {
+  const auto config = paper_defaults_variable();
+  EXPECT_DOUBLE_EQ(config.sim.slot_length, 10.0);
+  // Everything else inherits the fixed defaults.
+  EXPECT_EQ(config.deployment.n, 200u);
+  EXPECT_DOUBLE_EQ(config.sim.horizon, 1000.0);
+}
+
+}  // namespace
+}  // namespace mwc::exp

@@ -1,0 +1,83 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mwc::exp {
+namespace {
+
+AggregateOutcome fake_outcome(const std::string& name, double mean_cost,
+                              std::size_t dead = 0) {
+  AggregateOutcome o;
+  o.name = name;
+  o.cost.mean = mean_cost;
+  o.cost.ci95 = mean_cost * 0.05;
+  o.cost.min = mean_cost * 0.9;
+  o.cost.max = mean_cost * 1.1;
+  o.cost.stddev = mean_cost * 0.1;
+  o.trials = 10;
+  o.total_dead = dead;
+  o.mean_dispatches = 42.0;
+  o.mean_charges = 420.0;
+  return o;
+}
+
+TEST(FigureReport, RatioComputation) {
+  FigureReport report("Fig. T", "test", "n");
+  report.add_point({100.0, {fake_outcome("A", 550.0),
+                            fake_outcome("B", 1000.0)}});
+  EXPECT_DOUBLE_EQ(report.ratio_at(0), 0.55);
+}
+
+TEST(FigureReport, PointAccumulation) {
+  FigureReport report("Fig. T", "test", "n");
+  EXPECT_TRUE(report.points().empty());
+  report.add_point({1.0, {fake_outcome("A", 10.0)}});
+  report.add_point({2.0, {fake_outcome("A", 20.0)}});
+  EXPECT_EQ(report.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(report.points()[1].x, 2.0);
+}
+
+TEST(FigureReport, CsvOutput) {
+  const std::string path = ::testing::TempDir() + "/mwc_report_test.csv";
+  FigureReport report("Fig. 1(a)", "linear", "n", 1000.0);
+  report.add_point({100.0, {fake_outcome("MinTotalDistance", 550000.0),
+                            fake_outcome("Greedy", 1000000.0)}});
+  report.write_csv(path);
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("figure"), std::string::npos);
+  EXPECT_NE(line.find("policy"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("MinTotalDistance"), std::string::npos);
+  EXPECT_NE(line.find("550"), std::string::npos);  // km after unit scale
+  std::getline(in, line);
+  EXPECT_NE(line.find("Greedy"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FigureReport, PrintDoesNotCrashWithDead) {
+  FigureReport report("Fig. T", "test", "x");
+  report.add_point({1.0, {fake_outcome("A", 10.0, 3)}});
+  ::testing::internal::CaptureStdout();
+  report.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Fig. T"), std::string::npos);
+  EXPECT_NE(out.find("dead"), std::string::npos);
+}
+
+TEST(FigureReportDeath, MismatchedPolicyCountsAbort) {
+  FigureReport report("Fig. T", "test", "x");
+  report.add_point({1.0, {fake_outcome("A", 1.0)}});
+  EXPECT_DEATH(report.add_point(
+                   {2.0, {fake_outcome("A", 1.0), fake_outcome("B", 2.0)}}),
+               "same policies");
+}
+
+}  // namespace
+}  // namespace mwc::exp

@@ -1,0 +1,97 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwc::exp {
+namespace {
+
+ExperimentConfig tiny_config() {
+  auto config = paper_defaults();
+  config.deployment.n = 30;
+  config.sim.horizon = 100.0;
+  config.trials = 4;
+  return config;
+}
+
+TEST(MakePolicy, AllKindsConstructible) {
+  for (PolicyKind kind :
+       {PolicyKind::kMinTotalDistance, PolicyKind::kMinTotalDistanceVar,
+        PolicyKind::kGreedy, PolicyKind::kPeriodicAll,
+        PolicyKind::kPerSensorPeriodic}) {
+    auto policy = make_policy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+TEST(PolicyName, MatchesPaperLegends) {
+  EXPECT_EQ(policy_name(PolicyKind::kMinTotalDistance), "MinTotalDistance");
+  EXPECT_EQ(policy_name(PolicyKind::kMinTotalDistanceVar),
+            "MinTotalDistance-var");
+  EXPECT_EQ(policy_name(PolicyKind::kGreedy), "Greedy");
+}
+
+TEST(RunTrial, DeterministicPerIndex) {
+  const auto config = tiny_config();
+  const auto a = run_trial(config, PolicyKind::kMinTotalDistance, 0);
+  const auto b = run_trial(config, PolicyKind::kMinTotalDistance, 0);
+  EXPECT_DOUBLE_EQ(a.service_cost, b.service_cost);
+  EXPECT_EQ(a.num_dispatches, b.num_dispatches);
+}
+
+TEST(RunTrial, DifferentTrialsDiffer) {
+  const auto config = tiny_config();
+  const auto a = run_trial(config, PolicyKind::kGreedy, 0);
+  const auto b = run_trial(config, PolicyKind::kGreedy, 1);
+  EXPECT_NE(a.service_cost, b.service_cost);
+}
+
+TEST(RunPolicy, SerialAndParallelAgree) {
+  const auto config = tiny_config();
+  const auto serial = run_policy(config, PolicyKind::kGreedy, nullptr);
+  ThreadPool pool(4);
+  const auto parallel = run_policy(config, PolicyKind::kGreedy, &pool);
+  EXPECT_DOUBLE_EQ(serial.cost.mean, parallel.cost.mean);
+  EXPECT_DOUBLE_EQ(serial.cost.stddev, parallel.cost.stddev);
+  EXPECT_EQ(serial.total_dead, parallel.total_dead);
+}
+
+TEST(RunPolicy, AggregatesSane) {
+  const auto config = tiny_config();
+  const auto outcome = run_policy(config, PolicyKind::kMinTotalDistance);
+  EXPECT_EQ(outcome.trials, config.trials);
+  EXPECT_GT(outcome.cost.mean, 0.0);
+  EXPECT_GE(outcome.cost.max, outcome.cost.min);
+  EXPECT_GT(outcome.mean_dispatches, 0.0);
+  EXPECT_GT(outcome.mean_charges, 0.0);
+  EXPECT_EQ(outcome.total_dead, 0u);  // feasible policy
+  EXPECT_EQ(outcome.name, "MinTotalDistance");
+}
+
+TEST(RunPolicies, PairedComparisonSharesTopologies) {
+  const auto config = tiny_config();
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+  const auto outcomes = run_policies(config, kinds);
+  ASSERT_EQ(outcomes.size(), 2u);
+  // Same topologies: both ran the same trial count, and results are
+  // reproducible individually.
+  EXPECT_EQ(outcomes[0].trials, outcomes[1].trials);
+  const auto again = run_policies(config, kinds);
+  EXPECT_DOUBLE_EQ(outcomes[0].cost.mean, again[0].cost.mean);
+  EXPECT_DOUBLE_EQ(outcomes[1].cost.mean, again[1].cost.mean);
+}
+
+TEST(RunPolicy, FeasibilityAcrossAllPolicies) {
+  auto config = tiny_config();
+  config.trials = 2;
+  for (PolicyKind kind :
+       {PolicyKind::kMinTotalDistance, PolicyKind::kGreedy,
+        PolicyKind::kPeriodicAll, PolicyKind::kPerSensorPeriodic}) {
+    const auto outcome = run_policy(config, kind);
+    EXPECT_EQ(outcome.total_dead, 0u) << outcome.name;
+  }
+}
+
+}  // namespace
+}  // namespace mwc::exp

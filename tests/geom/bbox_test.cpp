@@ -1,0 +1,73 @@
+#include "geom/bbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mwc::geom {
+namespace {
+
+TEST(BBox, SquareField) {
+  const auto b = BBox::square(1000.0);
+  EXPECT_DOUBLE_EQ(b.width(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.height(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.area(), 1e6);
+  EXPECT_EQ(b.center(), Point(500.0, 500.0));
+}
+
+TEST(BBox, Contains) {
+  const auto b = BBox::square(10.0);
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_TRUE(b.contains({10, 10}));
+  EXPECT_FALSE(b.contains({10.01, 5}));
+  EXPECT_FALSE(b.contains({5, -0.01}));
+}
+
+TEST(BBox, Intersects) {
+  const BBox a({0, 0}, {5, 5});
+  const BBox b({4, 4}, {9, 9});
+  const BBox c({6, 6}, {8, 8});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(b.intersects(c));
+}
+
+TEST(BBox, TouchingBoxesIntersect) {
+  const BBox a({0, 0}, {1, 1});
+  const BBox b({1, 0}, {2, 1});
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BBox, Expand) {
+  BBox b({2, 2}, {3, 3});
+  b.expand({0, 5});
+  EXPECT_EQ(b.lo, Point(0, 2));
+  EXPECT_EQ(b.hi, Point(3, 5));
+}
+
+TEST(BBox, DistanceToPoint) {
+  const BBox b({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(b.distance2_to({1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(b.distance2_to({3, 1}), 1.0);   // right
+  EXPECT_DOUBLE_EQ(b.distance2_to({-1, -1}), 2.0); // corner
+  EXPECT_DOUBLE_EQ(b.distance2_to({1, 5}), 9.0);   // above
+}
+
+TEST(BBox, OfPoints) {
+  const std::vector<Point> pts{{1, 4}, {-2, 0}, {3, 2}};
+  const auto b = BBox::of(pts.begin(), pts.end());
+  EXPECT_EQ(b.lo, Point(-2, 0));
+  EXPECT_EQ(b.hi, Point(3, 4));
+}
+
+TEST(BBox, OfSinglePoint) {
+  const std::vector<Point> pts{{7, 8}};
+  const auto b = BBox::of(pts.begin(), pts.end());
+  EXPECT_EQ(b.lo, b.hi);
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::geom

@@ -1,0 +1,80 @@
+#include "geom/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::geom {
+namespace {
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  return pts;
+}
+
+TEST(DistanceMatrix, Empty) {
+  const DistanceMatrix d(std::vector<Point>{});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DistanceMatrix, DiagonalZero) {
+  const auto pts = random_points(20, 1);
+  const DistanceMatrix d(pts);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(d(i, i), 0.0);
+}
+
+TEST(DistanceMatrix, Symmetric) {
+  const auto pts = random_points(20, 2);
+  const DistanceMatrix d(pts);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    for (std::size_t j = 0; j < d.size(); ++j)
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+}
+
+TEST(DistanceMatrix, MatchesPointDistance) {
+  const auto pts = random_points(15, 3);
+  const DistanceMatrix d(pts);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    for (std::size_t j = 0; j < d.size(); ++j)
+      EXPECT_DOUBLE_EQ(d(i, j), distance(pts[i], pts[j]));
+}
+
+TEST(DistanceMatrix, EuclideanSatisfiesTriangleInequality) {
+  const auto pts = random_points(25, 4);
+  const DistanceMatrix d(pts);
+  EXPECT_TRUE(d.satisfies_triangle_inequality());
+}
+
+TEST(DistanceMatrix, RowSpan) {
+  const auto pts = random_points(10, 5);
+  const DistanceMatrix d(pts);
+  const auto row3 = d.row(3);
+  ASSERT_EQ(row3.size(), 10u);
+  for (std::size_t j = 0; j < 10; ++j) EXPECT_EQ(row3[j], d(3, j));
+}
+
+TEST(TourLength, SquareTour) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<std::size_t> order{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(closed_tour_length(pts, order), 4.0);
+  EXPECT_DOUBLE_EQ(path_length(pts, order), 3.0);
+}
+
+TEST(TourLength, DegenerateTours) {
+  const std::vector<Point> pts{{0, 0}, {3, 4}};
+  EXPECT_EQ(closed_tour_length(pts, std::vector<std::size_t>{}), 0.0);
+  EXPECT_EQ(closed_tour_length(pts, std::vector<std::size_t>{0}), 0.0);
+  const std::vector<std::size_t> pair{0, 1};
+  EXPECT_DOUBLE_EQ(closed_tour_length(pts, pair), 10.0);  // there and back
+  EXPECT_DOUBLE_EQ(path_length(pts, pair), 5.0);
+}
+
+}  // namespace
+}  // namespace mwc::geom

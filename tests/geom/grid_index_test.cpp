@@ -1,0 +1,114 @@
+#include "geom/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::geom {
+namespace {
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed,
+                                 double side = 1000.0) {
+  mwc::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return pts;
+}
+
+std::size_t brute_nearest(const std::vector<Point>& pts, const Point& q) {
+  std::size_t best = pts.size();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d2 = distance2(pts[i], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(GridIndex, EmptyIndex) {
+  const GridIndex idx({}, BBox::square(10.0));
+  EXPECT_TRUE(idx.empty());
+  const auto [i, d] = idx.nearest_with_distance({1, 1});
+  EXPECT_TRUE(std::isinf(d));
+  (void)i;
+}
+
+TEST(GridIndex, SinglePoint) {
+  const std::vector<Point> pts{{5, 5}};
+  const GridIndex idx(pts, BBox::square(10.0));
+  EXPECT_EQ(idx.nearest({0, 0}), 0u);
+  const auto [i, d] = idx.nearest_with_distance({8, 9});
+  EXPECT_EQ(i, 0u);
+  EXPECT_DOUBLE_EQ(d, 5.0);
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexProperty, NearestMatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto pts = random_points(200, seed);
+  const GridIndex idx(pts, BBox::square(1000.0));
+  mwc::Rng rng(seed ^ 0xDEAD);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.uniform(-100.0, 1100.0), rng.uniform(-100.0, 1100.0)};
+    const auto expected = brute_nearest(pts, q);
+    const auto got = idx.nearest(q);
+    // Ties in distance are acceptable; compare distances.
+    EXPECT_DOUBLE_EQ(distance2(pts[got], q), distance2(pts[expected], q));
+  }
+}
+
+TEST_P(GridIndexProperty, WithinMatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto pts = random_points(150, seed);
+  const GridIndex idx(pts, BBox::square(1000.0));
+  mwc::Rng rng(seed ^ 0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const double radius = rng.uniform(10.0, 300.0);
+    auto got = idx.within(q, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (distance2(pts[i], q) <= radius * radius) expected.push_back(i);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u));
+
+TEST(GridIndex, PointsOutsideNominalBounds) {
+  // Bounds cover [0,10]^2, but a point sits outside; index must clamp it
+  // in and still answer correctly.
+  const std::vector<Point> pts{{5, 5}, {20, 20}};
+  const GridIndex idx(pts, BBox::square(10.0));
+  EXPECT_EQ(idx.nearest({19, 19}), 1u);
+  EXPECT_EQ(idx.nearest({0, 0}), 0u);
+}
+
+TEST(GridIndex, DuplicatePoints) {
+  const std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}};
+  const GridIndex idx(pts, BBox::square(3.0));
+  const auto got = idx.nearest({1, 1});
+  EXPECT_TRUE(got == 0u || got == 1u);
+  EXPECT_EQ(idx.within({1, 1}, 0.5).size(), 2u);
+}
+
+TEST(GridIndex, NegativeRadius) {
+  const std::vector<Point> pts{{1, 1}};
+  const GridIndex idx(pts, BBox::square(2.0));
+  EXPECT_TRUE(idx.within({1, 1}, -1.0).empty());
+}
+
+}  // namespace
+}  // namespace mwc::geom

@@ -1,0 +1,108 @@
+#include "geom/kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::geom {
+namespace {
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed,
+                                 double side = 1000.0) {
+  mwc::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return pts;
+}
+
+TEST(KdTree, Empty) {
+  const KdTree tree((std::vector<Point>()));
+  EXPECT_TRUE(tree.empty());
+  const auto [i, d] = tree.nearest_with_distance({0, 0});
+  EXPECT_TRUE(std::isinf(d));
+  (void)i;
+}
+
+TEST(KdTree, SinglePoint) {
+  const std::vector<Point> pts{{3, 4}};
+  const KdTree tree(pts);
+  const auto [i, d] = tree.nearest_with_distance({0, 0});
+  EXPECT_EQ(i, 0u);
+  EXPECT_DOUBLE_EQ(d, 5.0);
+}
+
+class KdTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KdTreeProperty, NearestMatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto pts = random_points(300, seed);
+  const KdTree tree(pts);
+  mwc::Rng rng(seed ^ 0xFACE);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Point q{rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0)};
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : pts) best = std::min(best, distance2(p, q));
+    EXPECT_DOUBLE_EQ(distance2(pts[tree.nearest(q)], q), best);
+  }
+}
+
+TEST_P(KdTreeProperty, AgreesWithGridIndex) {
+  const auto seed = GetParam();
+  const auto pts = random_points(250, seed);
+  const KdTree tree(pts);
+  const GridIndex grid(pts, BBox::square(1000.0));
+  mwc::Rng rng(seed ^ 0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const auto [ti, td] = tree.nearest_with_distance(q);
+    const auto [gi, gd] = grid.nearest_with_distance(q);
+    (void)ti;
+    (void)gi;
+    EXPECT_NEAR(td, gd, 1e-9);
+  }
+}
+
+TEST_P(KdTreeProperty, RangeMatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto pts = random_points(150, seed);
+  const KdTree tree(pts);
+  mwc::Rng rng(seed ^ 0xF00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const double radius = rng.uniform(10.0, 400.0);
+    auto got = tree.within(q, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (distance2(pts[i], q) <= radius * radius) expected.push_back(i);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreeProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 21u));
+
+TEST(KdTree, CollinearPoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({25.4, 1.0}), 25u);
+  EXPECT_EQ(tree.within({10.0, 0.0}, 2.0).size(), 5u);  // 8,9,10,11,12
+}
+
+TEST(KdTree, DuplicatePoints) {
+  const std::vector<Point> pts{{1, 1}, {1, 1}, {5, 5}};
+  const KdTree tree(pts);
+  const auto i = tree.nearest({1.1, 1.0});
+  EXPECT_TRUE(i == 0u || i == 1u);
+}
+
+}  // namespace
+}  // namespace mwc::geom

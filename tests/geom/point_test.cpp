@@ -1,0 +1,65 @@
+#include "geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace mwc::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ(a + b, Point(4.0, 7.0));
+  EXPECT_EQ(b - a, Point(2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, 2.5));
+}
+
+TEST(Point, Norms) {
+  const Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(p.norm(), 5.0);
+}
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Point, DistanceSymmetry) {
+  const Point a{-2.5, 7.0}, b{4.0, -1.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Point, DotAndCross) {
+  const Point a{1, 0}, b{0, 1};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(b, a), -1.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 1.0);
+}
+
+TEST(Point, MidpointAndLerp) {
+  const Point a{0, 0}, b{4, 8};
+  EXPECT_EQ(midpoint(a, b), Point(2, 4));
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.25), Point(1, 2));
+}
+
+TEST(Point, StreamOutput) {
+  std::ostringstream oss;
+  oss << Point{1.5, -2.0};
+  EXPECT_EQ(oss.str(), "(1.5, -2)");
+}
+
+TEST(Point, HypotRobustToLargeValues) {
+  // std::hypot avoids overflow where sqrt(dx^2+dy^2) would not.
+  const Point a{0.0, 0.0}, b{1e200, 1e200};
+  EXPECT_TRUE(std::isfinite(distance(a, b)));
+}
+
+}  // namespace
+}  // namespace mwc::geom

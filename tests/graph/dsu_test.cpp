@@ -1,0 +1,94 @@
+#include "graph/dsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::graph {
+namespace {
+
+TEST(Dsu, InitiallySingletons) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.set_size(i), 1u);
+  }
+}
+
+TEST(Dsu, UniteMergesSets) {
+  Dsu dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 3u);
+  EXPECT_EQ(dsu.set_size(0), 2u);
+}
+
+TEST(Dsu, UniteSameSetReturnsFalse) {
+  Dsu dsu(3);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_FALSE(dsu.unite(0, 0));
+  EXPECT_EQ(dsu.num_sets(), 2u);
+}
+
+TEST(Dsu, TransitiveConnectivity) {
+  Dsu dsu(5);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  EXPECT_FALSE(dsu.connected(0, 3));
+  dsu.unite(1, 2);
+  EXPECT_TRUE(dsu.connected(0, 3));
+  EXPECT_EQ(dsu.set_size(3), 4u);
+}
+
+TEST(Dsu, Reset) {
+  Dsu dsu(3);
+  dsu.unite(0, 1);
+  dsu.reset(4);
+  EXPECT_EQ(dsu.size(), 4u);
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  EXPECT_FALSE(dsu.connected(0, 1));
+}
+
+// Property: Dsu agrees with a naive label-propagation model under random
+// operation sequences.
+class DsuProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsuProperty, MatchesNaiveModel) {
+  const std::size_t n = 60;
+  Dsu dsu(n);
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = i;
+
+  mwc::Rng rng(GetParam());
+  for (int op = 0; op < 500; ++op) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    if (rng.bernoulli(0.5)) {
+      const bool merged = dsu.unite(a, b);
+      EXPECT_EQ(merged, label[a] != label[b]);
+      if (label[a] != label[b]) {
+        const auto from = label[b], to = label[a];
+        for (auto& l : label)
+          if (l == from) l = to;
+      }
+    } else {
+      EXPECT_EQ(dsu.connected(a, b), label[a] == label[b]);
+    }
+    // Invariant: number of sets matches distinct labels.
+    std::set<std::size_t> distinct(label.begin(), label.end());
+    EXPECT_EQ(dsu.num_sets(), distinct.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsuProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace mwc::graph

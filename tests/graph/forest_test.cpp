@@ -1,0 +1,82 @@
+#include "graph/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mwc::graph {
+namespace {
+
+TEST(RootedTree, EmptyTreeIsJustRoot) {
+  const RootedTree tree(7, std::vector<Edge>{});
+  EXPECT_EQ(tree.root(), 7u);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.total_weight(), 0.0);
+  EXPECT_TRUE(tree.valid());
+  EXPECT_EQ(tree.preorder(), std::vector<std::size_t>{7});
+}
+
+TEST(RootedTree, PathTree) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}};
+  const RootedTree tree(0, edges);
+  EXPECT_EQ(tree.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(tree.total_weight(), 6.0);
+  EXPECT_TRUE(tree.valid());
+  const auto pre = tree.preorder();
+  EXPECT_EQ(pre, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(RootedTree, StarTreePreorderVisitsAll) {
+  const std::vector<Edge> edges{{5, 1, 1.0}, {5, 2, 1.0}, {5, 3, 1.0}};
+  const RootedTree tree(5, edges);
+  const auto pre = tree.preorder();
+  ASSERT_EQ(pre.size(), 4u);
+  EXPECT_EQ(pre[0], 5u);
+  const std::set<std::size_t> rest(pre.begin() + 1, pre.end());
+  EXPECT_EQ(rest, (std::set<std::size_t>{1, 2, 3}));
+}
+
+TEST(RootedTree, NonContiguousNodeIds) {
+  const std::vector<Edge> edges{{100, 7, 1.0}, {7, 42, 2.0}};
+  const RootedTree tree(100, edges);
+  EXPECT_TRUE(tree.valid());
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.preorder().front(), 100u);
+}
+
+TEST(RootedTree, CycleIsInvalid) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  const RootedTree tree(0, edges);
+  EXPECT_FALSE(tree.valid());
+}
+
+TEST(RootedTree, DisconnectedEdgesAreInvalid) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {5, 6, 1.0}};
+  const RootedTree tree(0, edges);
+  EXPECT_FALSE(tree.valid());  // 5-6 unreachable from root 0
+}
+
+TEST(RootedTree, PreorderIsDeterministic) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0},
+                                {1, 4, 1.0}};
+  const RootedTree tree(0, edges);
+  const auto a = tree.preorder();
+  const auto b = tree.preorder();
+  EXPECT_EQ(a, b);
+  // Children visited in edge insertion order: 1 before 2, 3 before 4.
+  EXPECT_EQ(a, (std::vector<std::size_t>{0, 1, 3, 4, 2}));
+}
+
+TEST(RootedForest, Totals) {
+  RootedForest forest;
+  forest.trees.emplace_back(0, std::vector<Edge>{{0, 1, 2.0}});
+  forest.trees.emplace_back(5, std::vector<Edge>{{5, 6, 3.0}, {6, 7, 1.0}});
+  forest.trees.emplace_back(9, std::vector<Edge>{});
+  EXPECT_DOUBLE_EQ(forest.total_weight(), 6.0);
+  EXPECT_EQ(forest.total_nodes(), 6u);
+}
+
+}  // namespace
+}  // namespace mwc::graph

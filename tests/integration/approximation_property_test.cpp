@@ -1,0 +1,125 @@
+// Verifies the 2(K+2) approximation guarantee (Theorem 2) against a
+// computable lower bound on the optimal service cost.
+//
+// Lemma 3: OPT >= m * 2^(K-k) * w(D*_k) for every class k, where D*_k is
+// the optimal q-rooted TSP over R ∪ V_0 ∪ ... ∪ V_k and T = 2m τ'_n. Since
+// any closed tour set weighs at least its q-rooted MSF,
+//     LB := max_k  (T / 2^(k+1) τ_1) * msf_k   <=  OPT.
+// The proof of Theorem 2 in fact bounds the algorithm's cost by
+// 2(K+2) * LB directly (cost <= 4m(Σ 2^(K-1-k) msf_k + msf_K) and each
+// m 2^(K-k) msf_k <= LB), so the ratio against LB must hold exactly — a
+// stronger, fully computable form of the theorem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "charging/min_total_distance.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::charging {
+namespace {
+
+struct Instance {
+  wsn::Network network;
+  std::vector<double> cycles;
+  double T;
+};
+
+Instance power_of_two_instance(std::uint64_t seed, std::size_t n,
+                               std::size_t levels, std::size_t m_periods) {
+  wsn::DeploymentConfig config;
+  config.n = n;
+  config.q = 3;
+  config.field_side = 1000.0;
+  mwc::Rng rng(seed);
+  Instance inst{wsn::deploy_random(config, rng), {}, 0.0};
+  // Cycles are exact powers of two so the rounding is lossless and
+  // T = 2m τ'_n divides evenly (matching the theorem's assumption).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<int>(rng.uniform_int(0, levels - 1));
+    inst.cycles.push_back(std::ldexp(1.0, k));
+  }
+  // Make sure both extreme classes exist.
+  inst.cycles[0] = 1.0;
+  inst.cycles[1] = std::ldexp(1.0, static_cast<int>(levels - 1));
+  inst.T = 2.0 * static_cast<double>(m_periods) *
+           std::ldexp(1.0, static_cast<int>(levels - 1));
+  return inst;
+}
+
+double msf_lower_bound(const Instance& inst,
+                       const CyclePartition& partition) {
+  double lb = 0.0;
+  std::vector<std::size_t> cumulative;
+  for (std::size_t k = 0; k <= partition.K; ++k) {
+    cumulative.insert(cumulative.end(), partition.groups[k].begin(),
+                      partition.groups[k].end());
+    tsp::QRootedInstance qinst;
+    qinst.depots = inst.network.depots();
+    for (std::size_t id : cumulative)
+      qinst.sensors.push_back(inst.network.sensor(id).position);
+    const double msf_k = tsp::q_rooted_msf(qinst).total_weight;
+    const double repeats =
+        inst.T / (std::ldexp(partition.tau1, static_cast<int>(k + 1)));
+    lb = std::max(lb, repeats * msf_k);
+  }
+  return lb;
+}
+
+class ApproximationProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproximationProperty, WithinTwoKPlusTwoOfLowerBound) {
+  const auto inst = power_of_two_instance(GetParam(), 40, 5, 4);
+  const auto schedule =
+      build_min_total_distance_schedule(inst.network, inst.cycles, inst.T);
+  const double lb = msf_lower_bound(inst, schedule.partition);
+  ASSERT_GT(lb, 0.0);
+  const double bound =
+      2.0 * (static_cast<double>(schedule.partition.K) + 2.0);
+  EXPECT_LE(schedule.total_cost, bound * lb * (1.0 + 1e-9))
+      << "K=" << schedule.partition.K << " cost=" << schedule.total_cost
+      << " lb=" << lb;
+}
+
+TEST_P(ApproximationProperty, EmpiricalRatioIsMuchBetterThanWorstCase) {
+  // Sanity on solution quality: in practice the ratio should be far below
+  // the worst case (typically < K+2).
+  const auto inst = power_of_two_instance(GetParam() ^ 0xAA, 60, 4, 2);
+  const auto schedule =
+      build_min_total_distance_schedule(inst.network, inst.cycles, inst.T);
+  const double lb = msf_lower_bound(inst, schedule.partition);
+  EXPECT_LE(schedule.total_cost,
+            1.4 * (static_cast<double>(schedule.partition.K) + 2.0) * lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximationProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(ApproximationSingleClass, UniformCyclesRatioAtMostTwo) {
+  // K = 0: every round charges everything; the bound collapses to 4 and
+  // the per-round tours are 2-approximate, so cost <= 2 * LB exactly.
+  wsn::DeploymentConfig config;
+  config.n = 30;
+  config.q = 3;
+  mwc::Rng rng(99);
+  const auto net = wsn::deploy_random(config, rng);
+  const std::vector<double> cycles(30, 4.0);
+  const double T = 32.0;
+  const auto schedule = build_min_total_distance_schedule(net, cycles, T);
+
+  tsp::QRootedInstance qinst;
+  qinst.depots = net.depots();
+  qinst.sensors = net.sensor_points();
+  const double msf = tsp::q_rooted_msf(qinst).total_weight;
+  // 7 rounds (t = 4..28); each optimal round >= msf.
+  const double lb = 7.0 * msf;
+  EXPECT_LE(schedule.total_cost, 2.0 * lb * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace mwc::charging

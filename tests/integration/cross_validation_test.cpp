@@ -1,0 +1,131 @@
+// Cross-validation: independent code paths that must agree.
+#include <gtest/gtest.h>
+
+#include "charging/min_total_distance.hpp"
+#include "exp/runner.hpp"
+#include "sim/simulator.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc {
+namespace {
+
+wsn::Network test_network(std::size_t n, std::size_t q,
+                          std::uint64_t seed) {
+  wsn::DeploymentConfig config;
+  config.n = n;
+  config.q = q;
+  Rng rng(seed);
+  return wsn::deploy_random(config, rng);
+}
+
+// The offline schedule builder and the online policy driven through the
+// simulator are separate implementations of Algorithm 3; their service
+// costs must match exactly.
+class BuilderPolicyAgreement
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuilderPolicyAgreement, OfflineCostEqualsSimulatedCost) {
+  const auto seed = GetParam();
+  const auto network = test_network(40, 3, seed);
+  wsn::CycleModelConfig config;
+  config.tau_min = 1.0;
+  config.tau_max = 20.0;
+  const wsn::CycleModel cycles(network, config, seed ^ 0xC1);
+  const double T = 100.0;
+
+  const auto offline = charging::build_min_total_distance_schedule(
+      network, cycles.fixed_cycles(), T);
+
+  sim::SimOptions options;
+  options.horizon = T;
+  sim::Simulator simulator(network, cycles, options);
+  charging::MinTotalDistancePolicy policy;
+  const auto online = simulator.run(policy);
+
+  EXPECT_NEAR(online.service_cost, offline.total_cost,
+              1e-6 * (1.0 + offline.total_cost));
+  EXPECT_EQ(online.num_dispatches, offline.dispatches.size());
+  EXPECT_TRUE(online.feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderPolicyAgreement,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// With the cycles frozen (sigma = 0), the variable-cycle heuristic never
+// recomputes and must produce exactly the fixed algorithm's cost.
+class VarReducesToFixed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarReducesToFixed, IdenticalCostWhenCyclesNeverChange) {
+  const auto seed = GetParam();
+  auto config = exp::paper_defaults_variable();
+  config.deployment.n = 50;
+  config.sim.horizon = 150.0;
+  config.cycles.sigma = 0.0;  // slots tick, cycles never move
+  config.seed = seed;
+  config.trials = 1;
+
+  const auto fixed =
+      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
+  const auto var =
+      exp::run_trial(config, exp::PolicyKind::kMinTotalDistanceVar, 0);
+  EXPECT_NEAR(fixed.service_cost, var.service_cost,
+              1e-6 * (1.0 + fixed.service_cost));
+  EXPECT_EQ(fixed.num_dispatches, var.num_dispatches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarReducesToFixed,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(QRootedVsDoubleTree, SingleDepotCostsAgree) {
+  // With q = 1, Algorithm 2 degenerates to the classical double-tree
+  // 2-approximation rooted at the depot.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    tsp::QRootedInstance inst;
+    inst.depots.push_back({rng.uniform(0.0, 100.0),
+                           rng.uniform(0.0, 100.0)});
+    for (int i = 0; i < 35; ++i)
+      inst.sensors.push_back({rng.uniform(0.0, 100.0),
+                              rng.uniform(0.0, 100.0)});
+    const auto tours = tsp::q_rooted_tsp(inst);
+    const auto points = inst.combined_points();
+    const auto direct = tsp::double_tree_tour(points, 0);
+    EXPECT_NEAR(tours.total_length, direct.length(points), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(ImproveOption, SimulatedCostNeverWorse) {
+  auto config = exp::paper_defaults();
+  config.deployment.n = 60;
+  config.sim.horizon = 100.0;
+  config.trials = 1;
+  const auto raw =
+      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
+  config.sim.improve_tours = true;
+  const auto polished =
+      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
+  EXPECT_LE(polished.service_cost, raw.service_cost + 1e-6);
+  EXPECT_EQ(polished.num_dispatches, raw.num_dispatches);
+}
+
+TEST(PairedDraws, PoliciesSeeIdenticalTopologiesAndCycles) {
+  // Two different policies on trial k face the same world: their
+  // dispatch counts differ but a shared deterministic fingerprint of the
+  // world (first dispatch cost of the charge-everything baseline) is
+  // identical across runs.
+  auto config = exp::paper_defaults();
+  config.deployment.n = 30;
+  config.sim.horizon = 50.0;
+  config.trials = 1;
+  const auto a = exp::run_trial(config, exp::PolicyKind::kPeriodicAll, 0);
+  const auto b = exp::run_trial(config, exp::PolicyKind::kPeriodicAll, 0);
+  EXPECT_DOUBLE_EQ(a.service_cost, b.service_cost);
+}
+
+}  // namespace
+}  // namespace mwc

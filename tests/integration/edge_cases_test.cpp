@@ -1,0 +1,147 @@
+// Boundary conditions across the whole pipeline — the configurations a
+// downstream user will eventually feed in.
+#include <gtest/gtest.h>
+
+#include "charging/greedy.hpp"
+#include "charging/min_total_distance.hpp"
+#include "charging/var_heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc {
+namespace {
+
+wsn::Network custom_network(std::vector<geom::Point> sensor_positions,
+                            std::vector<geom::Point> depots,
+                            double side = 1000.0) {
+  std::vector<wsn::Sensor> sensors;
+  for (std::size_t i = 0; i < sensor_positions.size(); ++i)
+    sensors.push_back({i, sensor_positions[i], 1.0});
+  const auto field = geom::BBox::square(side);
+  return wsn::Network(std::move(sensors), field.center(), std::move(depots),
+                      field);
+}
+
+sim::SimResult run_fixed(const wsn::Network& network,
+                         const std::vector<double>& cycles, double T,
+                         charging::Policy& policy) {
+  wsn::CycleModelConfig config;
+  config.tau_min = 0.5;
+  config.tau_max = 1000.0;
+  config.sigma = 0.0;
+  const auto model = wsn::CycleModel::from_means(cycles, config, 1);
+  sim::SimOptions options;
+  options.horizon = T;
+  sim::Simulator simulator(network, model, options);
+  return simulator.run(policy);
+}
+
+TEST(EdgeCases, SingleSensorSingleDepot) {
+  auto net = custom_network({{600, 500}}, {{500, 500}});
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, {3.0}, 12.0, mtd);
+  EXPECT_TRUE(result.feasible());
+  // Charged at t = 3, 6, 9 (t = 12 == T skipped): 3 round trips of 200 m.
+  EXPECT_EQ(result.num_dispatches, 3u);
+  EXPECT_NEAR(result.service_cost, 3 * 200.0, 1e-9);
+}
+
+TEST(EdgeCases, MoreDepotsThanSensors) {
+  auto net = custom_network(
+      {{100, 100}, {900, 900}},
+      {{0, 0}, {1000, 1000}, {0, 1000}, {1000, 0}, {500, 500}});
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, {2.0, 2.0}, 8.0, mtd);
+  EXPECT_TRUE(result.feasible());
+  // Each sensor served by its corner depot: 2 * sqrt(2*100^2) per round.
+  const double per_round = 2.0 * std::hypot(100.0, 100.0) * 2.0;
+  EXPECT_NEAR(result.service_cost, 3 * per_round, 1e-6);
+}
+
+TEST(EdgeCases, UniformCyclesChargeEverythingEveryRound) {
+  wsn::DeploymentConfig config;
+  config.n = 25;
+  config.q = 3;
+  Rng rng(5);
+  const auto net = wsn::deploy_random(config, rng);
+  const std::vector<double> cycles(25, 5.0);
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, cycles, 50.0, mtd);
+  EXPECT_TRUE(result.feasible());
+  EXPECT_EQ(result.num_dispatches, 9u);  // t = 5..45
+  EXPECT_EQ(result.num_sensor_charges, 9u * 25u);
+}
+
+TEST(EdgeCases, HorizonShorterThanEveryCycleNeedsNoCharging) {
+  wsn::DeploymentConfig config;
+  config.n = 10;
+  Rng rng(6);
+  const auto net = wsn::deploy_random(config, rng);
+  const std::vector<double> cycles(10, 100.0);
+
+  charging::MinTotalDistancePolicy mtd;
+  const auto a = run_fixed(net, cycles, 50.0, mtd);
+  EXPECT_TRUE(a.feasible());
+  EXPECT_EQ(a.service_cost, 0.0);
+
+  charging::GreedyPolicy greedy(charging::GreedyOptions{.threshold = 1.0});
+  const auto b = run_fixed(net, cycles, 50.0, greedy);
+  EXPECT_TRUE(b.feasible());
+  EXPECT_EQ(b.service_cost, 0.0);
+}
+
+TEST(EdgeCases, SensorOnTopOfDepotCostsNothingExtra) {
+  auto net = custom_network({{500, 500}}, {{500, 500}});
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, {2.0}, 10.0, mtd);
+  EXPECT_TRUE(result.feasible());
+  EXPECT_EQ(result.service_cost, 0.0);
+  EXPECT_GT(result.num_dispatches, 0u);
+}
+
+TEST(EdgeCases, ExtremeCycleRatio) {
+  // τ spread over three orders of magnitude: K = 10 classes.
+  auto net = custom_network({{100, 500}, {900, 500}}, {{500, 500}});
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, {1.0, 1024.0}, 64.0, mtd);
+  EXPECT_TRUE(result.feasible());
+  // The long-cycle sensor is never due within T... except Algorithm 3
+  // still charges it on its rounded cadence only when a round reaches
+  // depth 10 (j = 1024), which never happens before T = 64 — so only the
+  // short-cycle sensor is ever charged.
+  EXPECT_EQ(result.num_sensor_charges, result.num_dispatches);
+}
+
+TEST(EdgeCases, VarHeuristicSingleSensor) {
+  auto net = custom_network({{700, 500}}, {{500, 500}});
+  wsn::CycleModelConfig config;
+  config.tau_min = 2.0;
+  config.tau_max = 8.0;
+  config.sigma = 3.0;
+  const wsn::CycleModel model(net, config, 9);
+  sim::SimOptions options;
+  options.horizon = 100.0;
+  options.slot_length = 5.0;
+  sim::Simulator simulator(net, model, options);
+  charging::MinTotalDistanceVarPolicy policy;
+  const auto result = simulator.run(policy);
+  EXPECT_TRUE(result.feasible());
+}
+
+TEST(EdgeCases, FractionalCyclesWork) {
+  // Nothing requires integer cycles outside the exact DP solver.
+  wsn::DeploymentConfig config;
+  config.n = 15;
+  Rng rng(8);
+  const auto net = wsn::deploy_random(config, rng);
+  std::vector<double> cycles;
+  for (int i = 0; i < 15; ++i) cycles.push_back(0.7 + 0.31 * i);
+  charging::MinTotalDistancePolicy mtd;
+  const auto result = run_fixed(net, cycles, 21.7, mtd);
+  EXPECT_TRUE(result.feasible());
+}
+
+}  // namespace
+}  // namespace mwc

@@ -1,0 +1,110 @@
+// Property sweep: every policy keeps every sensor alive across random
+// topologies, distributions, and both fixed and variable cycle regimes
+// (Lemma 2 for MinTotalDistance; design intent for the others).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/runner.hpp"
+
+namespace mwc::exp {
+namespace {
+
+using Param = std::tuple<PolicyKind, wsn::CycleDistribution, bool,
+                         std::uint64_t>;
+
+class FeasibilityProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FeasibilityProperty, NoSensorEverDies) {
+  const auto [kind, distribution, variable, seed] = GetParam();
+  auto config = variable ? paper_defaults_variable() : paper_defaults();
+  config.deployment.n = 50;
+  config.sim.horizon = 200.0;
+  config.cycles.distribution = distribution;
+  config.trials = 1;
+  config.seed = seed;
+
+  const auto result = run_trial(config, kind, 0);
+  EXPECT_EQ(result.dead_sensors, 0u)
+      << policy_name(kind) << " seed=" << seed
+      << " variable=" << variable;
+  EXPECT_GT(result.service_cost, 0.0);
+  // Slack was never negative at a charge instant.
+  EXPECT_GE(result.min_residual_at_charge, -1e-9);
+}
+
+// Fixed-cycle regime: every policy must keep every sensor alive.
+INSTANTIATE_TEST_SUITE_P(
+    FixedCycles, FeasibilityProperty,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kMinTotalDistance,
+                          PolicyKind::kMinTotalDistanceVar,
+                          PolicyKind::kGreedy, PolicyKind::kPeriodicAll,
+                          PolicyKind::kPerSensorPeriodic),
+        ::testing::Values(wsn::CycleDistribution::kLinear,
+                          wsn::CycleDistribution::kRandom),
+        ::testing::Values(false),
+        ::testing::Values(11u, 22u, 33u)));
+
+// Variable-cycle regime: the adaptive policies must survive redraws.
+// MinTotalDistance (fixed) is deliberately absent — the paper's Sec. VI
+// motivation is precisely that it fails when cycles shrink (see the
+// FixedPolicyDiesUnderShrinkingCycles test below).
+INSTANTIATE_TEST_SUITE_P(
+    VariableCycles, FeasibilityProperty,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kMinTotalDistanceVar,
+                          PolicyKind::kGreedy, PolicyKind::kPeriodicAll,
+                          PolicyKind::kPerSensorPeriodic),
+        ::testing::Values(wsn::CycleDistribution::kLinear,
+                          wsn::CycleDistribution::kRandom),
+        ::testing::Values(true),
+        ::testing::Values(11u, 22u, 33u)));
+
+TEST(FeasibilityContrast, FixedPolicyDiesUnderShrinkingCycles) {
+  // Demonstrates the paper's motivation for the variable-cycle heuristic:
+  // run the fixed-cycle schedule against aggressive per-slot redraws and
+  // observe failures that MinTotalDistance-var avoids on the same draws.
+  auto config = paper_defaults_variable();
+  config.deployment.n = 50;
+  config.sim.horizon = 200.0;
+  config.sim.slot_length = 5.0;
+  config.cycles.sigma = 20.0;
+  config.trials = 3;
+
+  std::size_t fixed_dead = 0, var_dead = 0;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    fixed_dead +=
+        run_trial(config, PolicyKind::kMinTotalDistance, trial).dead_sensors;
+    var_dead += run_trial(config, PolicyKind::kMinTotalDistanceVar, trial)
+                    .dead_sensors;
+  }
+  EXPECT_GT(fixed_dead, 0u);
+  EXPECT_EQ(var_dead, 0u);
+}
+
+class HarshVariability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HarshVariability, SurvivesLargeSigmaAndShortSlots) {
+  // Fig. 5/6 stress regime: σ large, ΔT short.
+  auto config = paper_defaults_variable();
+  config.deployment.n = 40;
+  config.sim.horizon = 150.0;
+  config.sim.slot_length = 2.0;
+  config.cycles.sigma = 25.0;
+  config.trials = 1;
+  config.seed = GetParam();
+
+  for (PolicyKind kind : {PolicyKind::kMinTotalDistanceVar,
+                          PolicyKind::kGreedy}) {
+    const auto result = run_trial(config, kind, 0);
+    EXPECT_EQ(result.dead_sensors, 0u)
+        << policy_name(kind) << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarshVariability,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace mwc::exp

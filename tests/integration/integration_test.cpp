@@ -1,0 +1,108 @@
+// End-to-end experiments at reduced scale, asserting the *qualitative*
+// findings of the paper's evaluation (Sec. VII) hold in this
+// implementation.
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace mwc::exp {
+namespace {
+
+ExperimentConfig small_config(wsn::CycleDistribution distribution,
+                              bool variable) {
+  auto config = variable ? paper_defaults_variable() : paper_defaults();
+  config.deployment.n = 80;
+  config.sim.horizon = 300.0;
+  config.cycles.distribution = distribution;
+  config.trials = 5;
+  return config;
+}
+
+double cost_ratio(const ExperimentConfig& config, PolicyKind a,
+                  PolicyKind b) {
+  const PolicyKind kinds[] = {a, b};
+  const auto outcomes = run_policies(config, kinds);
+  EXPECT_EQ(outcomes[0].total_dead, 0u) << outcomes[0].name;
+  EXPECT_EQ(outcomes[1].total_dead, 0u) << outcomes[1].name;
+  return outcomes[0].cost.mean / outcomes[1].cost.mean;
+}
+
+TEST(Integration, MinTotalDistanceBeatsGreedyOnLinear) {
+  const auto config =
+      small_config(wsn::CycleDistribution::kLinear, /*variable=*/false);
+  const double ratio = cost_ratio(config, PolicyKind::kMinTotalDistance,
+                                  PolicyKind::kGreedy);
+  // Paper Fig. 1(a): 55-60%. Allow slack for the reduced scale.
+  EXPECT_LT(ratio, 0.85);
+  EXPECT_GT(ratio, 0.2);
+}
+
+TEST(Integration, RandomDistributionGivesSmallerWin) {
+  const auto linear =
+      small_config(wsn::CycleDistribution::kLinear, false);
+  const auto random =
+      small_config(wsn::CycleDistribution::kRandom, false);
+  const double ratio_linear = cost_ratio(
+      linear, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+  const double ratio_random = cost_ratio(
+      random, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+  // Fig. 1: the win under the random distribution is markedly smaller.
+  EXPECT_LT(ratio_linear, ratio_random);
+  EXPECT_LT(ratio_random, 1.1);
+}
+
+TEST(Integration, VarHeuristicCompetitiveUnderVariableCycles) {
+  const auto config =
+      small_config(wsn::CycleDistribution::kLinear, /*variable=*/true);
+  const double ratio = cost_ratio(
+      config, PolicyKind::kMinTotalDistanceVar, PolicyKind::kGreedy);
+  // Fig. 3: still clearly below greedy at ΔT = 10.
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(Integration, NaiveChargeAllIsWorst) {
+  auto config = small_config(wsn::CycleDistribution::kLinear, false);
+  config.trials = 3;
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kPeriodicAll};
+  const auto outcomes = run_policies(config, kinds);
+  EXPECT_LT(outcomes[0].cost.mean, outcomes[1].cost.mean);
+}
+
+TEST(Integration, SmallTauMaxClosesTheGap) {
+  // Fig. 2(a): at τ_max <= ~10 the two algorithms nearly coincide; at 50
+  // MinTotalDistance wins big. Check the *trend*.
+  auto config = small_config(wsn::CycleDistribution::kLinear, false);
+  config.trials = 3;
+
+  config.cycles.tau_max = 5.0;
+  const double ratio_small = cost_ratio(
+      config, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+  config.cycles.tau_max = 50.0;
+  const double ratio_large = cost_ratio(
+      config, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+  EXPECT_GT(ratio_small, ratio_large);
+}
+
+TEST(Integration, ReportPipelineEndToEnd) {
+  auto config = small_config(wsn::CycleDistribution::kLinear, false);
+  config.trials = 2;
+  config.deployment.n = 40;
+  FigureReport report("Fig. test", "integration smoke", "n");
+  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
+                              PolicyKind::kGreedy};
+  for (std::size_t n : {30u, 50u}) {
+    config.deployment.n = n;
+    report.add_point({static_cast<double>(n),
+                      run_policies(config, kinds)});
+  }
+  EXPECT_EQ(report.points().size(), 2u);
+  EXPECT_GT(report.ratio_at(0), 0.0);
+  const std::string path = ::testing::TempDir() + "/mwc_integration.csv";
+  report.write_csv(path);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mwc::exp

@@ -1,0 +1,135 @@
+// The constructive step inside Lemma 3's proof: the union of several
+// closed tours through the same depot is a connected Eulerian multigraph;
+// its Eulerian circuit, shortcut to the target node set, is a feasible
+// q-rooted tour no longer than the group's total weight. This is what
+// lower-bounds OPT in Theorem 2 — exercised here directly on the euler
+// module, as promised in graph/euler.hpp.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/euler.hpp"
+#include "graph/mst.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+
+namespace mwc {
+namespace {
+
+// Builds the edge list of a closed tour over combined-index points.
+std::vector<graph::Edge> tour_edges(const tsp::Tour& tour,
+                                    const std::vector<geom::Point>& pts) {
+  std::vector<graph::Edge> edges;
+  const auto& order = tour.order();
+  if (order.size() < 2) return edges;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    edges.push_back({order[i], order[i + 1],
+                     geom::distance(pts[order[i]], pts[order[i + 1]])});
+  }
+  edges.push_back({order.back(), order.front(),
+                   geom::distance(pts[order.back()], pts[order.front()])});
+  return edges;
+}
+
+class Lemma3Construction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma3Construction, MergedToursShortcutToFeasibleCheaperTour) {
+  const auto seed = GetParam();
+  Rng rng(seed);
+
+  // One depot (index 0) and two disjoint sensor groups; build one closed
+  // tour per group through the depot — this plays the role of "all tours
+  // of group G_j that contain depot r_l".
+  tsp::QRootedInstance inst;
+  inst.depots.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  const std::size_t m = 14;
+  for (std::size_t k = 0; k < m; ++k)
+    inst.sensors.push_back(
+        {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  const auto pts = inst.combined_points();
+
+  tsp::QRootedInstance first_half, second_half;
+  first_half.depots = inst.depots;
+  second_half.depots = inst.depots;
+  for (std::size_t k = 0; k < m; ++k) {
+    (k % 2 == 0 ? first_half : second_half)
+        .sensors.push_back(inst.sensors[k]);
+  }
+  const auto tours_a = tsp::q_rooted_tsp(first_half);
+  const auto tours_b = tsp::q_rooted_tsp(second_half);
+
+  // Map each half-instance tour back into combined indices of `inst`.
+  const auto remap = [&](const tsp::Tour& tour, bool evens) {
+    std::vector<std::size_t> order;
+    for (std::size_t v : tour.order()) {
+      if (v == 0) {
+        order.push_back(0);
+      } else {
+        const std::size_t local = v - 1;  // sensor index within the half
+        order.push_back(1 + (evens ? 2 * local : 2 * local + 1));
+      }
+    }
+    return tsp::Tour(order);
+  };
+  const auto tour_a = remap(tours_a.tours[0], true);
+  const auto tour_b = remap(tours_b.tours[0], false);
+
+  // Union of the two closed tours: Eulerian (every vertex even degree,
+  // connected through the shared depot).
+  auto edges = tour_edges(tour_a, pts);
+  const auto more = tour_edges(tour_b, pts);
+  edges.insert(edges.end(), more.begin(), more.end());
+  ASSERT_TRUE(graph::has_eulerian_circuit(edges));
+
+  double group_weight = 0.0;
+  for (const auto& e : edges) group_weight += e.w;
+
+  // Eulerian circuit from the depot, shortcut: one closed tour covering
+  // every sensor, no longer than the group's weight (triangle inequality).
+  const auto walk = graph::eulerian_circuit(edges, 0);
+  const auto merged = tsp::Tour(graph::shortcut_closed_walk(walk));
+  EXPECT_EQ(merged.order().front(), 0u);
+  EXPECT_TRUE(merged.is_simple());
+  const std::set<std::size_t> visited(merged.order().begin(),
+                                      merged.order().end());
+  EXPECT_EQ(visited.size(), m + 1);  // depot + every sensor
+  EXPECT_LE(merged.length(pts), group_weight + 1e-9);
+}
+
+TEST_P(Lemma3Construction, ShortcutDropsNodesOutsideTargetSet) {
+  // Lemma 3 also removes nodes outside R ∪ V_0..V_k before shortcutting;
+  // emulate by shortcutting a walk filtered to a subset and check the
+  // result is a valid cheaper tour over that subset.
+  const auto seed = GetParam() ^ 0x99;
+  Rng rng(seed);
+  std::vector<geom::Point> pts;
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+
+  const auto mst = graph::prim_mst(
+      n, [&](std::size_t a, std::size_t b) {
+        return geom::distance(pts[a], pts[b]);
+      });
+  const auto walk = graph::doubled_tree_circuit(mst.edges, 0);
+
+  // Keep only even-indexed nodes (plus the root).
+  std::vector<std::size_t> filtered;
+  for (std::size_t v : walk) {
+    if (v == 0 || v % 2 == 0) filtered.push_back(v);
+  }
+  const auto tour = tsp::Tour(graph::shortcut_closed_walk(filtered));
+  EXPECT_TRUE(tour.is_simple());
+  for (std::size_t v : tour.order()) EXPECT_EQ(v % 2, 0u);
+  // Full doubled-tree walk length bounds the filtered shortcut tour.
+  double walk_len = 0.0;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i)
+    walk_len += geom::distance(pts[walk[i]], pts[walk[i + 1]]);
+  EXPECT_LE(tour.length(pts), walk_len + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma3Construction,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mwc

@@ -1,0 +1,121 @@
+// Fuzz-style contract tests: a randomized (but legal) policy hammers the
+// simulator; accounting invariants must hold for any behaviour within the
+// Policy contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/replay.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::sim {
+namespace {
+
+// Dispatches random sensor subsets at random future times.
+class RandomPolicy final : public charging::Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+
+  void reset(const charging::StateView& view) override {
+    n_ = view.network().n();
+    planned_.reset();
+  }
+
+  std::optional<charging::Dispatch> next_dispatch(
+      const charging::StateView& view) override {
+    if (!planned_) {
+      charging::Dispatch d;
+      d.time = view.now() + rng_.uniform(0.0, 3.0);
+      const auto count =
+          static_cast<std::size_t>(rng_.uniform_int(1, std::max<std::int64_t>(
+                                                           1, n_ / 4)));
+      for (std::size_t k = 0; k < count; ++k) {
+        d.sensors.push_back(
+            static_cast<std::size_t>(rng_.uniform_int(0, n_ - 1)));
+      }
+      charging::normalize(d);
+      planned_ = std::move(d);
+    }
+    // The plan must stay valid relative to "now" (a slot boundary may
+    // have passed since it was made).
+    if (planned_->time < view.now()) planned_->time = view.now();
+    return planned_;
+  }
+
+  void on_dispatch_executed(const charging::StateView&,
+                            const charging::Dispatch&) override {
+    planned_.reset();
+  }
+
+ private:
+  Rng rng_;
+  std::size_t n_ = 0;
+  std::optional<charging::Dispatch> planned_;
+};
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, AccountingInvariantsHoldUnderRandomPolicies) {
+  const auto seed = GetParam();
+  wsn::DeploymentConfig deployment;
+  deployment.n = 30;
+  deployment.q = 3;
+  Rng rng(seed);
+  const auto network = wsn::deploy_random(deployment, rng);
+  wsn::CycleModelConfig config;
+  config.tau_min = 2.0;
+  config.tau_max = 20.0;
+  config.sigma = 4.0;
+  const wsn::CycleModel cycles(network, config, seed ^ 0xF);
+
+  SimOptions options;
+  options.horizon = 80.0;
+  options.slot_length = 7.0;
+  options.record_dispatches = true;
+  Simulator simulator(network, cycles, options);
+  RandomPolicy policy(seed ^ 0xAA);
+  const auto result = simulator.run(policy);
+
+  // Invariant: per-charger breakdown sums to the total cost.
+  double per_sum = 0.0;
+  for (double c : result.per_charger_cost) per_sum += c;
+  EXPECT_NEAR(per_sum, result.service_cost,
+              1e-6 * (1.0 + result.service_cost));
+
+  // Invariant: log agrees with counters.
+  EXPECT_EQ(result.dispatch_log.size(), result.num_dispatches);
+  std::size_t charges = 0;
+  double logged_cost = 0.0;
+  double prev_time = 0.0;
+  for (const auto& record : result.dispatch_log) {
+    EXPECT_GE(record.time, prev_time - 1e-9);  // monotone times
+    EXPECT_LT(record.time, options.horizon);
+    prev_time = record.time;
+    charges += record.sensors.size();
+    logged_cost += record.cost;
+  }
+  EXPECT_EQ(charges, result.num_sensor_charges);
+  EXPECT_NEAR(logged_cost, result.service_cost,
+              1e-6 * (1.0 + result.service_cost));
+
+  // Invariant: deaths agree with the independent battery replay.
+  const auto replay =
+      replay_with_batteries(network, cycles, options.horizon,
+                            options.slot_length, result.dispatch_log);
+  EXPECT_EQ(replay.dead_sensors, result.dead_sensors);
+
+  // Invariant: dead_sensors counts distinct sensors only.
+  EXPECT_LE(result.dead_sensors, network.n());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mwc::sim

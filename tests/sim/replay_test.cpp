@@ -1,0 +1,118 @@
+// Property tests: the simulator's residual-lifetime bookkeeping agrees
+// with an independent battery-level replay of its own dispatch log.
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "charging/greedy.hpp"
+#include "charging/min_total_distance.hpp"
+#include "charging/var_heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::sim {
+namespace {
+
+struct World {
+  wsn::Network network;
+  wsn::CycleModel cycles;
+  SimOptions options;
+};
+
+World make_world(std::uint64_t seed, double slot_length) {
+  wsn::DeploymentConfig deployment;
+  deployment.n = 40;
+  deployment.q = 3;
+  Rng rng(seed);
+  auto network = wsn::deploy_random(deployment, rng);
+  wsn::CycleModelConfig config;
+  config.tau_min = 1.0;
+  config.tau_max = 30.0;
+  config.sigma = slot_length > 0.0 ? 3.0 : 0.0;
+  wsn::CycleModel cycles(network, config, seed ^ 0xAB);
+  SimOptions options;
+  options.horizon = 120.0;
+  options.slot_length = slot_length;
+  options.record_dispatches = true;
+  return World{std::move(network), std::move(cycles), options};
+}
+
+using Param = std::tuple<std::uint64_t, double>;
+
+class ReplayAgreement : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ReplayAgreement, BatteryReplayMatchesSimulator) {
+  const auto [seed, slot] = GetParam();
+  const auto world = make_world(seed, slot);
+  Simulator simulator(world.network, world.cycles, world.options);
+
+  charging::MinTotalDistancePolicy mtd;
+  charging::GreedyPolicy greedy;
+  charging::MinTotalDistanceVarPolicy var;
+  std::vector<charging::Policy*> policies{&mtd, &greedy};
+  if (slot > 0.0) policies = {&var, &greedy};
+
+  for (auto* policy : policies) {
+    const auto sim_result = simulator.run(*policy);
+    ASSERT_FALSE(sim_result.dispatch_log.empty());
+    const auto replay = replay_with_batteries(
+        world.network, world.cycles, world.options.horizon,
+        world.options.slot_length, sim_result.dispatch_log);
+
+    EXPECT_EQ(replay.dead_sensors, sim_result.dead_sensors)
+        << policy->name() << " seed=" << seed << " slot=" << slot;
+    EXPECT_EQ(replay.deaths.size(), sim_result.deaths.size());
+    EXPECT_GE(replay.min_fraction_at_charge, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplayAgreement,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0.0, 10.0)));
+
+TEST(Replay, DetectsLateCharges) {
+  // Hand-build a log that charges too late: the battery replay must
+  // report the death the simulator would.
+  const auto world = make_world(9, 0.0);
+  const auto taus = world.cycles.cycles_at_slot(0);
+  // Sensor 0 dies at taus[0]; charge it well after.
+  std::vector<DispatchRecord> log{
+      {taus[0] * 1.5, {0}, 100.0},
+  };
+  const auto replay = replay_with_batteries(
+      world.network, world.cycles, taus[0] * 2.0, 0.0, log);
+  EXPECT_GE(replay.dead_sensors, 1u);
+}
+
+TEST(Replay, EmptyLogKillsEveryone) {
+  const auto world = make_world(10, 0.0);
+  const auto replay = replay_with_batteries(world.network, world.cycles,
+                                            world.options.horizon, 0.0, {});
+  EXPECT_EQ(replay.dead_sensors, world.network.n());
+}
+
+TEST(Replay, MinFractionMatchesSlack) {
+  // One sensor, cycle tau: charging at 0.75 tau leaves fraction 0.25.
+  wsn::DeploymentConfig deployment;
+  deployment.n = 1;
+  deployment.q = 1;
+  Rng rng(11);
+  const auto network = wsn::deploy_random(deployment, rng);
+  wsn::CycleModelConfig config;
+  config.tau_min = 8.0;
+  config.tau_max = 8.0;
+  config.sigma = 0.0;
+  const wsn::CycleModel cycles(network, config, 1);
+  std::vector<DispatchRecord> log{{6.0, {0}, 1.0}};
+  const auto replay =
+      replay_with_batteries(network, cycles, 8.0, 0.0, log);
+  EXPECT_EQ(replay.dead_sensors, 0u);
+  EXPECT_NEAR(replay.min_fraction_at_charge, 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace mwc::sim

@@ -1,0 +1,61 @@
+// Shared test double: a StateView over explicit arrays, letting policy
+// unit tests script residual lives and cycles without running a simulator.
+#pragma once
+
+#include <vector>
+
+#include "charging/schedule.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::testing {
+
+class FakeView final : public charging::StateView {
+ public:
+  FakeView(const wsn::Network& network, double horizon)
+      : network_(network),
+        horizon_(horizon),
+        residual_(network.n(), 0.0),
+        cycles_(network.n(), 0.0) {}
+
+  const wsn::Network& network() const override { return network_; }
+  double horizon() const override { return horizon_; }
+  double now() const override { return now_; }
+  double residual_life(std::size_t i) const override { return residual_[i]; }
+  double cycle(std::size_t i) const override { return cycles_[i]; }
+
+  void set_now(double t) { now_ = t; }
+  void set_residual(std::size_t i, double v) { residual_[i] = v; }
+  void set_cycle(std::size_t i, double v) { cycles_[i] = v; }
+  void fill_full() { residual_ = cycles_; }
+  void set_all_cycles(const std::vector<double>& cycles) {
+    cycles_ = cycles;
+  }
+
+  /// Advances time, draining residual lives.
+  void advance(double delta) {
+    now_ += delta;
+    for (auto& r : residual_) r -= delta;
+  }
+
+ private:
+  const wsn::Network& network_;
+  double horizon_;
+  double now_ = 0.0;
+  std::vector<double> residual_;
+  std::vector<double> cycles_;
+};
+
+/// Small deterministic network for policy tests.
+inline wsn::Network small_network(std::size_t n = 10, std::size_t q = 2,
+                                  std::uint64_t seed = 1) {
+  wsn::DeploymentConfig config;
+  config.n = n;
+  config.q = q;
+  config.field_side = 100.0;
+  Rng rng(seed);
+  return wsn::deploy_random(config, rng);
+}
+
+}  // namespace mwc::testing

@@ -1,0 +1,150 @@
+#include "tsp/construct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/mst.hpp"
+#include "tsp/exact.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  return pts;
+}
+
+void expect_hamiltonian(const Tour& tour, std::size_t n) {
+  ASSERT_EQ(tour.size(), n);
+  EXPECT_TRUE(tour.is_simple());
+  auto sorted = tour.order();
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> expected(n);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(DoubleTree, Degenerate) {
+  EXPECT_TRUE(double_tree_tour({}).empty());
+  const std::vector<geom::Point> one{{1, 1}};
+  EXPECT_EQ(double_tree_tour(one).size(), 1u);
+}
+
+TEST(DoubleTree, VisitsAllNodes) {
+  const auto pts = random_points(40, 1);
+  expect_hamiltonian(double_tree_tour(pts), pts.size());
+}
+
+TEST(DoubleTree, StartsAtRequestedNode) {
+  const auto pts = random_points(20, 2);
+  const auto tour = double_tree_tour(pts, 7);
+  EXPECT_EQ(tour.order().front(), 7u);
+}
+
+class ConstructProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstructProperty, DoubleTreeWithinTwiceMst) {
+  const auto pts = random_points(60, GetParam());
+  const auto mst = graph::prim_mst(
+      pts.size(), [&](std::size_t a, std::size_t b) {
+        return geom::distance(pts[a], pts[b]);
+      });
+  const auto tour = double_tree_tour(pts);
+  // MST weight is a lower bound on the optimum; the double-tree tour is at
+  // most twice the MST.
+  EXPECT_LE(tour.length(pts), 2.0 * mst.total_weight + 1e-9);
+  EXPECT_GE(tour.length(pts), mst.total_weight - 1e-9);
+}
+
+TEST_P(ConstructProperty, DoubleTreeWithinTwiceOptimal) {
+  const auto pts = random_points(9, GetParam() + 100);
+  const auto optimal = held_karp_tsp(pts);
+  const auto approx = double_tree_tour(pts);
+  EXPECT_LE(approx.length(pts), 2.0 * optimal.length(pts) + 1e-9);
+  EXPECT_GE(approx.length(pts), optimal.length(pts) - 1e-9);
+}
+
+TEST_P(ConstructProperty, ChristofidesHamiltonian) {
+  const auto pts = random_points(50, GetParam() + 400);
+  expect_hamiltonian(christofides_tour(pts), pts.size());
+}
+
+TEST_P(ConstructProperty, ChristofidesWithinTwiceOptimal) {
+  const auto pts = random_points(9, GetParam() + 500);
+  const auto optimal = held_karp_tsp(pts);
+  const auto tour = christofides_tour(pts);
+  EXPECT_LE(tour.length(pts), 2.0 * optimal.length(pts) + 1e-9);
+  EXPECT_GE(tour.length(pts), optimal.length(pts) - 1e-9);
+}
+
+TEST_P(ConstructProperty, ChristofidesUsuallyBeatsDoubleTree) {
+  // Not a guarantee per instance, but on 80 random points the matching
+  // construction reliably lands below the doubled MST.
+  const auto pts = random_points(80, GetParam() + 600);
+  const double christofides = christofides_tour(pts).length(pts);
+  const double doubled = double_tree_tour(pts).length(pts);
+  EXPECT_LE(christofides, doubled * 1.02);
+}
+
+TEST_P(ConstructProperty, NearestNeighborHamiltonian) {
+  const auto pts = random_points(50, GetParam() + 200);
+  expect_hamiltonian(nearest_neighbor_tour(pts), pts.size());
+}
+
+TEST_P(ConstructProperty, GreedyEdgeHamiltonian) {
+  const auto pts = random_points(50, GetParam() + 300);
+  expect_hamiltonian(greedy_edge_tour(pts), pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstructProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Christofides, Degenerate) {
+  EXPECT_TRUE(christofides_tour({}).empty());
+  const std::vector<geom::Point> one{{1, 1}};
+  EXPECT_EQ(christofides_tour(one).size(), 1u);
+  const std::vector<geom::Point> two{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(christofides_tour(two).length(two), 10.0);
+}
+
+TEST(Christofides, StartsAtRequestedNode) {
+  const auto pts = random_points(30, 77);
+  EXPECT_EQ(christofides_tour(pts, 7).order().front(), 7u);
+}
+
+TEST(NearestNeighbor, FollowsNearestChain) {
+  // Points on a line: NN from 0 visits them in order.
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {2, 0}, {4, 0}};
+  const auto tour = nearest_neighbor_tour(pts, 0);
+  EXPECT_EQ(tour.order(), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(GreedyEdge, SmallCases) {
+  const std::vector<geom::Point> two{{0, 0}, {1, 0}};
+  EXPECT_EQ(greedy_edge_tour(two).size(), 2u);
+  const std::vector<geom::Point> three{{0, 0}, {1, 0}, {0, 1}};
+  expect_hamiltonian(greedy_edge_tour(three), 3);
+}
+
+TEST(TreeToTour, PathTreeShortcut) {
+  // Tree 0-1-2 rooted at 0: doubled walk 0,1,2,1,0 -> shortcut 0,1,2.
+  const std::vector<graph::Edge> tree{{0, 1, 1.0}, {1, 2, 1.0}};
+  const auto tour = tree_to_tour(tree, 0);
+  EXPECT_EQ(tour.order(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TreeToTour, EmptyTree) {
+  const auto tour = tree_to_tour({}, 5);
+  EXPECT_EQ(tour.order(), std::vector<std::size_t>{5});
+}
+
+}  // namespace
+}  // namespace mwc::tsp

@@ -1,0 +1,115 @@
+#include "tsp/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<geom::Point> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  return pts;
+}
+
+double brute_force_tsp(const std::vector<geom::Point>& pts) {
+  std::vector<std::size_t> perm(pts.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i)
+      len += geom::distance(pts[perm[i]], pts[perm[i + 1]]);
+    len += geom::distance(pts[perm.back()], pts[perm.front()]);
+    best = std::min(best, len);
+  } while (std::next_permutation(perm.begin() + 1, perm.end()));
+  return best;
+}
+
+TEST(HeldKarp, Degenerate) {
+  EXPECT_TRUE(held_karp_tsp({}).empty());
+  const std::vector<geom::Point> one{{1, 1}};
+  EXPECT_EQ(held_karp_tsp(one).size(), 1u);
+  const std::vector<geom::Point> two{{0, 0}, {3, 4}};
+  const auto t = held_karp_tsp(two);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.length(two), 10.0);
+}
+
+TEST(HeldKarp, UnitSquare) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto tour = held_karp_tsp(pts);
+  EXPECT_DOUBLE_EQ(tour.length(pts), 4.0);
+  EXPECT_TRUE(tour.is_simple());
+  EXPECT_EQ(tour.size(), 4u);
+}
+
+class HeldKarpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeldKarpProperty, MatchesPermutationBruteForce) {
+  const auto pts = random_points(8, GetParam());
+  const auto hk = held_karp_tsp(pts);
+  EXPECT_NEAR(hk.length(pts), brute_force_tsp(pts), 1e-9);
+  EXPECT_TRUE(hk.is_simple());
+  EXPECT_EQ(hk.size(), pts.size());
+  EXPECT_EQ(hk.order().front(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeldKarpProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(HeldKarpAnchored, EmptySubset) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}};
+  EXPECT_EQ(held_karp_anchored_length(pts, 0, {}), 0.0);
+}
+
+TEST(HeldKarpAnchored, SingleSensorRoundTrip) {
+  const std::vector<geom::Point> pts{{0, 0}, {3, 4}};
+  const std::vector<std::size_t> subset{1};
+  EXPECT_DOUBLE_EQ(held_karp_anchored_length(pts, 0, subset), 10.0);
+}
+
+TEST(BruteForceQRooted, SingleDepotMatchesHeldKarp) {
+  QRootedInstance inst;
+  mwc::Rng rng(9);
+  inst.depots.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  for (int i = 0; i < 6; ++i)
+    inst.sensors.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  auto pts = inst.combined_points();
+  const double via_brute = brute_force_q_rooted_tsp(inst);
+  const double via_hk = held_karp_tsp(pts).length(pts);
+  EXPECT_NEAR(via_brute, via_hk, 1e-9);
+}
+
+TEST(BruteForceQRooted, TwoDepotsObviousSplit) {
+  QRootedInstance inst;
+  inst.depots = {{0, 0}, {100, 0}};
+  inst.sensors = {{1, 0}, {99, 0}};
+  // Optimal: each depot serves its adjacent sensor: 2 + 2 = 4.
+  EXPECT_NEAR(brute_force_q_rooted_tsp(inst), 4.0, 1e-9);
+}
+
+TEST(BruteForceQRootedMsf, TwoDepotsObviousSplit) {
+  QRootedInstance inst;
+  inst.depots = {{0, 0}, {100, 0}};
+  inst.sensors = {{1, 0}, {99, 0}};
+  EXPECT_NEAR(brute_force_q_rooted_msf(inst), 2.0, 1e-9);
+}
+
+TEST(BruteForceQRooted, UnusedDepotIsFree) {
+  QRootedInstance inst;
+  inst.depots = {{0, 0}, {500, 500}};
+  inst.sensors = {{1, 0}, {2, 0}};
+  // Both sensors served by depot 0: tour 0 ->1 ->2 ->0 = 4. Depot 1 idle.
+  EXPECT_NEAR(brute_force_q_rooted_tsp(inst), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

@@ -1,0 +1,102 @@
+#include "tsp/improve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tsp/construct.hpp"
+#include "tsp/exact.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  return pts;
+}
+
+TEST(TwoOpt, FixesCrossing) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Tour tour({0, 2, 1, 3});  // crossing diagonals
+  const double gain = two_opt(tour, pts);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_DOUBLE_EQ(tour.length(pts), 4.0);
+}
+
+TEST(TwoOpt, OptimalTourUnchanged) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Tour tour({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(two_opt(tour, pts), 0.0);
+  EXPECT_EQ(tour.order(), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(TwoOpt, TinyToursNoop) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {0, 1}};
+  Tour tour({0, 1, 2});
+  EXPECT_EQ(two_opt(tour, pts), 0.0);
+}
+
+class ImproveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImproveProperty, NeverIncreasesLengthAndStaysPermutation) {
+  const auto pts = random_points(40, GetParam());
+  Tour tour = nearest_neighbor_tour(pts);
+  const double before = tour.length(pts);
+  const double gain = improve_tour(tour, pts);
+  const double after = tour.length(pts);
+  EXPECT_GE(gain, 0.0);
+  EXPECT_NEAR(before - after, gain, 1e-6);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_TRUE(tour.is_simple());
+  EXPECT_EQ(tour.size(), pts.size());
+}
+
+TEST_P(ImproveProperty, ImprovedDoubleTreeBeatsRaw) {
+  const auto pts = random_points(50, GetParam() + 50);
+  Tour raw = double_tree_tour(pts);
+  Tour polished = raw;
+  improve_tour(polished, pts);
+  EXPECT_LE(polished.length(pts), raw.length(pts) + 1e-9);
+}
+
+TEST_P(ImproveProperty, NearOptimalOnTinyInstances) {
+  const auto pts = random_points(9, GetParam() + 500);
+  const double optimal = held_karp_tsp(pts).length(pts);
+  Tour tour = nearest_neighbor_tour(pts);
+  improve_tour(tour, pts);
+  // 2-opt + Or-opt is not exact, but on 9 random points it lands within
+  // 10% essentially always.
+  EXPECT_LE(tour.length(pts), optimal * 1.10 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImproveProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(OrOpt, RelocatesStrandedNode) {
+  // 0-1-2 colinear plus node 3 placed so visiting it between 0 and 1 is
+  // bad but after 2 is good.
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  Tour tour({0, 3, 1, 2});
+  const double before = tour.length(pts);
+  or_opt(tour, pts);
+  EXPECT_LT(tour.length(pts), before);
+  EXPECT_TRUE(tour.is_simple());
+  EXPECT_EQ(tour.size(), 4u);
+}
+
+TEST(ImproveOptions, MinGainBlocksTinyImprovements) {
+  const auto pts = random_points(30, 99);
+  Tour tour = nearest_neighbor_tour(pts);
+  ImproveOptions opts;
+  opts.min_gain = 1e12;  // nothing counts as an improvement
+  EXPECT_EQ(improve_tour(tour, pts, opts), 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

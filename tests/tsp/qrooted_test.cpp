@@ -1,0 +1,212 @@
+// Tests for Algorithms 1 and 2 — including the paper's Lemma 1 (MSF
+// optimality) and Theorem 1 (2-approximation) verified against brute force.
+#include "tsp/qrooted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "tsp/exact.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+QRootedInstance random_instance(std::size_t q, std::size_t m,
+                                std::uint64_t seed, double side = 100.0) {
+  mwc::Rng rng(seed);
+  QRootedInstance inst;
+  for (std::size_t l = 0; l < q; ++l)
+    inst.depots.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  for (std::size_t k = 0; k < m; ++k)
+    inst.sensors.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return inst;
+}
+
+TEST(QRootedInstance, CombinedIndexing) {
+  QRootedInstance inst;
+  inst.depots = {{0, 0}, {1, 1}};
+  inst.sensors = {{2, 2}};
+  EXPECT_EQ(inst.q(), 2u);
+  EXPECT_EQ(inst.m(), 1u);
+  EXPECT_EQ(inst.total_nodes(), 3u);
+  EXPECT_EQ(inst.point(0), geom::Point(0, 0));
+  EXPECT_EQ(inst.point(2), geom::Point(2, 2));
+  EXPECT_EQ(inst.combined_points().size(), 3u);
+}
+
+TEST(QRootedMsf, NoSensors) {
+  auto inst = random_instance(3, 0, 1);
+  const auto forest = q_rooted_msf(inst);
+  EXPECT_EQ(forest.trees.size(), 3u);
+  EXPECT_EQ(forest.total_weight, 0.0);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ(forest.trees[l].root(), l);
+    EXPECT_EQ(forest.trees[l].num_nodes(), 1u);
+  }
+}
+
+TEST(QRootedMsf, SingleDepotIsPlainMst) {
+  auto inst = random_instance(1, 20, 2);
+  const auto forest = q_rooted_msf(inst);
+  ASSERT_EQ(forest.trees.size(), 1u);
+  EXPECT_EQ(forest.trees[0].num_nodes(), 21u);
+  EXPECT_TRUE(forest.trees[0].valid());
+}
+
+TEST(QRootedMsf, SensorGoesToNearestDepotWhenIsolated) {
+  QRootedInstance inst;
+  inst.depots = {{0, 0}, {100, 0}};
+  inst.sensors = {{90, 0}};
+  const auto forest = q_rooted_msf(inst);
+  EXPECT_EQ(forest.trees[0].num_nodes(), 1u);   // depot 0 alone
+  EXPECT_EQ(forest.trees[1].num_nodes(), 2u);   // depot 1 + sensor
+  EXPECT_NEAR(forest.total_weight, 10.0, 1e-12);
+}
+
+TEST(QRootedMsf, TreesPartitionSensors) {
+  auto inst = random_instance(4, 30, 3);
+  const auto forest = q_rooted_msf(inst);
+  std::set<std::size_t> seen;
+  for (std::size_t l = 0; l < forest.trees.size(); ++l) {
+    EXPECT_TRUE(forest.trees[l].valid());
+    EXPECT_EQ(forest.trees[l].root(), l);
+    for (std::size_t v : forest.trees[l].nodes()) {
+      if (v >= inst.q()) {
+        EXPECT_TRUE(seen.insert(v).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), inst.m());
+}
+
+// Lemma 1: the contraction algorithm is exact.
+class Lemma1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1Property, MsfMatchesBruteForce) {
+  const auto seed = GetParam();
+  mwc::Rng meta(seed);
+  const auto q = static_cast<std::size_t>(meta.uniform_int(2, 3));
+  const auto m = static_cast<std::size_t>(meta.uniform_int(1, 7));
+  const auto inst = random_instance(q, m, seed ^ 0xAB);
+  const double algo = q_rooted_msf(inst).total_weight;
+  const double brute = brute_force_q_rooted_msf(inst);
+  EXPECT_NEAR(algo, brute, 1e-9) << "q=" << q << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(QRootedTsp, NoSensorsMeansEveryoneStaysHome) {
+  auto inst = random_instance(3, 0, 4);
+  const auto tours = q_rooted_tsp(inst);
+  EXPECT_EQ(tours.total_length, 0.0);
+  for (std::size_t l = 0; l < 3; ++l)
+    EXPECT_EQ(tours.tours[l].order(), std::vector<std::size_t>{l});
+}
+
+TEST(QRootedTsp, CoversAllSensors) {
+  auto inst = random_instance(5, 40, 5);
+  const auto tours = q_rooted_tsp(inst);
+  EXPECT_TRUE(covers_all_sensors(inst, tours));
+}
+
+TEST(QRootedTsp, WithinTwiceMsfWeight) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = random_instance(4, 50, seed);
+    const double forest = q_rooted_msf(inst).total_weight;
+    const auto tours = q_rooted_tsp(inst);
+    EXPECT_LE(tours.total_length, 2.0 * forest + 1e-9);
+  }
+}
+
+// Theorem 1: within twice the optimal q-rooted tour cost.
+class Theorem1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Property, WithinTwiceOptimal) {
+  const auto seed = GetParam();
+  mwc::Rng meta(seed ^ 0x77);
+  const auto q = static_cast<std::size_t>(meta.uniform_int(2, 3));
+  const auto m = static_cast<std::size_t>(meta.uniform_int(2, 7));
+  const auto inst = random_instance(q, m, seed ^ 0xCD);
+  const auto approx = q_rooted_tsp(inst);
+  const double optimal = brute_force_q_rooted_tsp(inst);
+  EXPECT_LE(approx.total_length, 2.0 * optimal + 1e-9)
+      << "q=" << q << " m=" << m;
+  EXPECT_GE(approx.total_length, optimal - 1e-9);
+  EXPECT_TRUE(covers_all_sensors(inst, approx));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(QRootedTsp, ImproveNeverHurts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = random_instance(3, 60, seed);
+    const auto raw = q_rooted_tsp(inst, {.improve = false});
+    const auto polished = q_rooted_tsp(inst, {.improve = true});
+    EXPECT_LE(polished.total_length, raw.total_length + 1e-9);
+    EXPECT_TRUE(covers_all_sensors(inst, polished));
+  }
+}
+
+TEST(QRootedTsp, ChristofidesConstructionCoversAndUsuallyWins) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = random_instance(3, 60, seed);
+    const auto double_tree = q_rooted_tsp(inst);
+    const auto christofides = q_rooted_tsp(
+        inst, {.construction = TourConstruction::kChristofides});
+    EXPECT_TRUE(covers_all_sensors(inst, christofides));
+    EXPECT_LE(christofides.total_length, double_tree.total_length * 1.05)
+        << "seed " << seed;
+  }
+}
+
+TEST(QRootedTsp, CoincidentDepotAndSensor) {
+  QRootedInstance inst;
+  inst.depots = {{5, 5}};
+  inst.sensors = {{5, 5}, {6, 5}};
+  const auto tours = q_rooted_tsp(inst);
+  EXPECT_TRUE(covers_all_sensors(inst, tours));
+  EXPECT_NEAR(tours.total_length, 2.0, 1e-12);
+}
+
+TEST(QRootedMsfAssign, EachSensorAssignedOnce) {
+  const auto inst = random_instance(3, 25, 6);
+  const auto root_dist = [&](std::size_t r, std::size_t s) {
+    return geom::distance(inst.depots[r], inst.sensors[s]);
+  };
+  const auto assignment =
+      q_rooted_msf_assign(inst.q(), root_dist, inst.sensors);
+  std::set<std::size_t> seen;
+  for (const auto& group : assignment.groups)
+    for (std::size_t s : group) EXPECT_TRUE(seen.insert(s).second);
+  EXPECT_EQ(seen.size(), inst.m());
+}
+
+TEST(QRootedMsfAssign, MatchesDepotBasedMsfWeight) {
+  // When roots are exactly the depots, the generalized assignment must
+  // reproduce the q-rooted MSF weight.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = random_instance(3, 20, seed);
+    const auto root_dist = [&](std::size_t r, std::size_t s) {
+      return geom::distance(inst.depots[r], inst.sensors[s]);
+    };
+    const auto assignment =
+        q_rooted_msf_assign(inst.q(), root_dist, inst.sensors);
+    const auto forest = q_rooted_msf(inst);
+    EXPECT_NEAR(assignment.total_weight, forest.total_weight, 1e-9);
+  }
+}
+
+TEST(QRootedMsfAssign, EmptySensors) {
+  const auto assignment = q_rooted_msf_assign(
+      2, [](std::size_t, std::size_t) { return 1.0; }, {});
+  EXPECT_EQ(assignment.groups.size(), 2u);
+  EXPECT_EQ(assignment.total_weight, 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

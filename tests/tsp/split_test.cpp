@@ -1,0 +1,159 @@
+#include "tsp/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "tsp/construct.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  return pts;
+}
+
+// All non-root nodes of `tour`, as a set.
+std::set<std::size_t> node_set(const Tour& tour, std::size_t root) {
+  std::set<std::size_t> s(tour.order().begin(), tour.order().end());
+  s.erase(root);
+  return s;
+}
+
+void expect_partition(const SplitResult& split, const Tour& original,
+                      std::size_t root) {
+  std::set<std::size_t> covered;
+  for (const auto& sub : split.tours) {
+    ASSERT_FALSE(sub.empty());
+    EXPECT_EQ(sub.order().front(), root);
+    for (std::size_t v : node_set(sub, root)) {
+      EXPECT_TRUE(covered.insert(v).second) << "node " << v << " duplicated";
+    }
+  }
+  EXPECT_EQ(covered, node_set(original, root));
+}
+
+TEST(SplitCapacity, SingleNodeTour) {
+  const std::vector<geom::Point> pts{{0, 0}};
+  const auto split = split_tour_capacity(pts, Tour({0}), 0, 10.0);
+  ASSERT_EQ(split.tours.size(), 1u);
+  EXPECT_EQ(split.total_length, 0.0);
+}
+
+TEST(SplitCapacity, GenerousCapacityKeepsOneTour) {
+  const auto pts = random_points(30, 1);
+  const auto tour = double_tree_tour(pts, 0);
+  const double full = tour.length(pts);
+  const auto split = split_tour_capacity(pts, tour, 0, full * 2.0);
+  EXPECT_EQ(split.tours.size(), 1u);
+  EXPECT_NEAR(split.total_length, full, 1e-9);
+}
+
+TEST(SplitCapacity, EveryTripRespectsBudget) {
+  const auto pts = random_points(60, 2);
+  const auto tour = double_tree_tour(pts, 0);
+  // Budget: just above the largest round trip.
+  double max_rt = 0.0;
+  for (std::size_t v = 1; v < pts.size(); ++v)
+    max_rt = std::max(max_rt, 2.0 * geom::distance(pts[0], pts[v]));
+  const double capacity = max_rt * 1.2;
+  const auto split = split_tour_capacity(pts, tour, 0, capacity);
+  for (const auto& sub : split.tours)
+    EXPECT_LE(sub.length(pts), capacity + 1e-6);
+  expect_partition(split, tour, 0);
+  EXPECT_GT(split.tours.size(), 1u);
+}
+
+TEST(SplitCapacity, TighterBudgetMoreTrips) {
+  const auto pts = random_points(50, 3);
+  const auto tour = double_tree_tour(pts, 0);
+  double max_rt = 0.0;
+  for (std::size_t v = 1; v < pts.size(); ++v)
+    max_rt = std::max(max_rt, 2.0 * geom::distance(pts[0], pts[v]));
+  const auto loose = split_tour_capacity(pts, tour, 0, max_rt * 4.0);
+  const auto tight = split_tour_capacity(pts, tour, 0, max_rt * 1.05);
+  EXPECT_GE(tight.tours.size(), loose.tours.size());
+}
+
+TEST(SplitCapacityDeath, InfeasibleBudgetAborts) {
+  const std::vector<geom::Point> pts{{0, 0}, {100, 0}};
+  EXPECT_DEATH(split_tour_capacity(pts, Tour({0, 1}), 0, 50.0),
+               "round trip");
+}
+
+TEST(SplitMinMax, KOneIsIdentityCover) {
+  const auto pts = random_points(25, 4);
+  const auto tour = double_tree_tour(pts, 0);
+  const auto split = split_tour_minmax(pts, tour, 0, 1);
+  ASSERT_EQ(split.tours.size(), 1u);
+  expect_partition(split, tour, 0);
+}
+
+TEST(SplitMinMax, ProducesExactlyKTours) {
+  const auto pts = random_points(40, 5);
+  const auto tour = double_tree_tour(pts, 0);
+  for (std::size_t k : {2u, 3u, 5u, 8u}) {
+    const auto split = split_tour_minmax(pts, tour, 0, k);
+    EXPECT_EQ(split.tours.size(), k);
+    expect_partition(split, tour, 0);
+  }
+}
+
+TEST(SplitMinMax, FrederiksonBoundHolds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pts = random_points(50, seed);
+    const auto tour = double_tree_tour(pts, 0);
+    const double total = tour.length(pts);
+    double max_dist = 0.0;
+    for (std::size_t v = 1; v < pts.size(); ++v)
+      max_dist = std::max(max_dist, geom::distance(pts[0], pts[v]));
+    for (std::size_t k : {2u, 4u, 6u}) {
+      const auto split = split_tour_minmax(pts, tour, 0, k);
+      EXPECT_LE(split.max_length,
+                total / static_cast<double>(k) + 2.0 * max_dist + 1e-6)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(SplitMinMax, MoreChargersReduceMakespanOverall) {
+  // The j/k splitting rule is not strictly monotone in k (cut positions
+  // shift), but every split beats the single tour and the trend is a
+  // clear reduction by k = 8.
+  const auto pts = random_points(60, 9);
+  const auto tour = double_tree_tour(pts, 0);
+  const double single = split_tour_minmax(pts, tour, 0, 1).max_length;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double cur = split_tour_minmax(pts, tour, 0, k).max_length;
+    EXPECT_LE(cur, single + 1e-9) << "k=" << k;
+  }
+  EXPECT_LT(split_tour_minmax(pts, tour, 0, 8).max_length, 0.6 * single);
+}
+
+TEST(SplitMinMax, MakespanAboveLowerBound) {
+  const auto pts = random_points(45, 10);
+  const auto tour = double_tree_tour(pts, 0);
+  for (std::size_t k : {1u, 2u, 4u}) {
+    const auto split = split_tour_minmax(pts, tour, 0, k);
+    EXPECT_GE(split.max_length + 1e-9,
+              minmax_split_lower_bound(pts, tour, 0, k));
+  }
+}
+
+TEST(SplitMinMax, EmptyTourGivesKRootOnlyTours) {
+  const std::vector<geom::Point> pts{{5, 5}};
+  const auto split = split_tour_minmax(pts, Tour({0}), 0, 3);
+  EXPECT_EQ(split.tours.size(), 3u);
+  EXPECT_EQ(split.max_length, 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

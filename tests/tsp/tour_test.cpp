@@ -1,0 +1,73 @@
+#include "tsp/tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mwc::tsp {
+namespace {
+
+const std::vector<geom::Point> kSquare{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+
+TEST(Tour, EmptyAndSingleHaveZeroLength) {
+  EXPECT_EQ(Tour{}.length(kSquare), 0.0);
+  EXPECT_EQ(Tour({2}).length(kSquare), 0.0);
+}
+
+TEST(Tour, PairIsThereAndBack) {
+  const Tour t({0, 1});
+  EXPECT_DOUBLE_EQ(t.length(kSquare), 2.0);
+}
+
+TEST(Tour, SquarePerimeter) {
+  const Tour t({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(t.length(kSquare), 4.0);
+}
+
+TEST(Tour, CrossingOrderIsLonger) {
+  const Tour crossing({0, 2, 1, 3});
+  EXPECT_GT(crossing.length(kSquare), 4.0);
+}
+
+TEST(Tour, LengthWithCustomMetric) {
+  const Tour t({0, 1, 2});
+  const double len = t.length_with([](std::size_t, std::size_t) {
+    return 10.0;
+  });
+  EXPECT_DOUBLE_EQ(len, 30.0);
+}
+
+TEST(Tour, IsSimple) {
+  EXPECT_TRUE(Tour({0, 1, 2}).is_simple());
+  EXPECT_FALSE(Tour({0, 1, 0}).is_simple());
+  EXPECT_TRUE(Tour{}.is_simple());
+}
+
+TEST(Tour, Visits) {
+  const Tour t({3, 1});
+  EXPECT_TRUE(t.visits(3));
+  EXPECT_TRUE(t.visits(1));
+  EXPECT_FALSE(t.visits(0));
+}
+
+TEST(Tour, RotatePreservesLength) {
+  Tour t({0, 1, 2, 3});
+  const double before = t.length(kSquare);
+  t.rotate_to_front(2);
+  EXPECT_EQ(t.order().front(), 2u);
+  EXPECT_DOUBLE_EQ(t.length(kSquare), before);
+  EXPECT_EQ(t.order(), (std::vector<std::size_t>{2, 3, 0, 1}));
+}
+
+TEST(TourDeath, RotateToMissingNodeAborts) {
+  Tour t({0, 1});
+  EXPECT_DEATH(t.rotate_to_front(9), "not on tour");
+}
+
+TEST(TotalLength, SumsTours) {
+  const std::vector<Tour> tours{Tour({0, 1}), Tour({2, 3})};
+  EXPECT_DOUBLE_EQ(total_length(tours, kSquare), 2.0 + 2.0);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace mwc {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, EqualsForm) {
+  const auto args = parse({"prog", "--n=200", "--name=test"});
+  EXPECT_EQ(args.get_int_or("n", 0), 200);
+  EXPECT_EQ(args.get_or("name", ""), "test");
+}
+
+TEST(CliArgs, SpaceForm) {
+  const auto args = parse({"prog", "--n", "300"});
+  EXPECT_EQ(args.get_int_or("n", 0), 300);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  const auto args = parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool_or("verbose", false));
+  EXPECT_FALSE(args.get_bool_or("quiet", false));
+}
+
+TEST(CliArgs, BoolExplicitValues) {
+  const auto args = parse({"prog", "--a=true", "--b=0", "--c=yes"});
+  EXPECT_TRUE(args.get_bool_or("a", false));
+  EXPECT_FALSE(args.get_bool_or("b", true));
+  EXPECT_TRUE(args.get_bool_or("c", false));
+}
+
+TEST(CliArgs, DoubleValues) {
+  const auto args = parse({"prog", "--sigma=2.5"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("sigma", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.get_double_or("missing", 1.25), 1.25);
+}
+
+TEST(CliArgs, MalformedNumberFallsBack) {
+  const auto args = parse({"prog", "--n=abc"});
+  EXPECT_EQ(args.get_int_or("n", 17), 17);
+}
+
+TEST(CliArgs, Positional) {
+  const auto args = parse({"prog", "input.txt", "--n=1", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean) {
+  const auto args = parse({"prog", "--a", "--b", "5"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_EQ(args.get_or("a", "x"), "");
+  EXPECT_EQ(args.get_int_or("b", 0), 5);
+}
+
+TEST(CliArgs, Program) {
+  const auto args = parse({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+TEST(EnvIntOr, ReadsAndFallsBack) {
+  ::setenv("MWC_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(env_int_or("MWC_TEST_ENV_INT", 0), 123);
+  ::setenv("MWC_TEST_ENV_INT", "junk", 1);
+  EXPECT_EQ(env_int_or("MWC_TEST_ENV_INT", 7), 7);
+  ::unsetenv("MWC_TEST_ENV_INT");
+  EXPECT_EQ(env_int_or("MWC_TEST_ENV_INT", 9), 9);
+}
+
+}  // namespace
+}  // namespace mwc

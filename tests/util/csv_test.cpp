@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mwc {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ =
+      ::testing::TempDir() + "/mwc_csv_test.csv";
+};
+
+TEST(CsvEscape, PlainPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"x", "y"});
+    csv.field(1.5).field(std::string_view("abc"));
+    csv.end_row();
+    csv.row({"2", "def"});
+    csv.flush();
+  }
+  EXPECT_EQ(read_file(path_), "x,y\n1.5,abc\n2,def\n");
+}
+
+TEST_F(CsvTest, NumericFormats) {
+  {
+    CsvWriter csv(path_);
+    csv.field(static_cast<long long>(-42))
+        .field(std::size_t{7})
+        .field(0.125);
+    csv.end_row();
+    csv.flush();
+  }
+  EXPECT_EQ(read_file(path_), "-42,7,0.125\n");
+}
+
+TEST_F(CsvTest, FieldsWithCommasRoundTrip) {
+  {
+    CsvWriter csv(path_);
+    csv.row({"a,b", "c"});
+    csv.flush();
+  }
+  EXPECT_EQ(read_file(path_), "\"a,b\",c\n");
+}
+
+TEST(CsvWriterErrors, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mwc

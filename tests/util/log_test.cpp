@@ -1,0 +1,90 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.hpp"
+
+namespace mwc {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+}
+
+TEST(Log, SuppressedLevelsEmitNothing) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MWC_LOG_DEBUG("should not appear %d", 1);
+  MWC_LOG_INFO("nor this");
+  const auto out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(Log, EnabledLevelEmitsFormattedLine) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  MWC_LOG_INFO("value=%d name=%s", 42, "x");
+  const auto out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("value=42 name=x"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST(Log, ErrorAlwaysEmits) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MWC_LOG_ERROR("bad thing %d", 7);
+  const auto out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("bad thing 7"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  const double t0 = timer.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  (void)sink;
+  const double t1 = timer.elapsed_seconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_NEAR(timer.elapsed_ms(), timer.elapsed_seconds() * 1e3,
+              timer.elapsed_ms() * 0.5 + 1.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  (void)sink;
+  const double before = timer.elapsed_seconds();
+  timer.reset();
+  EXPECT_LE(timer.elapsed_seconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace mwc

@@ -1,0 +1,178 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace mwc {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42), b(43);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamIdenticalToItself) {
+  Rng a(7, 99), b(7, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng());
+  EXPECT_GE(values.size(), 99u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(2);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 7.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(4);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, -1);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, JumpDecorrelates) {
+  Rng a(10);
+  Rng b(10);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(123, 456), mix64(123, 456));
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Shuffle, UniformFirstPosition) {
+  // Chi-square-ish check that element 0 lands uniformly.
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  Rng rng(12);
+  for (int trial = 0; trial < n; ++trial) {
+    std::array<int, 5> v{0, 1, 2, 3, 4};
+    shuffle(v.begin(), v.end(), rng);
+    ++counts[static_cast<std::size_t>(v[0])];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 25);
+}
+
+}  // namespace
+}  // namespace mwc

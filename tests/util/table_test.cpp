@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwc {
+namespace {
+
+TEST(FmtFixed, Precision) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "23456"});
+  const std::string out = table.to_string();
+  // Header line, separator, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // All lines share the same length (alignment).
+  std::size_t prev_len = std::string::npos;
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    const auto len = nl - pos;
+    if (lines > 0) {
+      EXPECT_EQ(len, prev_len) << "line " << lines;
+    }
+    prev_len = len;
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(ConsoleTable, NumericRow) {
+  ConsoleTable table({"a", "b"});
+  table.add_row_numeric({1.25, 3.0}, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("3.00"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowCount) {
+  ConsoleTable table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(ConsoleTableDeath, MismatchedRowAborts) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace mwc

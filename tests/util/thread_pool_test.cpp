@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mwc {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    (void)pool.submit([&done] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, MatchesSerialResult) {
+  ThreadPool pool(8);
+  std::vector<double> parallel_out(1000), serial_out(1000);
+  const auto body = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 2.0;
+  };
+  parallel_for(pool, 0, 1000,
+               [&](std::size_t i) { parallel_out[i] = body(i); }, 13);
+  serial_for(0, 1000, [&](std::size_t i) { serial_out[i] = body(i); });
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  pool->wait_idle();
+  // Destruction then reuse is UB; instead verify the flag path via a pool
+  // that is still alive: not directly reachable, so just ensure destruction
+  // with queued work completes cleanly.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) (void)pool->submit([&done] { ++done; });
+  pool.reset();  // must drain, not deadlock
+  EXPECT_EQ(done.load(), 32);
+}
+
+}  // namespace
+}  // namespace mwc

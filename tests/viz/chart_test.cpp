@@ -1,0 +1,111 @@
+#include "viz/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/report.hpp"
+
+namespace mwc::viz {
+namespace {
+
+std::vector<Series> sample_series() {
+  return {
+      {"MinTotalDistance", {100, 200, 300}, {600, 900, 1150}},
+      {"Greedy", {100, 200, 300}, {1100, 1700, 2180}},
+  };
+}
+
+TEST(NiceTickStep, PicksOneTwoFive) {
+  EXPECT_DOUBLE_EQ(nice_tick_step(10.0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(100.0, 5), 20.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(7.0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.5, 5), 0.1);
+  EXPECT_DOUBLE_EQ(nice_tick_step(30.0, 6), 5.0);
+}
+
+TEST(NiceTickStep, StepCoversSpan) {
+  for (double span : {0.3, 1.0, 7.7, 42.0, 999.0, 12345.0}) {
+    for (std::size_t ticks : {3u, 5u, 8u}) {
+      const double step = nice_tick_step(span, ticks);
+      EXPECT_GE(step * static_cast<double>(ticks), span * 0.999);
+    }
+  }
+}
+
+TEST(LineChart, ContainsStructure) {
+  ChartOptions options;
+  options.title = "Fig. X";
+  options.x_label = "n";
+  options.y_label = "Service Cost (km)";
+  const auto doc = render_line_chart(sample_series(), options);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("Fig. X"), std::string::npos);
+  EXPECT_NE(doc.find("Service Cost (km)"), std::string::npos);
+  EXPECT_NE(doc.find("MinTotalDistance"), std::string::npos);
+  EXPECT_NE(doc.find("Greedy"), std::string::npos);
+  // Two polylines (one per series) and 6 data markers.
+  std::size_t polylines = 0, circles = 0, pos = 0;
+  while ((pos = doc.find("<polyline", pos)) != std::string::npos) {
+    ++polylines;
+    pos += 9;
+  }
+  pos = 0;
+  while ((pos = doc.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  EXPECT_EQ(polylines, 2u);
+  EXPECT_EQ(circles, 6u);
+}
+
+TEST(LineChart, SaveRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mwc_chart_test.svg";
+  ChartOptions options;
+  save_line_chart(sample_series(), options, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), render_line_chart(sample_series(), options));
+  std::remove(path.c_str());
+}
+
+TEST(LineChart, SingleFlatSeries) {
+  const std::vector<Series> flat{{"only", {1, 2}, {5, 5}}};
+  const auto doc = render_line_chart(flat, {});
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+}
+
+TEST(LineChartDeath, RaggedSeriesAborts) {
+  const std::vector<Series> bad{{"x", {1, 2}, {1}}};
+  EXPECT_DEATH(render_line_chart(bad, {}), "ragged");
+}
+
+TEST(FigureReportSvg, WritesChartFromOutcomes) {
+  exp::FigureReport report("Fig. T", "svg smoke", "n");
+  exp::AggregateOutcome a, b;
+  a.name = "A";
+  a.cost.mean = 500000.0;
+  b.name = "B";
+  b.cost.mean = 900000.0;
+  report.add_point({100.0, {a, b}});
+  a.cost.mean = 700000.0;
+  b.cost.mean = 1200000.0;
+  report.add_point({200.0, {a, b}});
+
+  const std::string path = ::testing::TempDir() + "/mwc_report_chart.svg";
+  report.write_svg(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("svg smoke"), std::string::npos);
+  EXPECT_NE(ss.str().find(">A</text>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mwc::viz

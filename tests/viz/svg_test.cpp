@@ -1,0 +1,125 @@
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+#include "viz/render.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+
+namespace mwc::viz {
+namespace {
+
+TEST(SvgCanvas, EmptyDocumentIsValidSvg) {
+  const SvgCanvas canvas(geom::BBox::square(100.0));
+  const auto doc = canvas.str();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("xmlns"), std::string::npos);
+}
+
+TEST(SvgCanvas, ShapesAppearInOutput) {
+  SvgCanvas canvas(geom::BBox::square(100.0));
+  canvas.circle({50, 50}, 3.0, "#ff0000");
+  canvas.line({0, 0}, {100, 100}, "#00ff00", 2.0);
+  canvas.polyline({{0, 0}, {10, 10}, {20, 0}}, true, "#0000ff");
+  canvas.square({25, 25}, 4.0, "#123456");
+  canvas.text({60, 60}, "hello");
+  const auto doc = canvas.str();
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("<rect x="), std::string::npos);
+  EXPECT_NE(doc.find(">hello</text>"), std::string::npos);
+}
+
+TEST(SvgCanvas, YAxisFlipped) {
+  SvgCanvas canvas(geom::BBox::square(100.0), 140.0, 20.0);
+  // World (0,0) maps near the bottom-left: cy should be large.
+  canvas.circle({0, 0}, 1.0, "#000");
+  const auto doc = canvas.str();
+  EXPECT_NE(doc.find("cy=\"120.0\""), std::string::npos) << doc;
+}
+
+TEST(SvgCanvas, SaveWritesFile) {
+  const std::string path = ::testing::TempDir() + "/mwc_svg_test.svg";
+  SvgCanvas canvas(geom::BBox::square(10.0));
+  canvas.circle({5, 5}, 2.0, "#abc");
+  canvas.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), canvas.str());
+  std::remove(path.c_str());
+}
+
+TEST(SvgCanvas, SaveToBadPathThrows) {
+  SvgCanvas canvas(geom::BBox::square(10.0));
+  EXPECT_THROW(canvas.save("/nonexistent_zzz/x.svg"), std::runtime_error);
+}
+
+TEST(TourColor, CyclesPalette) {
+  EXPECT_EQ(tour_color(0), tour_color(8));
+  EXPECT_NE(tour_color(0), tour_color(1));
+}
+
+class RenderTest : public ::testing::Test {
+ protected:
+  RenderTest() {
+    wsn::DeploymentConfig config;
+    config.n = 40;
+    config.q = 3;
+    Rng rng(1);
+    network_ = wsn::deploy_random(config, rng);
+  }
+  wsn::Network network_;
+};
+
+TEST_F(RenderTest, NetworkRenderContainsAllSensors) {
+  const auto canvas = render_network(network_);
+  const auto doc = canvas.str();
+  std::size_t circles = 0, pos = 0;
+  while ((pos = doc.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  // 40 sensors + base station.
+  EXPECT_EQ(circles, 41u);
+  EXPECT_NE(doc.find("D0"), std::string::npos);  // depot labels
+}
+
+TEST_F(RenderTest, RoundRenderDrawsTours) {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < network_.n(); ++i) ids.push_back(i);
+  tsp::QRootedInstance instance;
+  instance.depots = network_.depots();
+  instance.sensors = network_.sensor_points();
+  const auto tours = tsp::q_rooted_tsp(instance);
+
+  const auto canvas = render_round(network_, ids, tours);
+  const auto doc = canvas.str();
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+}
+
+TEST_F(RenderTest, RoutingTreeRenderDrawsEdges) {
+  wsn::EnergyModelConfig config;
+  config.comm_range = 250.0;
+  const auto profile = wsn::compute_energy_profile(network_, config);
+  const auto canvas = render_routing_tree(network_, profile);
+  const auto doc = canvas.str();
+  std::size_t lines = 0, pos = 0;
+  while ((pos = doc.find("<line", pos)) != std::string::npos) {
+    ++lines;
+    pos += 5;
+  }
+  EXPECT_EQ(lines, network_.n());  // one uplink per sensor
+}
+
+}  // namespace
+}  // namespace mwc::viz

@@ -1,0 +1,159 @@
+#include "wsn/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+Network test_network(std::size_t n = 100, std::uint64_t seed = 1) {
+  DeploymentConfig config;
+  config.n = n;
+  Rng rng(seed);
+  return deploy_random(config, rng);
+}
+
+TEST(CycleModel, CyclesWithinBounds) {
+  const auto net = test_network();
+  CycleModelConfig config;
+  config.tau_min = 1.0;
+  config.tau_max = 50.0;
+  config.sigma = 10.0;
+  const CycleModel model(net, config, 42);
+  for (std::size_t slot = 0; slot < 20; ++slot) {
+    for (std::size_t i = 0; i < net.n(); ++i) {
+      const double tau = model.cycle_at_slot(i, slot);
+      EXPECT_GE(tau, config.tau_min);
+      EXPECT_LE(tau, config.tau_max);
+    }
+  }
+}
+
+TEST(CycleModel, LinearMeansGrowWithDistance) {
+  const auto net = test_network(200, 2);
+  CycleModelConfig config;
+  config.distribution = CycleDistribution::kLinear;
+  const CycleModel model(net, config, 1);
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    for (std::size_t j = 0; j < net.n(); ++j) {
+      if (net.distance_to_base(i) < net.distance_to_base(j)) {
+        EXPECT_LE(model.mean_cycle(i), model.mean_cycle(j) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CycleModel, LinearExtremes) {
+  const auto net = test_network(300, 3);
+  CycleModelConfig config;
+  config.tau_min = 1.0;
+  config.tau_max = 50.0;
+  const CycleModel model(net, config, 1);
+  double lo = 1e18, hi = -1e18;
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    lo = std::min(lo, model.mean_cycle(i));
+    hi = std::max(hi, model.mean_cycle(i));
+  }
+  EXPECT_GE(lo, config.tau_min);
+  EXPECT_LE(hi, config.tau_max);
+  // The farthest sensor has exactly tau_max by construction.
+  EXPECT_NEAR(hi, config.tau_max, 1e-9);
+}
+
+TEST(CycleModel, RandomMeansSpreadIndependentOfDistance) {
+  const auto net = test_network(400, 4);
+  CycleModelConfig config;
+  config.distribution = CycleDistribution::kRandom;
+  const CycleModel model(net, config, 7);
+  // Correlation between distance and mean cycle should be near zero.
+  double sum_d = 0, sum_t = 0;
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    sum_d += net.distance_to_base(i);
+    sum_t += model.mean_cycle(i);
+  }
+  const double md = sum_d / double(net.n());
+  const double mt = sum_t / double(net.n());
+  double sdt = 0, sdd = 0, stt = 0;
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    const double dd = net.distance_to_base(i) - md;
+    const double dt = model.mean_cycle(i) - mt;
+    sdt += dd * dt;
+    sdd += dd * dd;
+    stt += dt * dt;
+  }
+  const double corr = sdt / std::sqrt(sdd * stt);
+  EXPECT_LT(std::abs(corr), 0.15);
+}
+
+TEST(CycleModel, SigmaZeroIsDeterministicAcrossSlots) {
+  const auto net = test_network(50, 5);
+  CycleModelConfig config;
+  config.sigma = 0.0;
+  const CycleModel model(net, config, 3);
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    const double tau0 = model.cycle_at_slot(i, 0);
+    for (std::size_t slot = 1; slot < 10; ++slot)
+      EXPECT_EQ(model.cycle_at_slot(i, slot), tau0);
+    EXPECT_DOUBLE_EQ(tau0, model.mean_cycle(i));
+  }
+}
+
+TEST(CycleModel, SigmaPositiveVariesAcrossSlots) {
+  const auto net = test_network(50, 6);
+  CycleModelConfig config;
+  config.sigma = 2.0;
+  const CycleModel model(net, config, 3);
+  bool any_varied = false;
+  for (std::size_t i = 0; i < net.n() && !any_varied; ++i) {
+    if (model.cycle_at_slot(i, 0) != model.cycle_at_slot(i, 1))
+      any_varied = true;
+  }
+  EXPECT_TRUE(any_varied);
+}
+
+TEST(CycleModel, SameSeedSameDraws) {
+  const auto net = test_network(30, 7);
+  CycleModelConfig config;
+  const CycleModel a(net, config, 99), b(net, config, 99);
+  for (std::size_t slot = 0; slot < 5; ++slot)
+    EXPECT_EQ(a.cycles_at_slot(slot), b.cycles_at_slot(slot));
+}
+
+TEST(CycleModel, DifferentSeedsDiffer) {
+  const auto net = test_network(30, 8);
+  CycleModelConfig config;
+  const CycleModel a(net, config, 1), b(net, config, 2);
+  EXPECT_NE(a.cycles_at_slot(0), b.cycles_at_slot(0));
+}
+
+TEST(CycleModel, RandomAccessOrderIndependent) {
+  const auto net = test_network(20, 9);
+  CycleModelConfig config;
+  const CycleModel model(net, config, 5);
+  const double late_first = model.cycle_at_slot(10, 500);
+  const double early = model.cycle_at_slot(10, 1);
+  const double late_again = model.cycle_at_slot(10, 500);
+  (void)early;
+  EXPECT_EQ(late_first, late_again);
+}
+
+TEST(CycleModel, FixedCyclesAreSlotZero) {
+  const auto net = test_network(20, 10);
+  CycleModelConfig config;
+  const CycleModel model(net, config, 5);
+  EXPECT_EQ(model.fixed_cycles(), model.cycles_at_slot(0));
+}
+
+TEST(CycleModelDeath, InvalidConfigAborts) {
+  const auto net = test_network(5, 11);
+  CycleModelConfig config;
+  config.tau_min = 0.0;
+  EXPECT_DEATH(CycleModel(net, config, 1), "tau_min");
+}
+
+}  // namespace
+}  // namespace mwc::wsn

@@ -1,0 +1,115 @@
+#include "wsn/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+TEST(DeployRandom, RespectsConfig) {
+  DeploymentConfig config;
+  config.n = 100;
+  config.q = 5;
+  config.field_side = 1000.0;
+  Rng rng(1);
+  const auto net = deploy_random(config, rng);
+  EXPECT_EQ(net.n(), 100u);
+  EXPECT_EQ(net.q(), 5u);
+  EXPECT_EQ(net.base_station(), geom::Point(500, 500));
+}
+
+TEST(DeployRandom, SensorsInsideField) {
+  DeploymentConfig config;
+  config.n = 300;
+  Rng rng(2);
+  const auto net = deploy_random(config, rng);
+  for (const auto& s : net.sensors())
+    EXPECT_TRUE(net.field().contains(s.position))
+        << "sensor " << s.id << " outside field";
+  for (const auto& d : net.depots())
+    EXPECT_TRUE(net.field().contains(d));
+}
+
+TEST(DeployRandom, DepotZeroAtBaseStation) {
+  DeploymentConfig config;
+  Rng rng(3);
+  const auto net = deploy_random(config, rng);
+  ASSERT_GE(net.q(), 1u);
+  EXPECT_EQ(net.depots()[0], net.base_station());
+}
+
+TEST(DeployRandom, NoDepotAtBaseWhenDisabled) {
+  DeploymentConfig config;
+  config.depot_at_base_station = false;
+  config.q = 3;
+  Rng rng(4);
+  const auto net = deploy_random(config, rng);
+  EXPECT_EQ(net.q(), 3u);
+  // Vanishingly unlikely a random depot is exactly the centre.
+  for (const auto& d : net.depots()) EXPECT_NE(d, net.base_station());
+}
+
+TEST(DeployRandom, IdsAreSequential) {
+  DeploymentConfig config;
+  config.n = 50;
+  Rng rng(5);
+  const auto net = deploy_random(config, rng);
+  for (std::size_t i = 0; i < net.n(); ++i) EXPECT_EQ(net.sensor(i).id, i);
+}
+
+TEST(DeployRandom, DeterministicForSameRngStream) {
+  DeploymentConfig config;
+  config.n = 40;
+  Rng a(77), b(77);
+  const auto na = deploy_random(config, a);
+  const auto nb = deploy_random(config, b);
+  for (std::size_t i = 0; i < na.n(); ++i)
+    EXPECT_EQ(na.sensor(i).position, nb.sensor(i).position);
+  EXPECT_EQ(na.depots(), nb.depots());
+}
+
+TEST(DeployRandom, BatteryCapacityApplied) {
+  DeploymentConfig config;
+  config.n = 10;
+  config.battery_capacity = 3.5;
+  Rng rng(6);
+  const auto net = deploy_random(config, rng);
+  for (const auto& s : net.sensors())
+    EXPECT_DOUBLE_EQ(s.battery_capacity, 3.5);
+}
+
+TEST(DeployGrid, CoversFieldEvenly) {
+  DeploymentConfig config;
+  config.n = 100;
+  config.field_side = 1000.0;
+  Rng rng(7);
+  const auto net = deploy_grid(config, 0.0, rng);
+  EXPECT_EQ(net.n(), 100u);
+  for (const auto& s : net.sensors())
+    EXPECT_TRUE(net.field().contains(s.position));
+  // Zero jitter: first two sensors are one grid step apart in x.
+  const double dx = net.sensor(1).position.x - net.sensor(0).position.x;
+  EXPECT_NEAR(dx, 100.0, 1e-9);
+}
+
+TEST(DeployGrid, JitterStaysInCell) {
+  DeploymentConfig config;
+  config.n = 64;
+  Rng rng(8);
+  const auto net = deploy_grid(config, 0.4, rng);
+  for (const auto& s : net.sensors())
+    EXPECT_TRUE(net.field().contains(s.position));
+}
+
+TEST(DeployRandom, ZeroSensors) {
+  DeploymentConfig config;
+  config.n = 0;
+  Rng rng(9);
+  const auto net = deploy_random(config, rng);
+  EXPECT_EQ(net.n(), 0u);
+  EXPECT_EQ(net.q(), 5u);
+}
+
+}  // namespace
+}  // namespace mwc::wsn

@@ -1,0 +1,157 @@
+#include "wsn/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+Network dense_network(std::size_t n = 150, std::uint64_t seed = 1) {
+  DeploymentConfig config;
+  config.n = n;
+  config.field_side = 1000.0;
+  Rng rng(seed);
+  return deploy_random(config, rng);
+}
+
+TEST(EnergyProfile, LoadsConserveData) {
+  const auto net = dense_network();
+  EnergyModelConfig config;
+  config.comm_range = 200.0;
+  const auto profile = compute_energy_profile(net, config);
+  // Every sensor generates gen_rate; total inflow at the BS equals n * gen.
+  double into_base = 0.0;
+  for (std::size_t v = 0; v < net.n(); ++v) {
+    if (profile.route_parent[v] == EnergyProfile::kToBaseStation)
+      into_base += profile.load[v];
+  }
+  EXPECT_NEAR(into_base, config.gen_rate * double(net.n()), 1e-9);
+}
+
+TEST(EnergyProfile, LeafCarriesOwnLoadOnly) {
+  const auto net = dense_network(100, 2);
+  EnergyModelConfig config;
+  config.comm_range = 200.0;
+  const auto profile = compute_energy_profile(net, config);
+  // A sensor nobody routes through carries exactly its own data.
+  std::vector<bool> is_parent(net.n(), false);
+  for (std::size_t v = 0; v < net.n(); ++v) {
+    if (profile.route_parent[v] != EnergyProfile::kToBaseStation)
+      is_parent[profile.route_parent[v]] = true;
+  }
+  bool found_leaf = false;
+  for (std::size_t v = 0; v < net.n(); ++v) {
+    if (!is_parent[v]) {
+      EXPECT_DOUBLE_EQ(profile.load[v], config.gen_rate);
+      found_leaf = true;
+    }
+  }
+  EXPECT_TRUE(found_leaf);
+}
+
+TEST(EnergyProfile, RatesPositiveAndCyclesFinite) {
+  const auto net = dense_network(120, 3);
+  EnergyModelConfig config;
+  const auto profile = compute_energy_profile(net, config);
+  for (std::size_t v = 0; v < net.n(); ++v) {
+    EXPECT_GT(profile.rate[v], 0.0);
+    EXPECT_TRUE(std::isfinite(profile.cycle[v]));
+    EXPECT_GT(profile.cycle[v], 0.0);
+  }
+}
+
+TEST(EnergyProfile, RelaysNearBaseDrainFaster) {
+  // With enough density, the average cycle of the nearest quartile should
+  // be well below the farthest quartile — the paper's "linear" rationale.
+  const auto net = dense_network(300, 4);
+  EnergyModelConfig config;
+  config.comm_range = 150.0;
+  const auto profile = compute_energy_profile(net, config);
+
+  std::vector<std::size_t> order(net.n());
+  for (std::size_t i = 0; i < net.n(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return net.distance_to_base(a) < net.distance_to_base(b);
+  });
+  const std::size_t quartile = net.n() / 4;
+  double near_cycle = 0.0, far_cycle = 0.0;
+  for (std::size_t k = 0; k < quartile; ++k) {
+    near_cycle += profile.cycle[order[k]];
+    far_cycle += profile.cycle[order[net.n() - 1 - k]];
+  }
+  EXPECT_LT(near_cycle, far_cycle);
+}
+
+TEST(EnergyProfile, HopCountsPositive) {
+  const auto net = dense_network(80, 5);
+  EnergyModelConfig config;
+  const auto profile = compute_energy_profile(net, config);
+  for (std::size_t v = 0; v < net.n(); ++v)
+    EXPECT_GE(profile.hops[v], 1u);
+}
+
+TEST(EnergyProfile, SparseNetworkFallsBackToDirect) {
+  DeploymentConfig dconfig;
+  dconfig.n = 5;
+  dconfig.field_side = 10000.0;  // far apart, disconnected at range 150
+  Rng rng(6);
+  const auto net = deploy_random(dconfig, rng);
+  EnergyModelConfig config;
+  config.comm_range = 150.0;
+  config.allow_direct_fallback = true;
+  const auto profile = compute_energy_profile(net, config);
+  for (std::size_t v = 0; v < net.n(); ++v)
+    EXPECT_GT(profile.rate[v], 0.0);
+}
+
+TEST(EnergyProfile, EmptyNetwork) {
+  const Network net;
+  const auto profile = compute_energy_profile(net, {});
+  EXPECT_TRUE(profile.rate.empty());
+}
+
+TEST(Battery, DischargeAndRecharge) {
+  Battery b(10.0);
+  EXPECT_DOUBLE_EQ(b.level(), 10.0);
+  EXPECT_DOUBLE_EQ(b.discharge(2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(b.level(), 4.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(b.recharge_full(), 6.0);
+  EXPECT_DOUBLE_EQ(b.level(), 10.0);
+}
+
+TEST(Battery, ClampsAtZero) {
+  Battery b(5.0);
+  EXPECT_DOUBLE_EQ(b.discharge(10.0, 1.0), 5.0);  // only 5 available
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(Battery, LifetimeAtRate) {
+  Battery b(10.0);
+  EXPECT_DOUBLE_EQ(b.lifetime_at(2.0), 5.0);
+  EXPECT_TRUE(std::isinf(b.lifetime_at(0.0)));
+  b.discharge(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(b.lifetime_at(2.0), 3.0);
+}
+
+TEST(Battery, ResidualLifetimeRescalesLikeSimulator) {
+  // The simulator's residual-life rescale at a rate change must match the
+  // explicit battery model: fraction is invariant.
+  Battery b(1.0);
+  b.discharge(0.1, 4.0);  // 0.6 left; at rate 0.1 residual life = 6
+  EXPECT_NEAR(b.lifetime_at(0.1), 6.0, 1e-12);
+  // Rate doubles: residual life halves — same as scaling by tau_new/tau_old.
+  EXPECT_NEAR(b.lifetime_at(0.2), 3.0, 1e-12);
+}
+
+TEST(BatteryDeath, NonPositiveCapacityAborts) {
+  EXPECT_DEATH(Battery(0.0), "capacity");
+}
+
+}  // namespace
+}  // namespace mwc::wsn

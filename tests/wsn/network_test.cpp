@@ -1,0 +1,55 @@
+#include "wsn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mwc::wsn {
+namespace {
+
+Network make_network() {
+  std::vector<Sensor> sensors{
+      {0, {0, 0}, 1.0}, {1, {3, 4}, 1.0}, {2, {500, 500}, 2.0}};
+  return Network(std::move(sensors), {0, 0}, {{0, 0}, {10, 10}},
+                 geom::BBox::square(1000.0));
+}
+
+TEST(Network, BasicAccessors) {
+  const auto net = make_network();
+  EXPECT_EQ(net.n(), 3u);
+  EXPECT_EQ(net.q(), 2u);
+  EXPECT_EQ(net.base_station(), geom::Point(0, 0));
+  EXPECT_EQ(net.sensor(2).battery_capacity, 2.0);
+  EXPECT_EQ(net.field().hi, geom::Point(1000, 1000));
+}
+
+TEST(Network, SensorPointsMatch) {
+  const auto net = make_network();
+  ASSERT_EQ(net.sensor_points().size(), 3u);
+  for (std::size_t i = 0; i < net.n(); ++i)
+    EXPECT_EQ(net.sensor_points()[i], net.sensor(i).position);
+}
+
+TEST(Network, DistancesToBase) {
+  const auto net = make_network();
+  EXPECT_DOUBLE_EQ(net.distance_to_base(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.distance_to_base(1), 5.0);
+  EXPECT_NEAR(net.max_distance_to_base(), net.distance_to_base(2), 1e-12);
+}
+
+TEST(Network, EmptyNetwork) {
+  const Network net;
+  EXPECT_EQ(net.n(), 0u);
+  EXPECT_EQ(net.q(), 0u);
+  EXPECT_EQ(net.max_distance_to_base(), 0.0);
+}
+
+TEST(NetworkDeath, MisnumberedSensorIdsAbort) {
+  std::vector<Sensor> sensors{{1, {0, 0}, 1.0}};  // id 1 at index 0
+  EXPECT_DEATH(Network(std::move(sensors), {0, 0}, {},
+                       geom::BBox::square(10.0)),
+               "ids");
+}
+
+}  // namespace
+}  // namespace mwc::wsn

@@ -1,0 +1,100 @@
+#include "wsn/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+TEST(EwmaPredictor, InitialPrediction) {
+  const EwmaPredictor p(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(p.predicted_rate(), 2.0);
+}
+
+TEST(EwmaPredictor, SingleObservationBlends) {
+  EwmaPredictor p(0.5, 2.0);
+  p.observe(4.0);
+  EXPECT_DOUBLE_EQ(p.predicted_rate(), 3.0);  // 0.5*4 + 0.5*2
+}
+
+TEST(EwmaPredictor, ConvergesToConstantSignal) {
+  EwmaPredictor p(0.3, 10.0);
+  for (int i = 0; i < 100; ++i) p.observe(1.0);
+  EXPECT_NEAR(p.predicted_rate(), 1.0, 1e-9);
+}
+
+TEST(EwmaPredictor, TracksNoisySignalMean) {
+  EwmaPredictor p(0.2, 5.0);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) p.observe(3.0 + rng.uniform(-0.5, 0.5));
+  EXPECT_NEAR(p.predicted_rate(), 3.0, 0.3);
+}
+
+TEST(EwmaPredictor, HighGammaReactsFaster) {
+  EwmaPredictor fast(0.9, 0.0), slow(0.1, 0.0);
+  fast.observe(1.0);
+  slow.observe(1.0);
+  EXPECT_GT(fast.predicted_rate(), slow.predicted_rate());
+}
+
+TEST(EwmaPredictor, PredictedCycle) {
+  EwmaPredictor p(0.5, 0.1);
+  EXPECT_DOUBLE_EQ(p.predicted_cycle(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.predicted_cycle(2.0), 20.0);
+}
+
+TEST(EwmaPredictor, ZeroRateGivesInfiniteCycle) {
+  EwmaPredictor p(0.5, 0.0);
+  EXPECT_TRUE(std::isinf(p.predicted_cycle(1.0)));
+  EXPECT_TRUE(std::isinf(p.predicted_residual_lifetime(0.5)));
+}
+
+TEST(EwmaPredictor, ResidualLifetime) {
+  EwmaPredictor p(0.5, 0.2);
+  EXPECT_DOUBLE_EQ(p.predicted_residual_lifetime(1.0), 5.0);
+}
+
+TEST(EwmaPredictorDeath, InvalidGammaAborts) {
+  EXPECT_DEATH(EwmaPredictor(0.0, 1.0), "gamma");
+  EXPECT_DEATH(EwmaPredictor(1.0, 1.0), "gamma");
+}
+
+TEST(FleetPredictor, SizesAndRates) {
+  FleetPredictor fleet(0.5, {1.0, 2.0, 4.0});
+  EXPECT_EQ(fleet.size(), 3u);
+  EXPECT_DOUBLE_EQ(fleet.predicted_rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(fleet.predicted_cycle(2, 1.0), 0.25);
+}
+
+TEST(FleetPredictor, ZeroThresholdReportsAnyChange) {
+  FleetPredictor fleet(0.5, {1.0, 1.0});
+  const auto reporters = fleet.observe({1.0, 2.0});
+  // Sensor 0's prediction is unchanged (0.5*1+0.5*1); sensor 1 moved.
+  ASSERT_EQ(reporters.size(), 1u);
+  EXPECT_EQ(reporters[0], 1u);
+}
+
+TEST(FleetPredictor, ThresholdSuppressesSmallChanges) {
+  FleetPredictor fleet(0.5, {10.0, 10.0}, /*report_threshold=*/0.5);
+  // Small drift (relative change ~5%) -> no reports.
+  EXPECT_TRUE(fleet.observe({11.0, 10.5}).empty());
+  // Big jump on sensor 0 -> reported.
+  const auto reporters = fleet.observe({60.0, 10.5});
+  ASSERT_EQ(reporters.size(), 1u);
+  EXPECT_EQ(reporters[0], 0u);
+}
+
+TEST(FleetPredictor, ReportBaselineUpdatesOnReport) {
+  FleetPredictor fleet(0.9, {1.0}, 0.3);
+  // First big jump reports and re-baselines.
+  EXPECT_EQ(fleet.observe({10.0}).size(), 1u);
+  // Staying near the new level does not re-report.
+  EXPECT_TRUE(fleet.observe({9.5}).empty());
+}
+
+}  // namespace
+}  // namespace mwc::wsn

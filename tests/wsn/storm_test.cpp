@@ -1,0 +1,140 @@
+#include "wsn/storm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "charging/greedy.hpp"
+#include "charging/var_heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+Network test_network(std::size_t n = 80, std::uint64_t seed = 1) {
+  DeploymentConfig config;
+  config.n = n;
+  Rng rng(seed);
+  return deploy_random(config, rng);
+}
+
+TEST(StormProcess, SlotZeroIsCalm) {
+  const auto net = test_network();
+  StormConfig config;
+  const StormCycleProcess storm(net, config, 1);
+  for (std::size_t i = 0; i < net.n(); ++i) {
+    EXPECT_FALSE(storm.storming(i, 0));
+    EXPECT_DOUBLE_EQ(storm.cycle_at_slot(i, 0), storm.mean_cycle(i));
+  }
+  EXPECT_DOUBLE_EQ(storm.storm_fraction(0), 0.0);
+}
+
+TEST(StormProcess, CyclesWithinBounds) {
+  const auto net = test_network(60, 2);
+  StormConfig config;
+  config.stress_factor = 8.0;
+  const StormCycleProcess storm(net, config, 2);
+  for (std::size_t slot = 0; slot < 50; ++slot) {
+    for (std::size_t i = 0; i < net.n(); ++i) {
+      const double tau = storm.cycle_at_slot(i, slot);
+      EXPECT_GE(tau, config.tau_min);
+      EXPECT_LE(tau, config.tau_max);
+    }
+  }
+}
+
+TEST(StormProcess, StormShrinksCycle) {
+  const auto net = test_network(100, 3);
+  StormConfig config;
+  config.p_enter = 0.5;
+  config.stress_factor = 4.0;
+  const StormCycleProcess storm(net, config, 3);
+  bool found = false;
+  for (std::size_t slot = 1; slot < 20 && !found; ++slot) {
+    for (std::size_t i = 0; i < net.n(); ++i) {
+      if (storm.storming(i, slot)) {
+        EXPECT_LT(storm.cycle_at_slot(i, slot),
+                  storm.mean_cycle(i) + 1e-12);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "no storm within 20 slots at p_enter=0.5";
+}
+
+TEST(StormProcess, StationaryStormFractionNearExpected) {
+  const auto net = test_network(300, 4);
+  StormConfig config;
+  config.p_enter = 0.1;
+  config.p_exit = 0.3;
+  const StormCycleProcess storm(net, config, 4);
+  // Stationary fraction of a 2-state chain: p_enter / (p_enter + p_exit).
+  const double expected = 0.1 / 0.4;
+  double avg = 0.0;
+  const std::size_t slots = 200;
+  for (std::size_t s = 50; s < 50 + slots; ++s)
+    avg += storm.storm_fraction(s) / double(slots);
+  EXPECT_NEAR(avg, expected, 0.05);
+}
+
+TEST(StormProcess, DeterministicPerSeed) {
+  const auto net = test_network(40, 5);
+  StormConfig config;
+  const StormCycleProcess a(net, config, 7), b(net, config, 7);
+  for (std::size_t s = 0; s < 30; ++s)
+    EXPECT_EQ(a.cycles_at_slot(s), b.cycles_at_slot(s));
+}
+
+TEST(StormProcess, RandomAccessConsistent) {
+  const auto net = test_network(30, 6);
+  StormConfig config;
+  const StormCycleProcess storm(net, config, 8);
+  const double late = storm.cycle_at_slot(5, 100);
+  (void)storm.cycle_at_slot(5, 3);
+  EXPECT_EQ(storm.cycle_at_slot(5, 100), late);
+}
+
+TEST(StormProcess, RegionalModeStormsAreSpatiallyCoherent) {
+  const auto net = test_network(300, 7);
+  StormConfig config;
+  config.regional = true;
+  config.storm_radius = 250.0;
+  const StormCycleProcess storm(net, config, 9);
+  // Find a slot with a storm; all storming sensors must fit in a disc of
+  // the configured radius.
+  for (std::size_t slot = 1; slot < 40; ++slot) {
+    std::vector<std::size_t> stormers;
+    for (std::size_t i = 0; i < net.n(); ++i)
+      if (storm.storming(i, slot)) stormers.push_back(i);
+    if (stormers.size() < 2) continue;
+    for (std::size_t a : stormers)
+      for (std::size_t b : stormers)
+        EXPECT_LE(geom::distance(net.sensor(a).position,
+                                 net.sensor(b).position),
+                  2.0 * config.storm_radius + 1e-9);
+    return;
+  }
+  GTEST_SKIP() << "no multi-sensor storm in 40 slots";
+}
+
+TEST(StormProcess, AdaptivePoliciesSurviveStorms) {
+  const auto net = test_network(60, 8);
+  StormConfig config;
+  config.p_enter = 0.15;
+  config.stress_factor = 6.0;
+  const StormCycleProcess storm(net, config, 10);
+
+  sim::SimOptions options;
+  options.horizon = 300.0;
+  options.slot_length = 5.0;
+  sim::Simulator simulator(net, storm, options);
+
+  charging::MinTotalDistanceVarPolicy var;
+  EXPECT_EQ(simulator.run(var).dead_sensors, 0u);
+  charging::GreedyPolicy greedy(
+      charging::GreedyOptions{.threshold = config.tau_min});
+  EXPECT_EQ(simulator.run(greedy).dead_sensors, 0u);
+}
+
+}  // namespace
+}  // namespace mwc::wsn

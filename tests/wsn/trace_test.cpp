@@ -1,0 +1,121 @@
+#include "wsn/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "charging/var_heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::wsn {
+namespace {
+
+TEST(TraceProcess, BasicAccess) {
+  const TraceCycleProcess trace({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(trace.n(), 2u);
+  EXPECT_EQ(trace.recorded_slots(), 2u);
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(1, 1), 4.0);
+}
+
+TEST(TraceProcess, HoldsLastSlotBeyondTrace) {
+  const TraceCycleProcess trace({{1.0}, {5.0}});
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(0, 99), 5.0);
+}
+
+TEST(TraceProcess, CyclesAtSlotVector) {
+  const TraceCycleProcess trace({{1.0, 2.0, 3.0}});
+  EXPECT_EQ(trace.cycles_at_slot(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TraceProcessDeath, InvalidInputs) {
+  using Rows = std::vector<std::vector<double>>;
+  EXPECT_DEATH(TraceCycleProcess(Rows{}), "at least one slot");
+  EXPECT_DEATH(TraceCycleProcess(Rows{{1.0}, {1.0, 2.0}}), "ragged");
+  EXPECT_DEATH(TraceCycleProcess(Rows{{0.0}}), "positive");
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/mwc_trace_test.csv";
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  const TraceCycleProcess original({{1.5, 2.5}, {3.5, 4.5}, {5.5, 6.5}});
+  save_cycle_trace(original, 3, path_);
+  const auto loaded = load_cycle_trace(path_);
+  EXPECT_EQ(loaded.n(), 2u);
+  EXPECT_EQ(loaded.recorded_slots(), 3u);
+  for (std::size_t s = 0; s < 3; ++s)
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_DOUBLE_EQ(loaded.cycle_at_slot(i, s),
+                       original.cycle_at_slot(i, s));
+}
+
+TEST_F(TraceIoTest, SnapshotOfSyntheticModelReplaysIdentically) {
+  wsn::DeploymentConfig deployment;
+  deployment.n = 20;
+  Rng rng(1);
+  const auto network = deploy_random(deployment, rng);
+  CycleModelConfig config;
+  config.sigma = 3.0;
+  const CycleModel model(network, config, 7);
+
+  save_cycle_trace(model, 12, path_);
+  const auto trace = load_cycle_trace(path_);
+  for (std::size_t s = 0; s < 12; ++s) {
+    for (std::size_t i = 0; i < network.n(); ++i) {
+      EXPECT_NEAR(trace.cycle_at_slot(i, s), model.cycle_at_slot(i, s),
+                  1e-4 * model.cycle_at_slot(i, s));
+    }
+  }
+}
+
+TEST_F(TraceIoTest, MalformedFilesThrow) {
+  {
+    std::ofstream out(path_);
+    out << "1.0,2.0\nnot_a_number,3.0\n";
+  }
+  EXPECT_THROW(load_cycle_trace(path_), std::runtime_error);
+  {
+    std::ofstream out(path_);
+    out << "# only a header\n";
+  }
+  EXPECT_THROW(load_cycle_trace(path_), std::runtime_error);
+  EXPECT_THROW(load_cycle_trace("/nonexistent_zzz/trace.csv"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, SimulatorRunsOnTrace) {
+  wsn::DeploymentConfig deployment;
+  deployment.n = 15;
+  deployment.q = 2;
+  Rng rng(2);
+  const auto network = deploy_random(deployment, rng);
+
+  // Hand-built history: cycles drift downward over 10 slots.
+  std::vector<std::vector<double>> rows;
+  for (std::size_t s = 0; s < 10; ++s) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < network.n(); ++i)
+      row.push_back(4.0 + double(i % 5) - 0.2 * double(s));
+    rows.push_back(std::move(row));
+  }
+  const TraceCycleProcess trace(std::move(rows));
+
+  sim::SimOptions options;
+  options.horizon = 60.0;
+  options.slot_length = 5.0;
+  sim::Simulator simulator(network, trace, options);
+  charging::MinTotalDistanceVarPolicy policy;
+  const auto result = simulator.run(policy);
+  EXPECT_EQ(result.dead_sensors, 0u);
+  EXPECT_GT(result.service_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::wsn
