@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = bench::make_context(argc, argv, /*variable=*/false);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance",
+                              "Greedy"});
   const struct {
     const char* name;
     tsp::TourConstruction construction;
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       for (std::size_t n : {100u, 200u, 400u}) {
         auto config = ctx.base;
         config.deployment.n = n;
-        config.sim.tour_construction = variant.construction;
+        config.sim.tour_options.construction = variant.construction;
         report.add_point({static_cast<double>(n),
                           run_policies(config, kinds, ctx.pool.get())});
       }

@@ -14,9 +14,9 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/false);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kPerSensorPeriodic,
-                              PolicyKind::kPeriodicAll};
+  const auto kinds = ctx.policies_or({"MinTotalDistance",
+                              "PerSensorPeriodic",
+                              "PeriodicAll"});
 
   FigureReport report("Ablation A3",
                       "cycle rounding & round alignment ablation", "n");

@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/false);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance",
+                              "Greedy"});
 
   int rc = 0;
   for (bool improve : {false, true}) {
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       for (std::size_t n : {100u, 200u, 400u}) {
         auto config = ctx.base;
         config.deployment.n = n;
-        config.sim.improve_tours = improve;
+        config.sim.tour_options.improve = improve;
         report.add_point({static_cast<double>(n),
                           run_policies(config, kinds, ctx.pool.get())});
       }

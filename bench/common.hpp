@@ -1,19 +1,23 @@
 // Shared scaffolding for the figure-reproduction bench binaries.
 //
 // Every binary accepts:
-//   --trials N    topologies per data point (default 10; paper used 100)
-//   --threads N   worker threads (default: hardware)
-//   --seed S      master seed
-//   --csv PATH    also write the series to a CSV file
-//   --improve     polish tours with 2-opt/Or-opt (ablation)
+//   --trials N      topologies per data point (default 10; paper used 100)
+//   --threads N     worker threads (default: hardware)
+//   --seed S        master seed
+//   --csv PATH      also write the series to a CSV file
+//   --improve       polish tours with 2-opt/Or-opt (ablation)
+//   --policies A,B  comma-separated exp::PolicyRegistry names overriding
+//                   the bench's default policy set (no recompile needed)
 // and honours MWC_TRIALS as a fallback for --trials, so
 // `MWC_TRIALS=100 ./fig1_network_size` reproduces the paper-scale run.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exp/config.hpp"
 #include "exp/report.hpp"
@@ -29,6 +33,22 @@ struct BenchContext {
   std::unique_ptr<ThreadPool> pool;
   std::string csv_path;
   std::string svg_path;
+  /// Registry names from --policies (empty: use the bench's defaults).
+  std::vector<std::string> policies;
+
+  /// The --policies override when given, else `defaults`. Names are
+  /// validated against the registry either way.
+  std::vector<std::string> policies_or(
+      std::initializer_list<const char*> defaults) const {
+    std::vector<std::string> out;
+    if (policies.empty()) {
+      out.assign(defaults.begin(), defaults.end());
+    } else {
+      out = policies;
+    }
+    for (const auto& name : out) (void)exp::policy_name(name);
+    return out;
+  }
 };
 
 inline BenchContext make_context(int argc, char** argv, bool variable) {
@@ -41,12 +61,20 @@ inline BenchContext make_context(int argc, char** argv, bool variable) {
       args.get_int_or("trials", default_trials));
   ctx.base.seed = static_cast<std::uint64_t>(
       args.get_int_or("seed", static_cast<long long>(ctx.base.seed)));
-  ctx.base.sim.improve_tours = args.get_bool_or("improve", false);
+  ctx.base.sim.tour_options.improve = args.get_bool_or("improve", false);
   const auto threads =
       static_cast<std::size_t>(args.get_int_or("threads", 0));
   ctx.pool = std::make_unique<ThreadPool>(threads);
   ctx.csv_path = args.get_or("csv", "");
   ctx.svg_path = args.get_or("svg", "");
+  const std::string policies_csv = args.get_or("policies", "");
+  for (std::size_t pos = 0; pos < policies_csv.size();) {
+    std::size_t comma = policies_csv.find(',', pos);
+    if (comma == std::string::npos) comma = policies_csv.size();
+    if (comma > pos)
+      ctx.policies.push_back(policies_csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
   return ctx;
 }
 

@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = bench::make_context(argc, argv, /*variable=*/false);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance",
+                              "Greedy"});
 
   int rc = 0;
   const struct {

@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = bench::make_context(argc, argv, /*variable=*/false);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance",
+                              "Greedy"});
   const double taumax_values[] = {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
 
   int rc = 0;

@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance-var",
+                              "Greedy"});
 
   FigureReport report(
       "Fig. 3", "service cost vs network size, variable cycles", "n");

@@ -6,8 +6,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance-var",
+                              "Greedy"});
   const double taumax_values[] = {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
 
   FigureReport report("Fig. 4",

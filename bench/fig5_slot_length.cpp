@@ -11,8 +11,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance-var",
+                              "Greedy"});
   const double slot_values[] = {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0};
 
   FigureReport report("Fig. 5",

@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   using namespace mwc::exp;
   auto ctx = mwc::bench::make_context(argc, argv, /*variable=*/true);
 
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistanceVar,
-                              PolicyKind::kGreedy};
+  const auto kinds = ctx.policies_or({"MinTotalDistance-var",
+                              "Greedy"});
   const double sigma_values[] = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
 
   FigureReport report("Fig. 6",

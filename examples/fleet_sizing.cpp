@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     std::vector<double> per_charger(q, 0.0);
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
       const auto result =
-          run_trial(config, PolicyKind::kMinTotalDistance, trial);
+          run_trial(config, "MinTotalDistance", trial);
       costs.push_back(result.service_cost);
       for (std::size_t l = 0; l < q; ++l)
         per_charger[l] += result.per_charger_cost[l] / double(config.trials);

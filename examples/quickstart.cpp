@@ -5,8 +5,8 @@
 //   ./quickstart [--n 30] [--q 3] [--horizon 64] [--seed 7]
 #include <cstdio>
 
-#include "charging/greedy.hpp"
 #include "charging/min_total_distance.hpp"
+#include "exp/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -60,8 +60,12 @@ int main(int argc, char** argv) {
 
   // 4. Verify feasibility by simulation: the policy form of the same
   //    algorithm drives an event simulator that tracks every battery.
+  //    All tour-construction knobs live in one place — sim.tour_options
+  //    (a tsp::QRootedOptions): construction algorithm, 2-opt/Or-opt
+  //    polish, and their iteration caps.
   sim::SimOptions sim_options;
   sim_options.horizon = T;
+  sim_options.tour_options.improve = false;  // flip on for polished tours
   sim::Simulator simulator(network, cycle_model, sim_options);
   charging::MinTotalDistancePolicy policy;
   const auto result = simulator.run(policy);
@@ -70,10 +74,17 @@ int main(int argc, char** argv) {
               result.dead_sensors,
               result.feasible() ? " (feasible)" : " (INFEASIBLE!)");
 
-  // 5. Compare against the greedy on-demand baseline.
-  charging::GreedyPolicy greedy(
-      charging::GreedyOptions{.threshold = cycle_config.tau_min});
-  const auto greedy_result = simulator.run(greedy);
+  // Identical dispatch sets are costed once: the simulator memoizes tour
+  // costs over a shared distance oracle, so only the K+1 round classes
+  // ever miss.
+  std::printf("tour cache: %zu hits, %zu misses\n", result.tour_cache_hits,
+              result.tour_cache_misses);
+
+  // 5. Compare against the greedy on-demand baseline. Policies are
+  //    registered by name in exp::PolicyRegistry — list them with
+  //    exp::PolicyRegistry::global().names().
+  const auto greedy = exp::make_policy("Greedy");
+  const auto greedy_result = simulator.run(*greedy);
   std::printf("greedy baseline: cost %.1f km (MinTotalDistance saves %.0f%%)\n",
               greedy_result.service_cost / 1000.0,
               100.0 * (1.0 - result.service_cost /

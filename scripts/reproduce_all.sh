@@ -34,7 +34,10 @@ ABLS="abl_tour_improvement abl_charger_count abl_rounding abl_fleet \
     echo
     "$BUILD/bench/$b" --trials "$TRIALS"
   done
+  echo
+  "$BUILD/bench/micro_oracle" --reps 10 --json "$OUT/BENCH_oracle.json"
 } | tee "$OUT/reproduction_run.txt"
 
 echo
-echo "done: tables in $OUT/reproduction_run.txt, CSVs and SVG charts in $OUT/"
+echo "done: tables in $OUT/reproduction_run.txt, CSVs and SVG charts in $OUT/,"
+echo "      oracle timings in $OUT/BENCH_oracle.json"

@@ -19,11 +19,11 @@ tsp::QRootedInstance make_instance(
   return instance;
 }
 
-void accumulate(FleetPlan& plan, const std::vector<geom::Point>& points,
+void accumulate(FleetPlan& plan, const tsp::DistanceView& distances,
                 tsp::SplitResult&& split, std::size_t depot) {
   for (auto& tour : split.tours) {
     Trip trip;
-    trip.length = tour.length(points);
+    trip.length = tour.length_with(distances);
     trip.sensors = tour.size() > 0 ? tour.size() - 1 : 0;
     trip.tour = std::move(tour);
     if (trip.sensors > 0) ++plan.num_trips;
@@ -37,37 +37,51 @@ void accumulate(FleetPlan& plan, const std::vector<geom::Point>& points,
 
 FleetPlan plan_capacitated_round(const wsn::Network& network,
                                  const std::vector<std::size_t>& sensor_ids,
-                                 double capacity) {
+                                 double capacity,
+                                 const tsp::DistanceOracle* oracle) {
   MWC_ASSERT(capacity > 0.0);
-  const auto instance = make_instance(network, sensor_ids);
-  const auto tours = tsp::q_rooted_tsp(instance);
-  const auto points = instance.combined_points();
+  tsp::QRootedInstance instance;  // keeps the direct path's points alive
+  tsp::DistanceView distances;
+  if (oracle != nullptr) {
+    distances = oracle->dispatch_view(sensor_ids);
+  } else {
+    instance = make_instance(network, sensor_ids);
+    distances = instance.distances();
+  }
+  const auto tours = tsp::q_rooted_tsp(distances, network.q());
 
   FleetPlan plan;
   plan.vehicles_per_depot = 1;
   plan.trips.resize(network.q());
   for (std::size_t l = 0; l < tours.tours.size(); ++l) {
-    accumulate(plan, points,
-               tsp::split_tour_capacity(points, tours.tours[l], l, capacity),
-               l);
+    accumulate(
+        plan, distances,
+        tsp::split_tour_capacity(distances, tours.tours[l], l, capacity), l);
   }
   return plan;
 }
 
 FleetPlan plan_minmax_round(const wsn::Network& network,
                             const std::vector<std::size_t>& sensor_ids,
-                            std::size_t chargers_per_depot) {
+                            std::size_t chargers_per_depot,
+                            const tsp::DistanceOracle* oracle) {
   MWC_ASSERT(chargers_per_depot >= 1);
-  const auto instance = make_instance(network, sensor_ids);
-  const auto tours = tsp::q_rooted_tsp(instance);
-  const auto points = instance.combined_points();
+  tsp::QRootedInstance instance;  // keeps the direct path's points alive
+  tsp::DistanceView distances;
+  if (oracle != nullptr) {
+    distances = oracle->dispatch_view(sensor_ids);
+  } else {
+    instance = make_instance(network, sensor_ids);
+    distances = instance.distances();
+  }
+  const auto tours = tsp::q_rooted_tsp(distances, network.q());
 
   FleetPlan plan;
   plan.vehicles_per_depot = chargers_per_depot;
   plan.trips.resize(network.q());
   for (std::size_t l = 0; l < tours.tours.size(); ++l) {
-    accumulate(plan, points,
-               tsp::split_tour_minmax(points, tours.tours[l], l,
+    accumulate(plan, distances,
+               tsp::split_tour_minmax(distances, tours.tours[l], l,
                                       chargers_per_depot),
                l);
   }

@@ -1,50 +1,95 @@
 #include "exp/runner.hpp"
 
-#include <mutex>
+#include <algorithm>
+#include <utility>
 
 #include "charging/baselines.hpp"
 #include "charging/greedy.hpp"
 #include "charging/min_total_distance.hpp"
 #include "charging/var_heuristic.hpp"
+#include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace mwc::exp {
 
-std::unique_ptr<charging::Policy> make_policy(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kMinTotalDistance:
+PolicyRegistry& PolicyRegistry::global() {
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    r->add("MinTotalDistance", [](const ExperimentConfig&) {
       return std::make_unique<charging::MinTotalDistancePolicy>();
-    case PolicyKind::kMinTotalDistanceVar:
+    });
+    r->add("MinTotalDistance-var", [](const ExperimentConfig&) {
       return std::make_unique<charging::MinTotalDistanceVarPolicy>();
-    case PolicyKind::kGreedy:
-      return std::make_unique<charging::GreedyPolicy>();
-    case PolicyKind::kPeriodicAll:
+    });
+    r->add("Greedy", [](const ExperimentConfig& config) {
+      // The paper's greedy: request threshold Δl = τ_min of the cycle
+      // distribution, requests batched at the same granularity.
+      charging::GreedyOptions options;
+      options.threshold = config.cycles.tau_min;
+      return std::make_unique<charging::GreedyPolicy>(options);
+    });
+    r->add("PeriodicAll", [](const ExperimentConfig&) {
       return std::make_unique<charging::PeriodicAllPolicy>();
-    case PolicyKind::kPerSensorPeriodic:
+    });
+    r->add("PerSensorPeriodic", [](const ExperimentConfig&) {
       return std::make_unique<charging::PerSensorPeriodicPolicy>();
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void PolicyRegistry::add(std::string name, PolicyFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::unique_ptr<charging::Policy> PolicyRegistry::make(
+    const std::string& name, const ExperimentConfig& config) const {
+  PolicyFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    MWC_ASSERT_MSG(it != factories_.end(),
+                   "unknown policy name (see PolicyRegistry::names())");
+    factory = it->second;
   }
-  MWC_ASSERT_MSG(false, "unknown policy kind");
-  return nullptr;
+  auto policy = factory(config);
+  MWC_ASSERT_MSG(policy != nullptr, "policy factory returned null");
+  return policy;
 }
 
-std::unique_ptr<charging::Policy> make_policy(
-    PolicyKind kind, const ExperimentConfig& config) {
-  if (kind == PolicyKind::kGreedy) {
-    // The paper's greedy: request threshold Δl = τ_min of the cycle
-    // distribution, requests batched at the same granularity.
-    charging::GreedyOptions options;
-    options.threshold = config.cycles.tau_min;
-    return std::make_unique<charging::GreedyPolicy>(options);
-  }
-  return make_policy(kind);
+bool PolicyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.contains(name);
 }
 
-std::string policy_name(PolicyKind kind) {
-  return make_policy(kind)->name();
+std::vector<std::string> PolicyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
 }
 
-sim::SimResult run_trial(const ExperimentConfig& config, PolicyKind kind,
+std::unique_ptr<charging::Policy> make_policy(const std::string& name,
+                                              const ExperimentConfig& config) {
+  return PolicyRegistry::global().make(name, config);
+}
+
+std::unique_ptr<charging::Policy> make_policy(const std::string& name) {
+  return make_policy(name, ExperimentConfig{});
+}
+
+std::string policy_name(const std::string& name) {
+  MWC_ASSERT_MSG(PolicyRegistry::global().contains(name),
+                 "unknown policy name (see PolicyRegistry::names())");
+  return name;
+}
+
+sim::SimResult run_trial(const ExperimentConfig& config,
+                         const std::string& policy,
                          std::size_t trial_index) {
   // Stream ids: deployment uses (seed, 2k), cycles use (seed, 2k+1), so
   // topology and cycle draws are independent but shared across policies.
@@ -54,15 +99,34 @@ sim::SimResult run_trial(const ExperimentConfig& config, PolicyKind kind,
   const wsn::CycleModel cycles(network, config.cycles,
                                mix64(config.seed, 2 * trial_index + 1));
   sim::Simulator simulator(network, cycles, config.sim);
-  auto policy = make_policy(kind, config);
-  return simulator.run(*policy);
+  auto p = make_policy(policy, config);
+  return simulator.run(*p);
 }
 
-AggregateOutcome run_policy(const ExperimentConfig& config, PolicyKind kind,
-                            ThreadPool* pool) {
-  std::vector<sim::SimResult> results(config.trials);
+std::vector<AggregateOutcome> run_policies(
+    const ExperimentConfig& config, std::span<const std::string> policies,
+    ThreadPool* pool) {
+  for (const auto& name : policies) (void)policy_name(name);  // validate
+
+  // results[p][trial]
+  std::vector<std::vector<sim::SimResult>> results(
+      policies.size(), std::vector<sim::SimResult>(config.trials));
+
   const auto body = [&](std::size_t trial) {
-    results[trial] = run_trial(config, kind, trial);
+    // One topology + oracle + cost cache per trial, shared by all
+    // policies (paired comparison on identical geometry; identical
+    // dispatch sets cost the same tours either way, so sharing the
+    // cache cannot change any result).
+    Rng deploy_rng(config.seed, 2 * trial);
+    const wsn::Network network = wsn::deploy_random(config.deployment,
+                                                    deploy_rng);
+    const wsn::CycleModel cycles(network, config.cycles,
+                                 mix64(config.seed, 2 * trial + 1));
+    sim::Simulator simulator(network, cycles, config.sim);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      auto policy = make_policy(policies[p], config);
+      results[p][trial] = simulator.run(*policy);
+    }
   };
   if (pool != nullptr && config.trials > 1) {
     parallel_for(*pool, 0, config.trials, body);
@@ -70,34 +134,33 @@ AggregateOutcome run_policy(const ExperimentConfig& config, PolicyKind kind,
     serial_for(0, config.trials, body);
   }
 
-  AggregateOutcome outcome;
-  outcome.kind = kind;
-  outcome.name = policy_name(kind);
-  outcome.trials = config.trials;
-  std::vector<double> costs;
-  costs.reserve(results.size());
-  for (const auto& r : results) {
-    costs.push_back(r.service_cost);
-    outcome.mean_dispatches +=
-        static_cast<double>(r.num_dispatches) / double(config.trials);
-    outcome.mean_charges +=
-        static_cast<double>(r.num_sensor_charges) / double(config.trials);
-    outcome.total_dead += r.dead_sensors;
-    outcome.wall_seconds += r.wall_seconds;
-  }
-  outcome.cost = summarize(costs);
-  return outcome;
-}
-
-std::vector<AggregateOutcome> run_policies(const ExperimentConfig& config,
-                                           std::span<const PolicyKind> kinds,
-                                           ThreadPool* pool) {
   std::vector<AggregateOutcome> outcomes;
-  outcomes.reserve(kinds.size());
-  for (PolicyKind kind : kinds) {
-    outcomes.push_back(run_policy(config, kind, pool));
+  outcomes.reserve(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    AggregateOutcome outcome;
+    outcome.name = policies[p];
+    outcome.trials = config.trials;
+    std::vector<double> costs;
+    costs.reserve(results[p].size());
+    for (const auto& r : results[p]) {
+      costs.push_back(r.service_cost);
+      outcome.mean_dispatches +=
+          static_cast<double>(r.num_dispatches) / double(config.trials);
+      outcome.mean_charges +=
+          static_cast<double>(r.num_sensor_charges) / double(config.trials);
+      outcome.total_dead += r.dead_sensors;
+      outcome.wall_seconds += r.wall_seconds;
+    }
+    outcome.cost = summarize(costs);
+    outcomes.push_back(std::move(outcome));
   }
   return outcomes;
+}
+
+AggregateOutcome run_policy(const ExperimentConfig& config,
+                            const std::string& policy, ThreadPool* pool) {
+  const std::string names[] = {policy};
+  return std::move(run_policies(config, names, pool).front());
 }
 
 }  // namespace mwc::exp

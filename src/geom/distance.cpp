@@ -1,5 +1,7 @@
 #include "geom/distance.hpp"
 
+#include <thread>
+
 #include "util/assert.hpp"
 
 namespace mwc::geom {
@@ -22,6 +24,49 @@ bool DistanceMatrix::satisfies_triangle_inequality(double tol) const {
       for (std::size_t k = 0; k < n_; ++k)
         if ((*this)(i, j) > (*this)(i, k) + (*this)(k, j) + tol) return false;
   return true;
+}
+
+LazyDistanceMatrix::LazyDistanceMatrix(std::vector<Point> points)
+    : pts_(std::move(points)),
+      d_(pts_.size() * pts_.size(), 0.0),
+      state_(pts_.empty() ? nullptr
+                          : new std::atomic<std::uint8_t>[pts_.size()]) {
+  for (std::size_t i = 0; i < pts_.size(); ++i)
+    state_[i].store(0, std::memory_order_relaxed);
+}
+
+void LazyDistanceMatrix::fill_row(std::size_t i) const {
+  const std::size_t n = pts_.size();
+  double* row = d_.data() + i * n;
+  const Point& p = pts_[i];
+  for (std::size_t j = 0; j < n; ++j) row[j] = distance(p, pts_[j]);
+  row[i] = 0.0;
+}
+
+void LazyDistanceMatrix::ensure_row(std::size_t i) const {
+  MWC_DEBUG_ASSERT(i < pts_.size());
+  auto& flag = state_[i];
+  if (flag.load(std::memory_order_acquire) == 2) return;
+  std::uint8_t expected = 0;
+  if (flag.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+    fill_row(i);
+    flag.store(2, std::memory_order_release);
+    return;
+  }
+  // Another thread is filling this row; wait until it publishes.
+  while (flag.load(std::memory_order_acquire) != 2)
+    std::this_thread::yield();
+}
+
+void LazyDistanceMatrix::materialize_all() const {
+  for (std::size_t i = 0; i < pts_.size(); ++i) ensure_row(i);
+}
+
+std::size_t LazyDistanceMatrix::rows_materialized() const noexcept {
+  std::size_t ready = 0;
+  for (std::size_t i = 0; i < pts_.size(); ++i)
+    if (state_[i].load(std::memory_order_acquire) == 2) ++ready;
+  return ready;
 }
 
 double closed_tour_length(std::span<const Point> points,

@@ -11,63 +11,20 @@ namespace mwc::graph {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-template <typename DistFn>
-MstResult prim_impl(std::size_t n, DistFn&& dist, std::size_t root) {
-  MstResult result;
-  if (n == 0) return result;
-  MWC_ASSERT(root < n);
-
-  std::vector<double> best(n, kInf);
-  std::vector<std::size_t> best_from(n, kNone);
-  std::vector<bool> in_tree(n, false);
-
-  best[root] = 0.0;
-  result.edges.reserve(n > 0 ? n - 1 : 0);
-
-  for (std::size_t iter = 0; iter < n; ++iter) {
-    // Extract the cheapest fringe node.
-    std::size_t u = kNone;
-    double u_cost = kInf;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!in_tree[v] && best[v] < u_cost) {
-        u_cost = best[v];
-        u = v;
-      }
-    }
-    MWC_ASSERT_MSG(u != kNone, "graph must be connected (finite distances)");
-    in_tree[u] = true;
-    if (best_from[u] != kNone) {
-      result.edges.push_back(Edge{best_from[u], u, best[u]});
-      result.total_weight += best[u];
-    }
-    // Relax all non-tree nodes through u.
-    for (std::size_t v = 0; v < n; ++v) {
-      if (in_tree[v]) continue;
-      const double d = dist(u, v);
-      if (d < best[v]) {
-        best[v] = d;
-        best_from[v] = u;
-      }
-    }
-  }
-  return result;
-}
 
 }  // namespace
 
 MstResult prim_mst(std::size_t n,
                    const std::function<double(std::size_t, std::size_t)>& dist,
                    std::size_t root) {
-  return prim_impl(n, dist, root);
+  return prim_mst_with(n, dist, root);
 }
 
 MstResult prim_mst(const mwc::geom::DistanceMatrix& dist, std::size_t root) {
-  return prim_impl(dist.size(),
-                   [&](std::size_t i, std::size_t j) { return dist(i, j); },
-                   root);
+  return prim_mst_with(
+      dist.size(),
+      [&](std::size_t i, std::size_t j) { return dist(i, j); }, root);
 }
 
 MstResult kruskal_mst(std::size_t n, std::vector<Edge> edges) {

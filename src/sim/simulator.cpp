@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "charging/fleet.hpp"
 #include "util/assert.hpp"
@@ -13,7 +14,15 @@ namespace mwc::sim {
 
 namespace {
 constexpr double kTimeTolerance = 1e-9;
+
+tsp::DistanceOracle make_network_oracle(const wsn::Network& network) {
+  std::vector<geom::Point> sensors;
+  sensors.reserve(network.n());
+  for (std::size_t i = 0; i < network.n(); ++i)
+    sensors.push_back(network.sensor(i).position);
+  return tsp::DistanceOracle(network.depots(), sensors);
 }
+}  // namespace
 
 /// StateView implementation backed by the simulator's live arrays.
 class Simulator::View final : public charging::StateView {
@@ -42,7 +51,10 @@ class Simulator::View final : public charging::StateView {
 Simulator::Simulator(const wsn::Network& network,
                      const wsn::CycleProcess& cycles,
                      const SimOptions& options)
-    : network_(network), cycle_model_(cycles), options_(options) {
+    : network_(network),
+      cycle_model_(cycles),
+      options_(options),
+      oracle_(make_network_oracle(network)) {
   MWC_ASSERT(options.horizon > 0.0);
   MWC_ASSERT(cycles.n() == network.n());
 }
@@ -53,20 +65,13 @@ std::uint64_t Simulator::set_hash(const std::vector<std::size_t>& sensors) {
   return h;
 }
 
-Simulator::TourCost Simulator::dispatch_cost(
-    const std::vector<std::size_t>& sensors) {
-  const std::uint64_t key =
-      options_.cache_tour_costs ? set_hash(sensors) : 0;
-  if (options_.cache_tour_costs) {
-    const auto it = cost_cache_.find(key);
-    if (it != cost_cache_.end()) return it->second;
-  }
-
+Simulator::TourCost Simulator::compute_cost(
+    const std::vector<std::size_t>& sensors) const {
   if (options_.trip_capacity > 0.0) {
     // Range-limited vehicles: plan the round as capacity-respecting
     // trips; each depot's trip lengths accumulate on its charger.
     const auto plan = charging::plan_capacitated_round(
-        network_, sensors, options_.trip_capacity);
+        network_, sensors, options_.trip_capacity, &oracle_);
     TourCost cost;
     cost.total = plan.total_length;
     cost.per_depot.reserve(plan.trips.size());
@@ -75,35 +80,94 @@ Simulator::TourCost Simulator::dispatch_cost(
       for (const auto& trip : depot_trips) depot_cost += trip.length;
       cost.per_depot.push_back(depot_cost);
     }
-    if (options_.cache_tour_costs) cost_cache_.emplace(key, cost);
     return cost;
   }
 
-  tsp::QRootedInstance instance;
-  instance.depots = network_.depots();
-  instance.sensors.reserve(sensors.size());
-  for (std::size_t id : sensors)
-    instance.sensors.push_back(network_.sensor(id).position);
-
-  tsp::QRootedOptions tour_options;
-  tour_options.improve = options_.improve_tours;
-  tour_options.construction = options_.tour_construction;
-  const auto tours = tsp::q_rooted_tsp(instance, tour_options);
-  const auto points = instance.combined_points();
+  const auto distances = oracle_.dispatch_view(sensors);
+  const auto tours = tsp::q_rooted_tsp(distances, network_.q(),
+                                       options_.effective_tour_options());
 
   TourCost cost;
   cost.total = tours.total_length;
   cost.per_depot.reserve(tours.tours.size());
   for (const auto& tour : tours.tours)
-    cost.per_depot.push_back(tour.length(points));
+    cost.per_depot.push_back(tour.length_with(distances));
+  return cost;
+}
 
+Simulator::TourCost Simulator::dispatch_cost(
+    const std::vector<std::size_t>& sensors) {
+  const std::uint64_t key =
+      options_.cache_tour_costs ? set_hash(sensors) : 0;
+  if (options_.cache_tour_costs) {
+    const auto it = cost_cache_.find(key);
+    if (it != cost_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
+  }
+
+  TourCost cost = compute_cost(sensors);
   if (options_.cache_tour_costs) cost_cache_.emplace(key, cost);
   return cost;
+}
+
+std::size_t Simulator::precost_dispatches(
+    std::span<const std::vector<std::size_t>> sets, ThreadPool* pool) {
+  if (!options_.cache_tour_costs) return 0;
+
+  // Gather the distinct missing sets serially (the cache map is not
+  // thread-safe) ...
+  std::vector<const std::vector<std::size_t>*> missing;
+  std::vector<std::uint64_t> keys;
+  std::unordered_set<std::uint64_t> pending;
+  for (const auto& sensors : sets) {
+    if (sensors.empty()) continue;
+    const std::uint64_t key = set_hash(sensors);
+    if (cost_cache_.contains(key) || !pending.insert(key).second) continue;
+    missing.push_back(&sensors);
+    keys.push_back(key);
+  }
+  if (missing.empty()) return 0;
+
+  // ... cost them concurrently (compute_cost only reads shared state;
+  // the oracle's lazy rows tolerate concurrent first touches) ...
+  std::vector<TourCost> costs(missing.size());
+  const auto cost_one = [&](std::size_t i) {
+    costs[i] = compute_cost(*missing[i]);
+  };
+  if (pool != nullptr && missing.size() > 1) {
+    parallel_for(*pool, 0, missing.size(), cost_one);
+  } else {
+    serial_for(0, missing.size(), cost_one);
+  }
+
+  // ... and publish serially.
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    cost_cache_.emplace(keys[i], std::move(costs[i]));
+  return missing.size();
+}
+
+std::size_t Simulator::precost_policy(charging::Policy& policy,
+                                      ThreadPool* pool) {
+  if (!options_.cache_tour_costs) return 0;
+  // Reconstruct the t = 0 state run() starts from; policies are
+  // restartable, so the extra reset() is harmless.
+  View view(network_, options_.horizon);
+  view.now_ = 0.0;
+  view.cycles_ = cycle_model_.cycles_at_slot(0);
+  view.residual_ = view.cycles_;
+  policy.reset(view);
+  const auto sets = policy.planned_dispatch_sets(view);
+  return precost_dispatches(sets, pool);
 }
 
 SimResult Simulator::run(charging::Policy& policy) {
   Timer timer;
   SimResult result;
+  const std::size_t hits_before = cache_hits_;
+  const std::size_t misses_before = cache_misses_;
   const std::size_t n = network_.n();
   const double T = options_.horizon;
 
@@ -203,6 +267,8 @@ SimResult Simulator::run(charging::Policy& policy) {
     }
   }
 
+  result.tour_cache_hits = cache_hits_ - hits_before;
+  result.tour_cache_misses = cache_misses_ - misses_before;
   result.wall_seconds = timer.elapsed_seconds();
   return result;
 }

@@ -18,12 +18,15 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "charging/schedule.hpp"
 #include "sim/metrics.hpp"
+#include "tsp/oracle.hpp"
 #include "tsp/qrooted.hpp"
+#include "util/thread_pool.hpp"
 #include "wsn/cycles.hpp"
 #include "wsn/network.hpp"
 
@@ -34,9 +37,14 @@ struct SimOptions {
   /// Slot length ΔT for cycle redraws; <= 0 freezes cycles at slot 0
   /// (the fixed-maximum-charging-cycle setting).
   double slot_length = 0.0;
-  /// Polish tours with 2-opt/Or-opt (ablation; default matches the paper).
+  /// How each round's q tours are built (construction heuristic +
+  /// optional 2-opt/Or-opt polish). Defaults match the paper.
+  tsp::QRootedOptions tour_options;
+  /// Deprecated alias for tour_options.improve — kept for one release so
+  /// existing call sites keep compiling; a non-default value overrides
+  /// tour_options (see effective_tour_options()).
   bool improve_tours = false;
-  /// Per-group tour constructor (ablation; default matches the paper).
+  /// Deprecated alias for tour_options.construction; same override rule.
   tsp::TourConstruction tour_construction =
       tsp::TourConstruction::kDoubleTree;
   /// Per-trip travel budget of each charger (metres); > 0 splits every
@@ -51,6 +59,18 @@ struct SimOptions {
   bool record_dispatches = false;
   /// Hard cap on dispatches (guards against a runaway policy).
   std::size_t max_dispatches = 10'000'000;
+
+  /// Resolves the unified tour_options against the deprecated aliases:
+  /// starts from tour_options and lets a non-default legacy field win
+  /// (old call sites set only the legacy fields, so their intent must
+  /// survive until the aliases are removed).
+  tsp::QRootedOptions effective_tour_options() const noexcept {
+    tsp::QRootedOptions resolved = tour_options;
+    if (improve_tours) resolved.improve = true;
+    if (tour_construction != tsp::TourConstruction::kDoubleTree)
+      resolved.construction = tour_construction;
+    return resolved;
+  }
 };
 
 class Simulator {
@@ -59,10 +79,37 @@ class Simulator {
             const SimOptions& options);
 
   /// Runs one full monitoring period under `policy`. Restartable: each
-  /// call re-initializes all state.
+  /// call re-initializes all state (the tour-cost cache persists across
+  /// runs; it depends only on the network geometry and options).
   SimResult run(charging::Policy& policy);
 
+  /// Pre-warms the tour-cost cache with the given dispatch sets: missing
+  /// sets are costed concurrently on `pool` (serially when null) and
+  /// inserted into the cache. A subsequent run() then hits the cache on
+  /// every dispatch of one of these sets. Distances are read through the
+  /// shared per-network oracle, whose lazy rows are thread-safe. Returns
+  /// the number of sets actually computed (not already cached). No-op
+  /// when cache_tour_costs is off.
+  std::size_t precost_dispatches(
+      std::span<const std::vector<std::size_t>> sets,
+      ThreadPool* pool = nullptr);
+
+  /// Asks `policy` (after a reset at t = 0) for its planned dispatch
+  /// sets and pre-costs them. Convenience wrapper used by the experiment
+  /// runner before timed runs.
+  std::size_t precost_policy(charging::Policy& policy,
+                             ThreadPool* pool = nullptr);
+
   const SimOptions& options() const noexcept { return options_; }
+
+  /// Shared pairwise-distance oracle over the network's q depots plus all
+  /// n sensors (combined index space: depot l at l, sensor i at q + i).
+  const tsp::DistanceOracle& oracle() const noexcept { return oracle_; }
+
+  /// Tour-cost cache statistics since construction (run() also snapshots
+  /// the per-run delta into SimResult).
+  std::size_t tour_cache_hits() const noexcept { return cache_hits_; }
+  std::size_t tour_cache_misses() const noexcept { return cache_misses_; }
 
  private:
   class View;
@@ -73,12 +120,18 @@ class Simulator {
   };
 
   TourCost dispatch_cost(const std::vector<std::size_t>& sensors);
+  /// Pure costing of one dispatch set through the oracle; no cache access,
+  /// safe to call concurrently.
+  TourCost compute_cost(const std::vector<std::size_t>& sensors) const;
   static std::uint64_t set_hash(const std::vector<std::size_t>& sensors);
 
   const wsn::Network& network_;
   const wsn::CycleProcess& cycle_model_;
   SimOptions options_;
+  tsp::DistanceOracle oracle_;
   std::unordered_map<std::uint64_t, TourCost> cost_cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
 };
 
 }  // namespace mwc::sim

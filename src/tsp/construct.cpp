@@ -14,34 +14,31 @@ Tour tree_to_tour(std::span<const graph::Edge> tree_edges, std::size_t root) {
   return Tour(graph::shortcut_closed_walk(walk));
 }
 
-Tour double_tree_tour(std::span<const geom::Point> points, std::size_t start) {
-  const std::size_t n = points.size();
+Tour double_tree_tour(const DistanceView& distances, std::size_t start) {
+  const std::size_t n = distances.size();
   if (n == 0) return Tour{};
   MWC_ASSERT(start < n);
   if (n == 1) return Tour({start});
 
-  const auto mst = graph::prim_mst(
-      n,
-      [&](std::size_t i, std::size_t j) {
-        return geom::distance(points[i], points[j]);
-      },
+  const auto mst = graph::prim_mst_with(
+      n, [&](std::size_t i, std::size_t j) { return distances(i, j); },
       start);
   return tree_to_tour(mst.edges, start);
 }
 
-Tour christofides_tour(std::span<const geom::Point> points,
-                       std::size_t start) {
-  const std::size_t n = points.size();
+Tour double_tree_tour(std::span<const geom::Point> points, std::size_t start) {
+  return double_tree_tour(DistanceView::direct(points), start);
+}
+
+Tour christofides_tour(const DistanceView& distances, std::size_t start) {
+  const std::size_t n = distances.size();
   if (n == 0) return Tour{};
   MWC_ASSERT(start < n);
   if (n == 1) return Tour({start});
   if (n == 2) return Tour({start, start == 0 ? std::size_t{1} : 0});
 
-  const auto mst = graph::prim_mst(
-      n,
-      [&](std::size_t i, std::size_t j) {
-        return geom::distance(points[i], points[j]);
-      },
+  const auto mst = graph::prim_mst_with(
+      n, [&](std::size_t i, std::size_t j) { return distances(i, j); },
       start);
 
   // Odd-degree vertices of the MST (always an even count).
@@ -65,8 +62,7 @@ Tour christofides_tour(std::span<const geom::Point> points,
   pairs.reserve(odd.size() * (odd.size() - 1) / 2);
   for (std::size_t i = 0; i < odd.size(); ++i)
     for (std::size_t j = i + 1; j < odd.size(); ++j)
-      pairs.push_back({odd[i], odd[j],
-                       geom::distance(points[odd[i]], points[odd[j]])});
+      pairs.push_back({odd[i], odd[j], distances(odd[i], odd[j])});
   std::sort(pairs.begin(), pairs.end(),
             [](const Pair& x, const Pair& y) { return x.w < y.w; });
 
@@ -85,6 +81,11 @@ Tour christofides_tour(std::span<const geom::Point> points,
   // All degrees are now even; Euler tour + shortcut.
   const auto walk = graph::eulerian_circuit(multigraph, start);
   return Tour(graph::shortcut_closed_walk(walk));
+}
+
+Tour christofides_tour(std::span<const geom::Point> points,
+                       std::size_t start) {
+  return christofides_tour(DistanceView::direct(points), start);
 }
 
 Tour nearest_neighbor_tour(std::span<const geom::Point> points,

@@ -10,11 +10,18 @@
 
 #include "geom/point.hpp"
 #include "graph/mst.hpp"
+#include "tsp/oracle.hpp"
 #include "tsp/tour.hpp"
 
 namespace mwc::tsp {
 
+// The double-tree and Christofides constructors exist in two forms: the
+// DistanceView form is the implementation (one distance kernel, cached
+// or direct), the point-span form wraps it in a direct-geometry view.
+// Results are bit-identical.
+
 /// MST double-tree 2-approximation starting from `start`. O(n^2).
+Tour double_tree_tour(const DistanceView& distances, std::size_t start = 0);
 Tour double_tree_tour(std::span<const geom::Point> points,
                       std::size_t start = 0);
 
@@ -28,6 +35,7 @@ Tour tree_to_tour(std::span<const graph::Edge> tree_edges, std::size_t root);
 /// compatible pair first) rather than minimum-weight perfect matching, so
 /// the classical 1.5 guarantee weakens to 2 — but the constant observed
 /// in practice sits well below the double-tree's. O(n^2 log n).
+Tour christofides_tour(const DistanceView& distances, std::size_t start = 0);
 Tour christofides_tour(std::span<const geom::Point> points,
                        std::size_t start = 0);
 

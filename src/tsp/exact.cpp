@@ -132,7 +132,7 @@ double brute_force_q_rooted_tsp(const QRootedInstance& instance) {
   const std::size_t q = instance.q();
   const std::size_t m = instance.m();
   MWC_ASSERT(q >= 1);
-  const auto points = instance.combined_points();
+  const auto points = instance.points();
 
   double best = kInf;
   for_each_assignment(q, m, [&](const std::vector<std::size_t>& assignment) {
@@ -143,7 +143,11 @@ double brute_force_q_rooted_tsp(const QRootedInstance& instance) {
       for (std::size_t k = 0; k < m; ++k) {
         if (assignment[k] == l) group.push_back(q + k);
       }
-      total += held_karp_anchored_length(points, l, group);
+      std::vector<geom::Point> anchored;
+      anchored.reserve(group.size() + 1);
+      anchored.push_back(points[l]);
+      for (std::size_t s : group) anchored.push_back(points[s]);
+      total += group.empty() ? 0.0 : held_karp_impl(anchored).first;
     }
     best = std::min(best, total);
   });
@@ -154,7 +158,7 @@ double brute_force_q_rooted_msf(const QRootedInstance& instance) {
   const std::size_t q = instance.q();
   const std::size_t m = instance.m();
   MWC_ASSERT(q >= 1);
-  const auto points = instance.combined_points();
+  const auto points = instance.points();
 
   double best = kInf;
   for_each_assignment(q, m, [&](const std::vector<std::size_t>& assignment) {

@@ -9,13 +9,13 @@ namespace mwc::tsp {
 
 namespace {
 
-double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
-  return geom::distance(pts[a], pts[b]);
+double dist(const DistanceView& d, std::size_t a, std::size_t b) {
+  return d(a, b);
 }
 
 }  // namespace
 
-double two_opt(Tour& tour, std::span<const geom::Point> points,
+double two_opt(Tour& tour, const DistanceView& points,
                const ImproveOptions& opts) {
   auto& order = tour.order();
   const std::size_t n = order.size();
@@ -48,7 +48,7 @@ double two_opt(Tour& tour, std::span<const geom::Point> points,
   return total_gain;
 }
 
-double or_opt(Tour& tour, std::span<const geom::Point> points,
+double or_opt(Tour& tour, const DistanceView& points,
               const ImproveOptions& opts) {
   auto& order = tour.order();
   const std::size_t n = order.size();
@@ -106,7 +106,7 @@ double or_opt(Tour& tour, std::span<const geom::Point> points,
   return total_gain;
 }
 
-double improve_tour(Tour& tour, std::span<const geom::Point> points,
+double improve_tour(Tour& tour, const DistanceView& points,
                     const ImproveOptions& opts) {
   double total = 0.0;
   for (std::size_t round = 0; round < opts.max_passes; ++round) {
@@ -115,6 +115,21 @@ double improve_tour(Tour& tour, std::span<const geom::Point> points,
     if (g <= opts.min_gain) break;
   }
   return total;
+}
+
+double two_opt(Tour& tour, std::span<const geom::Point> points,
+               const ImproveOptions& opts) {
+  return two_opt(tour, DistanceView::direct(points), opts);
+}
+
+double or_opt(Tour& tour, std::span<const geom::Point> points,
+              const ImproveOptions& opts) {
+  return or_opt(tour, DistanceView::direct(points), opts);
+}
+
+double improve_tour(Tour& tour, std::span<const geom::Point> points,
+                    const ImproveOptions& opts) {
+  return improve_tour(tour, DistanceView::direct(points), opts);
 }
 
 }  // namespace mwc::tsp

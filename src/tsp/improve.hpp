@@ -10,6 +10,7 @@
 #include <span>
 
 #include "geom/point.hpp"
+#include "tsp/oracle.hpp"
 #include "tsp/tour.hpp"
 
 namespace mwc::tsp {
@@ -19,17 +20,27 @@ struct ImproveOptions {
   double min_gain = 1e-9;        ///< ignore numerically-zero improvements
 };
 
+// Every polisher exists in two forms: the DistanceView form is the
+// implementation (one distance kernel, cached or direct), the point-span
+// form wraps it in a direct-geometry view. Results are bit-identical.
+
 /// 2-opt: repeatedly reverses segments while any reversal shortens the
 /// tour. In-place; returns the total gain (>= 0).
+double two_opt(Tour& tour, const DistanceView& distances,
+               const ImproveOptions& opts = {});
 double two_opt(Tour& tour, std::span<const geom::Point> points,
                const ImproveOptions& opts = {});
 
 /// Or-opt: relocates segments of length 1..3 to better positions.
 /// In-place; returns the total gain (>= 0).
+double or_opt(Tour& tour, const DistanceView& distances,
+              const ImproveOptions& opts = {});
 double or_opt(Tour& tour, std::span<const geom::Point> points,
               const ImproveOptions& opts = {});
 
 /// 2-opt followed by Or-opt, iterated until neither improves.
+double improve_tour(Tour& tour, const DistanceView& distances,
+                    const ImproveOptions& opts = {});
 double improve_tour(Tour& tour, std::span<const geom::Point> points,
                     const ImproveOptions& opts = {});
 

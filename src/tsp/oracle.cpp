@@ -1,0 +1,102 @@
+#include "tsp/oracle.hpp"
+
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+namespace {
+
+std::vector<geom::Point> concatenate(std::span<const geom::Point> depots,
+                                     std::span<const geom::Point> sensors) {
+  std::vector<geom::Point> pts;
+  pts.reserve(depots.size() + sensors.size());
+  pts.insert(pts.end(), depots.begin(), depots.end());
+  pts.insert(pts.end(), sensors.begin(), sensors.end());
+  return pts;
+}
+
+bool is_identity(const std::vector<std::size_t>& map) {
+  for (std::size_t i = 0; i < map.size(); ++i)
+    if (map[i] != i) return false;
+  return true;
+}
+
+}  // namespace
+
+DistanceView DistanceView::direct(std::span<const geom::Point> points) {
+  DistanceView view;
+  view.head_ = points;
+  view.size_ = points.size();
+  return view;
+}
+
+DistanceView DistanceView::direct(std::span<const geom::Point> head,
+                                  std::span<const geom::Point> tail) {
+  DistanceView view;
+  view.head_ = head;
+  view.tail_ = tail;
+  view.size_ = head.size() + tail.size();
+  return view;
+}
+
+DistanceView DistanceView::sub(std::vector<std::size_t> locals) const {
+  DistanceView view;
+  view.oracle_ = oracle_;
+  view.head_ = head_;
+  view.tail_ = tail_;
+  view.size_ = locals.size();
+  if (map_.empty()) {
+    view.map_ = std::move(locals);
+  } else {
+    view.map_.reserve(locals.size());
+    for (std::size_t local : locals) {
+      MWC_DEBUG_ASSERT(local < size_);
+      view.map_.push_back(map_[local]);
+    }
+  }
+  // An identity map is pure per-probe overhead; the empty map means the
+  // same thing for free.
+  if (is_identity(view.map_)) view.map_.clear();
+  return view;
+}
+
+DistanceOracle::DistanceOracle(std::span<const geom::Point> depots,
+                               std::span<const geom::Point> sensors)
+    : q_(depots.size()), matrix_(concatenate(depots, sensors)) {}
+
+DistanceOracle::DistanceOracle(std::vector<geom::Point> points,
+                               std::size_t num_depots)
+    : q_(num_depots), matrix_(std::move(points)) {
+  MWC_ASSERT(q_ <= matrix_.size());
+}
+
+DistanceView DistanceOracle::view() const {
+  DistanceView view;
+  view.oracle_ = this;
+  view.size_ = size();
+  return view;
+}
+
+DistanceView DistanceOracle::submatrix(std::vector<std::size_t> subset) const {
+  DistanceView view;
+  view.oracle_ = this;
+  view.size_ = subset.size();
+  if (!is_identity(subset)) view.map_ = std::move(subset);
+  for ([[maybe_unused]] std::size_t i : view.map_)
+    MWC_DEBUG_ASSERT(i < size());
+  return view;
+}
+
+DistanceView DistanceOracle::dispatch_view(
+    std::span<const std::size_t> sensor_ids) const {
+  std::vector<std::size_t> subset;
+  subset.reserve(q_ + sensor_ids.size());
+  for (std::size_t l = 0; l < q_; ++l) subset.push_back(l);
+  for (std::size_t id : sensor_ids) {
+    MWC_DEBUG_ASSERT(q_ + id < size());
+    subset.push_back(q_ + id);
+  }
+  return submatrix(std::move(subset));
+}
+
+}  // namespace mwc::tsp

@@ -11,18 +11,26 @@
 
 namespace mwc::tsp {
 
-std::vector<geom::Point> QRootedInstance::combined_points() const {
+std::vector<geom::Point> CombinedPointsView::materialize() const {
   std::vector<geom::Point> pts;
-  pts.reserve(total_nodes());
-  pts.insert(pts.end(), depots.begin(), depots.end());
-  pts.insert(pts.end(), sensors.begin(), sensors.end());
+  pts.reserve(size());
+  pts.insert(pts.end(), depots_.begin(), depots_.end());
+  pts.insert(pts.end(), sensors_.begin(), sensors_.end());
   return pts;
 }
 
+std::vector<geom::Point> QRootedInstance::combined_points() const {
+  return points().materialize();
+}
+
 QRootedForest q_rooted_msf(const QRootedInstance& instance) {
-  const std::size_t q = instance.q();
-  const std::size_t m = instance.m();
+  return q_rooted_msf(instance.distances(), instance.q());
+}
+
+QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
   MWC_ASSERT_MSG(q >= 1, "q-rooted MSF needs at least one depot");
+  MWC_ASSERT(q <= distances.size());
+  const std::size_t m = distances.size() - q;
 
   QRootedForest result;
   result.trees.reserve(q);
@@ -40,8 +48,7 @@ QRootedForest q_rooted_msf(const QRootedInstance& instance) {
   std::vector<std::size_t> nearest_depot(m, 0);
   for (std::size_t k = 0; k < m; ++k) {
     for (std::size_t l = 0; l < q; ++l) {
-      const double d =
-          geom::distance(instance.sensors[k], instance.depots[l]);
+      const double d = distances(q + k, l);
       if (d < root_dist[k]) {
         root_dist[k] = d;
         nearest_depot[k] = l;
@@ -53,10 +60,10 @@ QRootedForest q_rooted_msf(const QRootedInstance& instance) {
     if (i == j) return 0.0;
     if (i == 0) return root_dist[j - 1];
     if (j == 0) return root_dist[i - 1];
-    return geom::distance(instance.sensors[i - 1], instance.sensors[j - 1]);
+    return distances(q + i - 1, q + j - 1);
   };
 
-  const auto mst = graph::prim_mst(m + 1, aux_dist, /*root=*/0);
+  const auto mst = graph::prim_mst_with(m + 1, aux_dist, /*root=*/0);
 
   // Un-contract: an MST edge (0, k) becomes (nearest_depot[k-1], sensor).
   // Each subtree hanging off the virtual root attaches through exactly one
@@ -117,8 +124,12 @@ QRootedForest q_rooted_msf(const QRootedInstance& instance) {
 
 QRootedTours q_rooted_tsp(const QRootedInstance& instance,
                           const QRootedOptions& options) {
-  const auto forest = q_rooted_msf(instance);
-  const auto points = instance.combined_points();
+  return q_rooted_tsp(instance.distances(), instance.q(), options);
+}
+
+QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
+                          const QRootedOptions& options) {
+  const auto forest = q_rooted_msf(distances, q);
 
   QRootedTours result;
   result.tours.reserve(forest.trees.size());
@@ -132,14 +143,11 @@ QRootedTours q_rooted_tsp(const QRootedInstance& instance,
         // Re-solve the group's tour from scratch; the MSF only decides
         // which depot serves which sensors.
         const auto& nodes = tree.nodes();
-        std::vector<geom::Point> group_points;
-        group_points.reserve(nodes.size());
         std::size_t local_root = 0;
-        for (std::size_t k = 0; k < nodes.size(); ++k) {
+        for (std::size_t k = 0; k < nodes.size(); ++k)
           if (nodes[k] == tree.root()) local_root = k;
-          group_points.push_back(points[nodes[k]]);
-        }
-        Tour local = christofides_tour(group_points, local_root);
+        Tour local = christofides_tour(
+            distances.sub({nodes.begin(), nodes.end()}), local_root);
         std::vector<std::size_t> order;
         order.reserve(local.size());
         for (std::size_t v : local.order()) order.push_back(nodes[v]);
@@ -148,9 +156,9 @@ QRootedTours q_rooted_tsp(const QRootedInstance& instance,
       }
     }
     if (options.improve && tour.size() >= 4) {
-      improve_tour(tour, points);
+      improve_tour(tour, distances);
     }
-    result.total_length += tour.length(points);
+    result.total_length += tour.length_with(distances);
     result.tours.push_back(std::move(tour));
   }
   return result;

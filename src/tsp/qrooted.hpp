@@ -18,14 +18,84 @@
 
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <span>
 #include <vector>
 
 #include "geom/point.hpp"
 #include "graph/forest.hpp"
+#include "tsp/oracle.hpp"
 #include "tsp/tour.hpp"
 
 namespace mwc::tsp {
+
+/// Random-access, non-owning view of an instance's points in combined
+/// order (depots first, then sensors) — what `combined_points()` used to
+/// copy, without the O(q + m) allocation. Valid as long as the backing
+/// depot/sensor vectors are.
+class CombinedPointsView {
+ public:
+  CombinedPointsView() = default;
+  CombinedPointsView(std::span<const geom::Point> depots,
+                     std::span<const geom::Point> sensors)
+      : depots_(depots), sensors_(sensors) {}
+
+  std::size_t size() const noexcept { return depots_.size() + sensors_.size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  const geom::Point& operator[](std::size_t i) const noexcept {
+    return i < depots_.size() ? depots_[i] : sensors_[i - depots_.size()];
+  }
+
+  std::span<const geom::Point> depots() const noexcept { return depots_; }
+  std::span<const geom::Point> sensors() const noexcept { return sensors_; }
+
+  /// Direct-geometry distance kernel over this view's combined space.
+  DistanceView distances() const {
+    return DistanceView::direct(depots_, sensors_);
+  }
+
+  /// Materializes the combined order into a contiguous vector (for APIs
+  /// that genuinely need a std::span of points).
+  std::vector<geom::Point> materialize() const;
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = geom::Point;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const geom::Point*;
+    using reference = const geom::Point&;
+
+    iterator() = default;
+    iterator(const CombinedPointsView* view, std::size_t index)
+        : view_(view), index_(index) {}
+
+    reference operator*() const { return (*view_)[index_]; }
+    pointer operator->() const { return &(*view_)[index_]; }
+    iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    bool operator==(const iterator& o) const = default;
+
+   private:
+    const CombinedPointsView* view_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  iterator begin() const { return {this, 0}; }
+  iterator end() const { return {this, size()}; }
+
+ private:
+  std::span<const geom::Point> depots_;
+  std::span<const geom::Point> sensors_;
+};
 
 /// A q-rooted instance: depot positions plus sensor positions.
 struct QRootedInstance {
@@ -41,7 +111,14 @@ struct QRootedInstance {
     return i < depots.size() ? depots[i] : sensors[i - depots.size()];
   }
 
+  /// All positions in combined order (depots first), as a zero-copy view.
+  CombinedPointsView points() const noexcept { return {depots, sensors}; }
+
+  /// Direct-geometry distance kernel over the combined space.
+  DistanceView distances() const { return points().distances(); }
+
   /// All positions in combined order (depots first). O(q + m) copy.
+  /// Deprecated: prefer `points()` (view) or `points().materialize()`.
   std::vector<geom::Point> combined_points() const;
 };
 
@@ -54,6 +131,11 @@ struct QRootedForest {
 
 /// Exact q-rooted MSF (Algorithm 1). Requires q >= 1. O((q + m)^2).
 QRootedForest q_rooted_msf(const QRootedInstance& instance);
+
+/// Exact q-rooted MSF over any distance kernel whose combined node space
+/// has nodes 0..q-1 as depots (e.g. a DistanceOracle::dispatch_view).
+/// Bit-exact with the instance overload for equal distances.
+QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q);
 
 /// Result of Algorithm 2. tours[l] starts at depot l; a tour of size one
 /// (just the depot) means charger l stays home. Lengths use the Euclidean
@@ -80,6 +162,12 @@ struct QRootedOptions {
 
 /// 2-approximate q-rooted TSP (Algorithm 2). Requires q >= 1.
 QRootedTours q_rooted_tsp(const QRootedInstance& instance,
+                          const QRootedOptions& options = {});
+
+/// 2-approximate q-rooted TSP over any distance kernel whose combined
+/// node space has nodes 0..q-1 as depots. Tour node indices are local to
+/// the view. Bit-exact with the instance overload for equal distances.
+QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
                           const QRootedOptions& options = {});
 
 /// Validates the Theorem-1 structural guarantees: each tour is closed

@@ -17,11 +17,11 @@ std::vector<std::size_t> nodes_after_root(const Tour& tour,
   return {rotated.order().begin() + 1, rotated.order().end()};
 }
 
-void finalize(SplitResult& result, std::span<const geom::Point> points) {
+void finalize(SplitResult& result, const DistanceView& d) {
   result.total_length = 0.0;
   result.max_length = 0.0;
   for (const auto& t : result.tours) {
-    const double len = t.length(points);
+    const double len = t.length_with(d);
     result.total_length += len;
     result.max_length = std::max(result.max_length, len);
   }
@@ -29,9 +29,8 @@ void finalize(SplitResult& result, std::span<const geom::Point> points) {
 
 }  // namespace
 
-SplitResult split_tour_capacity(std::span<const geom::Point> points,
-                                const Tour& tour, std::size_t root,
-                                double capacity) {
+SplitResult split_tour_capacity(const DistanceView& d, const Tour& tour,
+                                std::size_t root, double capacity) {
   MWC_ASSERT(capacity > 0.0);
   SplitResult result;
   if (tour.size() <= 1) {
@@ -40,7 +39,7 @@ SplitResult split_tour_capacity(std::span<const geom::Point> points,
   }
   const auto nodes = nodes_after_root(tour, root);
   for (std::size_t v : nodes) {
-    const double round_trip = 2.0 * geom::distance(points[root], points[v]);
+    const double round_trip = 2.0 * d(root, v);
     MWC_ASSERT_MSG(round_trip <= capacity + 1e-9,
                    "capacity below a node's round trip: no feasible split");
   }
@@ -49,32 +48,31 @@ SplitResult split_tour_capacity(std::span<const geom::Point> points,
   double current_len = 0.0;  // closed length of `current`
   for (std::size_t v : nodes) {
     const std::size_t last = current.back();
-    const double detour_to_v = geom::distance(points[last], points[v]) +
-                               geom::distance(points[v], points[root]) -
-                               geom::distance(points[last], points[root]);
+    const double detour_to_v = d(last, v) +
+                               d(v, root) -
+                               d(last, root);
     if (current.size() > 1 && current_len + detour_to_v > capacity + 1e-9) {
       result.tours.emplace_back(std::move(current));
       current = {root};
       current_len = 0.0;
     }
     const std::size_t tail = current.back();
-    current_len += geom::distance(points[tail], points[v]) +
-                   geom::distance(points[v], points[root]) -
+    current_len += d(tail, v) +
+                   d(v, root) -
                    (current.size() > 1
-                        ? geom::distance(points[tail], points[root])
+                        ? d(tail, root)
                         : 0.0);
     current.push_back(v);
   }
   if (current.size() > 1) result.tours.emplace_back(std::move(current));
   if (result.tours.empty())
     result.tours.emplace_back(std::vector<std::size_t>{root});
-  finalize(result, points);
+  finalize(result, d);
   return result;
 }
 
-SplitResult split_tour_minmax(std::span<const geom::Point> points,
-                              const Tour& tour, std::size_t root,
-                              std::size_t k) {
+SplitResult split_tour_minmax(const DistanceView& d, const Tour& tour,
+                              std::size_t root, std::size_t k) {
   MWC_ASSERT(k >= 1);
   SplitResult result;
   if (tour.size() <= 1) {
@@ -87,13 +85,13 @@ SplitResult split_tour_minmax(std::span<const geom::Point> points,
 
   // Prefix path costs along the tour: cost[i] = root -> nodes[0..i].
   std::vector<double> prefix(m, 0.0);
-  prefix[0] = geom::distance(points[root], points[nodes[0]]);
+  prefix[0] = d(root, nodes[0]);
   for (std::size_t i = 1; i < m; ++i) {
     prefix[i] =
-        prefix[i - 1] + geom::distance(points[nodes[i - 1]], points[nodes[i]]);
+        prefix[i - 1] + d(nodes[i - 1], nodes[i]);
   }
   const double total_path =
-      prefix[m - 1] + geom::distance(points[nodes[m - 1]], points[root]);
+      prefix[m - 1] + d(nodes[m - 1], root);
 
   // Cut after the last node whose prefix cost is <= j * total / k
   // (Frederickson's splitting rule, adapted to closed tours).
@@ -112,23 +110,42 @@ SplitResult split_tour_minmax(std::span<const geom::Point> points,
     start = end;
   }
   MWC_DEBUG_ASSERT(start == m);
-  finalize(result, points);
+  finalize(result, d);
   return result;
 }
 
-double minmax_split_lower_bound(std::span<const geom::Point> points,
-                                const Tour& tour, std::size_t root,
-                                std::size_t k) {
+double minmax_split_lower_bound(const DistanceView& d, const Tour& tour,
+                                std::size_t root, std::size_t k) {
   MWC_ASSERT(k >= 1);
   if (tour.size() <= 1) return 0.0;
   double farthest = 0.0;
   for (std::size_t v : tour.order()) {
     farthest = std::max(farthest,
-                        2.0 * geom::distance(points[root], points[v]));
+                        2.0 * d(root, v));
   }
   // Any cover must serve the farthest node with a closed trip through the
   // root — a true lower bound regardless of how the tour is split.
   return farthest;
+}
+
+SplitResult split_tour_capacity(std::span<const geom::Point> points,
+                                const Tour& tour, std::size_t root,
+                                double capacity) {
+  return split_tour_capacity(DistanceView::direct(points), tour, root,
+                             capacity);
+}
+
+SplitResult split_tour_minmax(std::span<const geom::Point> points,
+                              const Tour& tour, std::size_t root,
+                              std::size_t k) {
+  return split_tour_minmax(DistanceView::direct(points), tour, root, k);
+}
+
+double minmax_split_lower_bound(std::span<const geom::Point> points,
+                                const Tour& tour, std::size_t root,
+                                std::size_t k) {
+  return minmax_split_lower_bound(DistanceView::direct(points), tour, root,
+                                  k);
 }
 
 }  // namespace mwc::tsp

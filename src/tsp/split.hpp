@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "geom/point.hpp"
+#include "tsp/oracle.hpp"
 #include "tsp/tour.hpp"
 
 namespace mwc::tsp {
@@ -32,15 +33,25 @@ struct SplitResult {
   double max_length = 0.0;    ///< longest subtour
 };
 
+// Each splitter exists in two forms: the DistanceView form is the
+// implementation (one distance kernel, cached or direct), the point-span
+// form wraps it in a direct-geometry view. Results are bit-identical.
+
 /// Splits `tour` (a closed tour that visits `root`) into subtours of
 /// length at most `capacity` each. Asserts that every node's round trip
 /// from the root fits in `capacity` (otherwise no feasible split exists).
+SplitResult split_tour_capacity(const DistanceView& distances,
+                                const Tour& tour, std::size_t root,
+                                double capacity);
 SplitResult split_tour_capacity(std::span<const geom::Point> points,
                                 const Tour& tour, std::size_t root,
                                 double capacity);
 
 /// Splits `tour` into exactly `k` subtours (some possibly root-only),
 /// minimizing the longest via the j/k cost-prefix rule. k >= 1.
+SplitResult split_tour_minmax(const DistanceView& distances,
+                              const Tour& tour, std::size_t root,
+                              std::size_t k);
 SplitResult split_tour_minmax(std::span<const geom::Point> points,
                               const Tour& tour, std::size_t root,
                               std::size_t k);
@@ -48,6 +59,9 @@ SplitResult split_tour_minmax(std::span<const geom::Point> points,
 /// True lower bound on any k-charger makespan over this node set: the
 /// farthest node's round trip through the root. Useful for tests and
 /// reporting.
+double minmax_split_lower_bound(const DistanceView& distances,
+                                const Tour& tour, std::size_t root,
+                                std::size_t k);
 double minmax_split_lower_bound(std::span<const geom::Point> points,
                                 const Tour& tour, std::size_t root,
                                 std::size_t k);

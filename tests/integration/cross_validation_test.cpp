@@ -69,9 +69,9 @@ TEST_P(VarReducesToFixed, IdenticalCostWhenCyclesNeverChange) {
   config.trials = 1;
 
   const auto fixed =
-      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
+      exp::run_trial(config, "MinTotalDistance", 0);
   const auto var =
-      exp::run_trial(config, exp::PolicyKind::kMinTotalDistanceVar, 0);
+      exp::run_trial(config, "MinTotalDistance-var", 0);
   EXPECT_NEAR(fixed.service_cost, var.service_cost,
               1e-6 * (1.0 + fixed.service_cost));
   EXPECT_EQ(fixed.num_dispatches, var.num_dispatches);
@@ -105,10 +105,10 @@ TEST(ImproveOption, SimulatedCostNeverWorse) {
   config.sim.horizon = 100.0;
   config.trials = 1;
   const auto raw =
-      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
-  config.sim.improve_tours = true;
+      exp::run_trial(config, "MinTotalDistance", 0);
+  config.sim.tour_options.improve = true;
   const auto polished =
-      exp::run_trial(config, exp::PolicyKind::kMinTotalDistance, 0);
+      exp::run_trial(config, "MinTotalDistance", 0);
   EXPECT_LE(polished.service_cost, raw.service_cost + 1e-6);
   EXPECT_EQ(polished.num_dispatches, raw.num_dispatches);
 }
@@ -122,8 +122,8 @@ TEST(PairedDraws, PoliciesSeeIdenticalTopologiesAndCycles) {
   config.deployment.n = 30;
   config.sim.horizon = 50.0;
   config.trials = 1;
-  const auto a = exp::run_trial(config, exp::PolicyKind::kPeriodicAll, 0);
-  const auto b = exp::run_trial(config, exp::PolicyKind::kPeriodicAll, 0);
+  const auto a = exp::run_trial(config, "PeriodicAll", 0);
+  const auto b = exp::run_trial(config, "PeriodicAll", 0);
   EXPECT_DOUBLE_EQ(a.service_cost, b.service_cost);
 }
 

@@ -10,7 +10,7 @@
 namespace mwc::exp {
 namespace {
 
-using Param = std::tuple<PolicyKind, wsn::CycleDistribution, bool,
+using Param = std::tuple<std::string, wsn::CycleDistribution, bool,
                          std::uint64_t>;
 
 class FeasibilityProperty : public ::testing::TestWithParam<Param> {};
@@ -37,10 +37,10 @@ TEST_P(FeasibilityProperty, NoSensorEverDies) {
 INSTANTIATE_TEST_SUITE_P(
     FixedCycles, FeasibilityProperty,
     ::testing::Combine(
-        ::testing::Values(PolicyKind::kMinTotalDistance,
-                          PolicyKind::kMinTotalDistanceVar,
-                          PolicyKind::kGreedy, PolicyKind::kPeriodicAll,
-                          PolicyKind::kPerSensorPeriodic),
+        ::testing::Values("MinTotalDistance",
+                          "MinTotalDistance-var",
+                          "Greedy", "PeriodicAll",
+                          "PerSensorPeriodic"),
         ::testing::Values(wsn::CycleDistribution::kLinear,
                           wsn::CycleDistribution::kRandom),
         ::testing::Values(false),
@@ -53,9 +53,9 @@ INSTANTIATE_TEST_SUITE_P(
 INSTANTIATE_TEST_SUITE_P(
     VariableCycles, FeasibilityProperty,
     ::testing::Combine(
-        ::testing::Values(PolicyKind::kMinTotalDistanceVar,
-                          PolicyKind::kGreedy, PolicyKind::kPeriodicAll,
-                          PolicyKind::kPerSensorPeriodic),
+        ::testing::Values("MinTotalDistance-var",
+                          "Greedy", "PeriodicAll",
+                          "PerSensorPeriodic"),
         ::testing::Values(wsn::CycleDistribution::kLinear,
                           wsn::CycleDistribution::kRandom),
         ::testing::Values(true),
@@ -75,8 +75,8 @@ TEST(FeasibilityContrast, FixedPolicyDiesUnderShrinkingCycles) {
   std::size_t fixed_dead = 0, var_dead = 0;
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
     fixed_dead +=
-        run_trial(config, PolicyKind::kMinTotalDistance, trial).dead_sensors;
-    var_dead += run_trial(config, PolicyKind::kMinTotalDistanceVar, trial)
+        run_trial(config, "MinTotalDistance", trial).dead_sensors;
+    var_dead += run_trial(config, "MinTotalDistance-var", trial)
                     .dead_sensors;
   }
   EXPECT_GT(fixed_dead, 0u);
@@ -95,8 +95,8 @@ TEST_P(HarshVariability, SurvivesLargeSigmaAndShortSlots) {
   config.trials = 1;
   config.seed = GetParam();
 
-  for (PolicyKind kind : {PolicyKind::kMinTotalDistanceVar,
-                          PolicyKind::kGreedy}) {
+  for (const char* kind : {"MinTotalDistance-var",
+                          "Greedy"}) {
     const auto result = run_trial(config, kind, 0);
     EXPECT_EQ(result.dead_sensors, 0u)
         << policy_name(kind) << " seed=" << GetParam();

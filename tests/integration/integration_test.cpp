@@ -19,9 +19,9 @@ ExperimentConfig small_config(wsn::CycleDistribution distribution,
   return config;
 }
 
-double cost_ratio(const ExperimentConfig& config, PolicyKind a,
-                  PolicyKind b) {
-  const PolicyKind kinds[] = {a, b};
+double cost_ratio(const ExperimentConfig& config, const std::string& a,
+                  const std::string& b) {
+  const std::string kinds[] = {a, b};
   const auto outcomes = run_policies(config, kinds);
   EXPECT_EQ(outcomes[0].total_dead, 0u) << outcomes[0].name;
   EXPECT_EQ(outcomes[1].total_dead, 0u) << outcomes[1].name;
@@ -31,8 +31,8 @@ double cost_ratio(const ExperimentConfig& config, PolicyKind a,
 TEST(Integration, MinTotalDistanceBeatsGreedyOnLinear) {
   const auto config =
       small_config(wsn::CycleDistribution::kLinear, /*variable=*/false);
-  const double ratio = cost_ratio(config, PolicyKind::kMinTotalDistance,
-                                  PolicyKind::kGreedy);
+  const double ratio = cost_ratio(config, "MinTotalDistance",
+                                  "Greedy");
   // Paper Fig. 1(a): 55-60%. Allow slack for the reduced scale.
   EXPECT_LT(ratio, 0.85);
   EXPECT_GT(ratio, 0.2);
@@ -44,9 +44,9 @@ TEST(Integration, RandomDistributionGivesSmallerWin) {
   const auto random =
       small_config(wsn::CycleDistribution::kRandom, false);
   const double ratio_linear = cost_ratio(
-      linear, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+      linear, "MinTotalDistance", "Greedy");
   const double ratio_random = cost_ratio(
-      random, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+      random, "MinTotalDistance", "Greedy");
   // Fig. 1: the win under the random distribution is markedly smaller.
   EXPECT_LT(ratio_linear, ratio_random);
   EXPECT_LT(ratio_random, 1.1);
@@ -56,7 +56,7 @@ TEST(Integration, VarHeuristicCompetitiveUnderVariableCycles) {
   const auto config =
       small_config(wsn::CycleDistribution::kLinear, /*variable=*/true);
   const double ratio = cost_ratio(
-      config, PolicyKind::kMinTotalDistanceVar, PolicyKind::kGreedy);
+      config, "MinTotalDistance-var", "Greedy");
   // Fig. 3: still clearly below greedy at ΔT = 10.
   EXPECT_LT(ratio, 1.0);
 }
@@ -64,8 +64,8 @@ TEST(Integration, VarHeuristicCompetitiveUnderVariableCycles) {
 TEST(Integration, NaiveChargeAllIsWorst) {
   auto config = small_config(wsn::CycleDistribution::kLinear, false);
   config.trials = 3;
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kPeriodicAll};
+  const std::string kinds[] = {"MinTotalDistance",
+                              "PeriodicAll"};
   const auto outcomes = run_policies(config, kinds);
   EXPECT_LT(outcomes[0].cost.mean, outcomes[1].cost.mean);
 }
@@ -78,10 +78,10 @@ TEST(Integration, SmallTauMaxClosesTheGap) {
 
   config.cycles.tau_max = 5.0;
   const double ratio_small = cost_ratio(
-      config, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+      config, "MinTotalDistance", "Greedy");
   config.cycles.tau_max = 50.0;
   const double ratio_large = cost_ratio(
-      config, PolicyKind::kMinTotalDistance, PolicyKind::kGreedy);
+      config, "MinTotalDistance", "Greedy");
   EXPECT_GT(ratio_small, ratio_large);
 }
 
@@ -90,8 +90,8 @@ TEST(Integration, ReportPipelineEndToEnd) {
   config.trials = 2;
   config.deployment.n = 40;
   FigureReport report("Fig. test", "integration smoke", "n");
-  const PolicyKind kinds[] = {PolicyKind::kMinTotalDistance,
-                              PolicyKind::kGreedy};
+  const std::string kinds[] = {"MinTotalDistance",
+                              "Greedy"};
   for (std::size_t n : {30u, 50u}) {
     config.deployment.n = n;
     report.add_point({static_cast<double>(n),

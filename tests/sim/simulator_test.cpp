@@ -245,6 +245,73 @@ TEST(Simulator, MinResidualTracksSlack) {
   EXPECT_NEAR(result.min_residual_at_charge, 3.0, 1e-9);
 }
 
+TEST(Simulator, CacheHitsMatchRoundClasses) {
+  // MinTotalDistance only ever dispatches K+1 distinct sensor sets (the
+  // cumulative round classes), so a cold cache misses exactly K+1 times
+  // and hits on every other dispatch.
+  const auto net = test_network(30, 3, 14);
+  const auto cycles = fixed_cycles(net, 1.0, 20.0, 14);
+  SimOptions options;
+  options.horizon = 100.0;
+  Simulator simulator(net, cycles, options);
+  charging::MinTotalDistancePolicy policy;
+  const auto result = simulator.run(policy);
+
+  const std::size_t classes = policy.partition().K + 1;
+  EXPECT_EQ(result.tour_cache_misses, classes);
+  EXPECT_EQ(result.tour_cache_hits, result.num_dispatches - classes);
+}
+
+TEST(Simulator, PrecostPolicyWarmsCache) {
+  const auto net = test_network(30, 3, 15);
+  const auto cycles = fixed_cycles(net, 1.0, 20.0, 15);
+  SimOptions options;
+  options.horizon = 100.0;
+  Simulator simulator(net, cycles, options);
+  charging::MinTotalDistancePolicy policy;
+
+  ThreadPool pool(4);
+  const std::size_t computed = simulator.precost_policy(policy, &pool);
+  EXPECT_EQ(computed, policy.partition().K + 1);
+  // Re-precosting finds everything cached.
+  EXPECT_EQ(simulator.precost_policy(policy, &pool), 0u);
+
+  const auto result = simulator.run(policy);
+  EXPECT_EQ(result.tour_cache_misses, 0u);
+  EXPECT_EQ(result.tour_cache_hits, result.num_dispatches);
+
+  // Pre-warming must not change any outcome versus a cold simulator.
+  charging::MinTotalDistancePolicy cold_policy;
+  const auto cold = Simulator(net, cycles, options).run(cold_policy);
+  EXPECT_EQ(result.service_cost, cold.service_cost);
+  EXPECT_EQ(result.num_dispatches, cold.num_dispatches);
+}
+
+TEST(Simulator, PrecostDispatchesDeduplicates) {
+  const auto net = test_network(12, 2, 16);
+  const auto cycles = fixed_cycles(net, 5.0, 10.0, 16);
+  SimOptions options;
+  options.horizon = 50.0;
+  Simulator simulator(net, cycles, options);
+  const std::vector<std::vector<std::size_t>> sets = {
+      {0, 1, 2}, {3, 4}, {0, 1, 2}, {}};
+  EXPECT_EQ(simulator.precost_dispatches(sets), 2u);
+  EXPECT_EQ(simulator.precost_dispatches(sets), 0u);
+}
+
+TEST(Simulator, DeprecatedTourAliasesStillHonoured) {
+  SimOptions options;
+  options.improve_tours = true;
+  options.tour_construction = tsp::TourConstruction::kChristofides;
+  const auto resolved = options.effective_tour_options();
+  EXPECT_TRUE(resolved.improve);
+  EXPECT_EQ(resolved.construction, tsp::TourConstruction::kChristofides);
+
+  SimOptions unified;
+  unified.tour_options.improve = true;
+  EXPECT_TRUE(unified.effective_tour_options().improve);
+}
+
 TEST(SimulatorDeath, PastDispatchAborts) {
   const auto net = test_network(2, 1, 10);
   const auto cycles = fixed_cycles(net, 50.0, 50.0, 10);

@@ -33,7 +33,7 @@ void expect_hamiltonian(const Tour& tour, std::size_t n) {
 }
 
 TEST(DoubleTree, Degenerate) {
-  EXPECT_TRUE(double_tree_tour({}).empty());
+  EXPECT_TRUE(double_tree_tour(DistanceView{}).empty());
   const std::vector<geom::Point> one{{1, 1}};
   EXPECT_EQ(double_tree_tour(one).size(), 1u);
 }
@@ -108,7 +108,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ConstructProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 
 TEST(Christofides, Degenerate) {
-  EXPECT_TRUE(christofides_tour({}).empty());
+  EXPECT_TRUE(christofides_tour(DistanceView{}).empty());
   const std::vector<geom::Point> one{{1, 1}};
   EXPECT_EQ(christofides_tour(one).size(), 1u);
   const std::vector<geom::Point> two{{0, 0}, {3, 4}};
