@@ -8,6 +8,11 @@
 //   --improve       polish tours with 2-opt/Or-opt (ablation)
 //   --policies A,B  comma-separated exp::PolicyRegistry names overriding
 //                   the bench's default policy set (no recompile needed)
+//   --metrics-out F write the global obs::Registry snapshot (counters,
+//                   gauges, histograms) as mwc.metrics.v1 JSON after the
+//                   run — the metrics sidecar next to the CSV results
+//   --trace-out F   enable span collection and write a Chrome
+//                   trace-event JSON (chrome://tracing / Perfetto)
 // and honours MWC_TRIALS as a fallback for --trials, so
 // `MWC_TRIALS=100 ./fig1_network_size` reproduces the paper-scale run.
 #pragma once
@@ -22,6 +27,7 @@
 #include "exp/config.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -33,6 +39,8 @@ struct BenchContext {
   std::unique_ptr<ThreadPool> pool;
   std::string csv_path;
   std::string svg_path;
+  std::string metrics_path;  ///< --metrics-out: registry JSON sidecar
+  std::string trace_path;    ///< --trace-out: Chrome trace-event JSON
   /// Registry names from --policies (empty: use the bench's defaults).
   std::vector<std::string> policies;
 
@@ -67,6 +75,11 @@ inline BenchContext make_context(int argc, char** argv, bool variable) {
   ctx.pool = std::make_unique<ThreadPool>(threads);
   ctx.csv_path = args.get_or("csv", "");
   ctx.svg_path = args.get_or("svg", "");
+  ctx.metrics_path = args.get_or("metrics-out", "");
+  ctx.trace_path = args.get_or("trace-out", "");
+  // Span collection is opt-in: enabling costs one atomic flag load per
+  // span site otherwise.
+  if (!ctx.trace_path.empty()) obs::set_trace_enabled(true);
   const std::string policies_csv = args.get_or("policies", "");
   for (std::size_t pos = 0; pos < policies_csv.size();) {
     std::size_t comma = policies_csv.find(',', pos);
@@ -94,6 +107,21 @@ int run_figure(BenchContext& ctx, exp::FigureReport& report, FillFn&& fill) {
   if (!ctx.svg_path.empty()) {
     report.write_svg(ctx.svg_path);
     std::printf("wrote %s\n", ctx.svg_path.c_str());
+  }
+  if (!ctx.metrics_path.empty()) {
+    if (obs::Registry::global().write_json(ctx.metrics_path)) {
+      std::printf("wrote %s\n", ctx.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", ctx.metrics_path.c_str());
+    }
+  }
+  if (!ctx.trace_path.empty()) {
+    if (obs::write_chrome_trace(ctx.trace_path)) {
+      std::printf("wrote %s (%zu events)\n", ctx.trace_path.c_str(),
+                  obs::trace_event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", ctx.trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,134 @@
+// Micro-benchmark for the mwc::obs instrumentation overhead.
+//
+//   ./micro_obs [--n 400] [--q 5] [--reps 20] [--json PATH]
+//
+// Times the hottest instrumented path — q_rooted_tsp with 2-opt/Or-opt
+// polish over a warm oracle-backed view (MWC_OBS_SCOPE spans, probe-count
+// flushes, gauge adds) — plus one Simulator::run over the same network
+// (per-dispatch counters + the residual-margin histogram). Built twice by
+// scripts/bench_obs.sh, once with -DMWC_OBS=ON and once with
+// -DMWC_OBS=OFF, the two --json outputs quantify the telemetry overhead
+// (budget: within 2%); the merged result is committed as BENCH_obs.json.
+//
+// The JSON records which configuration produced it ("obs_enabled") so the
+// merge script can't mix the arms up.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "charging/min_total_distance.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "tsp/oracle.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "wsn/deployment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int_or("n", 400));
+  const auto q = static_cast<std::size_t>(args.get_int_or("q", 5));
+  const auto reps = static_cast<std::size_t>(args.get_int_or("reps", 20));
+  const std::string json_path = args.get_or("json", "");
+
+  // Deterministic instance shared by both arms of the comparison.
+  wsn::DeploymentConfig deploy;
+  deploy.n = n;
+  deploy.q = q;
+  deploy.field_side = 1000.0;
+  Rng rng(20140917);
+  const wsn::Network network = wsn::deploy_random(deploy, rng);
+
+  std::vector<geom::Point> sensors;
+  sensors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sensors.push_back(network.sensor(i).position);
+  const tsp::DistanceOracle oracle(network.depots(), sensors);
+  std::vector<std::size_t> all_ids(n);
+  for (std::size_t i = 0; i < n; ++i) all_ids[i] = i;
+
+  tsp::QRootedOptions options;
+  options.improve = true;  // polish loops are the probe-heaviest path
+
+  double checksum = 0.0;  // defeats dead-code elimination
+  // Warm the oracle rows so every timed rep runs the identical path.
+  checksum += tsp::q_rooted_tsp(oracle.dispatch_view(all_ids), q, options)
+                  .total_length;
+
+  std::vector<double> tour_times(reps);
+  Timer timer;
+  for (std::size_t r = 0; r < reps; ++r) {
+    timer.reset();
+    const auto view = oracle.dispatch_view(all_ids);
+    checksum += tsp::q_rooted_tsp(view, q, options).total_length;
+    tour_times[r] = timer.elapsed_ms();
+  }
+
+  // One short simulated horizon: dispatch counters, cache counters, and
+  // the residual-margin histogram on every executed dispatch.
+  wsn::CycleModelConfig cycle_config;
+  cycle_config.tau_min = 1.0;
+  cycle_config.tau_max = 20.0;
+  const wsn::CycleModel cycles(network, cycle_config, 7);
+  sim::SimOptions sim_options;
+  sim_options.horizon = 50.0;
+  std::vector<double> sim_times(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    sim::Simulator simulator(network, cycles, sim_options);
+    charging::MinTotalDistancePolicy policy;
+    timer.reset();
+    const auto result = simulator.run(policy);
+    sim_times[r] = timer.elapsed_ms();
+    checksum += result.service_cost;
+  }
+
+  const auto min_of = [](const std::vector<double>& v) {
+    double m = v.front();
+    for (double t : v) m = std::min(m, t);
+    return m;
+  };
+  const auto mean_of = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double t : v) s += t;
+    return s / static_cast<double>(v.size());
+  };
+
+  const double tour_ms = min_of(tour_times);
+  const double sim_ms = min_of(sim_times);
+  std::printf("micro_obs: n=%zu q=%zu reps=%zu obs_enabled=%d\n", n, q,
+              reps, MWC_OBS_ENABLED);
+  std::printf("  q_rooted_tsp+improve %9.3f ms/rep (min; mean %.3f)\n",
+              tour_ms, mean_of(tour_times));
+  std::printf("  simulator run        %9.3f ms/rep (min; mean %.3f)\n",
+              sim_ms, mean_of(sim_times));
+  std::printf("  (checksum %.3f)\n", checksum);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_obs\",\n"
+                 "  \"obs_enabled\": %d,\n"
+                 "  \"n\": %zu,\n"
+                 "  \"q\": %zu,\n"
+                 "  \"reps\": %zu,\n"
+                 "  \"tour_ms_per_rep\": %.6f,\n"
+                 "  \"tour_ms_per_rep_mean\": %.6f,\n"
+                 "  \"sim_ms_per_rep\": %.6f,\n"
+                 "  \"sim_ms_per_rep_mean\": %.6f\n"
+                 "}\n",
+                 MWC_OBS_ENABLED, n, q, reps, tour_ms, mean_of(tour_times),
+                 sim_ms, mean_of(sim_times));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

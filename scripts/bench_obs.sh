@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Measures the mwc::obs instrumentation overhead: builds bench/micro_obs
+# twice (-DMWC_OBS=ON / OFF), runs both arms on the identical instance,
+# and merges the timings (+ overhead percentages) into BENCH_obs.json.
+#
+# Usage: scripts/bench_obs.sh [output.json] [reps]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_obs.json}"
+REPS="${2:-20}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for obs in ON OFF; do
+  dir="build-obs-$(echo "$obs" | tr '[:upper:]' '[:lower:]')"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DMWC_OBS="$obs" \
+        > /dev/null
+  cmake --build "$dir" --target micro_obs -j "$(nproc)" > /dev/null
+  "$dir/bench/micro_obs" --reps "$REPS" --json "$TMP/obs_$obs.json"
+done
+
+python3 - "$TMP/obs_ON.json" "$TMP/obs_OFF.json" "$OUT" <<'EOF'
+import json, sys
+on = json.load(open(sys.argv[1]))
+off = json.load(open(sys.argv[2]))
+assert on["obs_enabled"] == 1 and off["obs_enabled"] == 0
+
+def pct(a, b):
+    return round((a / b - 1.0) * 100.0, 2)
+
+merged = {
+    "bench": "micro_obs",
+    "n": on["n"], "q": on["q"], "reps": on["reps"],
+    "tour_ms_instrumented": on["tour_ms_per_rep"],
+    "tour_ms_noop": off["tour_ms_per_rep"],
+    "tour_overhead_pct": pct(on["tour_ms_per_rep"],
+                             off["tour_ms_per_rep"]),
+    "sim_ms_instrumented": on["sim_ms_per_rep"],
+    "sim_ms_noop": off["sim_ms_per_rep"],
+    "sim_overhead_pct": pct(on["sim_ms_per_rep"], off["sim_ms_per_rep"]),
+    "budget_pct": 2.0,
+    "note": "overhead = instrumented/no-op - 1 on the min-of-reps "
+            "timing; negative means the instrumented build measured "
+            "faster (code-layout effects dominate the atomic costs)",
+}
+json.dump(merged, open(sys.argv[3], "w"), indent=2)
+open(sys.argv[3], "a").write("\n")
+print(f"tour overhead {merged['tour_overhead_pct']}%, "
+      f"sim overhead {merged['sim_overhead_pct']}% "
+      f"(budget {merged['budget_pct']}%)")
+print(f"wrote {sys.argv[3]}")
+EOF

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate an mwc.metrics.v1 JSON document (and optionally a Chrome trace).
+
+Usage:
+    validate_metrics.py METRICS_JSON [--schema SCHEMA_JSON] [--trace TRACE_JSON]
+
+Stdlib only. Implements exactly the JSON Schema subset used by
+scripts/metrics_schema.json (type / const / required / properties /
+additionalProperties / items / minItems / minimum), plus mwc-specific
+semantic checks the schema language can't express:
+
+  * every histogram has len(buckets) == len(bounds) + 1 (overflow bucket);
+  * bounds are strictly increasing;
+  * sum(buckets) == count;
+  * metric names follow the "component.metric" convention.
+
+With --trace, also checks the trace file is a loadable Chrome trace-event
+document: a traceEvents list of complete ("ph" == "X") events carrying
+name/ts/dur/pid/tid.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def type_matches(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+def check_schema(value, schema, path, errors):
+    """Recursive validation of the supported JSON Schema subset."""
+    expected = schema.get("type")
+    if expected is not None and not type_matches(value, expected):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__}")
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                check_schema(value[key], sub, f"{path}.{key}", errors)
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, sub in value.items():
+                if key not in props:
+                    check_schema(sub, extra, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems "
+                          f"{schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                check_schema(item, items, f"{path}[{i}]", errors)
+
+
+def check_semantics(doc, errors):
+    """mwc-specific invariants beyond the schema language."""
+    for section in ("counters", "gauges", "histograms"):
+        for name in doc.get(section, {}):
+            if not NAME_RE.match(name):
+                errors.append(
+                    f"{section}.{name}: name does not follow the "
+                    f"'component.metric' convention")
+    for name, h in doc.get("histograms", {}).items():
+        bounds = h.get("bounds", [])
+        buckets = h.get("buckets", [])
+        if len(buckets) != len(bounds) + 1:
+            errors.append(f"histograms.{name}: {len(buckets)} buckets for "
+                          f"{len(bounds)} bounds (want bounds+1)")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            errors.append(f"histograms.{name}: bounds not strictly "
+                          f"increasing: {bounds}")
+        if sum(buckets) != h.get("count", 0):
+            errors.append(f"histograms.{name}: sum(buckets)={sum(buckets)} "
+                          f"!= count={h.get('count')}")
+
+
+def check_trace(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"trace: cannot load {path}: {e}")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("trace: missing traceEvents array")
+        return
+    if not events:
+        errors.append("trace: traceEvents is empty (was tracing enabled?)")
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                errors.append(f"trace: event [{i}] missing {key!r}")
+                break
+        else:
+            if e["ph"] != "X":
+                errors.append(f"trace: event [{i}] has ph={e['ph']!r}, "
+                              f"expected complete events ('X')")
+            if e["dur"] < 0:
+                errors.append(f"trace: event [{i}] has negative dur")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", help="mwc.metrics.v1 JSON file")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "metrics_schema.json"),
+        help="schema file (default: metrics_schema.json next to this script)")
+    parser.add_argument("--trace", help="also validate a Chrome trace file")
+    parser.add_argument(
+        "--require-counter", action="append", default=[], metavar="NAME",
+        help="fail unless this counter exists with a nonzero value "
+             "(repeatable)")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.metrics, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot load {args.metrics}: {e}", file=sys.stderr)
+        return 1
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    check_schema(doc, schema, "$", errors)
+    if not errors:
+        check_semantics(doc, errors)
+    for name in args.require_counter:
+        if doc.get("counters", {}).get(name, 0) <= 0:
+            errors.append(f"counters.{name}: required nonzero counter "
+                          f"missing or zero")
+    if args.trace:
+        check_trace(args.trace, errors)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    n_metrics = (len(doc.get("counters", {})) + len(doc.get("gauges", {}))
+                 + len(doc.get("histograms", {})))
+    print(f"OK: {args.metrics} valid mwc.metrics.v1 ({n_metrics} metrics"
+          + (", trace ok" if args.trace else "") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

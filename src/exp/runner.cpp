@@ -7,6 +7,7 @@
 #include "charging/greedy.hpp"
 #include "charging/min_total_distance.hpp"
 #include "charging/var_heuristic.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -106,6 +107,7 @@ sim::SimResult run_trial(const ExperimentConfig& config,
 std::vector<AggregateOutcome> run_policies(
     const ExperimentConfig& config, std::span<const std::string> policies,
     ThreadPool* pool) {
+  MWC_OBS_SCOPE("exp.run_policies");
   for (const auto& name : policies) (void)policy_name(name);  // validate
 
   // results[p][trial]
@@ -117,6 +119,8 @@ std::vector<AggregateOutcome> run_policies(
     // policies (paired comparison on identical geometry; identical
     // dispatch sets cost the same tours either way, so sharing the
     // cache cannot change any result).
+    MWC_OBS_SCOPE("exp.trial");
+    MWC_OBS_COUNT("exp.trials");
     Rng deploy_rng(config.seed, 2 * trial);
     const wsn::Network network = wsn::deploy_random(config.deployment,
                                                     deploy_rng);

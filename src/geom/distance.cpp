@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mwc::geom {
@@ -41,6 +42,8 @@ void LazyDistanceMatrix::fill_row(std::size_t i) const {
   const Point& p = pts_[i];
   for (std::size_t j = 0; j < n; ++j) row[j] = distance(p, pts_[j]);
   row[i] = 0.0;
+  MWC_OBS_COUNT("oracle.rows_materialized");
+  MWC_OBS_COUNT_N("oracle.row_fill_entries", n);
 }
 
 void LazyDistanceMatrix::ensure_row(std::size_t i) const {

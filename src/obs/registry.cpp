@@ -1,0 +1,257 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mwc::obs {
+
+namespace {
+
+/// Atomic min/max folding via CAS (relaxed; instruments are statistics,
+/// not synchronization).
+void fold_min(std::atomic<double>& slot, double x) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void fold_max(std::atomic<double>& slot, double x) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; JSON has no inf/nan, clamp those to 0
+  // (only reachable through a histogram with count == 0, handled by the
+  // callers, or a gauge explicitly set to inf).
+  if (!std::isfinite(v)) v = 0.0;
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  MWC_ASSERT_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  MWC_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+  fold_min(min_, x);
+  fold_max(max_, x);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: cached
+                                               // instrument refs outlive
+                                               // static teardown order
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  } else {
+    const auto existing = it->second->bounds();
+    MWC_ASSERT_MSG(existing.size() == upper_bounds.size() &&
+                       std::equal(existing.begin(), existing.end(),
+                                  upper_bounds.begin()),
+                   "histogram re-registered with different bounds");
+  }
+  return *it->second;
+}
+
+bool Registry::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds.assign(h->bounds().begin(), h->bounds().end());
+    hs.buckets.reserve(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i)
+      hs.buckets.push_back(h->bucket_count(i));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + 64 * (counters.size() + gauges.size()) +
+              256 * histograms.size());
+  out += "{\n  \"schema\": \"mwc.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out += buf;
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_double(out, value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_double(out, h.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, h.buckets[i]);
+      out += buf;
+    }
+    out += "], \"count\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+    out += buf;
+    out += ", \"sum\": ";
+    append_double(out, h.sum);
+    out += ", \"min\": ";
+    append_double(out, h.min);
+    out += ", \"max\": ";
+    append_double(out, h.max);
+    out += "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool Registry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace mwc::obs

@@ -1,0 +1,176 @@
+// mwc::obs — process-wide telemetry registry.
+//
+// A `Registry` is a named collection of three instrument kinds:
+//
+//   * `Counter`   — monotonically increasing integer (events, probes);
+//   * `Gauge`     — last-written double with atomic add (totals, ratios);
+//   * `Histogram` — fixed-bucket distribution (latencies, margins).
+//
+// All updates are lock-free atomic operations; the registry mutex is only
+// taken on first registration of a name and on snapshot/reset, so hot
+// paths cache the instrument reference once (the MWC_OBS_* macros in
+// obs/obs.hpp do this with a function-local static) and then update
+// without any locking. Instrument addresses are stable for the life of
+// the registry: `counter("x")` always returns the same object.
+//
+// `Registry::global()` is the process-wide instance every MWC_OBS_* macro
+// writes to; local instances serve per-component accounting (e.g.
+// `sim::Simulator` keeps its own registry so per-run deltas stay exact
+// under concurrent trials). Snapshots serialize to the stable
+// `mwc.metrics.v1` JSON layout validated by scripts/validate_metrics.py.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mwc::obs {
+
+/// Monotonic event counter. add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument with atomic set/add on a double.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Atomic add via CAS (works on toolchains without native
+  /// atomic<double>::fetch_add).
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x <= bounds[i]
+/// (first matching bound); the last bucket is the implicit +inf overflow.
+/// Bounds are fixed at registration and never change.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  std::span<const double> bounds() const noexcept { return bounds_; }
+  /// Number of buckets (bounds().size() + 1, incl. overflow).
+  std::size_t num_buckets() const noexcept { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest/largest observed value; 0 when count() == 0.
+  double min() const noexcept;
+  double max() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of a registry's instruments.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Serializes to the `mwc.metrics.v1` JSON document (sorted keys,
+  /// deterministic formatting).
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the MWC_OBS_* macros write to.
+  static Registry& global();
+
+  /// Get-or-create; the returned reference stays valid for the life of
+  /// the registry.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Get-or-create with the given bucket bounds; asserts that a
+  /// re-registration uses identical bounds.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds);
+  Histogram& histogram(std::string_view name,
+                       std::initializer_list<double> upper_bounds) {
+    return histogram(name, std::span<const double>(upper_bounds.begin(),
+                                                   upper_bounds.size()));
+  }
+
+  /// True if an instrument of any kind is registered under `name`.
+  bool contains(std::string_view name) const;
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every instrument; registrations (and cached references)
+  /// survive.
+  void reset();
+
+  std::string to_json() const { return snapshot().to_json(); }
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mwc::obs

@@ -1,0 +1,173 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mwc::obs {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+steady::time_point process_epoch() noexcept {
+  static const steady::time_point epoch = steady::now();
+  return epoch;
+}
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// One thread's ring of recorded spans. Owner thread appends under the
+/// buffer mutex (uncontended except during a drain); drains copy out
+/// under the same mutex. Buffers are registered once per thread and
+/// intentionally leaked so a drain can still read spans recorded by
+/// threads that have since exited (e.g. a joined ThreadPool).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t head = 0;   ///< next write slot when the ring is full
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  void record(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < kTraceRingCapacity) {
+      ring.push_back(e);
+    } else {
+      ring[head] = e;
+      head = (head + 1) % kTraceRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct BufferDirectory {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferDirectory& directory() {
+  static BufferDirectory* dir = new BufferDirectory();
+  return *dir;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();  // leaked on purpose; see struct comment
+    auto& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    b->tid = dir.next_tid++;
+    dir.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(steady::now() -
+                                                   process_epoch())
+      .count();
+}
+
+void set_trace_enabled(bool on) noexcept {
+  // Touch the epoch so timestamps are anchored before the first span.
+  (void)process_epoch();
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  auto& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mutex);
+  for (ThreadBuffer* b : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    b->ring.clear();
+    b->head = 0;
+    b->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  auto& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mutex);
+  std::size_t total = 0;
+  for (ThreadBuffer* b : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    total += b->ring.size();
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  auto& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mutex);
+  std::size_t total = 0;
+  for (ThreadBuffer* b : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    total += b->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> trace_events() {
+  std::vector<TraceEvent> out;
+  {
+    auto& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    for (ThreadBuffer* b : dir.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(b->mutex);
+      out.insert(out.end(), b->ring.begin(), b->ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const auto events = trace_events();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\": [\n", f);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"cat\": \"mwc\", \"ph\": \"X\", "
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+                 e.name, e.ts_us, e.dur_us, e.tid,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "], \"displayTimeUnit\": \"ms\", "
+               "\"otherData\": {\"dropped_events\": \"%zu\"}}\n",
+               trace_dropped_count());
+  return std::fclose(f) == 0;
+}
+
+Span::Span(const char* name) noexcept
+    : name_(trace_enabled() ? name : nullptr) {
+  if (name_ != nullptr) start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.ts_us = start_us_;
+  e.dur_us = now_us() - start_us_;
+  auto& buffer = local_buffer();
+  e.tid = buffer.tid;
+  buffer.record(e);
+}
+
+}  // namespace mwc::obs

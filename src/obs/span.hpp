@@ -1,0 +1,82 @@
+// mwc::obs — scoped spans and Chrome-trace export.
+//
+// A `Span` measures the wall-clock duration of a scope and records one
+// complete ("ph":"X") trace event into a per-thread ring buffer when
+// tracing is enabled (`set_trace_enabled(true)`). Buffers are fixed-size
+// rings: when a thread records more than kTraceRingCapacity events the
+// oldest are overwritten and the drop is counted, so tracing never
+// allocates on the hot path and never grows unboundedly.
+//
+// `write_chrome_trace(path)` drains every thread's buffer into a Chrome
+// trace-event JSON file ({"traceEvents": [...]}) that loads directly in
+// chrome://tracing and https://ui.perfetto.dev. Drain while instrumented
+// threads are still recording is safe (each buffer is mutex-guarded) but
+// racing events may land in the file or not; drain at a quiescent point
+// (end of a bench run) for a complete picture.
+//
+// When tracing is disabled a Span costs one relaxed atomic load; the
+// MWC_OBS_SCOPE macro in obs/obs.hpp additionally compiles to nothing
+// under MWC_OBS_ENABLED=0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mwc::obs {
+
+/// Per-thread trace ring capacity (events); see file comment.
+inline constexpr std::size_t kTraceRingCapacity = 16384;
+
+/// One completed span: [ts_us, ts_us + dur_us) on thread `tid`.
+/// `name` must point to storage outliving the trace (string literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Microseconds since process start (steady clock). Usable whether or
+/// not tracing is enabled; the thread pool uses it for queue-wait
+/// accounting.
+double now_us() noexcept;
+
+/// Globally enables/disables span recording. Off by default.
+void set_trace_enabled(bool on) noexcept;
+bool trace_enabled() noexcept;
+
+/// Drops all recorded events (buffers stay registered).
+void reset_trace();
+
+/// Events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Events overwritten because a thread's ring was full.
+std::size_t trace_dropped_count();
+
+/// Snapshot of all buffered events, sorted by start timestamp.
+std::vector<TraceEvent> trace_events();
+
+/// Writes all buffered events as a Chrome trace-event JSON file.
+/// Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// RAII scope timer. Records one TraceEvent on destruction when tracing
+/// was enabled at construction. `name` must be a string literal (or
+/// otherwise outlive the trace).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;  ///< nullptr when tracing was off at construction
+  double start_us_ = 0.0;
+};
+
+}  // namespace mwc::obs

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "charging/fleet.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -54,7 +55,9 @@ Simulator::Simulator(const wsn::Network& network,
     : network_(network),
       cycle_model_(cycles),
       options_(options),
-      oracle_(make_network_oracle(network)) {
+      oracle_(make_network_oracle(network)),
+      cache_hits_c_(metrics_.counter("sim.tour_cache_hits")),
+      cache_misses_c_(metrics_.counter("sim.tour_cache_misses")) {
   MWC_ASSERT(options.horizon > 0.0);
   MWC_ASSERT(cycles.n() == network.n());
 }
@@ -67,6 +70,7 @@ std::uint64_t Simulator::set_hash(const std::vector<std::size_t>& sensors) {
 
 Simulator::TourCost Simulator::compute_cost(
     const std::vector<std::size_t>& sensors) const {
+  MWC_OBS_SCOPE("sim.compute_tour_cost");
   if (options_.trip_capacity > 0.0) {
     // Range-limited vehicles: plan the round as capacity-respecting
     // trips; each depot's trip lengths accumulate on its charger.
@@ -102,10 +106,12 @@ Simulator::TourCost Simulator::dispatch_cost(
   if (options_.cache_tour_costs) {
     const auto it = cost_cache_.find(key);
     if (it != cost_cache_.end()) {
-      ++cache_hits_;
+      cache_hits_c_.add(1);
+      MWC_OBS_COUNT("sim.tour_cache_hits");
       return it->second;
     }
-    ++cache_misses_;
+    cache_misses_c_.add(1);
+    MWC_OBS_COUNT("sim.tour_cache_misses");
   }
 
   TourCost cost = compute_cost(sensors);
@@ -116,6 +122,7 @@ Simulator::TourCost Simulator::dispatch_cost(
 std::size_t Simulator::precost_dispatches(
     std::span<const std::vector<std::size_t>> sets, ThreadPool* pool) {
   if (!options_.cache_tour_costs) return 0;
+  MWC_OBS_SCOPE("sim.precost_dispatches");
 
   // Gather the distinct missing sets serially (the cache map is not
   // thread-safe) ...
@@ -146,6 +153,8 @@ std::size_t Simulator::precost_dispatches(
   // ... and publish serially.
   for (std::size_t i = 0; i < missing.size(); ++i)
     cost_cache_.emplace(keys[i], std::move(costs[i]));
+  metrics_.counter("sim.precost_sets").add(missing.size());
+  MWC_OBS_COUNT_N("sim.precost_sets", missing.size());
   return missing.size();
 }
 
@@ -164,10 +173,11 @@ std::size_t Simulator::precost_policy(charging::Policy& policy,
 }
 
 SimResult Simulator::run(charging::Policy& policy) {
+  MWC_OBS_SCOPE("sim.run");
   Timer timer;
   SimResult result;
-  const std::size_t hits_before = cache_hits_;
-  const std::size_t misses_before = cache_misses_;
+  const std::size_t hits_before = cache_hits_c_.value();
+  const std::size_t misses_before = cache_misses_c_.value();
   const std::size_t n = network_.n();
   const double T = options_.horizon;
 
@@ -229,6 +239,7 @@ SimResult Simulator::run(charging::Policy& policy) {
     if (dispatch && dispatch_time <= t_next + kTimeTolerance &&
         dispatch_time <= next_slot_time) {
       // Execute the dispatch.
+      MWC_OBS_SCOPE("sim.dispatch");
       const auto cost = dispatch_cost(dispatch->sensors);
       result.service_cost += cost.total;
       for (std::size_t l = 0; l < cost.per_depot.size(); ++l)
@@ -239,12 +250,21 @@ SimResult Simulator::run(charging::Policy& policy) {
         result.dispatch_log.push_back(
             DispatchRecord{dispatch_time, dispatch->sensors, cost.total});
       }
+      double dispatch_margin = std::numeric_limits<double>::infinity();
       for (std::size_t id : dispatch->sensors) {
-        result.min_residual_at_charge =
-            std::min(result.min_residual_at_charge, view.residual_[id]);
+        dispatch_margin = std::min(dispatch_margin, view.residual_[id]);
         view.residual_[id] = view.cycles_[id];
         currently_dead[id] = false;
       }
+      result.min_residual_at_charge =
+          std::min(result.min_residual_at_charge, dispatch_margin);
+      MWC_OBS_COUNT("sim.dispatches");
+      MWC_OBS_COUNT_N("sim.sensor_charges", dispatch->sensors.size());
+      MWC_OBS_GAUGE_ADD("sim.service_cost_total", cost.total);
+      // Tightest residual lifetime among this round's sensors: the margin
+      // by which the policy beat depletion (time units of the cycle τ).
+      MWC_OBS_HISTOGRAM("sim.residual_margin", dispatch_margin, 0.5, 1.0,
+                        2.0, 5.0, 10.0, 20.0, 50.0);
       policy.on_dispatch_executed(view, *dispatch);
       MWC_ASSERT_MSG(result.num_dispatches <= options_.max_dispatches,
                      "dispatch cap exceeded (runaway policy?)");
@@ -267,9 +287,14 @@ SimResult Simulator::run(charging::Policy& policy) {
     }
   }
 
-  result.tour_cache_hits = cache_hits_ - hits_before;
-  result.tour_cache_misses = cache_misses_ - misses_before;
-  result.wall_seconds = timer.elapsed_seconds();
+  // SimResult's cache counters and wall time are sourced from the
+  // per-instance metrics registry (fields kept, values identical to the
+  // pre-registry hand-threaded members).
+  result.tour_cache_hits = cache_hits_c_.value() - hits_before;
+  result.tour_cache_misses = cache_misses_c_.value() - misses_before;
+  obs::Gauge& wall = metrics_.gauge("sim.run_wall_seconds");
+  wall.set(timer.elapsed_seconds());
+  result.wall_seconds = wall.value();
   return result;
 }
 

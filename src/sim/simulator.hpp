@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "charging/schedule.hpp"
+#include "obs/registry.hpp"
 #include "sim/metrics.hpp"
 #include "tsp/oracle.hpp"
 #include "tsp/qrooted.hpp"
@@ -106,10 +107,22 @@ class Simulator {
   /// n sensors (combined index space: depot l at l, sensor i at q + i).
   const tsp::DistanceOracle& oracle() const noexcept { return oracle_; }
 
-  /// Tour-cost cache statistics since construction (run() also snapshots
-  /// the per-run delta into SimResult).
-  std::size_t tour_cache_hits() const noexcept { return cache_hits_; }
-  std::size_t tour_cache_misses() const noexcept { return cache_misses_; }
+  /// Tour-cache statistics since construction, read from the simulator's
+  /// metrics registry (run() snapshots the per-run delta into SimResult).
+  std::size_t tour_cache_hits() const noexcept {
+    return cache_hits_c_.value();
+  }
+  std::size_t tour_cache_misses() const noexcept {
+    return cache_misses_c_.value();
+  }
+
+  /// Per-instance telemetry registry: the authoritative source of
+  /// SimResult::tour_cache_hits/misses and wall_seconds. Instance-local
+  /// (not obs::Registry::global()) so per-run deltas stay exact when
+  /// many simulators run concurrently; the global registry receives the
+  /// same events through MWC_OBS_* macros for process-wide aggregation.
+  const obs::Registry& metrics() const noexcept { return metrics_; }
+  obs::Registry& metrics() noexcept { return metrics_; }
 
  private:
   class View;
@@ -130,8 +143,9 @@ class Simulator {
   SimOptions options_;
   tsp::DistanceOracle oracle_;
   std::unordered_map<std::uint64_t, TourCost> cost_cache_;
-  std::size_t cache_hits_ = 0;
-  std::size_t cache_misses_ = 0;
+  obs::Registry metrics_;
+  obs::Counter& cache_hits_c_;    ///< metrics_ "sim.tour_cache_hits"
+  obs::Counter& cache_misses_c_;  ///< metrics_ "sim.tour_cache_misses"
 };
 
 }  // namespace mwc::sim

@@ -1,8 +1,10 @@
 #include "tsp/improve.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mwc::tsp {
@@ -11,6 +13,24 @@ namespace {
 
 double dist(const DistanceView& d, std::size_t a, std::size_t b) {
   return d(a, b);
+}
+
+/// One flush per polisher call: probe counts accumulate in locals so the
+/// candidate-evaluation loops stay free of atomic traffic, split by
+/// cached (oracle) vs direct (recomputed) kernels like tsp/qrooted.cpp.
+inline void flush_improve_counts(const DistanceView& d, std::uint64_t passes,
+                                 std::uint64_t probes) {
+  MWC_OBS_COUNT_N("tsp.improve_passes", passes);
+  if (d.cached()) {
+    MWC_OBS_COUNT_N("oracle.probe_hits", probes);
+  } else {
+    MWC_OBS_COUNT_N("oracle.probe_misses", probes);
+  }
+#if !MWC_OBS_ENABLED
+  (void)d;
+  (void)passes;
+  (void)probes;
+#endif
 }
 
 }  // namespace
@@ -22,12 +42,16 @@ double two_opt(Tour& tour, const DistanceView& points,
   if (n < 4) return 0.0;
 
   double total_gain = 0.0;
+  std::uint64_t passes = 0;
+  std::uint64_t evals = 0;
   for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    ++passes;
     bool improved = false;
     for (std::size_t i = 0; i + 1 < n; ++i) {
       // j+1 wraps; skip adjacent pairs.
       for (std::size_t j = i + 2; j < n; ++j) {
         if (i == 0 && j == n - 1) continue;  // same edge pair
+        ++evals;
         // Re-read endpoints each step: an accepted reversal earlier in
         // this pass changes order[i+1..].
         const std::size_t a = order[i];
@@ -45,6 +69,7 @@ double two_opt(Tour& tour, const DistanceView& points,
     }
     if (!improved) break;
   }
+  flush_improve_counts(points, passes, evals * 4);  // 4 probes per candidate
   return total_gain;
 }
 
@@ -55,7 +80,10 @@ double or_opt(Tour& tour, const DistanceView& points,
   if (n < 4) return 0.0;
 
   double total_gain = 0.0;
+  std::uint64_t passes = 0;
+  std::uint64_t probes = 0;
   for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    ++passes;
     bool improved = false;
     for (std::size_t seg_len = 1; seg_len <= 3 && n >= seg_len + 2;
          ++seg_len) {
@@ -68,6 +96,7 @@ double or_opt(Tour& tour, const DistanceView& points,
         if (p == s1 || q == s0) continue;  // segment is the whole tour
         const double removal_gain = dist(points, p, s0) +
                                     dist(points, s1, q) - dist(points, p, q);
+        probes += 3;
         if (removal_gain <= opts.min_gain) continue;
 
         // Tour with the segment removed; try every insertion slot in it.
@@ -85,6 +114,7 @@ double or_opt(Tour& tour, const DistanceView& points,
           const double insertion_cost = dist(points, u, s0) +
                                         dist(points, s1, v) -
                                         dist(points, u, v);
+          probes += 3;
           const double delta = insertion_cost - removal_gain;  // < 0 good
           if (delta < best_delta) {
             best_delta = delta;
@@ -103,17 +133,22 @@ double or_opt(Tour& tour, const DistanceView& points,
     }
     if (!improved) break;
   }
+  flush_improve_counts(points, passes, probes);
   return total_gain;
 }
 
 double improve_tour(Tour& tour, const DistanceView& points,
                     const ImproveOptions& opts) {
+  MWC_OBS_SCOPE("tsp.improve_tour");
   double total = 0.0;
+  std::uint64_t rounds = 0;
   for (std::size_t round = 0; round < opts.max_passes; ++round) {
+    ++rounds;
     const double g = two_opt(tour, points, opts) + or_opt(tour, points, opts);
     total += g;
     if (g <= opts.min_gain) break;
   }
+  MWC_OBS_COUNT_N("tsp.improve_rounds", rounds);
   return total;
 }
 

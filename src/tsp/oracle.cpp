@@ -1,5 +1,6 @@
 #include "tsp/oracle.hpp"
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mwc::tsp {
@@ -89,6 +90,7 @@ DistanceView DistanceOracle::submatrix(std::vector<std::size_t> subset) const {
 
 DistanceView DistanceOracle::dispatch_view(
     std::span<const std::size_t> sensor_ids) const {
+  MWC_OBS_COUNT("oracle.dispatch_views");
   std::vector<std::size_t> subset;
   subset.reserve(q_ + sensor_ids.size());
   for (std::size_t l = 0; l < q_; ++l) subset.push_back(l);

@@ -5,11 +5,34 @@
 #include <unordered_set>
 
 #include "graph/mst.hpp"
+#include "obs/obs.hpp"
 #include "tsp/construct.hpp"
 #include "tsp/improve.hpp"
 #include "util/assert.hpp"
 
 namespace mwc::tsp {
+
+namespace {
+
+/// Flushes a locally accumulated probe count into the global registry,
+/// split by whether the kernel served them from the materialized oracle
+/// cache ("hits") or recomputed geometry directly ("misses"). One atomic
+/// add per construction call — the probe loops themselves stay
+/// uninstrumented.
+inline void flush_probe_count(const DistanceView& distances,
+                              std::uint64_t probes) {
+  if (distances.cached()) {
+    MWC_OBS_COUNT_N("oracle.probe_hits", probes);
+  } else {
+    MWC_OBS_COUNT_N("oracle.probe_misses", probes);
+  }
+#if !MWC_OBS_ENABLED
+  (void)distances;
+  (void)probes;
+#endif
+}
+
+}  // namespace
 
 std::vector<geom::Point> CombinedPointsView::materialize() const {
   std::vector<geom::Point> pts;
@@ -28,6 +51,7 @@ QRootedForest q_rooted_msf(const QRootedInstance& instance) {
 }
 
 QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
+  MWC_OBS_SCOPE("tsp.q_rooted_msf");
   MWC_ASSERT_MSG(q >= 1, "q-rooted MSF needs at least one depot");
   MWC_ASSERT(q <= distances.size());
   const std::size_t m = distances.size() - q;
@@ -40,6 +64,11 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
       result.trees.emplace_back(l, std::span<const graph::Edge>{});
     return result;
   }
+
+  MWC_OBS_COUNT("tsp.msf_builds");
+  // Probes accumulate in a local and flush once at the end, so the
+  // Prim/root-scan inner loops pay no atomic traffic.
+  std::uint64_t probes = 0;
 
   // Auxiliary contracted graph G_r: node 0 is the virtual root r (all q
   // depots merged), nodes 1..m are the sensors. w_r(0, k) is the distance
@@ -55,15 +84,18 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
       }
     }
   }
+  probes += static_cast<std::uint64_t>(m) * q;
 
   const auto aux_dist = [&](std::size_t i, std::size_t j) -> double {
     if (i == j) return 0.0;
     if (i == 0) return root_dist[j - 1];
     if (j == 0) return root_dist[i - 1];
+    ++probes;
     return distances(q + i - 1, q + j - 1);
   };
 
   const auto mst = graph::prim_mst_with(m + 1, aux_dist, /*root=*/0);
+  flush_probe_count(distances, probes);
 
   // Un-contract: an MST edge (0, k) becomes (nearest_depot[k-1], sensor).
   // Each subtree hanging off the virtual root attaches through exactly one
@@ -129,6 +161,7 @@ QRootedTours q_rooted_tsp(const QRootedInstance& instance,
 
 QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
                           const QRootedOptions& options) {
+  MWC_OBS_SCOPE("tsp.q_rooted_tsp");
   const auto forest = q_rooted_msf(distances, q);
 
   QRootedTours result;
@@ -156,11 +189,13 @@ QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
       }
     }
     if (options.improve && tour.size() >= 4) {
-      improve_tour(tour, distances);
+      const double gain = improve_tour(tour, distances);
+      MWC_OBS_GAUGE_ADD("tsp.improve_total_gain", gain);
     }
     result.total_length += tour.length_with(distances);
     result.tours.push_back(std::move(tour));
   }
+  MWC_OBS_COUNT_N("tsp.tours_built", result.tours.size());
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mwc::tsp {
@@ -31,6 +32,8 @@ void finalize(SplitResult& result, const DistanceView& d) {
 
 SplitResult split_tour_capacity(const DistanceView& d, const Tour& tour,
                                 std::size_t root, double capacity) {
+  MWC_OBS_SCOPE("tsp.split_capacity");
+  MWC_OBS_COUNT("tsp.splits");
   MWC_ASSERT(capacity > 0.0);
   SplitResult result;
   if (tour.size() <= 1) {
@@ -73,6 +76,8 @@ SplitResult split_tour_capacity(const DistanceView& d, const Tour& tour,
 
 SplitResult split_tour_minmax(const DistanceView& d, const Tour& tour,
                               std::size_t root, std::size_t k) {
+  MWC_OBS_SCOPE("tsp.split_minmax");
+  MWC_OBS_COUNT("tsp.splits");
   MWC_ASSERT(k >= 1);
   SplitResult result;
   if (tour.size() <= 1) {

@@ -1,7 +1,9 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -10,8 +12,26 @@ namespace mwc {
 
 namespace {
 
+constexpr int kFormatTimestamps = 1;
+constexpr int kFormatThreadIds = 2;
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_format{0};
 std::mutex g_sink_mutex;
+
+double seconds_since_start() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+// Small sequential ids in first-log order; stable for a thread's lifetime.
+unsigned this_thread_log_id() noexcept {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -33,6 +53,21 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_format(LogFormat format) noexcept {
+  int bits = 0;
+  if (format.timestamps) bits |= kFormatTimestamps;
+  if (format.thread_ids) bits |= kFormatThreadIds;
+  g_format.store(bits, std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  const int bits = g_format.load(std::memory_order_relaxed);
+  LogFormat format;
+  format.timestamps = (bits & kFormatTimestamps) != 0;
+  format.thread_ids = (bits & kFormatThreadIds) != 0;
+  return format;
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed))
     return;
@@ -41,8 +76,23 @@ void log_message(LogLevel level, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
+
+  // Optional decorations: "[mwc INFO  12.345s T03] msg".
+  const int bits = g_format.load(std::memory_order_relaxed);
+  char decor[64];
+  std::size_t pos = 0;
+  if (bits & kFormatTimestamps) {
+    pos += static_cast<std::size_t>(std::snprintf(
+        decor + pos, sizeof decor - pos, " %.3fs", seconds_since_start()));
+  }
+  if (bits & kFormatThreadIds) {
+    pos += static_cast<std::size_t>(std::snprintf(
+        decor + pos, sizeof decor - pos, " T%02u", this_thread_log_id()));
+  }
+  decor[std::min(pos, sizeof decor - 1)] = '\0';
+
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[mwc %s] %s\n", level_tag(level), buf);
+  std::fprintf(stderr, "[mwc %s%s] %s\n", level_tag(level), decor, buf);
 }
 
 LogLevel parse_log_level(std::string_view name) noexcept {
@@ -53,6 +103,15 @@ LogLevel parse_log_level(std::string_view name) noexcept {
   if (lower == "error") return LogLevel::kError;
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "debug") return LogLevel::kDebug;
+  if (lower != "info") {
+    // Warn once per process: a typo'd level should be loud, but config
+    // code often re-parses the same bad value in a loop.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      MWC_LOG_WARN("unrecognized log level \"%.*s\"; falling back to info",
+                   static_cast<int>(name.size()), name.data());
+    }
+  }
   return LogLevel::kInfo;
 }
 

@@ -13,15 +13,31 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one formatted line ("[level] message\n") if `level` is enabled.
+/// Optional prefix decorations for every emitted line.
+struct LogFormat {
+  /// Prepend seconds since process start ("12.345s").
+  bool timestamps = false;
+  /// Prepend a small sequential per-thread id ("T03"); ids are assigned
+  /// in first-log order, not OS thread ids.
+  bool thread_ids = false;
+};
+
+/// Sets/reads the global line format. Plain "[mwc LEVEL] msg" by default.
+void set_log_format(LogFormat format) noexcept;
+LogFormat log_format() noexcept;
+
+/// Emits one formatted line ("[mwc LEVEL] message\n", plus any
+/// set_log_format decorations) if `level` is enabled.
 void log_message(LogLevel level, const char* fmt, ...)
 #if defined(__GNUC__) || defined(__clang__)
     __attribute__((format(printf, 2, 3)))
 #endif
     ;
 
-/// Parses "error"/"warn"/"info"/"debug" (case-insensitive). Returns kInfo
-/// for anything unrecognized.
+/// Parses "error"/"warn"/"warning"/"info"/"debug" (case-insensitive).
+/// Unrecognized names fall back to kInfo — chosen so a typo in
+/// MWC_LOG_LEVEL degrades to *more* output rather than silently hiding
+/// warnings — and emit a one-time kWarn diagnostic naming the bad value.
 LogLevel parse_log_level(std::string_view name) noexcept;
 
 #define MWC_LOG_ERROR(...) ::mwc::log_message(::mwc::LogLevel::kError, __VA_ARGS__)

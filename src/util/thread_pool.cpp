@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -41,7 +41,15 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++active_;
     }
-    task();
+#if MWC_OBS_ENABLED
+    MWC_OBS_COUNT("pool.tasks_executed");
+    MWC_OBS_GAUGE_ADD("pool.queue_wait_us_total",
+                      obs::now_us() - task.enqueue_us);
+#endif
+    {
+      MWC_OBS_SCOPE("pool.task");
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

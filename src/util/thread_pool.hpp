@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace mwc {
 
 class ThreadPool {
@@ -40,7 +42,11 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_)
         throw std::runtime_error("ThreadPool::submit after shutdown");
-      queue_.emplace([task] { (*task)(); });
+#if MWC_OBS_ENABLED
+      queue_.push(QueuedTask{[task] { (*task)(); }, obs::now_us()});
+#else
+      queue_.push(QueuedTask{[task] { (*task)(); }, 0.0});
+#endif
     }
     cv_.notify_one();
     return fut;
@@ -50,10 +56,17 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// obs::now_us() at submit time; queue-wait telemetry (0 when the
+    /// obs macros are compiled out).
+    double enqueue_us = 0.0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

@@ -1,0 +1,209 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace mwc::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndStats) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.num_buckets(), 3u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (boundary counts in the lower bucket)
+  h.observe(5.0);   // bucket 1 (<= 10)
+  h.observe(100.0); // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(Registry, InstrumentAddressesAreStable) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("g");
+  Gauge& g2 = reg.gauge("g");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, ContainsAnyKind) {
+  Registry reg;
+  EXPECT_FALSE(reg.contains("c"));
+  reg.counter("c");
+  reg.gauge("g");
+  reg.histogram("h", {1.0});
+  EXPECT_TRUE(reg.contains("c"));
+  EXPECT_TRUE(reg.contains("g"));
+  EXPECT_TRUE(reg.contains("h"));
+  EXPECT_FALSE(reg.contains("missing"));
+}
+
+TEST(Registry, SnapshotCopiesValues) {
+  Registry reg;
+  reg.counter("events").add(3);
+  reg.gauge("ratio").set(0.5);
+  Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  h.observe(1.5);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.count("events"), 1u);
+  EXPECT_EQ(snap.counters.at("events"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("ratio"), 0.5);
+  const HistogramSnapshot& hs = snap.histograms.at("lat");
+  ASSERT_EQ(hs.buckets.size(), 3u);
+  EXPECT_EQ(hs.buckets[1], 1u);
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_DOUBLE_EQ(hs.sum, 1.5);
+
+  // Snapshot is a copy: later updates do not retroactively change it.
+  reg.counter("events").add(1);
+  EXPECT_EQ(snap.counters.at("events"), 3u);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  c.add(7);
+  reg.reset();
+  EXPECT_TRUE(reg.contains("n"));
+  EXPECT_EQ(c.value(), 0u);           // cached reference still valid
+  EXPECT_EQ(&reg.counter("n"), &c);   // and still the same object
+}
+
+TEST(Registry, JsonHasSchemaAndValues) {
+  Registry reg;
+  reg.counter("a.count").add(2);
+  reg.gauge("b.value").set(1.25);
+  reg.histogram("c.hist", {1.0}).observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"mwc.metrics.v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.count\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.value\": 1.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos) << json;
+}
+
+TEST(Registry, JsonEscapesStrings) {
+  Registry reg;
+  reg.counter("weird\"name\\with\ncontrol").add(1);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\u000acontrol"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Registry, WriteJsonRoundTrip) {
+  Registry reg;
+  reg.counter("k").add(5);
+  const std::string path =
+      ::testing::TempDir() + "/mwc_registry_test_metrics.json";
+  ASSERT_TRUE(reg.write_json(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), reg.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(Registry, WriteJsonFailsOnBadPath) {
+  Registry reg;
+  EXPECT_FALSE(reg.write_json("/nonexistent-dir/metrics.json"));
+}
+
+TEST(Registry, ConcurrentCountingIsExact) {
+  Registry reg;
+  Counter& c = reg.counter("hot");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+#if MWC_OBS_ENABLED
+TEST(ObsMacros, WriteToGlobalRegistry) {
+  Registry& global = Registry::global();
+  const std::uint64_t before =
+      global.counter("test.macro_count").value();
+  MWC_OBS_COUNT("test.macro_count");
+  MWC_OBS_COUNT_N("test.macro_count", 4);
+  EXPECT_EQ(global.counter("test.macro_count").value(), before + 5);
+
+  MWC_OBS_GAUGE_SET("test.macro_gauge", 2.0);
+  MWC_OBS_GAUGE_ADD("test.macro_gauge", 0.5);
+  EXPECT_DOUBLE_EQ(global.gauge("test.macro_gauge").value(), 2.5);
+
+  const std::uint64_t hist_before =
+      global.contains("test.macro_hist")
+          ? global.histogram("test.macro_hist", {1.0, 2.0}).count()
+          : 0;
+  MWC_OBS_HISTOGRAM("test.macro_hist", 1.5, 1.0, 2.0);
+  EXPECT_EQ(global.histogram("test.macro_hist", {1.0, 2.0}).count(),
+            hist_before + 1);
+}
+#else
+TEST(ObsMacros, CompileToNoOpsWhenDisabled) {
+  // The macros must not evaluate arguments or touch the registry.
+  MWC_OBS_COUNT("test.disabled_count");
+  MWC_OBS_COUNT_N("test.disabled_count", 4);
+  MWC_OBS_GAUGE_SET("test.disabled_gauge", 1.0);
+  MWC_OBS_HISTOGRAM("test.disabled_hist", 1.5, 1.0, 2.0);
+  EXPECT_FALSE(Registry::global().contains("test.disabled_count"));
+  EXPECT_FALSE(Registry::global().contains("test.disabled_gauge"));
+  EXPECT_FALSE(Registry::global().contains("test.disabled_hist"));
+}
+#endif
+
+}  // namespace
+}  // namespace mwc::obs

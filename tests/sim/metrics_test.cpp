@@ -1,0 +1,113 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace mwc::sim {
+namespace {
+
+SimResult make_result(double service_cost, std::vector<double> per_charger,
+                      std::size_t dispatches, std::size_t charges,
+                      std::size_t dead, double wall) {
+  SimResult r;
+  r.service_cost = service_cost;
+  r.per_charger_cost = std::move(per_charger);
+  r.num_dispatches = dispatches;
+  r.num_sensor_charges = charges;
+  r.dead_sensors = dead;
+  r.wall_seconds = wall;
+  return r;
+}
+
+TEST(Average, EmptyInputIsDefault) {
+  const SimResult avg = average({});
+  EXPECT_EQ(avg.service_cost, 0.0);
+  EXPECT_TRUE(avg.per_charger_cost.empty());
+  EXPECT_EQ(avg.num_dispatches, 0u);
+  EXPECT_EQ(avg.wall_seconds, 0.0);
+  EXPECT_EQ(avg.min_residual_at_charge,
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Average, SingleResultIsIdentity) {
+  auto r = make_result(12.0, {4.0, 8.0}, 3, 9, 1, 0.25);
+  r.min_residual_at_charge = 1.5;
+  const SimResult avg = average({r});
+  EXPECT_DOUBLE_EQ(avg.service_cost, 12.0);
+  ASSERT_EQ(avg.per_charger_cost.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg.per_charger_cost[0], 4.0);
+  EXPECT_DOUBLE_EQ(avg.per_charger_cost[1], 8.0);
+  EXPECT_EQ(avg.num_dispatches, 3u);
+  EXPECT_EQ(avg.num_sensor_charges, 9u);
+  EXPECT_EQ(avg.dead_sensors, 1u);
+  EXPECT_DOUBLE_EQ(avg.wall_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(avg.min_residual_at_charge, 1.5);
+}
+
+TEST(Average, MeansScalarFields) {
+  const std::vector<SimResult> results = {
+      make_result(10.0, {10.0}, 2, 4, 0, 0.1),
+      make_result(30.0, {30.0}, 4, 8, 2, 0.3),
+  };
+  const SimResult avg = average(results);
+  EXPECT_DOUBLE_EQ(avg.service_cost, 20.0);
+  EXPECT_EQ(avg.num_dispatches, 3u);
+  EXPECT_EQ(avg.num_sensor_charges, 6u);
+  EXPECT_EQ(avg.dead_sensors, 1u);
+  EXPECT_NEAR(avg.wall_seconds, 0.2, 1e-12);
+}
+
+// Runs from different fleet sizes (q differs across configs) produce
+// per_charger_cost vectors of different lengths; the average must span
+// the longest and treat missing chargers as zero cost.
+TEST(Average, HeterogeneousPerChargerLengths) {
+  const std::vector<SimResult> results = {
+      make_result(6.0, {6.0}, 1, 1, 0, 0.0),
+      make_result(12.0, {4.0, 8.0}, 1, 1, 0, 0.0),
+      make_result(9.0, {3.0, 3.0, 3.0}, 1, 1, 0, 0.0),
+  };
+  const SimResult avg = average(results);
+  ASSERT_EQ(avg.per_charger_cost.size(), 3u);
+  EXPECT_NEAR(avg.per_charger_cost[0], (6.0 + 4.0 + 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(avg.per_charger_cost[1], (0.0 + 8.0 + 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(avg.per_charger_cost[2], (0.0 + 0.0 + 3.0) / 3.0, 1e-12);
+  // Per-charger averages still sum to the mean service cost.
+  double sum = 0.0;
+  for (double c : avg.per_charger_cost) sum += c;
+  EXPECT_NEAR(sum, avg.service_cost, 1e-12);
+}
+
+TEST(Average, EmptyPerChargerAmongNonEmpty) {
+  const std::vector<SimResult> results = {
+      make_result(0.0, {}, 0, 0, 0, 0.0),
+      make_result(8.0, {8.0}, 1, 2, 0, 0.0),
+  };
+  const SimResult avg = average(results);
+  ASSERT_EQ(avg.per_charger_cost.size(), 1u);
+  EXPECT_NEAR(avg.per_charger_cost[0], 4.0, 1e-12);
+}
+
+TEST(Average, MinResidualTakesWorstCase) {
+  auto a = make_result(1.0, {1.0}, 1, 1, 0, 0.0);
+  auto b = make_result(1.0, {1.0}, 1, 1, 0, 0.0);
+  a.min_residual_at_charge = 2.5;
+  b.min_residual_at_charge = 0.75;
+  const SimResult avg = average({a, b});
+  EXPECT_DOUBLE_EQ(avg.min_residual_at_charge, 0.75);
+}
+
+TEST(Average, CountsRoundToNearest) {
+  // Mean dispatches 1.5 rounds up to 2; mean dead 0.5 rounds to 1.
+  const std::vector<SimResult> results = {
+      make_result(0.0, {}, 1, 1, 0, 0.0),
+      make_result(0.0, {}, 2, 2, 1, 0.0),
+  };
+  const SimResult avg = average(results);
+  EXPECT_EQ(avg.num_dispatches, 2u);
+  EXPECT_EQ(avg.dead_sensors, 1u);
+}
+
+}  // namespace
+}  // namespace mwc::sim

@@ -262,6 +262,48 @@ TEST(Simulator, CacheHitsMatchRoundClasses) {
   EXPECT_EQ(result.tour_cache_hits, result.num_dispatches - classes);
 }
 
+TEST(Simulator, ResultCountersMatchMetricsRegistry) {
+  // PR regression pin: SimResult's cache counters and wall time are now
+  // sourced from the per-instance obs registry. The semantics must be
+  // bit-identical to the old hand-threaded members — per-run deltas, a
+  // second run over a warm cache hits everywhere, and the registry view
+  // agrees with the struct fields.
+  const auto net = test_network(30, 3, 14);
+  const auto cycles = fixed_cycles(net, 1.0, 20.0, 14);
+  SimOptions options;
+  options.horizon = 100.0;
+  Simulator simulator(net, cycles, options);
+  charging::MinTotalDistancePolicy policy;
+  const auto first = simulator.run(policy);
+
+  const std::size_t classes = policy.partition().K + 1;
+  EXPECT_EQ(first.tour_cache_misses, classes);
+  EXPECT_EQ(first.tour_cache_hits, first.num_dispatches - classes);
+  EXPECT_EQ(simulator.tour_cache_hits(), first.tour_cache_hits);
+  EXPECT_EQ(simulator.tour_cache_misses(), first.tour_cache_misses);
+
+  const obs::Registry& metrics = simulator.metrics();
+  EXPECT_TRUE(metrics.contains("sim.tour_cache_hits"));
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("sim.tour_cache_hits"),
+            first.tour_cache_hits);
+  EXPECT_EQ(snap.counters.at("sim.tour_cache_misses"),
+            first.tour_cache_misses);
+  // wall_seconds round-trips through the registry gauge bit-exactly.
+  EXPECT_EQ(first.wall_seconds, snap.gauges.at("sim.run_wall_seconds"));
+  EXPECT_GE(first.wall_seconds, 0.0);
+
+  // Second run on the same instance: warm cache, all hits; the struct
+  // fields stay per-run deltas while the instrument totals accumulate.
+  charging::MinTotalDistancePolicy policy2;
+  const auto second = simulator.run(policy2);
+  EXPECT_EQ(second.tour_cache_misses, 0u);
+  EXPECT_EQ(second.tour_cache_hits, second.num_dispatches);
+  EXPECT_EQ(simulator.tour_cache_hits(),
+            first.tour_cache_hits + second.tour_cache_hits);
+  EXPECT_EQ(simulator.tour_cache_misses(), first.tour_cache_misses);
+}
+
 TEST(Simulator, PrecostPolicyWarmsCache) {
   const auto net = test_network(30, 3, 15);
   const auto cycles = fixed_cycles(net, 1.0, 20.0, 15);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+
 #include "util/timer.hpp"
 
 namespace mwc {
@@ -15,6 +18,25 @@ class LogLevelGuard {
  private:
   LogLevel saved_;
 };
+
+class LogFormatGuard {
+ public:
+  LogFormatGuard() : saved_(log_format()) {}
+  ~LogFormatGuard() { set_log_format(saved_); }
+
+ private:
+  LogFormat saved_;
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
 
 TEST(Log, LevelRoundTrip) {
   LogLevelGuard guard;
@@ -31,6 +53,70 @@ TEST(Log, ParseLevels) {
   EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
   EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
   EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+}
+
+TEST(Log, UnknownLevelNameWarnsAtMostOncePerProcess) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  // The diagnostic is once-per-process, so another test (or this one's
+  // first parse) may already have consumed it — assert the once-ness
+  // rather than the exact firing test.
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("bogus-level"), LogLevel::kInfo);
+  const auto first = ::testing::internal::GetCapturedStderr();
+  EXPECT_LE(count_occurrences(first, "unrecognized log level"), 1u) << first;
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("another-bogus"), LogLevel::kInfo);
+  const auto second = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(second, "unrecognized log level"), 0u)
+      << second;
+}
+
+TEST(Log, FormatRoundTrip) {
+  LogFormatGuard guard;
+  LogFormat format;
+  format.timestamps = true;
+  format.thread_ids = false;
+  set_log_format(format);
+  EXPECT_TRUE(log_format().timestamps);
+  EXPECT_FALSE(log_format().thread_ids);
+  format.timestamps = false;
+  format.thread_ids = true;
+  set_log_format(format);
+  EXPECT_FALSE(log_format().timestamps);
+  EXPECT_TRUE(log_format().thread_ids);
+  set_log_format(LogFormat{});
+  EXPECT_FALSE(log_format().timestamps);
+  EXPECT_FALSE(log_format().thread_ids);
+}
+
+TEST(Log, FormatDecoratesLines) {
+  LogLevelGuard level_guard;
+  LogFormatGuard format_guard;
+  set_log_level(LogLevel::kInfo);
+  LogFormat format;
+  format.timestamps = true;
+  format.thread_ids = true;
+  set_log_format(format);
+  ::testing::internal::CaptureStderr();
+  MWC_LOG_INFO("decorated line");
+  const auto out = ::testing::internal::GetCapturedStderr();
+  // "[mwc INFO  12.345s T01] decorated line"
+  const std::regex line_re(
+      "\\[mwc INFO  [0-9]+\\.[0-9]+s T[0-9]+\\] decorated line");
+  EXPECT_TRUE(std::regex_search(out, line_re)) << out;
+}
+
+TEST(Log, DefaultFormatHasNoDecorations) {
+  LogLevelGuard level_guard;
+  LogFormatGuard format_guard;
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat{});
+  ::testing::internal::CaptureStderr();
+  MWC_LOG_INFO("plain line");
+  const auto out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[mwc INFO ] plain line"), std::string::npos) << out;
 }
 
 TEST(Log, SuppressedLevelsEmitNothing) {

@@ -66,6 +66,62 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), mean_before);
 }
 
+TEST(RunningStats, MergeEqualsSinglePassOverConcatenation) {
+  // Chan et al. parallel combination must agree with feeding the
+  // concatenated sample through one accumulator — including lopsided
+  // splits where the delta term dominates.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.normal(100.0, 0.01));
+  for (const std::size_t split : {std::size_t{1}, std::size_t{128},
+                                  std::size_t{256}}) {
+    RunningStats whole, left, right;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      whole.add(xs[i]);
+      (i < split ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.sum(), whole.sum(), 1e-6);
+  }
+}
+
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleElements) {
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  // Sample variance of {2, 6}: ((2-4)^2 + (6-4)^2) / 1 = 8.
+  EXPECT_NEAR(a.variance(), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(RunningStats, MergeIntoEmptyAdoptsExtremes) {
+  RunningStats a, b;
+  b.add(-3.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
 TEST(RunningStats, Ci95ShrinksWithSamples) {
   Rng rng(2);
   RunningStats small, large;
