@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
 
   // Cold: the pre-oracle dispatch-costing path — rebuild the
   // QRootedInstance (point copies), construct through direct geometry,
-  // and take per-depot lengths off a combined_points() copy.
+  // and take per-depot lengths off a materialized point copy.
   for (std::size_t r = 0; r < reps; ++r) {
     timer.reset();
     tsp::QRootedInstance round;
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     for (std::size_t id : all_ids)
       round.sensors.push_back(instance.sensors[id]);
     const auto tours = tsp::q_rooted_tsp(round);
-    const auto points = round.combined_points();
+    const auto points = round.points().materialize();
     for (const auto& tour : tours.tours) checksum += tour.length(points);
     cold_times[r] = timer.elapsed_ms();
   }

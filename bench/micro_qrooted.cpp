@@ -76,8 +76,10 @@ BENCHMARK(BM_QRootedTsp)->Range(64, 1024);
 void BM_QRootedTspImproved(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const auto inst = random_instance(5, m, 4);
+  mwc::tsp::QRootedOptions options;
+  options.improve = true;
   for (auto _ : state) {
-    auto tours = mwc::tsp::q_rooted_tsp(inst, {.improve = true});
+    auto tours = mwc::tsp::q_rooted_tsp(inst, options);
     benchmark::DoNotOptimize(tours.total_length);
   }
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Measures the candidate-list tour-polish speedup: runs bench/micro_improve
+# (exhaustive O(n²) sweep vs candidate O(n·k) path, identical instances)
+# at n in {100, 800, 2000} and merges the per-size JSON outputs into
+# BENCH_improve.json. Target: >= 5x at n=800 with <= 1% longer tours.
+#
+# Usage: scripts/bench_improve.sh [output.json] [trials]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_improve.json}"
+TRIALS="${2:-3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build --target micro_improve -j "$(nproc)" > /dev/null
+
+SIZES=(100 800 2000)
+for n in "${SIZES[@]}"; do
+  ./build/bench/micro_improve --n "$n" --trials "$TRIALS" \
+      --json "$TMP/improve_$n.json"
+done
+
+python3 - "$OUT" "$TMP" "${SIZES[@]}" <<'EOF'
+import json, sys
+out, tmp, sizes = sys.argv[1], sys.argv[2], sys.argv[3:]
+points = [json.load(open(f"{tmp}/improve_{n}.json")) for n in sizes]
+at800 = next(p for p in points if p["n"] == 800)
+merged = {
+    "bench": "micro_improve",
+    "q": points[0]["q"], "k": points[0]["k"],
+    "trials": points[0]["trials"],
+    "points": points,
+    "speedup_at_800": at800["speedup"],
+    "quality_delta_pct_at_800": at800["quality_delta_pct"],
+    "target_speedup_at_800": 5.0,
+    "target_quality_delta_pct": 1.0,
+    "note": "exhaustive = full O(n^2) 2-opt/Or-opt sweeps; candidate = "
+            "k-NN candidate lists + don't-look bits + pruned q-rooted "
+            "MSF (timing includes building the candidate graph); "
+            "parallel = candidate arm with per-charger polish on a "
+            "ThreadPool; negative quality delta means the candidate "
+            "tours came out shorter",
+}
+json.dump(merged, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+for p in points:
+    print(f"n={p['n']:>5}: {p['speedup']:6.2f}x, "
+          f"tour delta {p['quality_delta_pct']:+.3f}%")
+ok = (at800["speedup"] >= merged["target_speedup_at_800"]
+      and at800["quality_delta_pct"] <= merged["target_quality_delta_pct"])
+print(f"wrote {out} ({'targets met' if ok else 'TARGETS MISSED'})")
+sys.exit(0 if ok else 1)
+EOF

@@ -121,6 +121,70 @@ std::size_t GridIndex::nearest(const Point& query) const {
   return nearest_with_distance(query).first;
 }
 
+std::vector<std::pair<std::size_t, double>> GridIndex::knearest(
+    const Point& query, std::size_t k) const {
+  std::vector<std::pair<std::size_t, double>> result;
+  if (points_.empty() || k == 0) return result;
+
+  const double fx = cell_w_ > 0.0 ? (query.x - bounds_.lo.x) / cell_w_ : 0.0;
+  const double fy = cell_h_ > 0.0 ? (query.y - bounds_.lo.y) / cell_h_ : 0.0;
+  const auto qx = static_cast<long long>(std::floor(fx));
+  const auto qy = static_cast<long long>(std::floor(fy));
+
+  // Max-heap of (squared distance, index); ordering by the pair breaks
+  // exact distance ties deterministically on the smaller index.
+  std::vector<std::pair<double, std::size_t>> heap;
+  heap.reserve(std::min(k, points_.size()));
+  const auto offer = [&](std::size_t i, double d2) {
+    const std::pair<double, std::size_t> entry{d2, i};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (entry < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  };
+
+  const long long max_ring =
+      static_cast<long long>(std::max(nx_, ny_)) +
+      std::max(std::abs(qx), std::abs(qy)) + 1;
+  for (long long ring = 0; ring <= max_ring; ++ring) {
+    if (heap.size() == k) {
+      // Closest possible point in this ring cannot displace the k-th best.
+      const double ring_gap =
+          (static_cast<double>(ring) - 1.0) * std::min(cell_w_, cell_h_);
+      if (ring_gap > 0.0 && ring_gap * ring_gap > heap.front().first) break;
+    }
+    bool visited_any = false;
+    for (long long dy = -ring; dy <= ring; ++dy) {
+      for (long long dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const long long cx = qx + dx;
+        const long long cy = qy + dy;
+        if (cx < 0 || cy < 0 || cx >= static_cast<long long>(nx_) ||
+            cy >= static_cast<long long>(ny_))
+          continue;
+        visited_any = true;
+        const std::size_t c = static_cast<std::size_t>(cy) * nx_ +
+                              static_cast<std::size_t>(cx);
+        for (std::size_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+          const std::size_t i = cell_items_[s];
+          offer(i, distance2(points_[i], query));
+        }
+      }
+    }
+    if (!visited_any && heap.size() == k) break;
+  }
+
+  std::sort(heap.begin(), heap.end());
+  result.reserve(heap.size());
+  for (const auto& [d2, idx] : heap)
+    result.emplace_back(idx, std::sqrt(d2));
+  return result;
+}
+
 std::vector<std::size_t> GridIndex::within(const Point& query,
                                            double radius) const {
   std::vector<std::size_t> result;

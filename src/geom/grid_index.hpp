@@ -34,6 +34,12 @@ class GridIndex {
   std::pair<std::size_t, double> nearest_with_distance(
       const Point& query) const;
 
+  /// The k points nearest to `query`, sorted by ascending distance (ties
+  /// broken by ascending index). Returns fewer than k pairs when the
+  /// index holds fewer points. Each pair is (point index, distance).
+  std::vector<std::pair<std::size_t, double>> knearest(const Point& query,
+                                                       std::size_t k) const;
+
   /// All point indices within `radius` of `query` (unsorted).
   std::vector<std::size_t> within(const Point& query, double radius) const;
 

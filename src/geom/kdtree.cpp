@@ -69,6 +69,48 @@ std::size_t KdTree::nearest(const Point& query) const {
   return nearest_with_distance(query).first;
 }
 
+void KdTree::knn_search(
+    std::size_t node, const Point& query, std::size_t k,
+    std::vector<std::pair<double, std::size_t>>& heap) const {
+  if (node == kNull) return;
+  const Node& nd = nodes_[node];
+  const std::pair<double, std::size_t> entry{distance2(nd.p, query),
+                                             nd.original_index};
+  if (heap.size() < k) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (entry < heap.front()) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = entry;
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const double delta =
+      nd.axis == 0 ? query.x - nd.p.x : query.y - nd.p.y;
+  const std::size_t near_child = delta < 0.0 ? nd.left : nd.right;
+  const std::size_t far_child = delta < 0.0 ? nd.right : nd.left;
+  knn_search(near_child, query, k, heap);
+  // The far side can only contribute while the heap is short or the
+  // splitting plane is closer than the current k-th best.
+  if (heap.size() < k || delta * delta < heap.front().first)
+    knn_search(far_child, query, k, heap);
+}
+
+std::vector<std::pair<std::size_t, double>> KdTree::knearest(
+    const Point& query, std::size_t k) const {
+  std::vector<std::pair<std::size_t, double>> result;
+  if (empty() || k == 0) return result;
+  // Max-heap of (squared distance, index); ordering by the pair breaks
+  // exact distance ties deterministically on the smaller index.
+  std::vector<std::pair<double, std::size_t>> heap;
+  heap.reserve(std::min(k, points_.size()));
+  knn_search(root_, query, k, heap);
+  std::sort(heap.begin(), heap.end());
+  result.reserve(heap.size());
+  for (const auto& [d2, idx] : heap)
+    result.emplace_back(idx, std::sqrt(d2));
+  return result;
+}
+
 void KdTree::range_search(std::size_t node, const Point& query, double r2,
                           std::vector<std::size_t>& out) const {
   if (node == kNull) return;

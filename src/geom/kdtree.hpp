@@ -29,6 +29,12 @@ class KdTree {
   std::pair<std::size_t, double> nearest_with_distance(
       const Point& query) const;
 
+  /// The k points nearest to `query`, sorted by ascending distance (ties
+  /// broken by ascending index). Returns fewer than k pairs when the tree
+  /// holds fewer points. Each pair is (original index, distance).
+  std::vector<std::pair<std::size_t, double>> knearest(const Point& query,
+                                                       std::size_t k) const;
+
   /// Indices of all points within `radius` of `query` (unsorted).
   std::vector<std::size_t> within(const Point& query, double radius) const;
 
@@ -46,6 +52,8 @@ class KdTree {
                     std::size_t hi, int depth);
   void nn_search(std::size_t node, const Point& query, std::size_t& best,
                  double& best_d2) const;
+  void knn_search(std::size_t node, const Point& query, std::size_t k,
+                  std::vector<std::pair<double, std::size_t>>& heap) const;
   void range_search(std::size_t node, const Point& query, double r2,
                     std::vector<std::size_t>& out) const;
 

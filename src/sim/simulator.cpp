@@ -68,6 +68,29 @@ std::uint64_t Simulator::set_hash(const std::vector<std::size_t>& sensors) {
   return h;
 }
 
+bool Simulator::wants_candidates() const noexcept {
+  const auto& topts = options_.tour_options;
+  if (topts.candidates != nullptr) return false;  // caller supplied one
+  return topts.candidate_msf ||
+         (topts.improve && !topts.improve_options.exhaustive &&
+          topts.improve_options.candidates == nullptr);
+}
+
+const tsp::CandidateGraph& Simulator::shared_candidates() const {
+  std::call_once(cand_once_, [&] {
+    std::vector<geom::Point> combined;
+    combined.reserve(network_.q() + network_.n());
+    combined.insert(combined.end(), network_.depots().begin(),
+                    network_.depots().end());
+    for (std::size_t i = 0; i < network_.n(); ++i)
+      combined.push_back(network_.sensor(i).position);
+    cand_graph_ = std::make_unique<tsp::CandidateGraph>(
+        tsp::CandidateGraph::build(combined,
+                                   options_.tour_options.candidate_options));
+  });
+  return *cand_graph_;
+}
+
 Simulator::TourCost Simulator::compute_cost(
     const std::vector<std::size_t>& sensors) const {
   MWC_OBS_SCOPE("sim.compute_tour_cost");
@@ -88,8 +111,34 @@ Simulator::TourCost Simulator::compute_cost(
   }
 
   const auto distances = oracle_.dispatch_view(sensors);
-  const auto tours = tsp::q_rooted_tsp(distances, network_.q(),
-                                       options_.effective_tour_options());
+
+  tsp::QRootedOptions topts = options_.tour_options;
+  tsp::CandidateGraph dispatch_graph;
+  if (wants_candidates()) {
+    // Candidate indices must coincide with view-local indices: the shared
+    // full-space graph matches only the identity dispatch (all n sensors
+    // in order); any proper subset gets its own subspace graph, amortized
+    // by the tour-cost memoization (one build per distinct set).
+    bool identity = sensors.size() == network_.n();
+    for (std::size_t j = 0; identity && j < sensors.size(); ++j)
+      identity = sensors[j] == j;
+    if (identity) {
+      topts.candidates = &shared_candidates();
+      MWC_OBS_COUNT("tsp.cand.shared_reuse");
+    } else {
+      std::vector<geom::Point> pts;
+      pts.reserve(network_.q() + sensors.size());
+      pts.insert(pts.end(), network_.depots().begin(),
+                 network_.depots().end());
+      for (std::size_t id : sensors)
+        pts.push_back(network_.sensor(id).position);
+      dispatch_graph =
+          tsp::CandidateGraph::build(pts, topts.candidate_options);
+      topts.candidates = &dispatch_graph;
+    }
+  }
+
+  const auto tours = tsp::q_rooted_tsp(distances, network_.q(), topts);
 
   TourCost cost;
   cost.total = tours.total_length;

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +27,7 @@
 #include "charging/schedule.hpp"
 #include "obs/registry.hpp"
 #include "sim/metrics.hpp"
+#include "tsp/candidates.hpp"
 #include "tsp/oracle.hpp"
 #include "tsp/qrooted.hpp"
 #include "util/thread_pool.hpp"
@@ -39,15 +42,14 @@ struct SimOptions {
   /// (the fixed-maximum-charging-cycle setting).
   double slot_length = 0.0;
   /// How each round's q tours are built (construction heuristic +
-  /// optional 2-opt/Or-opt polish). Defaults match the paper.
+  /// optional 2-opt/Or-opt polish, candidate-list acceleration). Defaults
+  /// match the paper. When a candidate-consuming stage is enabled
+  /// (`improve` without `improve_options.exhaustive`, or `candidate_msf`)
+  /// and no graph is supplied, the simulator provides one: the lazily
+  /// built shared graph over the full combined space for full dispatches,
+  /// or a per-dispatch subspace graph otherwise (memoized with the tour
+  /// cost, so each distinct set builds at most once).
   tsp::QRootedOptions tour_options;
-  /// Deprecated alias for tour_options.improve — kept for one release so
-  /// existing call sites keep compiling; a non-default value overrides
-  /// tour_options (see effective_tour_options()).
-  bool improve_tours = false;
-  /// Deprecated alias for tour_options.construction; same override rule.
-  tsp::TourConstruction tour_construction =
-      tsp::TourConstruction::kDoubleTree;
   /// Per-trip travel budget of each charger (metres); > 0 splits every
   /// round's tours via charging::plan_capacitated_round, adding the
   /// return legs a range-limited vehicle actually drives. <= 0 matches
@@ -60,18 +62,6 @@ struct SimOptions {
   bool record_dispatches = false;
   /// Hard cap on dispatches (guards against a runaway policy).
   std::size_t max_dispatches = 10'000'000;
-
-  /// Resolves the unified tour_options against the deprecated aliases:
-  /// starts from tour_options and lets a non-default legacy field win
-  /// (old call sites set only the legacy fields, so their intent must
-  /// survive until the aliases are removed).
-  tsp::QRootedOptions effective_tour_options() const noexcept {
-    tsp::QRootedOptions resolved = tour_options;
-    if (improve_tours) resolved.improve = true;
-    if (tour_construction != tsp::TourConstruction::kDoubleTree)
-      resolved.construction = tour_construction;
-    return resolved;
-  }
 };
 
 class Simulator {
@@ -138,10 +128,19 @@ class Simulator {
   TourCost compute_cost(const std::vector<std::size_t>& sensors) const;
   static std::uint64_t set_hash(const std::vector<std::size_t>& sensors);
 
+  /// True when tour_options wants a candidate graph but supplies none.
+  bool wants_candidates() const noexcept;
+  /// Lazily built shared k-NN graph over the full combined node space
+  /// (thread-safe via call_once); index-compatible with any identity
+  /// dispatch view, i.e. a dispatch of all n sensors in order.
+  const tsp::CandidateGraph& shared_candidates() const;
+
   const wsn::Network& network_;
   const wsn::CycleProcess& cycle_model_;
   SimOptions options_;
   tsp::DistanceOracle oracle_;
+  mutable std::once_flag cand_once_;
+  mutable std::unique_ptr<tsp::CandidateGraph> cand_graph_;
   std::unordered_map<std::uint64_t, TourCost> cost_cache_;
   obs::Registry metrics_;
   obs::Counter& cache_hits_c_;    ///< metrics_ "sim.tour_cache_hits"

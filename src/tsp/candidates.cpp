@@ -1,0 +1,62 @@
+#include "tsp/candidates.hpp"
+
+#include "geom/bbox.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/kdtree.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace mwc::tsp {
+
+namespace {
+
+/// Writes the self-excluded k-nearest row for node i. The spatial index
+/// is queried for k+1 neighbors because node i itself (distance 0) is
+/// among them; any *other* zero-distance duplicate stays a legitimate
+/// candidate.
+template <typename KnnFn>
+void fill_row(std::size_t i, std::size_t k, const KnnFn& knn,
+              std::vector<std::size_t>& flat) {
+  const auto hits = knn(k + 1);
+  std::size_t written = 0;
+  for (const auto& [idx, dist] : hits) {
+    (void)dist;
+    if (idx == i) continue;
+    flat[i * k + written] = idx;
+    if (++written == k) break;
+  }
+  MWC_ASSERT_MSG(written == k, "knearest returned too few neighbors");
+}
+
+}  // namespace
+
+CandidateGraph CandidateGraph::build(std::span<const geom::Point> points,
+                                     const CandidateOptions& options) {
+  MWC_OBS_SCOPE("tsp.cand_build");
+  MWC_OBS_COUNT("tsp.cand.rebuilds");
+  CandidateGraph graph;
+  graph.n_ = points.size();
+  graph.k_ = graph.n_ > 0 ? std::min(options.k, graph.n_ - 1) : 0;
+  if (graph.k_ == 0) return graph;
+  graph.flat_.assign(graph.n_ * graph.k_, 0);
+
+  const bool use_grid = options.backend == CandidateOptions::Backend::kGrid;
+  if (use_grid) {
+    const geom::GridIndex index(points,
+                                geom::BBox::of(points.begin(), points.end()),
+                                options.grid_target_per_cell);
+    for (std::size_t i = 0; i < graph.n_; ++i)
+      fill_row(i, graph.k_,
+               [&](std::size_t k) { return index.knearest(points[i], k); },
+               graph.flat_);
+  } else {
+    const geom::KdTree index(points);
+    for (std::size_t i = 0; i < graph.n_; ++i)
+      fill_row(i, graph.k_,
+               [&](std::size_t k) { return index.knearest(points[i], k); },
+               graph.flat_);
+  }
+  return graph;
+}
+
+}  // namespace mwc::tsp

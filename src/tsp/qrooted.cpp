@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <unordered_set>
+#include <utility>
 
 #include "graph/mst.hpp"
 #include "obs/obs.hpp"
 #include "tsp/construct.hpp"
-#include "tsp/improve.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mwc::tsp {
 
@@ -32,25 +34,95 @@ inline void flush_probe_count(const DistanceView& distances,
 #endif
 }
 
-}  // namespace
-
-std::vector<geom::Point> CombinedPointsView::materialize() const {
-  std::vector<geom::Point> pts;
-  pts.reserve(size());
-  pts.insert(pts.end(), depots_.begin(), depots_.end());
-  pts.insert(pts.end(), sensors_.begin(), sensors_.end());
-  return pts;
+/// True when `candidates` can actually prune for this view: covers the
+/// combined node space and is not degenerate-complete (the complete graph
+/// dispatches dense so the k >= n limit stays bit-identical).
+bool prunable(const CandidateGraph* candidates, std::size_t view_size) {
+  return candidates != nullptr && candidates->size() == view_size &&
+         !candidates->complete();
 }
 
-std::vector<geom::Point> QRootedInstance::combined_points() const {
-  return points().materialize();
+/// Sparse Prim over the contracted aux graph (node 0 = virtual root,
+/// 1..m = sensors) restricted to candidate sensor-sensor edges plus the
+/// root's star. The star edge to every sensor (its nearest-depot
+/// distance) keeps the pruned graph connected, so a spanning tree always
+/// exists; its weight can only exceed the dense MST's when some true MST
+/// edge joins two sensors that are not mutual-or-one-way candidates —
+/// essentially never on Euclidean instances at k ≈ 10 (pinned by tests,
+/// escape-hatched by verify_against_dense).
+graph::MstResult prim_msf_pruned(const DistanceView& distances, std::size_t q,
+                                 const CandidateGraph& cand,
+                                 std::span<const double> root_dist,
+                                 std::uint64_t& probes,
+                                 std::uint64_t& cand_evals) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const std::size_t m = distances.size() - q;
+
+  // Symmetrized candidate adjacency in local sensor space: kNN is not a
+  // symmetric relation, but Prim must be able to relax an edge from
+  // whichever endpoint enters the tree first.
+  std::vector<std::vector<std::size_t>> adj(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (const std::size_t c : cand.neighbors(q + k)) {
+      if (c < q) continue;  // depot edges enter via the root star
+      adj[k].push_back(c - q);
+      adj[c - q].push_back(k);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  graph::MstResult result;
+  std::vector<double> best(m + 1, kInf);
+  std::vector<std::size_t> best_from(m + 1, kNone);
+  std::vector<char> in_tree(m + 1, 0);
+
+  // Lazy binary heap of (key, aux node); stale entries are skipped on
+  // extraction. Pair ordering breaks key ties on the smaller node index.
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+
+  in_tree[0] = 1;
+  for (std::size_t k = 0; k < m; ++k) {
+    best[k + 1] = root_dist[k];
+    best_from[k + 1] = 0;
+    heap.emplace(root_dist[k], k + 1);
+  }
+
+  result.edges.reserve(m);
+  for (std::size_t added = 0; added < m;) {
+    MWC_ASSERT_MSG(!heap.empty(), "root star keeps the aux graph connected");
+    const auto [key, u] = heap.top();
+    heap.pop();
+    if (in_tree[u] || key > best[u]) continue;  // stale entry
+    in_tree[u] = 1;
+    result.edges.push_back(graph::Edge{best_from[u], u, best[u]});
+    result.total_weight += best[u];
+    ++added;
+    for (const std::size_t j : adj[u - 1]) {
+      const std::size_t v = j + 1;
+      if (in_tree[v]) continue;
+      ++cand_evals;
+      const double w = distances(q + u - 1, q + j);
+      ++probes;
+      if (w < best[v]) {
+        best[v] = w;
+        best_from[v] = u;
+        heap.emplace(w, v);
+      }
+    }
+  }
+  return result;
 }
 
-QRootedForest q_rooted_msf(const QRootedInstance& instance) {
-  return q_rooted_msf(instance.distances(), instance.q());
-}
-
-QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
+/// Shared core of the dense and pruned MSF entry points: nearest-depot
+/// scan, aux-graph MST (dense or candidate-pruned), un-contract.
+QRootedForest msf_impl(const DistanceView& distances, std::size_t q,
+                       const CandidateGraph* candidates,
+                       bool verify_against_dense) {
   MWC_OBS_SCOPE("tsp.q_rooted_msf");
   MWC_ASSERT_MSG(q >= 1, "q-rooted MSF needs at least one depot");
   MWC_ASSERT(q <= distances.size());
@@ -69,6 +141,7 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
   // Probes accumulate in a local and flush once at the end, so the
   // Prim/root-scan inner loops pay no atomic traffic.
   std::uint64_t probes = 0;
+  std::uint64_t cand_evals = 0;
 
   // Auxiliary contracted graph G_r: node 0 is the virtual root r (all q
   // depots merged), nodes 1..m are the sensors. w_r(0, k) is the distance
@@ -94,8 +167,23 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
     return distances(q + i - 1, q + j - 1);
   };
 
-  const auto mst = graph::prim_mst_with(m + 1, aux_dist, /*root=*/0);
+  graph::MstResult mst;
+  if (prunable(candidates, distances.size())) {
+    mst = prim_msf_pruned(distances, q, *candidates, root_dist, probes,
+                          cand_evals);
+    if (verify_against_dense) {
+      auto dense = graph::prim_mst_with(m + 1, aux_dist, /*root=*/0);
+      if (mst.total_weight >
+          dense.total_weight * (1.0 + 1e-12) + 1e-9) {
+        MWC_OBS_COUNT("tsp.msf_prune_fallbacks");
+        mst = std::move(dense);
+      }
+    }
+  } else {
+    mst = graph::prim_mst_with(m + 1, aux_dist, /*root=*/0);
+  }
   flush_probe_count(distances, probes);
+  MWC_OBS_COUNT_N("tsp.cand.hits", cand_evals);
 
   // Un-contract: an MST edge (0, k) becomes (nearest_depot[k-1], sensor).
   // Each subtree hanging off the virtual root attaches through exactly one
@@ -154,15 +242,57 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
   return result;
 }
 
+}  // namespace
+
+std::vector<geom::Point> CombinedPointsView::materialize() const {
+  std::vector<geom::Point> pts;
+  pts.reserve(size());
+  pts.insert(pts.end(), depots_.begin(), depots_.end());
+  pts.insert(pts.end(), sensors_.begin(), sensors_.end());
+  return pts;
+}
+
+QRootedForest q_rooted_msf(const QRootedInstance& instance) {
+  return q_rooted_msf(instance.distances(), instance.q());
+}
+
+QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q) {
+  return msf_impl(distances, q, nullptr, false);
+}
+
+QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q,
+                           const CandidateGraph* candidates,
+                           bool verify_against_dense) {
+  return msf_impl(distances, q, candidates, verify_against_dense);
+}
+
 QRootedTours q_rooted_tsp(const QRootedInstance& instance,
                           const QRootedOptions& options) {
+  // Build the candidate graph on demand only on the explicit candidate_msf
+  // opt-in: plain `improve` must stay bit-exact with the DistanceView
+  // overload (the GoldenEquivalence contract), which has no geometry to
+  // build a graph from. Callers wanting candidate-mode polish alone pass
+  // their own graph (as the simulator does).
+  if (options.candidate_msf && options.candidates == nullptr) {
+    const auto combined = instance.points().materialize();
+    const auto graph = CandidateGraph::build(combined,
+                                             options.candidate_options);
+    QRootedOptions with_graph = options;
+    with_graph.candidates = &graph;
+    return q_rooted_tsp(instance.distances(), instance.q(), with_graph);
+  }
   return q_rooted_tsp(instance.distances(), instance.q(), options);
 }
 
 QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
-                          const QRootedOptions& options) {
+                          const QRootedOptions& options,
+                          ThreadPool* polish_pool) {
   MWC_OBS_SCOPE("tsp.q_rooted_tsp");
-  const auto forest = q_rooted_msf(distances, q);
+  const auto forest =
+      options.candidate_msf
+          ? q_rooted_msf(distances, q, options.candidates,
+                         options.verify_candidate_msf)
+          : q_rooted_msf(distances, q);
 
   QRootedTours result;
   result.tours.reserve(forest.trees.size());
@@ -188,13 +318,42 @@ QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
         break;
       }
     }
-    if (options.improve && tour.size() >= 4) {
-      const double gain = improve_tour(tour, distances);
-      MWC_OBS_GAUGE_ADD("tsp.improve_total_gain", gain);
-    }
-    result.total_length += tour.length_with(distances);
     result.tours.push_back(std::move(tour));
   }
+
+  if (options.improve) {
+    ImproveOptions improve_opts = options.improve_options;
+    if (improve_opts.candidates == nullptr)
+      improve_opts.candidates = options.candidates;
+    // Each tour is polished independently against the (thread-safe)
+    // distance kernel, so fanning out over a pool changes nothing but
+    // wall-clock; per-tour gains land in a slot vector and flush serially.
+    std::vector<double> gains(result.tours.size(), 0.0);
+    const auto polish = [&](std::size_t t) {
+      Tour& tour = result.tours[t];
+      if (tour.size() < 4) return;
+      gains[t] = improve_tour(tour, distances, improve_opts);
+      // Or-opt may relocate the segment containing the depot, rotating
+      // the closed tour; restore the start-at-own-depot invariant
+      // (Theorem 1 structure) — rotation never changes the length.
+      auto& order = tour.order();
+      const auto root = forest.trees[t].root();
+      const auto at = std::find(order.begin(), order.end(), root);
+      if (at != order.begin() && at != order.end())
+        std::rotate(order.begin(), at, order.end());
+    };
+    if (polish_pool != nullptr) {
+      parallel_for(*polish_pool, 0, result.tours.size(), polish);
+    } else {
+      serial_for(0, result.tours.size(), polish);
+    }
+    for (const double gain : gains) {
+      MWC_OBS_GAUGE_ADD("tsp.improve_total_gain", gain);
+    }
+  }
+
+  for (const auto& tour : result.tours)
+    result.total_length += tour.length_with(distances);
   MWC_OBS_COUNT_N("tsp.tours_built", result.tours.size());
   return result;
 }

@@ -14,6 +14,15 @@
 //     double each MSF tree's edges, take the Eulerian circuit, shortcut
 //     repeated nodes. Each resulting closed tour contains its own depot
 //     and the q tours jointly cover all sensors.
+//
+// Both stages accept an optional CandidateGraph over the combined node
+// space (see candidates.hpp). The MSF then runs a lazy-heap Prim that
+// only relaxes candidate sensor-sensor edges plus the virtual root's star
+// (nearest-depot distance to every sensor, which keeps the pruned graph
+// connected), and the polishers scan only candidate edges — the tour
+// pipeline drops from O(n²) to O(n·k). The dense paths remain and serve
+// as the golden reference; a complete candidate graph dispatches to them
+// for bit-identical results.
 #pragma once
 
 #include <cstddef>
@@ -24,14 +33,19 @@
 
 #include "geom/point.hpp"
 #include "graph/forest.hpp"
+#include "tsp/candidates.hpp"
+#include "tsp/improve.hpp"
 #include "tsp/oracle.hpp"
 #include "tsp/tour.hpp"
+
+namespace mwc {
+class ThreadPool;
+}
 
 namespace mwc::tsp {
 
 /// Random-access, non-owning view of an instance's points in combined
-/// order (depots first, then sensors) — what `combined_points()` used to
-/// copy, without the O(q + m) allocation. Valid as long as the backing
+/// order (depots first, then sensors). Valid as long as the backing
 /// depot/sensor vectors are.
 class CombinedPointsView {
  public:
@@ -116,10 +130,6 @@ struct QRootedInstance {
 
   /// Direct-geometry distance kernel over the combined space.
   DistanceView distances() const { return points().distances(); }
-
-  /// All positions in combined order (depots first). O(q + m) copy.
-  /// Deprecated: prefer `points()` (view) or `points().materialize()`.
-  std::vector<geom::Point> combined_points() const;
 };
 
 /// Result of Algorithm 1. trees[l] is rooted at depot l (combined index l);
@@ -136,6 +146,19 @@ QRootedForest q_rooted_msf(const QRootedInstance& instance);
 /// has nodes 0..q-1 as depots (e.g. a DistanceOracle::dispatch_view).
 /// Bit-exact with the instance overload for equal distances.
 QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q);
+
+/// Candidate-pruned q-rooted MSF: Prim relaxes only candidate
+/// sensor-sensor edges plus the virtual root's nearest-depot star, via a
+/// lazy binary heap — O((m·k + m) log m) instead of O(m²). `candidates`
+/// must cover the combined node space; null or complete() dispatches to
+/// the dense sweep (bit-identical). With `verify_against_dense` the dense
+/// forest is also computed and silently substituted (counting one
+/// `tsp.msf_prune_fallbacks`) whenever the pruned weight exceeds it — the
+/// correctness escape hatch; tests pin weight equality on Euclidean
+/// instances at k ≈ 10.
+QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q,
+                           const CandidateGraph* candidates,
+                           bool verify_against_dense = false);
 
 /// Result of Algorithm 2. tours[l] starts at depot l; a tour of size one
 /// (just the depot) means charger l stays home. Lengths use the Euclidean
@@ -158,17 +181,47 @@ struct QRootedOptions {
   /// extension, off by default to match the paper).
   bool improve = false;
   TourConstruction construction = TourConstruction::kDoubleTree;
+
+  /// Polisher knobs. Its `candidates` pointer, when null, inherits the
+  /// `candidates` graph below, so one graph drives both stages.
+  ImproveOptions improve_options;
+
+  /// Route the MSF through the candidate-pruned Prim (requires a usable
+  /// `candidates` graph, else silently dense).
+  bool candidate_msf = false;
+
+  /// Escape hatch for candidate_msf: cross-check against the dense forest
+  /// and fall back when the pruned weight is worse.
+  bool verify_candidate_msf = false;
+
+  /// Shared k-nearest-neighbor graph over the *combined* node space
+  /// (depots + sensors). Non-owning; null means "dense everywhere",
+  /// except that the instance overload builds one on demand when
+  /// candidate_msf explicitly opts in (plain `improve` stays bit-exact
+  /// with the DistanceView overload, which has no geometry to build
+  /// from — supply a graph to get candidate-mode polish there).
+  const CandidateGraph* candidates = nullptr;
+
+  /// Build parameters for the on-demand graph of the instance overload.
+  CandidateOptions candidate_options;
 };
 
-/// 2-approximate q-rooted TSP (Algorithm 2). Requires q >= 1.
+/// 2-approximate q-rooted TSP (Algorithm 2). Requires q >= 1. Builds a
+/// CandidateGraph over the combined points on demand when `options`
+/// opts into candidate_msf without supplying one.
 QRootedTours q_rooted_tsp(const QRootedInstance& instance,
                           const QRootedOptions& options = {});
 
 /// 2-approximate q-rooted TSP over any distance kernel whose combined
 /// node space has nodes 0..q-1 as depots. Tour node indices are local to
 /// the view. Bit-exact with the instance overload for equal distances.
+/// A non-null `polish_pool` runs the per-tour improvement phase across
+/// the pool (one task per tour; results are deterministic because each
+/// tour is polished independently). Callers already running inside a pool
+/// task must pass null — nested parallel_for deadlocks a saturated pool.
 QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
-                          const QRootedOptions& options = {});
+                          const QRootedOptions& options = {},
+                          ThreadPool* polish_pool = nullptr);
 
 /// Validates the Theorem-1 structural guarantees: each tour is closed
 /// through its own depot, tours are node-disjoint on sensors, and their

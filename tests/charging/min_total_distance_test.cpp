@@ -156,8 +156,10 @@ TEST(BuildSchedule, ImproveOptionNeverCostsMore) {
   std::vector<double> cycles;
   for (int i = 0; i < 40; ++i) cycles.push_back(rng.uniform(1.0, 16.0));
   const auto raw = build_min_total_distance_schedule(net, cycles, 32.0);
-  const auto polished = build_min_total_distance_schedule(
-      net, cycles, 32.0, tsp::QRootedOptions{.improve = true});
+  tsp::QRootedOptions with_improve;
+  with_improve.improve = true;
+  const auto polished =
+      build_min_total_distance_schedule(net, cycles, 32.0, with_improve);
   EXPECT_LE(polished.total_cost, raw.total_cost + 1e-9);
 }
 

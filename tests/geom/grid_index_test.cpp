@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -108,6 +110,41 @@ TEST(GridIndex, NegativeRadius) {
   const std::vector<Point> pts{{1, 1}};
   const GridIndex idx(pts, BBox::square(2.0));
   EXPECT_TRUE(idx.within({1, 1}, -1.0).empty());
+}
+
+
+TEST(GridIndex, KNearestMatchesBruteForce) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    const auto pts = random_points(250, seed);
+    BBox bounds{{0, 0}, {0, 0}};
+    for (const auto& p : pts) bounds.expand(p);
+    const GridIndex idx(pts, bounds);
+    mwc::Rng rng(seed ^ 0xBEEF);
+    for (int trial = 0; trial < 100; ++trial) {
+      const Point q{rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0)};
+      const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 16));
+      const auto got = idx.knearest(q, k);
+      // Brute-force reference, ties broken on the smaller index.
+      std::vector<std::pair<double, std::size_t>> all;
+      for (std::size_t i = 0; i < pts.size(); ++i)
+        all.emplace_back(distance2(pts[i], q), i);
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(got.size(), std::min(k, pts.size()));
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, all[i].second) << "rank " << i;
+        EXPECT_DOUBLE_EQ(got[i].second, std::sqrt(all[i].first));
+      }
+    }
+  }
+}
+
+TEST(GridIndex, KNearestClampsToSize) {
+  const auto pts = random_points(4, 3);
+  BBox bounds{{0, 0}, {0, 0}};
+  for (const auto& p : pts) bounds.expand(p);
+  const GridIndex idx(pts, bounds);
+  EXPECT_EQ(idx.knearest({500, 500}, 99).size(), 4u);
+  EXPECT_TRUE(idx.knearest({500, 500}, 0).empty());
 }
 
 }  // namespace

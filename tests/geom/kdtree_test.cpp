@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "geom/grid_index.hpp"
@@ -102,6 +104,47 @@ TEST(KdTree, DuplicatePoints) {
   const KdTree tree(pts);
   const auto i = tree.nearest({1.1, 1.0});
   EXPECT_TRUE(i == 0u || i == 1u);
+}
+
+
+/// Brute-force k-NN reference: (distance², index) pairs sorted ascending,
+/// ties on the smaller index — the contract knearest() promises.
+std::vector<std::pair<std::size_t, double>> brute_knearest(
+    const std::vector<Point>& pts, const Point& q, std::size_t k) {
+  std::vector<std::pair<double, std::size_t>> all;
+  all.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    all.emplace_back(distance2(pts[i], q), i);
+  std::sort(all.begin(), all.end());
+  std::vector<std::pair<std::size_t, double>> out;
+  for (std::size_t i = 0; i < std::min(k, all.size()); ++i)
+    out.emplace_back(all[i].second, std::sqrt(all[i].first));
+  return out;
+}
+
+TEST_P(KdTreeProperty, KNearestMatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto pts = random_points(200, seed);
+  const KdTree tree(pts);
+  mwc::Rng rng(seed ^ 0xBEEF);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point q{rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0)};
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    const auto got = tree.knearest(q, k);
+    const auto want = brute_knearest(pts, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "rank " << i;
+      EXPECT_DOUBLE_EQ(got[i].second, want[i].second);
+    }
+  }
+}
+
+TEST(KdTree, KNearestClampsToSize) {
+  const auto pts = random_points(5, 11);
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.knearest({0, 0}, 50).size(), 5u);
+  EXPECT_TRUE(tree.knearest({0, 0}, 0).empty());
 }
 
 }  // namespace

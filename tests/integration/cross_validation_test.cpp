@@ -92,7 +92,7 @@ TEST(QRootedVsDoubleTree, SingleDepotCostsAgree) {
       inst.sensors.push_back({rng.uniform(0.0, 100.0),
                               rng.uniform(0.0, 100.0)});
     const auto tours = tsp::q_rooted_tsp(inst);
-    const auto points = inst.combined_points();
+    const auto points = inst.points().materialize();
     const auto direct = tsp::double_tree_tour(points, 0);
     EXPECT_NEAR(tours.total_length, direct.length(points), 1e-9)
         << "seed " << seed;

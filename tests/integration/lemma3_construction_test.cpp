@@ -46,7 +46,7 @@ TEST_P(Lemma3Construction, MergedToursShortcutToFeasibleCheaperTour) {
   for (std::size_t k = 0; k < m; ++k)
     inst.sensors.push_back(
         {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
-  const auto pts = inst.combined_points();
+  const auto pts = inst.points().materialize();
 
   tsp::QRootedInstance first_half, second_half;
   first_half.depots = inst.depots;

@@ -341,17 +341,37 @@ TEST(Simulator, PrecostDispatchesDeduplicates) {
   EXPECT_EQ(simulator.precost_dispatches(sets), 0u);
 }
 
-TEST(Simulator, DeprecatedTourAliasesStillHonoured) {
-  SimOptions options;
-  options.improve_tours = true;
-  options.tour_construction = tsp::TourConstruction::kChristofides;
-  const auto resolved = options.effective_tour_options();
-  EXPECT_TRUE(resolved.improve);
-  EXPECT_EQ(resolved.construction, tsp::TourConstruction::kChristofides);
+TEST(Simulator, CandidateAccelerationStaysNearExhaustive) {
+  // One full dispatch (exercises the shared full-space candidate graph)
+  // plus one proper subset (exercises the per-dispatch subspace graph);
+  // candidate-mode costs must stay within 1% of the exhaustive-polish
+  // reference, and the verified pruned MSF keeps tours covering.
+  const auto net = test_network(40, 2, 7);
+  const auto cycles = fixed_cycles(net, 50.0, 50.0, 7);
+  std::vector<std::size_t> all(40);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < all.size(); i += 3) subset.push_back(i);
+  const std::vector<charging::Dispatch> script{{5.0, all}, {15.0, subset}};
 
-  SimOptions unified;
-  unified.tour_options.improve = true;
-  EXPECT_TRUE(unified.effective_tour_options().improve);
+  SimOptions exhaustive;
+  exhaustive.horizon = 30.0;
+  exhaustive.tour_options.improve = true;
+  exhaustive.tour_options.improve_options.exhaustive = true;
+
+  SimOptions candidate = exhaustive;
+  candidate.tour_options.improve_options.exhaustive = false;
+  candidate.tour_options.candidate_msf = true;
+  candidate.tour_options.verify_candidate_msf = true;
+
+  Simulator sim_exhaustive(net, cycles, exhaustive);
+  Simulator sim_candidate(net, cycles, candidate);
+  ScriptedPolicy policy_exhaustive(script);
+  ScriptedPolicy policy_candidate(script);
+  const auto reference = sim_exhaustive.run(policy_exhaustive);
+  const auto accelerated = sim_candidate.run(policy_candidate);
+  EXPECT_GT(accelerated.service_cost, 0.0);
+  EXPECT_LE(accelerated.service_cost, reference.service_cost * 1.01);
 }
 
 TEST(SimulatorDeath, PastDispatchAborts) {

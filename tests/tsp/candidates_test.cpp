@@ -1,0 +1,229 @@
+// CandidateGraph unit tests plus the candidate-vs-exhaustive golden
+// suite: candidate-mode local search must stay within 1% of the
+// exhaustive sweep's tour length, be bit-identical when k >= n (complete
+// graph), and the candidate-pruned q-rooted MSF must match the dense
+// Prim's forest weight exactly on Euclidean instances.
+#include "tsp/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "geom/distance.hpp"
+#include "tsp/oracle.hpp"
+#include "tsp/qrooted.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mwc::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed,
+                                       double side = 1000.0) {
+  Rng rng(seed);
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return pts;
+}
+
+QRootedInstance random_instance(std::size_t n, std::size_t q,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  QRootedInstance instance;
+  instance.depots.reserve(q);
+  for (std::size_t l = 0; l < q; ++l)
+    instance.depots.push_back(
+        {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  instance.sensors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    instance.sensors.push_back(
+        {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  return instance;
+}
+
+TEST(CandidateGraph, EmptyAndSingleton) {
+  const CandidateGraph empty = CandidateGraph::build({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.complete());
+  EXPECT_EQ(empty.k(), 0u);
+
+  const std::vector<geom::Point> one{{1, 2}};
+  const CandidateGraph single = CandidateGraph::build(one);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.k(), 0u);
+  EXPECT_TRUE(single.complete());
+}
+
+TEST(CandidateGraph, ClampsKAndReportsComplete) {
+  const auto pts = random_points(6, 3);
+  CandidateOptions options;
+  options.k = 10;  // > n-1: clamps to 5, degenerate complete graph
+  const auto graph = CandidateGraph::build(pts, options);
+  EXPECT_EQ(graph.size(), 6u);
+  EXPECT_EQ(graph.k(), 5u);
+  EXPECT_TRUE(graph.complete());
+
+  options.k = 3;
+  const auto sparse = CandidateGraph::build(pts, options);
+  EXPECT_EQ(sparse.k(), 3u);
+  EXPECT_FALSE(sparse.complete());
+}
+
+TEST(CandidateGraph, RowsAreNearestNeighborsSortedByDistance) {
+  const auto pts = random_points(80, 5);
+  CandidateOptions options;
+  options.k = 7;
+  const auto graph = CandidateGraph::build(pts, options);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto row = graph.neighbors(i);
+    ASSERT_EQ(row.size(), 7u);
+    // Brute-force reference row.
+    std::vector<std::pair<double, std::size_t>> all;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      all.emplace_back(geom::distance2(pts[i], pts[j]), j);
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t r = 0; r < row.size(); ++r) {
+      EXPECT_NE(row[r], i) << "self in candidate row";
+      EXPECT_EQ(row[r], all[r].second) << "node " << i << " rank " << r;
+    }
+  }
+}
+
+TEST(CandidateGraph, BackendsProduceIdenticalRows) {
+  const auto pts = random_points(120, 9);
+  CandidateOptions kd;
+  kd.backend = CandidateOptions::Backend::kKdTree;
+  CandidateOptions grid;
+  grid.backend = CandidateOptions::Backend::kGrid;
+  const auto a = CandidateGraph::build(pts, kd);
+  const auto b = CandidateGraph::build(pts, grid);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.k(), b.k());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.neighbors(i);
+    const auto rb = b.neighbors(i);
+    for (std::size_t r = 0; r < ra.size(); ++r)
+      EXPECT_EQ(ra[r], rb[r]) << "node " << i << " rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden suite: candidate mode vs exhaustive sweep across the size grid.
+
+class CandidateGolden
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CandidateGolden, ImprovedToursWithinOnePercent) {
+  const auto [n, q] = GetParam();
+  const auto instance = random_instance(n, q, 700 + n + q);
+  const DistanceOracle oracle(instance.depots, instance.sensors);
+  const auto combined = instance.points().materialize();
+  const auto graph = CandidateGraph::build(combined);
+
+  QRootedOptions exhaustive;
+  exhaustive.improve = true;
+  exhaustive.improve_options.exhaustive = true;
+
+  QRootedOptions candidate;
+  candidate.improve = true;
+  candidate.candidates = &graph;
+  candidate.candidate_msf = true;
+  candidate.verify_candidate_msf = true;
+
+  // Exhaustive polish at n=800 costs O(n²) per pass; one reference run
+  // per grid point keeps the suite fast enough for CI.
+  const auto reference = q_rooted_tsp(oracle.view(), q, exhaustive);
+  const auto accelerated = q_rooted_tsp(oracle.view(), q, candidate);
+
+  ASSERT_EQ(accelerated.tours.size(), reference.tours.size());
+  EXPECT_TRUE(covers_all_sensors(instance, accelerated));
+  EXPECT_LE(accelerated.total_length, reference.total_length * 1.01)
+      << "candidate tours more than 1% longer than exhaustive";
+}
+
+TEST_P(CandidateGolden, CompleteGraphBitIdenticalToExhaustive) {
+  const auto [n, q] = GetParam();
+  if (n > 100) GTEST_SKIP() << "exhaustive at n=800 is slow; covered below";
+  const auto instance = random_instance(n, q, 900 + n + q);
+  const DistanceOracle oracle(instance.depots, instance.sensors);
+  const auto combined = instance.points().materialize();
+
+  CandidateOptions options;
+  options.k = combined.size();  // >= n-1: degenerate complete graph
+  const auto graph = CandidateGraph::build(combined, options);
+  ASSERT_TRUE(graph.complete());
+
+  QRootedOptions exhaustive;
+  exhaustive.improve = true;
+  exhaustive.improve_options.exhaustive = true;
+
+  QRootedOptions candidate;
+  candidate.improve = true;
+  candidate.candidates = &graph;
+  candidate.candidate_msf = true;
+
+  const auto a = q_rooted_tsp(oracle.view(), q, exhaustive);
+  const auto b = q_rooted_tsp(oracle.view(), q, candidate);
+  ASSERT_EQ(a.tours.size(), b.tours.size());
+  for (std::size_t l = 0; l < a.tours.size(); ++l)
+    EXPECT_EQ(a.tours[l].order(), b.tours[l].order()) << "tour " << l;
+  EXPECT_EQ(a.total_length, b.total_length);  // bit-exact
+}
+
+TEST_P(CandidateGolden, PrunedMsfWeightEqualsDensePrim) {
+  const auto [n, q] = GetParam();
+  const auto instance = random_instance(n, q, 1100 + n + q);
+  const DistanceOracle oracle(instance.depots, instance.sensors);
+  const auto combined = instance.points().materialize();
+  const auto graph = CandidateGraph::build(combined);
+
+  const auto dense = q_rooted_msf(oracle.view(), q);
+  const auto pruned = q_rooted_msf(oracle.view(), q, &graph);
+  ASSERT_EQ(pruned.trees.size(), dense.trees.size());
+  // The escape hatch is *verification*, not approximation: on Euclidean
+  // instances at k = 10 the candidate graph contains every MSF edge, so
+  // the forests weigh exactly the same.
+  EXPECT_DOUBLE_EQ(pruned.total_weight, dense.total_weight);
+
+  // And with the verify escape hatch on, equality holds by construction.
+  const auto verified = q_rooted_msf(oracle.view(), q, &graph, true);
+  EXPECT_DOUBLE_EQ(verified.total_weight, dense.total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeGrid, CandidateGolden,
+    ::testing::Combine(::testing::Values(std::size_t{10}, std::size_t{100},
+                                         std::size_t{800}),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{10})));
+
+TEST(ParallelPolish, PoolMatchesSerialBitExact) {
+  const auto instance = random_instance(200, 4, 42);
+  const DistanceOracle oracle(instance.depots, instance.sensors);
+  const auto combined = instance.points().materialize();
+  const auto graph = CandidateGraph::build(combined);
+
+  QRootedOptions options;
+  options.improve = true;
+  options.candidates = &graph;
+  options.candidate_msf = true;
+
+  const auto serial = q_rooted_tsp(oracle.view(), instance.q(), options);
+  ThreadPool pool(4);
+  const auto parallel =
+      q_rooted_tsp(oracle.view(), instance.q(), options, &pool);
+  ASSERT_EQ(serial.tours.size(), parallel.tours.size());
+  for (std::size_t l = 0; l < serial.tours.size(); ++l)
+    EXPECT_EQ(serial.tours[l].order(), parallel.tours[l].order());
+  EXPECT_EQ(serial.total_length, parallel.total_length);
+}
+
+}  // namespace
+}  // namespace mwc::tsp

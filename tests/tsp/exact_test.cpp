@@ -82,7 +82,7 @@ TEST(BruteForceQRooted, SingleDepotMatchesHeldKarp) {
   inst.depots.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
   for (int i = 0; i < 6; ++i)
     inst.sensors.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
-  auto pts = inst.combined_points();
+  auto pts = inst.points().materialize();
   const double via_brute = brute_force_q_rooted_tsp(inst);
   const double via_hk = held_karp_tsp(pts).length(pts);
   EXPECT_NEAR(via_brute, via_hk, 1e-9);

@@ -98,5 +98,97 @@ TEST(ImproveOptions, MinGainBlocksTinyImprovements) {
   EXPECT_EQ(improve_tour(tour, pts, opts), 0.0);
 }
 
+TEST(OrOpt, TinyToursAreNoops) {
+  // n in {2, 3, 4}: with fewer than three nodes outside every candidate
+  // segment, Or-opt has no genuine relocation — only disguised 2-opt
+  // flips, which belong to two_opt. The tour must come back untouched in
+  // both modes.
+  for (std::size_t n : {2u, 3u, 4u}) {
+    const auto pts = random_points(n, 17 + n);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    const auto graph = CandidateGraph::build(pts);
+
+    Tour exhaustive_tour(order);
+    ImproveOptions exhaustive;
+    exhaustive.exhaustive = true;
+    EXPECT_EQ(or_opt(exhaustive_tour, pts, exhaustive), 0.0) << "n=" << n;
+    EXPECT_EQ(exhaustive_tour.order(), order) << "n=" << n;
+
+    Tour candidate_tour(order);
+    ImproveOptions candidate;
+    candidate.candidates = &graph;
+    EXPECT_EQ(or_opt(candidate_tour, pts, candidate), 0.0) << "n=" << n;
+    EXPECT_EQ(candidate_tour.order(), order) << "n=" << n;
+  }
+}
+
+TEST(OrOpt, FiveNodeTourSkipsDegenerateSegmentLengths) {
+  // n = 5 allows seg_len 1 and 2 (n >= seg_len + 3) but not 3; a
+  // genuinely misplaced node must still be relocated.
+  const std::vector<geom::Point> pts{{0, 0}, {4, 0}, {1, 0}, {2, 0}, {3, 0}};
+  Tour tour({0, 1, 2, 3, 4});  // 4 visited far too early
+  const double before = tour.length(pts);
+  or_opt(tour, pts);
+  EXPECT_LT(tour.length(pts), before);
+  EXPECT_TRUE(tour.is_simple());
+}
+
+TEST(CandidateImprove, MatchesExhaustiveWithinOnePercent) {
+  for (std::uint64_t seed : {11u, 23u, 31u}) {
+    const auto pts = random_points(150, seed);
+    const auto graph = CandidateGraph::build(pts);
+    const Tour base = nearest_neighbor_tour(pts);
+
+    Tour exhaustive_tour = base;
+    ImproveOptions exhaustive;
+    exhaustive.exhaustive = true;
+    improve_tour(exhaustive_tour, pts, exhaustive);
+
+    Tour candidate_tour = base;
+    ImproveOptions candidate;
+    candidate.candidates = &graph;
+    improve_tour(candidate_tour, pts, candidate);
+
+    EXPECT_TRUE(candidate_tour.is_simple());
+    EXPECT_LE(candidate_tour.length(pts),
+              exhaustive_tour.length(pts) * 1.01)
+        << "seed " << seed;
+  }
+}
+
+TEST(CandidateImprove, NeverIncreasesLengthAndStaysPermutation) {
+  for (std::uint64_t seed : {2u, 8u, 44u}) {
+    const auto pts = random_points(120, seed);
+    const auto graph = CandidateGraph::build(pts);
+    Tour tour = nearest_neighbor_tour(pts);
+    const double before = tour.length(pts);
+    ImproveOptions opts;
+    opts.candidates = &graph;
+    const double gain = improve_tour(tour, pts, opts);
+    EXPECT_GE(gain, 0.0);
+    EXPECT_NEAR(tour.length(pts), before - gain, 1e-6);
+    EXPECT_TRUE(tour.is_simple());
+    EXPECT_EQ(tour.size(), pts.size());
+  }
+}
+
+TEST(CandidateImprove, CompleteGraphDispatchesToExhaustive) {
+  const auto pts = random_points(40, 77);
+  CandidateOptions options;
+  options.k = pts.size();  // clamps to n-1: complete
+  const auto graph = CandidateGraph::build(pts, options);
+  ASSERT_TRUE(graph.complete());
+
+  Tour with_graph = nearest_neighbor_tour(pts);
+  Tour without = with_graph;
+  ImproveOptions opts;
+  opts.candidates = &graph;
+  const double g1 = improve_tour(with_graph, pts, opts);
+  const double g2 = improve_tour(without, pts, {});
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(with_graph.order(), without.order());  // bit-identical
+}
+
 }  // namespace
 }  // namespace mwc::tsp

@@ -189,7 +189,7 @@ TEST_P(GoldenEquivalence, SplitsIdentical) {
   const auto [n, q] = GetParam();
   const auto instance = random_instance(n, q, 500 + n + q);
   const auto oracle = oracle_for(instance);
-  const auto points = instance.combined_points();
+  const auto points = instance.points().materialize();
   const auto cached = oracle.view();
   const auto tours = q_rooted_tsp(instance);
   for (std::size_t l = 0; l < tours.tours.size(); ++l) {
@@ -215,7 +215,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CombinedPointsView, MatchesMaterializedCopy) {
   const auto instance = random_instance(12, 3, 6);
   const auto view = instance.points();
-  const auto copy = instance.combined_points();
+  const auto copy = instance.points().materialize();
   ASSERT_EQ(view.size(), copy.size());
   std::size_t i = 0;
   for (const auto& p : view) {  // iterator path

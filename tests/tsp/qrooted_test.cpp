@@ -34,7 +34,7 @@ TEST(QRootedInstance, CombinedIndexing) {
   EXPECT_EQ(inst.total_nodes(), 3u);
   EXPECT_EQ(inst.point(0), geom::Point(0, 0));
   EXPECT_EQ(inst.point(2), geom::Point(2, 2));
-  EXPECT_EQ(inst.combined_points().size(), 3u);
+  EXPECT_EQ(inst.points().size(), 3u);
 }
 
 TEST(QRootedMsf, NoSensors) {
@@ -145,8 +145,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property,
 TEST(QRootedTsp, ImproveNeverHurts) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const auto inst = random_instance(3, 60, seed);
-    const auto raw = q_rooted_tsp(inst, {.improve = false});
-    const auto polished = q_rooted_tsp(inst, {.improve = true});
+    QRootedOptions with_improve;
+    with_improve.improve = true;
+    const auto raw = q_rooted_tsp(inst);
+    const auto polished = q_rooted_tsp(inst, with_improve);
     EXPECT_LE(polished.total_length, raw.total_length + 1e-9);
     EXPECT_TRUE(covers_all_sensors(inst, polished));
   }
@@ -156,8 +158,9 @@ TEST(QRootedTsp, ChristofidesConstructionCoversAndUsuallyWins) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const auto inst = random_instance(3, 60, seed);
     const auto double_tree = q_rooted_tsp(inst);
-    const auto christofides = q_rooted_tsp(
-        inst, {.construction = TourConstruction::kChristofides});
+    QRootedOptions options;
+    options.construction = TourConstruction::kChristofides;
+    const auto christofides = q_rooted_tsp(inst, options);
     EXPECT_TRUE(covers_all_sensors(inst, christofides));
     EXPECT_LE(christofides.total_length, double_tree.total_length * 1.05)
         << "seed " << seed;
