@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "charging/baselines.hpp"
@@ -52,13 +53,25 @@ std::unique_ptr<charging::Policy> PolicyRegistry::make(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = factories_.find(name);
-    MWC_ASSERT_MSG(it != factories_.end(),
-                   "unknown policy name (see PolicyRegistry::names())");
-    factory = it->second;
+    if (it != factories_.end()) factory = it->second;
   }
+  // Diagnose outside the lock: unknown_name_message() re-enters names().
+  if (!factory) throw std::invalid_argument(unknown_name_message(name));
   auto policy = factory(config);
   MWC_ASSERT_MSG(policy != nullptr, "policy factory returned null");
   return policy;
+}
+
+std::string PolicyRegistry::unknown_name_message(
+    const std::string& name) const {
+  std::string message = "unknown policy \"" + name + "\"; registered: ";
+  const auto known = names();  // sorted
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    if (i > 0) message += ", ";
+    message += known[i];
+  }
+  if (known.empty()) message += "(none)";
+  return message;
 }
 
 bool PolicyRegistry::contains(const std::string& name) const {
@@ -84,8 +97,10 @@ std::unique_ptr<charging::Policy> make_policy(const std::string& name) {
 }
 
 std::string policy_name(const std::string& name) {
-  MWC_ASSERT_MSG(PolicyRegistry::global().contains(name),
-                 "unknown policy name (see PolicyRegistry::names())");
+  const auto& registry = PolicyRegistry::global();
+  if (!registry.contains(name)) {
+    throw std::invalid_argument(registry.unknown_name_message(name));
+  }
   return name;
 }
 

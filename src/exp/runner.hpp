@@ -51,7 +51,8 @@ class PolicyRegistry {
   /// Registers (or replaces) a factory under `name`.
   void add(std::string name, PolicyFactory factory);
 
-  /// Builds a fresh policy; asserts the name is registered.
+  /// Builds a fresh policy; throws std::invalid_argument (whose message
+  /// lists every registered name) on unknown names.
   std::unique_ptr<charging::Policy> make(const std::string& name,
                                          const ExperimentConfig& config) const;
 
@@ -60,13 +61,17 @@ class PolicyRegistry {
   /// All registered names, sorted.
   std::vector<std::string> names() const;
 
+  /// Diagnostic for unknown-name errors: names the offending key and
+  /// lists every registered name.
+  std::string unknown_name_message(const std::string& name) const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, PolicyFactory> factories_;
 };
 
 /// Fresh policy instance from the global registry, configured from
-/// `config`. Asserts on unknown names.
+/// `config`. Throws std::invalid_argument on unknown names.
 std::unique_ptr<charging::Policy> make_policy(const std::string& name,
                                               const ExperimentConfig& config);
 
@@ -74,7 +79,8 @@ std::unique_ptr<charging::Policy> make_policy(const std::string& name,
 std::unique_ptr<charging::Policy> make_policy(const std::string& name);
 
 /// Display name of a registered policy (registry keys coincide with
-/// Policy::name(), so this validates the name and echoes it).
+/// Policy::name(), so this validates the name and echoes it). Throws
+/// std::invalid_argument on unknown names.
 std::string policy_name(const std::string& name);
 
 struct AggregateOutcome {

@@ -104,6 +104,34 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based); q = 0 maps to rank 1.
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Bucket edges: [lower, upper], clamped to the observed range so the
+    // open-ended overflow bucket (and a sparse first bucket) interpolate
+    // over real data instead of ±inf.
+    double lower = i == 0 ? min : bounds[i - 1];
+    double upper = i < bounds.size() ? bounds[i] : max;
+    lower = std::max(lower, min);
+    upper = std::min(upper, max);
+    if (upper <= lower) return upper;
+    const double fraction =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return max;  // unreachable when sum(buckets) == count
+}
+
 Registry& Registry::global() {
   static Registry* registry = new Registry();  // never destroyed: cached
                                                // instrument refs outlive

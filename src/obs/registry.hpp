@@ -116,6 +116,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket containing the target rank — the standard fixed-bucket
+  /// estimator (Prometheus histogram_quantile). The first bucket's lower
+  /// edge is the observed min, the overflow bucket's upper edge the
+  /// observed max, so estimates never leave the observed range. Returns
+  /// 0 when the histogram is empty.
+  double quantile(double q) const;
 };
 
 /// Point-in-time copy of a registry's instruments.

@@ -1,0 +1,47 @@
+#include "sim/solve.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "tsp/qrooted.hpp"
+
+namespace mwc::sim {
+
+SolveOutcome solve_network(const wsn::Network& network,
+                           const wsn::CycleProcess& cycles,
+                           SimOptions options, charging::Policy& policy) {
+  MWC_OBS_SCOPE("sim.solve_network");
+  options.record_dispatches = true;
+  Simulator simulator(network, cycles, options);
+
+  SolveOutcome outcome;
+  outcome.result = simulator.run(policy);
+  if (outcome.result.dispatch_log.empty()) return outcome;
+
+  // Rebuild the first round's tours through the simulator's shared
+  // oracle — the identical distance kernel its costing used, so the
+  // tours' total matches the logged round cost bit for bit (when no
+  // trip-capacity splitting rewrites the round).
+  const auto& first = outcome.result.dispatch_log.front();
+  RoundPlan& round = outcome.first_round;
+  round.sensors = first.sensors;
+  const auto view = simulator.oracle().dispatch_view(round.sensors);
+  auto tours = tsp::q_rooted_tsp(view, network.q(), options.tour_options);
+  round.total_length = tours.total_length;
+  round.tours.reserve(tours.tours.size());
+  round.tour_lengths.reserve(tours.tours.size());
+  for (auto& tour : tours.tours) {
+    round.tour_lengths.push_back(tour.length_with(view));
+    // Dispatch-view locals -> global combined labels (depot l stays l;
+    // local q + j becomes q + sensors[j]).
+    std::vector<std::size_t> order = std::move(tour.order());
+    for (std::size_t& node : order) {
+      if (node >= network.q())
+        node = network.q() + round.sensors[node - network.q()];
+    }
+    round.tours.emplace_back(std::move(order));
+  }
+  return outcome;
+}
+
+}  // namespace mwc::sim

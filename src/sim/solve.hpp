@@ -1,0 +1,43 @@
+// One-shot solve entry point over a *prebuilt* instance.
+//
+// The experiment runner (exp::run_trial / run_policies) generates its own
+// topologies; a serving layer receives them. solve_network() runs one
+// monitoring period of `policy` over a caller-supplied network + cycle
+// process and additionally reconstructs the q closed tours of the first
+// executed charging round (through the same oracle-backed Algorithm-2
+// pipeline the simulator costs with), which is what an on-demand client
+// actually drives: the fleet's next rollout plus the horizon-total cost.
+#pragma once
+
+#include "charging/schedule.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "tsp/tour.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/network.hpp"
+
+namespace mwc::sim {
+
+/// The first executed charging round, as explicit tours. Tours are in
+/// the *global* combined labeling: node l < q is depot l, node q + i is
+/// sensor id i (not dispatch-local positions).
+struct RoundPlan {
+  std::vector<std::size_t> sensors;  ///< the round's dispatch set
+  std::vector<tsp::Tour> tours;      ///< one per depot, combined labels
+  std::vector<double> tour_lengths;
+  double total_length = 0.0;
+};
+
+struct SolveOutcome {
+  SimResult result;      ///< full-horizon simulation (dispatch log kept)
+  RoundPlan first_round; ///< empty when the policy never dispatched
+};
+
+/// Runs one monitoring period of `policy` on the given instance.
+/// `options.record_dispatches` is forced on (the dispatch log is the
+/// product). Deterministic: equal inputs give bit-identical outcomes.
+SolveOutcome solve_network(const wsn::Network& network,
+                           const wsn::CycleProcess& cycles,
+                           SimOptions options, charging::Policy& policy);
+
+}  // namespace mwc::sim

@@ -1,0 +1,79 @@
+#include "svc/plan_cache.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace mwc::svc {
+
+void Fnv1a::bytes(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 0x100000001b3ULL;  // FNV prime
+  }
+}
+
+void Fnv1a::u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
+
+void Fnv1a::str(std::string_view s) noexcept {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void Fnv1a::quantized(double v, double quantum) noexcept {
+  const double scaled = v / quantum;
+  // llround saturates UB-free only in range; instances live well inside.
+  const auto q = static_cast<std::int64_t>(std::llround(scaled));
+  u64(static_cast<std::uint64_t>(q));
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const Plan> PlanCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.add(1);
+    MWC_OBS_COUNT("svc.cache.misses");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  hits_.add(1);
+  MWC_OBS_COUNT("svc.cache.hits");
+  return it->second->second;
+}
+
+void PlanCache::put(std::uint64_t key, std::shared_ptr<const Plan> plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_.add(1);
+    MWC_OBS_COUNT("svc.cache.evictions");
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace mwc::svc

@@ -1,0 +1,83 @@
+// svc::PlanCache — thread-safe LRU over solved plans.
+//
+// Keys are 64-bit instance fingerprints (FNV-1a over the *resolved*
+// instance: quantized coordinates, slot-0 cycle draws, policy name, and
+// solve options — see engine.hpp), so a preset request and an inline
+// request describing the same geometry hit the same entry, and repeated
+// or paired requests return the identical std::shared_ptr<const Plan>
+// without re-solving. Hits/misses/evictions are tracked both on local
+// counters (exact per-cache stats, usable under MWC_OBS=OFF) and on the
+// global registry as `svc.cache.{hits,misses,evictions}`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/registry.hpp"
+#include "svc/wire.hpp"
+
+namespace mwc::svc {
+
+/// Incremental FNV-1a 64-bit hash with helpers for the quantized-value
+/// folding the fingerprint needs (doubles are snapped to a fixed quantum
+/// before hashing so -0.0/0.0 and formatting noise cannot split keys).
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) noexcept;
+  void u64(std::uint64_t v) noexcept;
+  void str(std::string_view s) noexcept;
+  /// Quantizes v to integer multiples of `quantum` and folds it.
+  void quantized(double v, double quantum) noexcept;
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+class PlanCache {
+ public:
+  /// `capacity` = max retained plans; 0 disables caching (every lookup
+  /// misses, puts are dropped).
+  explicit PlanCache(std::size_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached plan for `key`, promoting it to most-recently-used; null
+  /// on a miss.
+  std::shared_ptr<const Plan> get(std::uint64_t key);
+
+  /// Inserts (or refreshes) `plan` under `key`, evicting the
+  /// least-recently-used entry beyond capacity.
+  void put(std::uint64_t key, std::shared_ptr<const Plan> plan);
+
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::uint64_t hits() const noexcept { return hits_.value(); }
+  std::uint64_t misses() const noexcept { return misses_.value(); }
+  std::uint64_t evictions() const noexcept { return evictions_.value(); }
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t,
+                                      std::shared_ptr<const Plan>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+};
+
+}  // namespace mwc::svc

@@ -1,0 +1,148 @@
+#include "svc/server.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "svc/engine.hpp"
+
+namespace mwc::svc {
+
+namespace {
+
+// Log-ish spaced millisecond buckets: sub-millisecond cache hits through
+// multi-second cold solves.
+constexpr double kLatencyBucketsMs[] = {0.1,  0.25, 0.5,  1.0,   2.5,  5.0,
+                                        10.0, 25.0, 50.0, 100.0, 250.0,
+                                        500.0, 1000.0, 2500.0, 5000.0,
+                                        10000.0};
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      accepted_(metrics_.counter("svc.requests_accepted")),
+      completed_(metrics_.counter("svc.completed")),
+      rejected_full_(metrics_.counter("svc.rejected.queue_full")),
+      rejected_shutdown_(metrics_.counter("svc.rejected.shutdown")),
+      expired_(metrics_.counter("svc.deadline_expired")),
+      latency_ms_(metrics_.histogram("svc.request_latency_ms",
+                                     kLatencyBucketsMs)),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+Server::~Server() { shutdown(); }
+
+bool Server::submit(Request request, ResponseCallback callback) {
+  const auto admitted = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      rejected_shutdown_.add(1);
+      MWC_OBS_COUNT("svc.rejected.shutdown");
+      callback(error_response(request.id, ErrorCode::kShuttingDown,
+                              "server is shutting down"));
+      return false;
+    }
+    if (in_flight_ >= options_.queue_capacity) {
+      rejected_full_.add(1);
+      MWC_OBS_COUNT("svc.rejected.queue_full");
+      callback(error_response(
+          request.id, ErrorCode::kQueueFull,
+          "queue full (capacity " +
+              std::to_string(options_.queue_capacity) + ")"));
+      return false;
+    }
+    ++in_flight_;
+    accepted_.add(1);
+    MWC_OBS_COUNT("svc.requests_accepted");
+  }
+  // The pool queue is unbounded and its submit() only throws after the
+  // pool starts stopping, which shutdown() orders strictly after the
+  // in-flight drain — so this enqueue cannot fail for admitted work.
+  pool_->submit([this, request = std::move(request),
+                 callback = std::move(callback), admitted] {
+    finish(process(request, admitted), callback);
+  });
+  return true;
+}
+
+bool Server::submit_line(const std::string& line, ResponseCallback callback) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const WireError& e) {
+    MWC_OBS_COUNT("svc.bad_request");
+    callback(error_response("", ErrorCode::kBadRequest, e.what()));
+    return false;
+  }
+  return submit(std::move(request), std::move(callback));
+}
+
+Response Server::process(const Request& request, Clock::time_point admitted) {
+  const auto elapsed_ms = [admitted] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - admitted)
+        .count();
+  };
+  if (request.deadline_ms > 0.0 && elapsed_ms() > request.deadline_ms) {
+    expired_.add(1);
+    MWC_OBS_COUNT("svc.deadline_expired");
+    return error_response(request.id, ErrorCode::kDeadlineExceeded,
+                          "deadline of " +
+                              std::to_string(request.deadline_ms) +
+                              " ms expired before solving started",
+                          elapsed_ms());
+  }
+  Response response;
+  try {
+    response = options_.handler
+                   ? options_.handler(request)
+                   : handle_request(request, &cache_);
+  } catch (const std::exception& e) {
+    response = error_response(request.id, ErrorCode::kInternal, e.what());
+  } catch (...) {
+    response = error_response(request.id, ErrorCode::kInternal,
+                              "unknown handler failure");
+  }
+  // Report full admission -> completion latency (queueing included),
+  // not just the handler's own solve time.
+  response.latency_ms = elapsed_ms();
+  return response;
+}
+
+void Server::finish(const Response& response,
+                    const ResponseCallback& callback) {
+  completed_.add(1);
+  MWC_OBS_COUNT("svc.completed");
+  latency_ms_.observe(response.latency_ms);
+  MWC_OBS_HISTOGRAM("svc.request_latency_ms", response.latency_ms, 0.1,
+                    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0);
+  try {
+    callback(response);
+  } catch (...) {
+    // A throwing sink must not leak a worker or wedge the drain.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  drained_cv_.notify_all();
+}
+
+void Server::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  pool_.reset();  // joins workers; idempotent (reset of null is a no-op)
+}
+
+std::size_t Server::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+}  // namespace mwc::svc

@@ -1,0 +1,112 @@
+// svc::Server — bounded scheduling service over util::ThreadPool.
+//
+// Admission control: the pool's internal queue is unbounded, so the server
+// bounds *in-flight* work (queued + running) itself — submit() past
+// `queue_capacity` is rejected synchronously with a structured queue_full
+// response and never blocks the producer. Accepted requests may carry a
+// deadline; one still waiting when its deadline_ms expires is answered
+// deadline_exceeded instead of solved. shutdown() stops admissions
+// (shutting_down responses) and drains every request already accepted, so
+// no callback is ever dropped.
+//
+// Telemetry lives on a per-server obs::Registry (exact even under
+// MWC_OBS=OFF builds) and is mirrored onto the global registry:
+// svc.requests_accepted, svc.completed, svc.rejected.queue_full,
+// svc.rejected.shutdown, svc.deadline_expired, and the
+// svc.request_latency_ms histogram (admission -> completion).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "svc/plan_cache.hpp"
+#include "svc/wire.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mwc::svc {
+
+/// Invoked exactly once per submitted request, either synchronously (parse
+/// error, rejection) or from a worker thread (solved / expired). May run
+/// concurrently with other callbacks; the callee synchronizes its sink.
+using ResponseCallback = std::function<void(const Response&)>;
+
+/// Maps an admitted request to its response. The default (null) handler is
+/// engine::handle_request against the server's PlanCache; tests inject
+/// blocking or constant handlers to exercise queue and shutdown paths.
+using Handler = std::function<Response(const Request&)>;
+
+struct ServerOptions {
+  /// Max in-flight requests (queued + solving); further submits are
+  /// rejected with queue_full. Must be >= 1.
+  std::size_t queue_capacity = 64;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// PlanCache capacity (plans retained); 0 disables caching.
+  std::size_t cache_capacity = 128;
+  /// Request handler override; null = solve via svc::handle_request.
+  Handler handler;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Drains accepted work (shutdown()) before joining the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits `request`. Returns true when accepted (the callback fires
+  /// later from a worker); false when rejected, in which case the
+  /// callback has already been invoked synchronously with a queue_full /
+  /// shutting_down error. Never blocks.
+  bool submit(Request request, ResponseCallback callback);
+
+  /// Parses one wire line and submits it. Malformed lines are answered
+  /// synchronously with bad_request (id "" when the line has none).
+  bool submit_line(const std::string& line, ResponseCallback callback);
+
+  /// Stops admissions and blocks until every accepted request has been
+  /// answered, then joins the workers. Idempotent; also run by the
+  /// destructor.
+  void shutdown();
+
+  /// Requests admitted but not yet answered.
+  std::size_t in_flight() const;
+
+  PlanCache& cache() noexcept { return cache_; }
+
+  /// Per-server telemetry (svc.* instruments); exact under MWC_OBS=OFF.
+  const obs::Registry& metrics() const noexcept { return metrics_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Response process(const Request& request, Clock::time_point admitted);
+  void finish(const Response& response, const ResponseCallback& callback);
+
+  ServerOptions options_;
+  PlanCache cache_;
+  obs::Registry metrics_;
+  obs::Counter& accepted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_full_;
+  obs::Counter& rejected_shutdown_;
+  obs::Counter& expired_;
+  obs::Histogram& latency_ms_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::unique_ptr<ThreadPool> pool_;  ///< null once shutdown() joined it
+};
+
+}  // namespace mwc::svc

@@ -1,0 +1,275 @@
+#include "svc/wire.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "svc/json.hpp"
+
+namespace mwc::svc {
+
+namespace {
+
+double require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw WireError(std::string(what) + " must be > 0");
+  return v;
+}
+
+geom::Point parse_point(const Json& j, const char* what) {
+  if (!j.is_array() || j.size() != 2)
+    throw WireError(std::string(what) + " must be [x, y]");
+  return geom::Point{j.items()[0].as_double(), j.items()[1].as_double()};
+}
+
+NetworkSpec parse_network(const Json& j) {
+  NetworkSpec spec;
+  if (const Json* preset = j.find("preset")) {
+    spec.inline_points = false;
+    spec.deployment.n = static_cast<std::size_t>(preset->at("n").as_int());
+    spec.deployment.q = static_cast<std::size_t>(preset->at("q").as_int());
+    if (const Json* field = preset->find("field"))
+      spec.deployment.field_side =
+          require_positive(field->as_double(), "network.preset.field");
+    if (const Json* at_bs = preset->find("depot_at_base"))
+      spec.deployment.depot_at_base_station = at_bs->as_bool();
+    if (const Json* seed = preset->find("seed"))
+      spec.seed = static_cast<std::uint64_t>(seed->as_int());
+    if (spec.deployment.n == 0) throw WireError("network.preset.n must be > 0");
+    if (spec.deployment.q == 0) throw WireError("network.preset.q must be > 0");
+    return spec;
+  }
+  if (j.find("sensors") == nullptr)
+    throw WireError("network needs \"preset\" or \"sensors\"");
+  spec.inline_points = true;
+  for (const Json& p : j.at("sensors").items())
+    spec.sensors.push_back(parse_point(p, "network.sensors[i]"));
+  for (const Json& p : j.at("depots").items())
+    spec.depots.push_back(parse_point(p, "network.depots[i]"));
+  spec.base_station = parse_point(j.at("base"), "network.base");
+  if (const Json* field = j.find("field"))
+    spec.deployment.field_side =
+        require_positive(field->as_double(), "network.field");
+  if (spec.sensors.empty()) throw WireError("network.sensors is empty");
+  if (spec.depots.empty()) throw WireError("network.depots is empty");
+  return spec;
+}
+
+CycleSpec parse_cycles(const Json& j) {
+  CycleSpec spec;
+  if (const Json* values = j.find("values")) {
+    spec.inline_values = true;
+    for (const Json& v : values->items()) {
+      const double tau = v.as_double();
+      if (!(tau > 0.0)) throw WireError("cycles.values must be > 0");
+      spec.values.push_back(tau);
+    }
+    if (spec.values.empty()) throw WireError("cycles.values is empty");
+    return spec;
+  }
+  const Json* model = j.find("model");
+  if (model == nullptr) throw WireError("cycles needs \"values\" or \"model\"");
+  if (const Json* dist = model->find("dist")) {
+    const std::string& name = dist->as_string();
+    if (name == "linear") {
+      spec.model.distribution = wsn::CycleDistribution::kLinear;
+    } else if (name == "random") {
+      spec.model.distribution = wsn::CycleDistribution::kRandom;
+    } else {
+      throw WireError("cycles.model.dist must be \"linear\" or \"random\"");
+    }
+  }
+  if (const Json* v = model->find("tau_min"))
+    spec.model.tau_min = require_positive(v->as_double(), "tau_min");
+  if (const Json* v = model->find("tau_max"))
+    spec.model.tau_max = require_positive(v->as_double(), "tau_max");
+  if (spec.model.tau_max < spec.model.tau_min)
+    throw WireError("cycles.model.tau_max must be >= tau_min");
+  if (const Json* v = model->find("sigma")) {
+    spec.model.sigma = v->as_double();
+    if (spec.model.sigma < 0.0) throw WireError("sigma must be >= 0");
+  }
+  if (const Json* v = model->find("seed"))
+    spec.seed = static_cast<std::uint64_t>(v->as_int());
+  return spec;
+}
+
+Json network_json(const NetworkSpec& spec) {
+  Json j = Json::object();
+  if (!spec.inline_points) {
+    Json preset = Json::object();
+    preset.set("n", Json(spec.deployment.n));
+    preset.set("q", Json(spec.deployment.q));
+    preset.set("field", Json(spec.deployment.field_side));
+    preset.set("depot_at_base", Json(spec.deployment.depot_at_base_station));
+    preset.set("seed", Json(static_cast<std::int64_t>(spec.seed)));
+    j.set("preset", std::move(preset));
+    return j;
+  }
+  const auto points_json = [](const std::vector<geom::Point>& points) {
+    Json arr = Json::array();
+    for (const auto& p : points) {
+      Json pair = Json::array();
+      pair.push_back(Json(p.x));
+      pair.push_back(Json(p.y));
+      arr.push_back(std::move(pair));
+    }
+    return arr;
+  };
+  j.set("sensors", points_json(spec.sensors));
+  j.set("depots", points_json(spec.depots));
+  Json base = Json::array();
+  base.push_back(Json(spec.base_station.x));
+  base.push_back(Json(spec.base_station.y));
+  j.set("base", std::move(base));
+  j.set("field", Json(spec.deployment.field_side));
+  return j;
+}
+
+Json cycles_json(const CycleSpec& spec) {
+  Json j = Json::object();
+  if (spec.inline_values) {
+    Json values = Json::array();
+    for (double tau : spec.values) values.push_back(Json(tau));
+    j.set("values", std::move(values));
+    return j;
+  }
+  Json model = Json::object();
+  model.set("dist",
+            Json(spec.model.distribution == wsn::CycleDistribution::kLinear
+                     ? "linear"
+                     : "random"));
+  model.set("tau_min", Json(spec.model.tau_min));
+  model.set("tau_max", Json(spec.model.tau_max));
+  model.set("sigma", Json(spec.model.sigma));
+  model.set("seed", Json(static_cast<std::int64_t>(spec.seed)));
+  j.set("model", std::move(model));
+  return j;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownPolicy: return "unknown_policy";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Request parse_request(const std::string& line) {
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const JsonError& e) {
+    throw WireError(e.what());
+  }
+  try {
+    if (!doc.is_object()) throw WireError("request must be a JSON object");
+    const Json* version = doc.find("v");
+    if (version == nullptr) throw WireError("missing \"v\" (wire version)");
+    if (version->as_string() != kWireVersion) {
+      throw WireError("unsupported wire version \"" + version->as_string() +
+                      "\" (want " + std::string(kWireVersion) + ")");
+    }
+    Request request;
+    request.id = doc.at("id").as_string();
+    if (request.id.empty()) throw WireError("id must be non-empty");
+    if (const Json* policy = doc.find("policy"))
+      request.policy = policy->as_string();
+    request.network = parse_network(doc.at("network"));
+    request.cycles = parse_cycles(doc.at("cycles"));
+    if (const Json* horizon = doc.find("horizon"))
+      request.horizon = require_positive(horizon->as_double(), "horizon");
+    if (const Json* slot = doc.find("slot_length"))
+      request.slot_length = slot->as_double();
+    if (const Json* improve = doc.find("improve"))
+      request.improve = improve->as_bool();
+    if (const Json* deadline = doc.find("deadline_ms")) {
+      request.deadline_ms = deadline->as_double();
+      if (request.deadline_ms < 0.0)
+        throw WireError("deadline_ms must be >= 0");
+    }
+    if (request.cycles.inline_values && !request.network.inline_points) {
+      // Inline values must match a known sensor count; presets know it.
+      if (request.cycles.values.size() != request.network.deployment.n)
+        throw WireError("cycles.values size != network.preset.n");
+    }
+    if (request.cycles.inline_values && request.network.inline_points &&
+        request.cycles.values.size() != request.network.sensors.size()) {
+      throw WireError("cycles.values size != network.sensors size");
+    }
+    return request;
+  } catch (const JsonError& e) {
+    throw WireError(e.what());
+  }
+}
+
+std::string to_json(const Request& request) {
+  Json doc = Json::object();
+  doc.set("v", Json(kWireVersion));
+  doc.set("id", Json(request.id));
+  doc.set("policy", Json(request.policy));
+  doc.set("network", network_json(request.network));
+  doc.set("cycles", cycles_json(request.cycles));
+  doc.set("horizon", Json(request.horizon));
+  doc.set("slot_length", Json(request.slot_length));
+  doc.set("improve", Json(request.improve));
+  doc.set("deadline_ms", Json(request.deadline_ms));
+  return doc.dump();
+}
+
+std::string to_jsonl(const Response& response) {
+  Json doc = Json::object();
+  doc.set("v", Json(kWireVersion));
+  doc.set("id", Json(response.id));
+  doc.set("ok", Json(response.ok));
+  if (!response.ok) {
+    doc.set("error", Json(error_code_name(response.error)));
+    doc.set("message", Json(response.message));
+  }
+  doc.set("cached", Json(response.cached));
+  doc.set("latency_ms", Json(response.latency_ms));
+  if (response.ok && response.plan != nullptr) {
+    const Plan& plan = *response.plan;
+    Json pj = Json::object();
+    Json tours = Json::array();
+    for (const auto& tour : plan.first_round_tours) {
+      Json tj = Json::object();
+      tj.set("depot", Json(tour.depot));
+      Json order = Json::array();
+      for (std::size_t id : tour.sensors) order.push_back(Json(id));
+      tj.set("sensors", std::move(order));
+      tj.set("length", Json(tour.length));
+      tours.push_back(std::move(tj));
+    }
+    pj.set("first_round_tours", std::move(tours));
+    pj.set("first_round_length", Json(plan.first_round_length));
+    pj.set("total_distance", Json(plan.total_distance));
+    pj.set("num_dispatches", Json(plan.num_dispatches));
+    pj.set("num_sensor_charges", Json(plan.num_sensor_charges));
+    pj.set("dead_sensors", Json(plan.dead_sensors));
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(plan.fingerprint));
+    pj.set("fingerprint", Json(std::string(fp)));
+    doc.set("plan", std::move(pj));
+  }
+  return doc.dump() + "\n";
+}
+
+Response error_response(const std::string& id, ErrorCode code,
+                        const std::string& message, double latency_ms) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.error = code;
+  response.message = message;
+  response.latency_ms = latency_ms;
+  return response;
+}
+
+}  // namespace mwc::svc

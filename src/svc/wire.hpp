@@ -1,0 +1,140 @@
+// mwc::svc wire format — versioned JSONL requests and responses.
+//
+// One request per line, one response per line, matched by `id`. A request
+// names a scheduling problem instance (a network carried inline or as a
+// generator preset, a cycle assignment, a policy registry name, horizon /
+// slot parameters) plus service-level fields (deadline). The schema is
+// versioned ("v": "mwc.svc.v1"); unknown versions are rejected with a
+// structured error rather than guessed at. See docs/SERVICE.md.
+//
+// Request example (preset network, fixed cycles from a model):
+//
+//   {"v":"mwc.svc.v1","id":"r1","policy":"MinTotalDistance",
+//    "network":{"preset":{"n":200,"q":5,"field":1000,"seed":7}},
+//    "cycles":{"model":{"dist":"linear","tau_min":1,"tau_max":50,
+//                       "sigma":2,"seed":11}},
+//    "horizon":1000,"slot_length":0,"improve":false,"deadline_ms":500}
+//
+// Inline variants carry "network":{"sensors":[[x,y],...],
+// "depots":[[x,y],...],"base":[x,y]} and "cycles":{"values":[...]}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::svc {
+
+inline constexpr const char* kWireVersion = "mwc.svc.v1";
+
+/// Problem network: either generator-preset parameters (the server runs
+/// wsn::deploy_random) or inline geometry.
+struct NetworkSpec {
+  bool inline_points = false;
+
+  // Preset form.
+  wsn::DeploymentConfig deployment;  ///< n, q, field side, depot-at-BS
+  std::uint64_t seed = 1;            ///< topology stream seed
+
+  // Inline form (field side still used for the bounding box).
+  std::vector<geom::Point> sensors;
+  std::vector<geom::Point> depots;
+  geom::Point base_station;
+};
+
+/// Per-sensor maximum charging cycles: explicit values (held for every
+/// slot) or a synthetic wsn::CycleModel drawn server-side.
+struct CycleSpec {
+  bool inline_values = false;
+  std::vector<double> values;  ///< inline: τ_i, one per sensor
+  wsn::CycleModelConfig model;
+  std::uint64_t seed = 1;
+};
+
+struct Request {
+  std::string id;
+  std::string policy = "MinTotalDistance";
+  NetworkSpec network;
+  CycleSpec cycles;
+  double horizon = 1000.0;
+  double slot_length = 0.0;  ///< <= 0 freezes cycles (fixed-τ setting)
+  bool improve = false;      ///< polish tours with 2-opt/Or-opt
+  /// Soft deadline measured from admission; a request still queued when
+  /// it expires is answered with `deadline_exceeded` instead of solved.
+  /// 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+/// One charger's closed tour within the plan's first charging round.
+struct PlanTour {
+  std::size_t depot = 0;             ///< depot / charger index
+  std::vector<std::size_t> sensors;  ///< sensor ids in visit order
+  double length = 0.0;
+};
+
+/// The solved schedule summary returned to the client. Immutable once
+/// built; the cache shares instances across responses.
+struct Plan {
+  /// Tours of the first executed charging round (Algorithm 2 over the
+  /// first dispatch set); empty when the policy never dispatches.
+  std::vector<PlanTour> first_round_tours;
+  double first_round_length = 0.0;
+  /// Total travelled distance over the horizon (the paper's service
+  /// cost) and its breakdown.
+  double total_distance = 0.0;
+  std::size_t num_dispatches = 0;
+  std::size_t num_sensor_charges = 0;
+  std::size_t dead_sensors = 0;
+  std::uint64_t fingerprint = 0;  ///< cache key of the solved instance
+};
+
+enum class ErrorCode {
+  kNone = 0,
+  kBadRequest,        ///< malformed JSON / missing fields / bad version
+  kUnknownPolicy,     ///< policy not in exp::PolicyRegistry
+  kQueueFull,         ///< admission control rejected (backpressure)
+  kDeadlineExceeded,  ///< deadline_ms expired before solving started
+  kShuttingDown,      ///< server draining; no new admissions
+  kInternal,          ///< unexpected solver failure
+};
+
+/// Stable wire spelling of an error code ("queue_full", ...).
+const char* error_code_name(ErrorCode code);
+
+struct Response {
+  std::string id;
+  bool ok = false;
+  ErrorCode error = ErrorCode::kNone;
+  std::string message;
+  bool cached = false;      ///< plan served from svc::PlanCache
+  double latency_ms = 0.0;  ///< admission -> completion
+  std::shared_ptr<const Plan> plan;  ///< set iff ok
+};
+
+/// Parses one request line. Throws WireError (an std::runtime_error)
+/// on malformed JSON, a missing/mismatched version, or missing fields.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+Request parse_request(const std::string& line);
+
+/// Serializes a request to its canonical one-line JSON (round-trips
+/// through parse_request; used by the load generator and tests).
+std::string to_json(const Request& request);
+
+/// Serializes a response as one JSONL line (newline included).
+std::string to_jsonl(const Response& response);
+
+/// Convenience: a failed response carrying a structured error.
+Response error_response(const std::string& id, ErrorCode code,
+                        const std::string& message, double latency_ms = 0.0);
+
+}  // namespace mwc::svc

@@ -39,6 +39,9 @@ TraceCycleProcess load_cycle_trace(const std::string& path) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // CRLF-agnostic: getline on a Windows-authored file leaves the '\r'
+    // on every line (and a trailing blank line reads as a lone "\r").
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') continue;  // header/comment
     std::vector<double> row;

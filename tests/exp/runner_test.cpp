@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace mwc::exp {
 namespace {
 
@@ -29,6 +32,33 @@ TEST(PolicyName, MatchesPaperLegends) {
   EXPECT_EQ(policy_name("MinTotalDistance-var"),
             "MinTotalDistance-var");
   EXPECT_EQ(policy_name("Greedy"), "Greedy");
+}
+
+TEST(MakePolicy, UnknownNameListsRegisteredPolicies) {
+  try {
+    make_policy("NoSuchPolicy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    // The offending name is quoted and every registered name is listed,
+    // so a typo on the command line is self-diagnosing.
+    EXPECT_NE(message.find("\"NoSuchPolicy\""), std::string::npos)
+        << message;
+    for (const auto& name : PolicyRegistry::global().names())
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST(PolicyName, UnknownNameThrowsSameDiagnostic) {
+  try {
+    policy_name("Bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("\"Bogus\""), std::string::npos);
+    EXPECT_NE(message.find("MinTotalDistance"), std::string::npos);
+    EXPECT_NE(message.find("Greedy"), std::string::npos);
+  }
 }
 
 TEST(RunTrial, DeterministicPerIndex) {

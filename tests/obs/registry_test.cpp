@@ -107,6 +107,61 @@ TEST(Registry, SnapshotCopiesValues) {
   EXPECT_EQ(snap.counters.at("events"), 3u);
 }
 
+TEST(HistogramSnapshot, QuantileEdgeCases) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+
+  // Empty histogram: every quantile is 0.
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("lat").quantile(0.5), 0.0);
+
+  // A single observation pins all quantiles to that value.
+  h.observe(5.0);
+  const auto single = reg.snapshot().histograms.at("lat");
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 5.0);
+}
+
+TEST(HistogramSnapshot, QuantileInterpolatesWithinObservedRange) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {0.0, 10.0});
+  h.observe(2.0);
+  h.observe(8.0);
+  const auto snap = reg.snapshot().histograms.at("lat");
+  // Both land in the (0, 10] bucket, whose edges clamp to the observed
+  // [2, 8]: rank 1 of 2 interpolates to the midpoint, rank 2 to the max.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 8.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(snap.quantile(2.0), 8.0);
+  EXPECT_GE(snap.quantile(-1.0), 2.0);
+}
+
+TEST(HistogramSnapshot, QuantileClampsOverflowBucketToObservedMax) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0});
+  h.observe(3.0);
+  h.observe(7.0);  // both in the open-ended overflow bucket
+  const auto snap = reg.snapshot().histograms.at("lat");
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+  EXPECT_LE(snap.quantile(0.99), 7.0);
+}
+
+TEST(HistogramSnapshot, QuantileIsMonotoneInQ) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {0.5, 1.0, 2.0, 4.0, 8.0});
+  for (int i = 1; i <= 100; ++i) h.observe(0.1 * i);
+  const auto snap = reg.snapshot().histograms.at("lat");
+  double previous = snap.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-12; q += 0.05) {
+    const double value = snap.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 10.0);
+}
+
 TEST(Registry, ResetZeroesButKeepsRegistrations) {
   Registry reg;
   Counter& c = reg.counter("n");

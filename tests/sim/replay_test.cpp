@@ -95,6 +95,47 @@ TEST(Replay, EmptyLogKillsEveryone) {
   EXPECT_EQ(replay.dead_sensors, world.network.n());
 }
 
+TEST(Replay, EmptyLogEdgeCases) {
+  // Variable-cycle world, empty log: every sensor still dies (nobody
+  // charges), deaths are recorded once per discharge interval, and the
+  // charge-margin stays at its starts-full default of 1.
+  const auto world = make_world(12, 10.0);
+  const auto replay =
+      replay_with_batteries(world.network, world.cycles,
+                            world.options.horizon, 10.0, {});
+  EXPECT_EQ(replay.dead_sensors, world.network.n());
+  EXPECT_GE(replay.deaths.size(), replay.dead_sensors);
+  EXPECT_DOUBLE_EQ(replay.min_fraction_at_charge, 1.0);
+
+  // A horizon shorter than the smallest cycle: nobody can die.
+  const auto short_replay =
+      replay_with_batteries(world.network, world.cycles, 0.5, 10.0, {});
+  EXPECT_EQ(short_replay.dead_sensors, 0u);
+  EXPECT_TRUE(short_replay.deaths.empty());
+}
+
+TEST(Replay, NonPositiveSlotLengthFreezesCycles) {
+  // With sigma > 0 the per-slot draws differ, so frozen (slot_length
+  // <= 0) and redrawn replays of the same log disagree in general —
+  // while 0 and a negative slot_length must mean the same thing.
+  const auto world = make_world(13, 10.0);
+  Simulator simulator(world.network, world.cycles, world.options);
+  charging::GreedyPolicy greedy;
+  const auto sim_result = simulator.run(greedy);
+  ASSERT_FALSE(sim_result.dispatch_log.empty());
+
+  const auto frozen_zero = replay_with_batteries(
+      world.network, world.cycles, world.options.horizon, 0.0,
+      sim_result.dispatch_log);
+  const auto frozen_negative = replay_with_batteries(
+      world.network, world.cycles, world.options.horizon, -5.0,
+      sim_result.dispatch_log);
+  EXPECT_EQ(frozen_zero.dead_sensors, frozen_negative.dead_sensors);
+  EXPECT_EQ(frozen_zero.deaths.size(), frozen_negative.deaths.size());
+  EXPECT_DOUBLE_EQ(frozen_zero.min_fraction_at_charge,
+                   frozen_negative.min_fraction_at_charge);
+}
+
 TEST(Replay, MinFractionMatchesSlack) {
   // One sensor, cycle tau: charging at 0.75 tau leaves fraction 0.25.
   wsn::DeploymentConfig deployment;

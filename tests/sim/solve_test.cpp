@@ -1,0 +1,105 @@
+#include "sim/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "charging/min_total_distance.hpp"
+#include "util/rng.hpp"
+#include "wsn/cycles.hpp"
+#include "wsn/deployment.hpp"
+
+namespace mwc::sim {
+namespace {
+
+wsn::Network small_network(std::uint64_t seed = 3) {
+  wsn::DeploymentConfig config;
+  config.n = 30;
+  config.q = 3;
+  config.field_side = 400.0;
+  Rng rng(seed, 0);
+  return wsn::deploy_random(config, rng);
+}
+
+TEST(SolveNetwork, FirstRoundMatchesDispatchLog) {
+  const wsn::Network network = small_network();
+  const wsn::CycleModel cycles(network, wsn::CycleModelConfig{}, 11);
+  SimOptions options;
+  options.horizon = 300.0;
+
+  charging::MinTotalDistancePolicy policy;
+  const SolveOutcome outcome =
+      solve_network(network, cycles, options, policy);
+
+  ASSERT_FALSE(outcome.result.dispatch_log.empty());
+  const auto& first = outcome.result.dispatch_log.front();
+  const RoundPlan& round = outcome.first_round;
+  EXPECT_EQ(round.sensors, first.sensors);
+  EXPECT_EQ(round.tours.size(), network.q());
+  ASSERT_EQ(round.tour_lengths.size(), round.tours.size());
+
+  // The rebuilt tours cost exactly what the simulator charged the round.
+  EXPECT_DOUBLE_EQ(round.total_length, first.cost);
+  double sum = 0.0;
+  for (double len : round.tour_lengths) sum += len;
+  EXPECT_NEAR(sum, round.total_length, 1e-9);
+
+  // Tours are in combined labels and partition the dispatch set: every
+  // listed sensor appears in exactly one tour.
+  std::vector<std::size_t> covered;
+  for (const auto& tour : round.tours) {
+    for (std::size_t node : tour.order()) {
+      if (node >= network.q()) covered.push_back(node - network.q());
+    }
+  }
+  std::vector<std::size_t> expected = first.sensors;
+  std::sort(covered.begin(), covered.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(SolveNetwork, DeterministicAcrossCalls) {
+  const wsn::Network network = small_network(7);
+  const wsn::CycleModel cycles(network, wsn::CycleModelConfig{}, 5);
+  SimOptions options;
+  options.horizon = 200.0;
+
+  charging::MinTotalDistancePolicy p1, p2;
+  const SolveOutcome a = solve_network(network, cycles, options, p1);
+  const SolveOutcome b = solve_network(network, cycles, options, p2);
+  EXPECT_DOUBLE_EQ(a.result.service_cost, b.result.service_cost);
+  ASSERT_EQ(a.first_round.tours.size(), b.first_round.tours.size());
+  for (std::size_t t = 0; t < a.first_round.tours.size(); ++t)
+    EXPECT_EQ(a.first_round.tours[t].order(),
+              b.first_round.tours[t].order());
+}
+
+TEST(SolveNetwork, EmptyRoundPlanWhenPolicyNeverDispatches) {
+  const wsn::Network network = small_network();
+  const wsn::CycleModel cycles(network, wsn::CycleModelConfig{}, 11);
+  SimOptions options;
+  options.horizon = 300.0;
+
+  // A policy that never schedules anything.
+  class Idle final : public charging::Policy {
+   public:
+    std::string name() const override { return "Idle"; }
+    void reset(const charging::StateView&) override {}
+    std::optional<charging::Dispatch> next_dispatch(
+        const charging::StateView&) override {
+      return std::nullopt;
+    }
+    void on_dispatch_executed(const charging::StateView&,
+                              const charging::Dispatch&) override {}
+  };
+  Idle idle;
+  const SolveOutcome outcome =
+      solve_network(network, cycles, options, idle);
+  EXPECT_TRUE(outcome.result.dispatch_log.empty());
+  EXPECT_TRUE(outcome.first_round.tours.empty());
+  EXPECT_DOUBLE_EQ(outcome.first_round.total_length, 0.0);
+}
+
+}  // namespace
+}  // namespace mwc::sim

@@ -1,0 +1,153 @@
+#include "svc/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwc::svc {
+namespace {
+
+Request preset_request(std::uint64_t seed = 7) {
+  Request request;
+  request.id = "t1";
+  request.policy = "MinTotalDistance";
+  request.network.inline_points = false;
+  request.network.deployment.n = 40;
+  request.network.deployment.q = 3;
+  request.network.deployment.field_side = 500.0;
+  request.network.seed = seed;
+  request.cycles.inline_values = false;
+  request.cycles.seed = 13;
+  request.horizon = 250.0;
+  return request;
+}
+
+TEST(Engine, ResolvesPresetDeterministically) {
+  const Request request = preset_request();
+  const ResolvedInstance a = resolve(request);
+  const ResolvedInstance b = resolve(request);
+  ASSERT_EQ(a.network.n(), 40u);
+  ASSERT_EQ(a.network.q(), 3u);
+  EXPECT_EQ(a.network.sensor_points(), b.network.sensor_points());
+  EXPECT_EQ(a.network.depots(), b.network.depots());
+  for (std::size_t i = 0; i < a.network.n(); ++i)
+    EXPECT_DOUBLE_EQ(a.cycles->cycle_at_slot(i, 0),
+                     b.cycles->cycle_at_slot(i, 0));
+  EXPECT_EQ(fingerprint(request, a), fingerprint(request, b));
+}
+
+TEST(Engine, FingerprintSeparatesInstances) {
+  const Request base = preset_request();
+  const auto key = fingerprint(base, resolve(base));
+
+  Request other_seed = preset_request(8);
+  EXPECT_NE(fingerprint(other_seed, resolve(other_seed)), key);
+
+  Request other_policy = preset_request();
+  other_policy.policy = "Greedy";
+  EXPECT_NE(fingerprint(other_policy, resolve(other_policy)), key);
+
+  Request other_horizon = preset_request();
+  other_horizon.horizon = 300.0;
+  EXPECT_NE(fingerprint(other_horizon, resolve(other_horizon)), key);
+
+  Request improved = preset_request();
+  improved.improve = true;
+  EXPECT_NE(fingerprint(improved, resolve(improved)), key);
+}
+
+TEST(Engine, PresetAndEquivalentInlineShareFingerprint) {
+  const Request preset = preset_request();
+  const ResolvedInstance instance = resolve(preset);
+
+  // Re-describe the resolved instance inline: same geometry, slot-0
+  // cycles pinned as explicit values.
+  Request inline_request = preset;
+  inline_request.network.inline_points = true;
+  inline_request.network.sensors = instance.network.sensor_points();
+  inline_request.network.depots = instance.network.depots();
+  inline_request.network.base_station = instance.network.base_station();
+  inline_request.cycles.inline_values = true;
+  for (std::size_t i = 0; i < instance.network.n(); ++i)
+    inline_request.cycles.values.push_back(
+        instance.cycles->cycle_at_slot(i, 0));
+
+  const ResolvedInstance inline_instance = resolve(inline_request);
+  EXPECT_EQ(fingerprint(inline_request, inline_instance),
+            fingerprint(preset, instance));
+}
+
+TEST(Engine, HandleRequestSolvesAndCaches) {
+  PlanCache cache(8);
+  const Request request = preset_request();
+
+  const Response first = handle_request(request, &cache);
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_FALSE(first.cached);
+  ASSERT_NE(first.plan, nullptr);
+  EXPECT_GT(first.plan->total_distance, 0.0);
+  EXPECT_GT(first.plan->num_dispatches, 0u);
+  EXPECT_EQ(first.plan->dead_sensors, 0u);
+  EXPECT_FALSE(first.plan->first_round_tours.empty());
+
+  const Response second = handle_request(request, &cache);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cached);
+  // Golden: the cached response shares the identical Plan instance, so
+  // tours and totals are bit-identical by construction.
+  EXPECT_EQ(second.plan.get(), first.plan.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Engine, GoldenRepeatedSolveIsBitIdenticalEvenWithoutCache) {
+  const Request request = preset_request();
+  const Response a = handle_request(request, nullptr);
+  const Response b = handle_request(request, nullptr);
+  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_NE(a.plan, b.plan);  // distinct solves
+  EXPECT_EQ(a.plan->total_distance, b.plan->total_distance);  // bitwise
+  EXPECT_EQ(a.plan->first_round_length, b.plan->first_round_length);
+  ASSERT_EQ(a.plan->first_round_tours.size(),
+            b.plan->first_round_tours.size());
+  for (std::size_t t = 0; t < a.plan->first_round_tours.size(); ++t) {
+    EXPECT_EQ(a.plan->first_round_tours[t].sensors,
+              b.plan->first_round_tours[t].sensors);
+    EXPECT_EQ(a.plan->first_round_tours[t].length,
+              b.plan->first_round_tours[t].length);  // bitwise
+  }
+}
+
+TEST(Engine, UnknownPolicyIsStructuredError) {
+  Request request = preset_request();
+  request.policy = "NoSuchPolicy";
+  const Response response = handle_request(request, nullptr);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kUnknownPolicy);
+  EXPECT_NE(response.message.find("NoSuchPolicy"), std::string::npos);
+  EXPECT_NE(response.message.find("MinTotalDistance"), std::string::npos);
+}
+
+TEST(Engine, UnresolvableRequestIsBadRequest) {
+  Request request = preset_request();
+  request.network.inline_points = true;  // but no points supplied
+  request.network.sensors.clear();
+  request.cycles.inline_values = true;
+  request.cycles.values = {1.0, 2.0};
+  const Response response = handle_request(request, nullptr);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kBadRequest);
+}
+
+TEST(Engine, InlineCyclesDriveGreedyThreshold) {
+  Request request = preset_request();
+  request.policy = "Greedy";
+  request.cycles.inline_values = true;
+  request.cycles.values.assign(request.network.deployment.n, 10.0);
+  const Response response = handle_request(request, nullptr);
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_GT(response.plan->num_dispatches, 0u);
+}
+
+}  // namespace
+}  // namespace mwc::svc

@@ -1,0 +1,73 @@
+#include "svc/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwc::svc {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_double(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const Json doc = Json::parse(
+      R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(doc.is_object());
+  const Json& a = doc.at("a");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.items()[1].as_double(), 2.0);
+  EXPECT_TRUE(a.items()[2].at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const Json doc = Json::parse(R"("line\n\t\"q\" \\ A")");
+  EXPECT_EQ(doc.as_string(), "line\n\t\"q\" \\ A");
+  // Control characters and quotes must re-escape on dump (controls use
+  // the uniform \uXXXX form).
+  Json s("a\"b\n\x01");
+  EXPECT_EQ(s.dump(), "\"a\\\"b\\u000a\\u0001\"");
+  EXPECT_EQ(Json::parse(s.dump()).as_string(), "a\"b\n\x01");
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const std::string text =
+      R"({"name":"x","vals":[1,2.5,-3],"flag":false,"nested":{"k":"v"}})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);  // objects preserve insertion order
+  EXPECT_EQ(Json::parse(doc.dump()).dump(), text);
+}
+
+TEST(Json, IntegralNumbersPrintWithoutExponent) {
+  Json j = Json::object();
+  j.set("big", Json(static_cast<std::int64_t>(1234567890123LL)));
+  j.set("zero", Json(0.0));
+  EXPECT_EQ(j.dump(), R"({"big":1234567890123,"zero":0})");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json doc = Json::parse("{\"a\":1}");
+  EXPECT_THROW(doc.at("a").as_string(), JsonError);
+  EXPECT_THROW(doc.at("b"), JsonError);
+  EXPECT_THROW(doc.as_double(), JsonError);
+}
+
+}  // namespace
+}  // namespace mwc::svc

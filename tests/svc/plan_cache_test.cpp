@@ -1,0 +1,106 @@
+#include "svc/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mwc::svc {
+namespace {
+
+std::shared_ptr<const Plan> plan_with(double total) {
+  auto p = std::make_shared<Plan>();
+  p->total_distance = total;
+  return p;
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // FNV-1a 64-bit test vectors (offset basis, then "a").
+  Fnv1a empty;
+  EXPECT_EQ(empty.value(), 0xcbf29ce484222325ULL);
+  Fnv1a a;
+  a.bytes("a", 1);
+  EXPECT_EQ(a.value(), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, QuantizationCollapsesNoiseAndSignedZero) {
+  Fnv1a x, y;
+  x.quantized(0.0, 1e-6);
+  y.quantized(-0.0, 1e-6);
+  EXPECT_EQ(x.value(), y.value());
+
+  Fnv1a p, q;
+  p.quantized(123.4567891, 1e-6);
+  q.quantized(123.45678911, 1e-6);  // sub-quantum difference
+  EXPECT_EQ(p.value(), q.value());
+
+  Fnv1a r, s;
+  r.quantized(1.0, 1e-6);
+  s.quantized(1.0 + 1e-5, 1e-6);  // super-quantum difference
+  EXPECT_NE(r.value(), s.value());
+}
+
+TEST(Fnv1a, StrIsLengthPrefixed) {
+  // ("ab", "c") must not collide with ("a", "bc").
+  Fnv1a x, y;
+  x.str("ab");
+  x.str("c");
+  y.str("a");
+  y.str("bc");
+  EXPECT_NE(x.value(), y.value());
+}
+
+TEST(PlanCache, HitReturnsSamePointerAndCounts) {
+  PlanCache cache(4);
+  const auto plan = plan_with(1.0);
+  cache.put(42, plan);
+  EXPECT_EQ(cache.get(1), nullptr);
+  const auto hit = cache.get(42);
+  EXPECT_EQ(hit.get(), plan.get());  // shared instance, not a copy
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.put(1, plan_with(1));
+  cache.put(2, plan_with(2));
+  ASSERT_NE(cache.get(1), nullptr);  // 1 is now MRU
+  cache.put(3, plan_with(3));        // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, PutRefreshesExistingKey) {
+  PlanCache cache(2);
+  cache.put(1, plan_with(1));
+  cache.put(1, plan_with(10));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.get(1)->total_distance, 10.0);
+}
+
+TEST(PlanCache, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.put(1, plan_with(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, ClearEmptiesButKeepsCounters) {
+  PlanCache cache(4);
+  cache.put(1, plan_with(1));
+  ASSERT_NE(cache.get(1), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace mwc::svc

@@ -1,0 +1,259 @@
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mwc::svc {
+namespace {
+
+Request tiny_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.network.deployment.n = 12;
+  request.network.deployment.q = 2;
+  request.network.deployment.field_side = 100.0;
+  request.network.seed = 5;
+  request.horizon = 50.0;
+  return request;
+}
+
+Response ok_response(const std::string& id) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  return response;
+}
+
+/// Handler whose requests block until release() — lets tests hold the
+/// queue at a known occupancy.
+class Gate {
+ public:
+  Handler handler() {
+    return [this](const Request& request) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+      return ok_response(request.id);
+    };
+  }
+
+  void wait_entered(std::size_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  std::size_t entered_ = 0;
+  bool released_ = false;
+};
+
+TEST(Server, FullQueueRejectsSynchronouslyWithStructuredError) {
+  Gate gate;
+  ServerOptions options;
+  options.queue_capacity = 2;
+  options.threads = 1;
+  options.handler = gate.handler();
+  Server server(options);
+
+  std::mutex mutex;
+  std::vector<Response> accepted_responses;
+  const auto collect = [&](const Response& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    accepted_responses.push_back(r);
+  };
+
+  // Fill the queue: one solving (blocked in the gate), one waiting.
+  ASSERT_TRUE(server.submit(tiny_request("a"), collect));
+  ASSERT_TRUE(server.submit(tiny_request("b"), collect));
+  gate.wait_entered(1);
+  EXPECT_EQ(server.in_flight(), 2u);
+
+  // Third submit must be rejected immediately — structured error, no
+  // blocking, no crash.
+  Response rejection;
+  bool callback_ran = false;
+  const bool admitted =
+      server.submit(tiny_request("c"), [&](const Response& r) {
+        rejection = r;
+        callback_ran = true;
+      });
+  EXPECT_FALSE(admitted);
+  ASSERT_TRUE(callback_ran);  // synchronous
+  EXPECT_FALSE(rejection.ok);
+  EXPECT_EQ(rejection.error, ErrorCode::kQueueFull);
+  EXPECT_EQ(rejection.id, "c");
+  EXPECT_NE(rejection.message.find("capacity 2"), std::string::npos);
+  EXPECT_EQ(server.metrics().snapshot().counters.at(
+                "svc.rejected.queue_full"),
+            1u);
+
+  gate.release();
+  server.shutdown();
+  EXPECT_EQ(accepted_responses.size(), 2u);
+  for (const auto& r : accepted_responses) EXPECT_TRUE(r.ok);
+}
+
+TEST(Server, ShutdownDrainsAcceptedWorkThenRejects) {
+  Gate gate;
+  ServerOptions options;
+  options.queue_capacity = 8;
+  options.threads = 1;
+  options.handler = gate.handler();
+  Server server(options);
+
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.submit(tiny_request("d" + std::to_string(i)),
+                              [&](const Response& r) {
+                                EXPECT_TRUE(r.ok);
+                                ++answered;
+                              }));
+  }
+  gate.wait_entered(1);
+
+  // Shut down from another thread while work is still gated; it must
+  // block until all four accepted requests are answered.
+  auto drained = std::async(std::launch::async, [&] { server.shutdown(); });
+  EXPECT_EQ(drained.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  gate.release();
+  drained.get();
+  EXPECT_EQ(answered.load(), 4);
+  EXPECT_EQ(server.in_flight(), 0u);
+
+  // Post-shutdown submits are rejected synchronously.
+  Response rejection;
+  EXPECT_FALSE(server.submit(tiny_request("late"),
+                             [&](const Response& r) { rejection = r; }));
+  EXPECT_EQ(rejection.error, ErrorCode::kShuttingDown);
+  const auto counters = server.metrics().snapshot().counters;
+  EXPECT_EQ(counters.at("svc.requests_accepted"), 4u);
+  EXPECT_EQ(counters.at("svc.completed"), 4u);
+  EXPECT_EQ(counters.at("svc.rejected.shutdown"), 1u);
+}
+
+TEST(Server, ExpiredDeadlineSkipsSolving) {
+  Gate gate;
+  ServerOptions options;
+  options.queue_capacity = 4;
+  options.threads = 1;
+  options.handler = gate.handler();
+  Server server(options);
+
+  // First request occupies the only worker...
+  server.submit(tiny_request("blocker"), [](const Response&) {});
+  gate.wait_entered(1);
+
+  // ...so this one waits in the queue past its 1 ms deadline.
+  Request hurried = tiny_request("hurried");
+  hurried.deadline_ms = 1.0;
+  std::promise<Response> answered;
+  ASSERT_TRUE(server.submit(hurried, [&](const Response& r) {
+    answered.set_value(r);
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.release();
+  const Response response = answered.get_future().get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, ErrorCode::kDeadlineExceeded);
+  EXPECT_GE(response.latency_ms, 1.0);
+  server.shutdown();
+  EXPECT_EQ(server.metrics().snapshot().counters.at("svc.deadline_expired"),
+            1u);
+}
+
+TEST(Server, SubmitLineParsesAndReportsBadLines) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  Server server(options);
+
+  Response bad;
+  EXPECT_FALSE(server.submit_line("{not json", [&](const Response& r) {
+    bad = r;
+  }));
+  EXPECT_EQ(bad.error, ErrorCode::kBadRequest);
+
+  std::promise<Response> answered;
+  EXPECT_TRUE(server.submit_line(
+      R"({"v":"mwc.svc.v1","id":"L1","network":{"preset":{"n":5,"q":1}},)"
+      R"("cycles":{"values":[1,1,1,1,1]}})",
+      [&](const Response& r) { answered.set_value(r); }));
+  EXPECT_TRUE(answered.get_future().get().ok);
+  server.shutdown();
+}
+
+TEST(Server, LatencyHistogramObservesEveryCompletion) {
+  ServerOptions options;
+  options.threads = 2;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  Server server(options);
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 10; ++i)
+    server.submit(tiny_request("h" + std::to_string(i)),
+                  [&](const Response&) { ++answered; });
+  server.shutdown();
+  EXPECT_EQ(answered.load(), 10);
+  const auto snapshot = server.metrics().snapshot();
+  const auto& hist = snapshot.histograms.at("svc.request_latency_ms");
+  EXPECT_EQ(hist.count, 10u);
+  EXPECT_GE(hist.quantile(0.99), hist.quantile(0.5));
+}
+
+TEST(Server, EndToEndSolvesThroughDefaultEngineHandler) {
+  ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 16;
+  options.cache_capacity = 8;
+  Server server(options);
+
+  std::vector<Response> responses;
+  for (int i = 0; i < 3; ++i) {
+    // Identical instances, submitted one at a time so the first solve
+    // has deterministically populated the cache before the next probe.
+    std::promise<Response> answered;
+    ASSERT_TRUE(server.submit(tiny_request("e" + std::to_string(i)),
+                              [&](const Response& r) {
+                                answered.set_value(r);
+                              }));
+    responses.push_back(answered.get_future().get());
+  }
+  server.shutdown();
+  ASSERT_EQ(responses.size(), 3u);
+  std::size_t cached = 0;
+  const Plan* plan = nullptr;
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.ok) << r.message;
+    ASSERT_NE(r.plan, nullptr);
+    if (plan == nullptr) plan = r.plan.get();
+    EXPECT_DOUBLE_EQ(r.plan->total_distance, plan->total_distance);
+    if (r.cached) ++cached;
+  }
+  EXPECT_EQ(server.cache().misses(), 1u);
+  EXPECT_EQ(cached, 2u);
+  EXPECT_EQ(server.cache().hits(), 2u);
+}
+
+}  // namespace
+}  // namespace mwc::svc

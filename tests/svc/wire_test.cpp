@@ -1,0 +1,158 @@
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "svc/json.hpp"
+
+namespace mwc::svc {
+namespace {
+
+constexpr const char* kPresetRequest =
+    R"({"v":"mwc.svc.v1","id":"r1","policy":"Greedy",)"
+    R"("network":{"preset":{"n":40,"q":3,"field":500,"seed":9}},)"
+    R"("cycles":{"model":{"dist":"random","tau_min":2,"tau_max":20,)"
+    R"("sigma":1,"seed":4}},"horizon":250,"slot_length":10,)"
+    R"("improve":true,"deadline_ms":750})";
+
+TEST(Wire, ParsesPresetRequest) {
+  const Request r = parse_request(kPresetRequest);
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.policy, "Greedy");
+  EXPECT_FALSE(r.network.inline_points);
+  EXPECT_EQ(r.network.deployment.n, 40u);
+  EXPECT_EQ(r.network.deployment.q, 3u);
+  EXPECT_DOUBLE_EQ(r.network.deployment.field_side, 500.0);
+  EXPECT_EQ(r.network.seed, 9u);
+  EXPECT_FALSE(r.cycles.inline_values);
+  EXPECT_EQ(r.cycles.model.distribution, wsn::CycleDistribution::kRandom);
+  EXPECT_DOUBLE_EQ(r.cycles.model.tau_min, 2.0);
+  EXPECT_DOUBLE_EQ(r.cycles.model.tau_max, 20.0);
+  EXPECT_EQ(r.cycles.seed, 4u);
+  EXPECT_DOUBLE_EQ(r.horizon, 250.0);
+  EXPECT_DOUBLE_EQ(r.slot_length, 10.0);
+  EXPECT_TRUE(r.improve);
+  EXPECT_DOUBLE_EQ(r.deadline_ms, 750.0);
+}
+
+TEST(Wire, ParsesInlineRequestAndDefaults) {
+  const Request r = parse_request(
+      R"({"v":"mwc.svc.v1","id":"i1",)"
+      R"("network":{"sensors":[[0,0],[10,0],[0,10]],)"
+      R"("depots":[[5,5]],"base":[1,1]},)"
+      R"("cycles":{"values":[3,4,5]}})");
+  EXPECT_EQ(r.policy, "MinTotalDistance");  // default
+  ASSERT_TRUE(r.network.inline_points);
+  ASSERT_EQ(r.network.sensors.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.network.sensors[1].x, 10.0);
+  ASSERT_EQ(r.network.depots.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.network.base_station.y, 1.0);
+  ASSERT_TRUE(r.cycles.inline_values);
+  EXPECT_EQ(r.cycles.values, (std::vector<double>{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(r.horizon, 1000.0);
+  EXPECT_DOUBLE_EQ(r.deadline_ms, 0.0);
+  EXPECT_FALSE(r.improve);
+}
+
+TEST(Wire, RequestRoundTripsThroughToJson) {
+  const Request a = parse_request(kPresetRequest);
+  const Request b = parse_request(to_json(a));
+  EXPECT_EQ(to_json(a), to_json(b));
+}
+
+TEST(Wire, RejectsBadRequests) {
+  // Version missing / wrong.
+  EXPECT_THROW(parse_request(R"({"id":"x"})"), WireError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v2","id":"x","network":{"preset":{"n":1,"q":1}},)"
+          R"("cycles":{"values":[1]}})"),
+      WireError);
+  // Malformed JSON.
+  EXPECT_THROW(parse_request("{"), WireError);
+  // Empty id.
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"","network":{"preset":{"n":1,"q":1}},)"
+          R"("cycles":{"values":[1]}})"),
+      WireError);
+  // Inline cycle count mismatching the preset sensor count.
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"x","network":{"preset":{"n":3,"q":1}},)"
+          R"("cycles":{"values":[1,2]}})"),
+      WireError);
+  // Non-positive cycles.
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"x","network":{"preset":{"n":1,"q":1}},)"
+          R"("cycles":{"values":[0]}})"),
+      WireError);
+  // Missing network form.
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"x","network":{},"cycles":{"values":[1]}})"),
+      WireError);
+  // Negative deadline.
+  EXPECT_THROW(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"x","network":{"preset":{"n":1,"q":1}},)"
+          R"("cycles":{"values":[1]},"deadline_ms":-1})"),
+      WireError);
+}
+
+TEST(Wire, ErrorResponseSerializesStructuredError) {
+  const Response r =
+      error_response("r9", ErrorCode::kQueueFull, "queue full (capacity 2)");
+  const Json doc = Json::parse(to_jsonl(r));
+  EXPECT_EQ(doc.at("v").as_string(), kWireVersion);
+  EXPECT_EQ(doc.at("id").as_string(), "r9");
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error").as_string(), "queue_full");
+  EXPECT_EQ(doc.at("message").as_string(), "queue full (capacity 2)");
+  EXPECT_EQ(doc.find("plan"), nullptr);
+}
+
+TEST(Wire, OkResponseCarriesPlan) {
+  auto plan = std::make_shared<Plan>();
+  plan->first_round_tours.push_back(PlanTour{1, {4, 2, 7}, 123.5});
+  plan->first_round_length = 123.5;
+  plan->total_distance = 4567.0;
+  plan->num_dispatches = 9;
+  plan->fingerprint = 0xdeadbeefULL;
+  Response r;
+  r.id = "ok1";
+  r.ok = true;
+  r.cached = true;
+  r.plan = plan;
+
+  const std::string line = to_jsonl(r);
+  EXPECT_EQ(line.back(), '\n');
+  const Json doc = Json::parse(line);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("cached").as_bool());
+  const Json& pj = doc.at("plan");
+  ASSERT_EQ(pj.at("first_round_tours").size(), 1u);
+  const Json& tour = pj.at("first_round_tours").items()[0];
+  EXPECT_EQ(tour.at("depot").as_int(), 1);
+  ASSERT_EQ(tour.at("sensors").size(), 3u);
+  EXPECT_EQ(tour.at("sensors").items()[2].as_int(), 7);
+  EXPECT_DOUBLE_EQ(pj.at("total_distance").as_double(), 4567.0);
+  EXPECT_EQ(pj.at("fingerprint").as_string(), "00000000deadbeef");
+}
+
+TEST(Wire, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownPolicy),
+               "unknown_policy");
+  EXPECT_STREQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown),
+               "shutting_down");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace mwc::svc

@@ -75,6 +75,44 @@ TEST_F(TraceIoTest, SnapshotOfSyntheticModelReplaysIdentically) {
   }
 }
 
+TEST_F(TraceIoTest, AcceptsCrlfLineEndings) {
+  {
+    std::ofstream out(path_);
+    // A Windows-authored trace: header + every row CRLF-terminated.
+    out << "# slots=2 n=2\r\n1.5,2.5\r\n3.5,4.5\r\n";
+  }
+  const auto trace = load_cycle_trace(path_);
+  EXPECT_EQ(trace.n(), 2u);
+  EXPECT_EQ(trace.recorded_slots(), 2u);
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(1, 1), 4.5);
+}
+
+TEST_F(TraceIoTest, AcceptsTrailingBlankLine) {
+  {
+    std::ofstream out(path_);
+    // Trailing newline(s) after the last row — including the CRLF form,
+    // where the final "blank" line getline sees is a lone '\r'.
+    out << "1.0,2.0\n3.0,4.0\n\n";
+  }
+  EXPECT_EQ(load_cycle_trace(path_).recorded_slots(), 2u);
+  {
+    std::ofstream out(path_);
+    out << "1.0,2.0\r\n3.0,4.0\r\n\r\n";
+  }
+  const auto trace = load_cycle_trace(path_);
+  EXPECT_EQ(trace.recorded_slots(), 2u);
+  EXPECT_DOUBLE_EQ(trace.cycle_at_slot(1, 1), 4.0);
+}
+
+TEST_F(TraceIoTest, CrlfStillRejectsMalformedRows) {
+  {
+    std::ofstream out(path_);
+    out << "1.0,2.0\r\nnot_a_number,3.0\r\n";
+  }
+  EXPECT_THROW(load_cycle_trace(path_), std::runtime_error);
+}
+
 TEST_F(TraceIoTest, MalformedFilesThrow) {
   {
     std::ofstream out(path_);

@@ -1,0 +1,349 @@
+// mwc_loadgen — load-generator client for mwcd.
+//
+// Spawns an mwcd child over a stdin/stdout pipe (default) or connects to
+// a running daemon (--connect host:port), drives a request mix through
+// the mwc.svc.v1 wire protocol, and reports throughput plus latency
+// percentiles (p50/p95/p99 estimated from an obs::Histogram of
+// client-observed round-trip times).
+//
+// Flags:
+//   --server PATH     mwcd binary to spawn (default: mwcd next to this
+//                     binary); child gets --queue-depth/--threads/
+//                     --cache-capacity forwarded
+//   --connect HOST:PORT  use a running daemon instead of spawning
+//   --count N         total requests (default 64)
+//   --concurrency C   closed loop: max outstanding requests (default 4)
+//   --rate R          open loop: send R req/s regardless of completions
+//                     (0 = closed loop)
+//   --mode M          warm | cold | mixed (default mixed): warm repeats
+//                     one instance (all but the first hit the PlanCache),
+//                     cold gives every request a fresh topology seed,
+//                     mixed cycles --distinct instances (default 8)
+//   --n, --q          instance size (default 200 sensors, 5 chargers)
+//   --policy NAME     exp::PolicyRegistry name (default MinTotalDistance)
+//   --horizon T       monitoring period (default 1000)
+//   --deadline-ms D   per-request deadline (0 = none)
+//   --seed S          base topology seed (default 1)
+//   --queue-depth N   forwarded to the spawned child (default 64)
+//   --threads N       forwarded to the spawned child
+//   --cache-capacity N forwarded to the spawned child
+//   --metrics-out F   forwarded to the spawned child
+//   --json FILE       write the report as JSON
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/registry.hpp"
+#include "svc/json.hpp"
+#include "svc/wire.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Transport {
+  int write_fd = -1;
+  int read_fd = -1;
+  pid_t child = -1;
+
+  void close_write() {
+    if (write_fd >= 0) ::close(write_fd);
+    write_fd = -1;
+  }
+
+  ~Transport() {
+    close_write();
+    if (read_fd >= 0) ::close(read_fd);
+    if (child > 0) ::waitpid(child, nullptr, 0);
+  }
+};
+
+bool spawn_child(Transport& t, const std::vector<std::string>& argv_strs) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) < 0 || ::pipe(from_child) < 0) {
+    std::perror("pipe");
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(argv_strs.size() + 1);
+    for (const auto& s : argv_strs)
+      argv.push_back(const_cast<char*>(s.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    std::_Exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  t.write_fd = to_child[1];
+  t.read_fd = from_child[0];
+  t.child = pid;
+  return true;
+}
+
+bool connect_tcp(Transport& t, const std::string& hostport) {
+  const auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT\n");
+    return false;
+  }
+  const std::string host = hostport.substr(0, colon);
+  const std::string port = hostport.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &info) != 0 ||
+      info == nullptr) {
+    std::fprintf(stderr, "cannot resolve %s\n", hostport.c_str());
+    return false;
+  }
+  const int fd = ::socket(info->ai_family, info->ai_socktype, 0);
+  const bool ok =
+      fd >= 0 && ::connect(fd, info->ai_addr, info->ai_addrlen) == 0;
+  ::freeaddrinfo(info);
+  if (!ok) {
+    std::perror("connect");
+    if (fd >= 0) ::close(fd);
+    return false;
+  }
+  t.write_fd = fd;
+  t.read_fd = ::dup(fd);
+  return true;
+}
+
+struct Tally {
+  std::mutex mutex;
+  std::map<std::string, Clock::time_point> sent;  ///< id -> send time
+  std::size_t ok = 0;
+  std::size_t cached = 0;
+  std::size_t errors = 0;
+  std::map<std::string, std::size_t> errors_by_code;
+};
+
+void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency) {
+  std::FILE* in = ::fdopen(fd, "r");
+  if (in == nullptr) return;
+  char* buffer = nullptr;
+  std::size_t buffer_size = 0;
+  ssize_t got;
+  while ((got = ::getline(&buffer, &buffer_size, in)) > 0) {
+    const auto now = Clock::now();
+    std::string line(buffer, static_cast<std::size_t>(got));
+    try {
+      const mwc::svc::Json doc = mwc::svc::Json::parse(line);
+      const std::string id = doc.at("id").as_string();
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      const auto it = tally.sent.find(id);
+      if (it != tally.sent.end()) {
+        latency.observe(
+            std::chrono::duration<double, std::milli>(now - it->second)
+                .count());
+        tally.sent.erase(it);
+      }
+      if (doc.at("ok").as_bool()) {
+        ++tally.ok;
+        if (const auto* cached = doc.find("cached");
+            cached != nullptr && cached->as_bool())
+          ++tally.cached;
+      } else {
+        ++tally.errors;
+        ++tally.errors_by_code[doc.at("error").as_string()];
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad response line: %s\n", e.what());
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.errors;
+    }
+  }
+  std::free(buffer);
+  // fd was handed to the FILE*; closing it here, Transport skips it.
+  std::fclose(in);
+}
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mwc::CliArgs args(argc, argv);
+
+  const std::size_t count =
+      static_cast<std::size_t>(args.get_int_or("count", 64));
+  const std::size_t concurrency =
+      static_cast<std::size_t>(args.get_int_or("concurrency", 4));
+  const double rate = args.get_double_or("rate", 0.0);
+  const std::string mode = args.get_or("mode", "mixed");
+  const std::size_t distinct = static_cast<std::size_t>(
+      args.get_int_or("distinct", mode == "warm" ? 1 : 8));
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  if (mode != "warm" && mode != "cold" && mode != "mixed") {
+    std::fprintf(stderr, "--mode must be warm, cold, or mixed\n");
+    return 2;
+  }
+
+  // Request template.
+  mwc::svc::Request request;
+  request.policy = args.get_or("policy", "MinTotalDistance");
+  request.network.inline_points = false;
+  request.network.deployment.n =
+      static_cast<std::size_t>(args.get_int_or("n", 200));
+  request.network.deployment.q =
+      static_cast<std::size_t>(args.get_int_or("q", 5));
+  request.cycles.inline_values = false;
+  request.cycles.seed = base_seed;
+  request.horizon = args.get_double_or("horizon", 1000.0);
+  request.deadline_ms = args.get_double_or("deadline-ms", 0.0);
+
+  Transport transport;
+  const std::string connect = args.get_or("connect", "");
+  if (!connect.empty()) {
+    if (!connect_tcp(transport, connect)) return 1;
+  } else {
+    const std::string server =
+        args.get_or("server", dirname_of(args.program()) + "/mwcd");
+    std::vector<std::string> child_argv{server};
+    for (const char* flag : {"queue-depth", "threads", "cache-capacity",
+                             "metrics-out", "trace-out"}) {
+      if (const auto v = args.get(flag))
+        child_argv.push_back("--" + std::string(flag) + "=" + *v);
+    }
+    if (!spawn_child(transport, child_argv)) return 1;
+  }
+
+  Tally tally;
+  mwc::obs::Registry local;
+  mwc::obs::Histogram& latency = local.histogram(
+      "loadgen.latency_ms",
+      {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+       250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0});
+  std::thread reader([&] {
+    reader_loop(transport.read_fd, tally, latency);
+    transport.read_fd = -1;  // reader closed it
+  });
+
+  const auto outstanding = [&tally] {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    return tally.sent.size();
+  };
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rate > 0.0) {
+      // Open loop: fixed send schedule, independent of completions.
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(i) / rate));
+      std::this_thread::sleep_until(due);
+    } else {
+      while (outstanding() >= concurrency)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    request.id = "r" + std::to_string(i);
+    const std::uint64_t instance =
+        mode == "cold" ? i : (mode == "warm" ? 0 : i % distinct);
+    request.network.seed = base_seed + instance;
+    const std::string line = mwc::svc::to_json(request) + "\n";
+    {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      tally.sent.emplace(request.id, Clock::now());
+    }
+    if (::write(transport.write_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      std::fprintf(stderr, "short write to server: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+  }
+  transport.close_write();  // EOF -> stdio daemon drains and exits
+  reader.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const auto snapshot = local.snapshot();
+  const auto& hist = snapshot.histograms.at("loadgen.latency_ms");
+  const double p50 = hist.quantile(0.50);
+  const double p95 = hist.quantile(0.95);
+  const double p99 = hist.quantile(0.99);
+  const double mean =
+      hist.count > 0 ? hist.sum / static_cast<double>(hist.count) : 0.0;
+  const double rps =
+      elapsed_s > 0.0 ? static_cast<double>(hist.count) / elapsed_s : 0.0;
+
+  std::printf("mode=%s count=%zu answered=%llu ok=%zu cached=%zu "
+              "errors=%zu\n",
+              mode.c_str(), count,
+              static_cast<unsigned long long>(hist.count), tally.ok,
+              tally.cached, tally.errors);
+  std::printf("elapsed %.3f s  throughput %.1f req/s\n", elapsed_s, rps);
+  std::printf("latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  "
+              "min %.3f  max %.3f\n",
+              mean, p50, p95, p99, hist.min, hist.max);
+  for (const auto& [code, n] : tally.errors_by_code)
+    std::printf("  error %s: %zu\n", code.c_str(), n);
+
+  if (const auto json_path = args.get("json")) {
+    mwc::svc::Json doc = mwc::svc::Json::object();
+    doc.set("mode", mwc::svc::Json(mode));
+    doc.set("count", mwc::svc::Json(count));
+    doc.set("answered", mwc::svc::Json(static_cast<double>(hist.count)));
+    doc.set("ok", mwc::svc::Json(tally.ok));
+    doc.set("cached", mwc::svc::Json(tally.cached));
+    doc.set("errors", mwc::svc::Json(tally.errors));
+    doc.set("n", mwc::svc::Json(request.network.deployment.n));
+    doc.set("q", mwc::svc::Json(request.network.deployment.q));
+    doc.set("policy", mwc::svc::Json(request.policy));
+    doc.set("concurrency", mwc::svc::Json(concurrency));
+    doc.set("rate", mwc::svc::Json(rate));
+    doc.set("elapsed_s", mwc::svc::Json(elapsed_s));
+    doc.set("req_per_s", mwc::svc::Json(rps));
+    doc.set("latency_ms_mean", mwc::svc::Json(mean));
+    doc.set("latency_ms_p50", mwc::svc::Json(p50));
+    doc.set("latency_ms_p95", mwc::svc::Json(p95));
+    doc.set("latency_ms_p99", mwc::svc::Json(p99));
+    std::FILE* f = std::fopen(json_path->c_str(), "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    const std::string text = doc.dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  const bool failed = tally.errors > 0 || hist.count == 0;
+  return failed && args.get_bool_or("strict", true) ? 1 : 0;
+}

@@ -1,0 +1,196 @@
+// mwcd — the mwc::svc scheduling daemon.
+//
+// Speaks the mwc.svc.v1 JSONL wire protocol (one request per line, one
+// response per line, matched by id; see docs/SERVICE.md). Two transports:
+//
+//   * stdin/stdout (default): reads requests until EOF, then drains all
+//     accepted work and exits — the mode mwc_loadgen and the CI smoke
+//     job drive through a pipe;
+//   * TCP (--port N): listens on 127.0.0.1:N, one thread per connection,
+//     same line protocol per connection; SIGINT/SIGTERM stops accepting
+//     and drains.
+//
+// Flags:
+//   --queue-depth N      max in-flight requests before queue_full (64)
+//   --threads N          solver worker threads (0 = hardware)
+//   --cache-capacity N   PlanCache capacity in plans; 0 disables (128)
+//   --port N             serve TCP on 127.0.0.1:N instead of stdin/stdout
+//   --metrics-out FILE   write the global obs registry (mwc.metrics.v1
+//                        JSON) after draining
+//   --trace-out FILE     enable span collection, write a Chrome trace
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using mwc::svc::Response;
+using mwc::svc::Server;
+
+/// Serializes responses onto one stream; callbacks fire from any worker.
+class LineSink {
+ public:
+  explicit LineSink(std::FILE* out) : out_(out) {}
+
+  void write(const Response& response) {
+    const std::string line = mwc::svc::to_jsonl(response);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+  }
+
+ private:
+  std::FILE* out_;
+  std::mutex mutex_;
+};
+
+int run_stdio(Server& server) {
+  LineSink sink(stdout);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    server.submit_line(line, [&sink](const Response& r) { sink.write(r); });
+  }
+  server.shutdown();
+  return 0;
+}
+
+std::atomic<int> g_listen_fd{-1};
+
+void stop_listening(int) {
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) ::close(fd);  // unblocks accept() with an error
+}
+
+void serve_connection(Server& server, int fd) {
+  std::FILE* in = ::fdopen(fd, "r");
+  if (in == nullptr) {
+    ::close(fd);
+    return;
+  }
+  std::FILE* out = ::fdopen(::dup(fd), "w");
+  if (out == nullptr) {
+    std::fclose(in);
+    return;
+  }
+  {
+    LineSink sink(out);
+    // Per-connection tally of submitted-vs-answered so the close below
+    // never races a worker still holding the sink.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t pending = 0;
+    char* buffer = nullptr;
+    std::size_t buffer_size = 0;
+    ssize_t got;
+    while ((got = ::getline(&buffer, &buffer_size, in)) > 0) {
+      std::string line(buffer, static_cast<std::size_t>(got));
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+      if (line.empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        ++pending;
+      }
+      server.submit_line(line, [&](const Response& r) {
+        sink.write(r);
+        std::lock_guard<std::mutex> lock(done_mutex);
+        --pending;
+        done_cv.notify_all();
+      });
+    }
+    std::free(buffer);
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+  std::fclose(out);
+  std::fclose(in);
+}
+
+int run_tcp(Server& server, int port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  g_listen_fd.store(listen_fd);
+  std::signal(SIGINT, stop_listening);
+  std::signal(SIGTERM, stop_listening);
+  std::fprintf(stderr, "mwcd: listening on 127.0.0.1:%d\n", port);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by a stop signal
+    connections.emplace_back(
+        [&server, fd] { serve_connection(server, fd); });
+  }
+  for (auto& t : connections) t.join();
+  server.shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mwc::CliArgs args(argc, argv);
+
+  mwc::svc::ServerOptions options;
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int_or("queue-depth", 64));
+  options.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  options.cache_capacity =
+      static_cast<std::size_t>(args.get_int_or("cache-capacity", 128));
+  const std::string metrics_path = args.get_or("metrics-out", "");
+  const std::string trace_path = args.get_or("trace-out", "");
+  const int port = static_cast<int>(args.get_int_or("port", 0));
+  if (!trace_path.empty()) mwc::obs::set_trace_enabled(true);
+
+  int rc;
+  {
+    Server server(options);
+    rc = port > 0 ? run_tcp(server, port) : run_stdio(server);
+  }
+
+  if (!metrics_path.empty() &&
+      !mwc::obs::Registry::global().write_json(metrics_path)) {
+    std::fprintf(stderr, "mwcd: cannot write %s\n", metrics_path.c_str());
+    rc = rc == 0 ? 1 : rc;
+  }
+  if (!trace_path.empty() && !mwc::obs::write_chrome_trace(trace_path)) {
+    std::fprintf(stderr, "mwcd: cannot write %s\n", trace_path.c_str());
+    rc = rc == 0 ? 1 : rc;
+  }
+  return rc;
+}
