@@ -99,16 +99,17 @@ double quantile_of(const mwc::obs::Registry& registry,
 int main(int argc, char** argv) {
   mwc::CliArgs args(argc, argv);
 
-  Request base;
-  base.policy = args.get_or("policy", "MinTotalDistance");
-  base.network.deployment.n =
-      static_cast<std::size_t>(args.get_int_or("n", 800));
-  base.network.deployment.q =
-      static_cast<std::size_t>(args.get_int_or("q", 5));
-  base.horizon = args.get_double_or("horizon", 1000.0);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int_or("seed", 1));
-  base.cycles.seed = seed;
+  const Request base =
+      mwc::svc::RequestBuilder("template")
+          .policy(args.get_or("policy", "MinTotalDistance"))
+          .preset(static_cast<std::size_t>(args.get_int_or("n", 800)),
+                  static_cast<std::size_t>(args.get_int_or("q", 5)),
+                  /*field_side=*/1000.0, seed)
+          .cycle_model({}, seed)
+          .horizon(args.get_double_or("horizon", 1000.0))
+          .build();
 
   const std::size_t cold_count =
       static_cast<std::size_t>(args.get_int_or("cold", 12));

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Benchmarks the mwc.svc.v2 incremental re-planning path and writes
+# BENCH_delta.json:
+#   * bench/micro_delta — in-process handle_request vs handle_delta over
+#     n x patch-size grid: cold full-solve p50 vs delta-repair p50;
+#   * tools/mwc_loadgen --delta driving tools/mwcd over a pipe —
+#     end-to-end wire latency of a derived-plan stream.
+#
+# Budget: delta p50 >= 10x faster than a cold full solve at n=2000 for
+# single-sensor patches.
+#
+# Usage: scripts/bench_delta.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_delta.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build --target micro_delta mwcd mwc_loadgen \
+      -j "$(nproc)" > /dev/null
+
+build/bench/micro_delta --json "$TMP/inproc.json"
+build/tools/mwc_loadgen --server build/tools/mwcd --delta \
+    --count 64 --concurrency 4 --n 800 --json "$TMP/wire_delta.json"
+
+python3 - "$TMP/inproc.json" "$TMP/wire_delta.json" "$OUT" <<'EOF'
+import json, sys
+inproc = json.load(open(sys.argv[1]))
+wire = json.load(open(sys.argv[2]))
+
+target = next(r for r in inproc["rows"]
+              if r["n"] == 2000 and r["patch_ops"] == 1)
+speedup = round(target["speedup_p50"], 1)
+merged = {
+    "bench": "delta",
+    "inprocess": inproc,
+    "wire_delta": wire,
+    "headline_n": 2000,
+    "headline_patch_ops": 1,
+    "headline_speedup_p50": speedup,
+    "budget_speedup_p50": 10.0,
+    "note": "inprocess = svc::handle_delta called directly against a "
+            "cached base plan, vs handle_request on a fresh topology "
+            "(full resolve + solve + horizon simulation); wire = "
+            "mwc_loadgen --delta streaming move_sensor patches to mwcd "
+            "over a stdio pipe after one full base solve.",
+}
+json.dump(merged, open(sys.argv[3], "w"), indent=2)
+open(sys.argv[3], "a").write("\n")
+ok = speedup >= merged["budget_speedup_p50"]
+print(f"delta-vs-cold p50 speedup {speedup}x at n=2000/patch=1 "
+      f"(budget {merged['budget_speedup_p50']}x) "
+      f"{'OK' if ok else 'BELOW BUDGET'}")
+print(f"wrote {sys.argv[3]}")
+sys.exit(0 if ok else 1)
+EOF

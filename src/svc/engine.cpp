@@ -9,6 +9,7 @@
 #include "geom/bbox.hpp"
 #include "obs/obs.hpp"
 #include "sim/solve.hpp"
+#include "svc/delta.hpp"
 #include "util/rng.hpp"
 #include "wsn/deployment.hpp"
 #include "wsn/sensor.hpp"
@@ -169,21 +170,25 @@ Response handle_request(const Request& request, PlanCache* cache) {
                std::chrono::steady_clock::now() - start)
         .count();
   };
+  const auto with_version = [&](Response response) {
+    response.version = request.version;
+    return response;
+  };
 
   ResolvedInstance instance;
   try {
     instance = resolve(request);
   } catch (const std::exception& e) {
-    return error_response(request.id, ErrorCode::kBadRequest, e.what(),
-                          elapsed_ms());
+    return with_version(error_response(request.id, ErrorCode::kBadRequest,
+                                       e.what(), elapsed_ms()));
   }
 
   std::unique_ptr<charging::Policy> policy;
   try {
     policy = exp::make_policy(request.policy, instance.config);
   } catch (const std::invalid_argument& e) {
-    return error_response(request.id, ErrorCode::kUnknownPolicy, e.what(),
-                          elapsed_ms());
+    return with_version(error_response(request.id, ErrorCode::kUnknownPolicy,
+                                       e.what(), elapsed_ms()));
   }
 
   const std::uint64_t key = fingerprint(request, instance);
@@ -191,6 +196,7 @@ Response handle_request(const Request& request, PlanCache* cache) {
     if (auto hit = cache->get(key)) {
       Response response;
       response.id = request.id;
+      response.version = request.version;
       response.ok = true;
       response.cached = true;
       response.plan = std::move(hit);
@@ -204,16 +210,21 @@ Response handle_request(const Request& request, PlanCache* cache) {
     const sim::SolveOutcome outcome = sim::solve_network(
         instance.network, *instance.cycles, instance.sim, *policy);
     auto plan = build_plan(outcome, instance.network.q(), key);
-    if (cache != nullptr) cache->put(key, plan);
+    if (cache != nullptr) {
+      // The solver state rides along so this plan can serve as the base
+      // of v2 delta requests.
+      cache->put(key, plan, make_base_state(request, instance, outcome, plan));
+    }
     Response response;
     response.id = request.id;
+    response.version = request.version;
     response.ok = true;
     response.plan = std::move(plan);
     response.latency_ms = elapsed_ms();
     return response;
   } catch (const std::exception& e) {
-    return error_response(request.id, ErrorCode::kInternal, e.what(),
-                          elapsed_ms());
+    return with_version(error_response(request.id, ErrorCode::kInternal,
+                                       e.what(), elapsed_ms()));
   }
 }
 

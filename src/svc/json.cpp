@@ -12,6 +12,10 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  /// Containers may nest at most this deep; crafted inputs like
+  /// "[[[[..." otherwise recurse without bound.
+  static constexpr std::size_t kMaxDepth = 64;
+
   Json parse_document() {
     skip_ws();
     Json value = parse_value();
@@ -76,6 +80,10 @@ class Parser {
       case 'n':
         expect_literal("null");
         return Json();
+      case 'N':
+      case 'I':
+      case 'i':
+        fail("NaN/Infinity are not valid JSON");
       default:
         return parse_number();
     }
@@ -83,33 +91,49 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting too deep (depth cap 64)");
     Json obj = Json::object();
     skip_ws();
-    if (consume('}')) return obj;
+    if (consume('}')) {
+      --depth_;
+      return obj;
+    }
     while (true) {
       skip_ws();
       if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
+      if (obj.find(key) != nullptr)
+        fail("duplicate object key \"" + key + "\"");
       skip_ws();
       expect(':');
       skip_ws();
       obj.set(std::move(key), parse_value());
       skip_ws();
-      if (consume('}')) return obj;
+      if (consume('}')) {
+        --depth_;
+        return obj;
+      }
       expect(',');
     }
   }
 
   Json parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting too deep (depth cap 64)");
     Json arr = Json::array();
     skip_ws();
-    if (consume(']')) return arr;
+    if (consume(']')) {
+      --depth_;
+      return arr;
+    }
     while (true) {
       skip_ws();
       arr.push_back(parse_value());
       skip_ws();
-      if (consume(']')) return arr;
+      if (consume(']')) {
+        --depth_;
+        return arr;
+      }
       expect(',');
     }
   }
@@ -193,6 +217,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

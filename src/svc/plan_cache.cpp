@@ -43,22 +43,32 @@ std::shared_ptr<const Plan> PlanCache::get(std::uint64_t key) {
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   hits_.add(1);
   MWC_OBS_COUNT("svc.cache.hits");
-  return it->second->second;
+  return it->second->plan;
 }
 
-void PlanCache::put(std::uint64_t key, std::shared_ptr<const Plan> plan) {
+std::shared_ptr<const BaseState> PlanCache::get_state(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->state;
+}
+
+void PlanCache::put(std::uint64_t key, std::shared_ptr<const Plan> plan,
+                    std::shared_ptr<const BaseState> state) {
   if (capacity_ == 0 || plan == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(plan);
+    it->second->plan = std::move(plan);
+    if (state != nullptr) it->second->state = std::move(state);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(plan));
+  lru_.emplace_front(Entry{key, std::move(plan), std::move(state)});
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     evictions_.add(1);
     MWC_OBS_COUNT("svc.cache.evictions");

@@ -24,6 +24,11 @@
 
 namespace mwc::svc {
 
+/// Opaque solver-side state cached beside a Plan so the v2 delta path can
+/// repair the base round instead of re-solving (defined in delta.hpp; the
+/// cache only stores and hands back the pointer).
+struct BaseState;
+
 /// Incremental FNV-1a 64-bit hash with helpers for the quantized-value
 /// folding the fingerprint needs (doubles are snapped to a fixed quantum
 /// before hashing so -0.0/0.0 and formatting noise cannot split keys).
@@ -55,8 +60,16 @@ class PlanCache {
   std::shared_ptr<const Plan> get(std::uint64_t key);
 
   /// Inserts (or refreshes) `plan` under `key`, evicting the
-  /// least-recently-used entry beyond capacity.
-  void put(std::uint64_t key, std::shared_ptr<const Plan> plan);
+  /// least-recently-used entry beyond capacity. The optional `state`
+  /// rides along with the entry and feeds the v2 delta path.
+  void put(std::uint64_t key, std::shared_ptr<const Plan> plan,
+           std::shared_ptr<const BaseState> state = nullptr);
+
+  /// The cached solver state for `key` (null when the entry is absent or
+  /// was stored without state). Promotes the entry like `get` but does
+  /// not count a hit/miss — delta resolution probes are tracked by the
+  /// `svc.delta.*` counters instead.
+  std::shared_ptr<const BaseState> get_state(std::uint64_t key);
 
   void clear();
 
@@ -68,8 +81,12 @@ class PlanCache {
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
 
  private:
-  using LruList = std::list<std::pair<std::uint64_t,
-                                      std::shared_ptr<const Plan>>>;
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const Plan> plan;
+    std::shared_ptr<const BaseState> state;
+  };
+  using LruList = std::list<Entry>;
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

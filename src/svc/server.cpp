@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "svc/delta.hpp"
 #include "svc/engine.hpp"
 
 namespace mwc::svc {
@@ -15,6 +16,28 @@ constexpr double kLatencyBucketsMs[] = {0.1,  0.25, 0.5,  1.0,   2.5,  5.0,
                                         10.0, 25.0, 50.0, 100.0, 250.0,
                                         500.0, 1000.0, 2500.0, 5000.0,
                                         10000.0};
+
+const std::string& job_id(const ParsedRequest& job) {
+  return job.is_delta ? job.delta.id : job.full.id;
+}
+
+double job_deadline_ms(const ParsedRequest& job) {
+  return job.is_delta ? job.delta.deadline_ms : job.full.deadline_ms;
+}
+
+/// Error responses for delta jobs echo the v2 version and the base
+/// fingerprint; full-request errors echo the request's own version.
+Response job_error(const ParsedRequest& job, ErrorCode code,
+                   const std::string& message, double latency_ms = 0.0) {
+  Response response = error_response(job_id(job), code, message, latency_ms);
+  if (job.is_delta) {
+    response.version = WireVersion::kV2;
+    response.base_fingerprint = job.delta.base_fingerprint;
+  } else {
+    response.version = job.full.version;
+  }
+  return response;
+}
 
 }  // namespace
 
@@ -35,23 +58,36 @@ Server::Server(ServerOptions options)
 Server::~Server() { shutdown(); }
 
 bool Server::submit(Request request, ResponseCallback callback) {
+  ParsedRequest job;
+  job.is_delta = false;
+  job.full = std::move(request);
+  return admit(std::move(job), std::move(callback));
+}
+
+bool Server::submit(DeltaRequest request, ResponseCallback callback) {
+  ParsedRequest job;
+  job.is_delta = true;
+  job.delta = std::move(request);
+  return admit(std::move(job), std::move(callback));
+}
+
+bool Server::admit(ParsedRequest job, ResponseCallback callback) {
   const auto admitted = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       rejected_shutdown_.add(1);
       MWC_OBS_COUNT("svc.rejected.shutdown");
-      callback(error_response(request.id, ErrorCode::kShuttingDown,
-                              "server is shutting down"));
+      callback(job_error(job, ErrorCode::kShuttingDown,
+                         "server is shutting down"));
       return false;
     }
     if (in_flight_ >= options_.queue_capacity) {
       rejected_full_.add(1);
       MWC_OBS_COUNT("svc.rejected.queue_full");
-      callback(error_response(
-          request.id, ErrorCode::kQueueFull,
-          "queue full (capacity " +
-              std::to_string(options_.queue_capacity) + ")"));
+      callback(job_error(job, ErrorCode::kQueueFull,
+                         "queue full (capacity " +
+                             std::to_string(options_.queue_capacity) + ")"));
       return false;
     }
     ++in_flight_;
@@ -61,49 +97,57 @@ bool Server::submit(Request request, ResponseCallback callback) {
   // The pool queue is unbounded and its submit() only throws after the
   // pool starts stopping, which shutdown() orders strictly after the
   // in-flight drain — so this enqueue cannot fail for admitted work.
-  pool_->submit([this, request = std::move(request),
-                 callback = std::move(callback), admitted] {
-    finish(process(request, admitted), callback);
+  pool_->submit([this, job = std::move(job), callback = std::move(callback),
+                 admitted] {
+    finish(process(job, admitted), callback);
   });
   return true;
 }
 
 bool Server::submit_line(const std::string& line, ResponseCallback callback) {
-  Request request;
+  ParsedRequest job;
   try {
-    request = parse_request(line);
+    job = parse_any_request(line);
+  } catch (const UnsupportedVersionError& e) {
+    MWC_OBS_COUNT("svc.unsupported_version");
+    callback(error_response("", ErrorCode::kUnsupportedVersion, e.what()));
+    return false;
   } catch (const WireError& e) {
     MWC_OBS_COUNT("svc.bad_request");
     callback(error_response("", ErrorCode::kBadRequest, e.what()));
     return false;
   }
-  return submit(std::move(request), std::move(callback));
+  return admit(std::move(job), std::move(callback));
 }
 
-Response Server::process(const Request& request, Clock::time_point admitted) {
+Response Server::process(const ParsedRequest& job,
+                         Clock::time_point admitted) {
   const auto elapsed_ms = [admitted] {
     return std::chrono::duration<double, std::milli>(Clock::now() - admitted)
         .count();
   };
-  if (request.deadline_ms > 0.0 && elapsed_ms() > request.deadline_ms) {
+  const double deadline_ms = job_deadline_ms(job);
+  if (deadline_ms > 0.0 && elapsed_ms() > deadline_ms) {
     expired_.add(1);
     MWC_OBS_COUNT("svc.deadline_expired");
-    return error_response(request.id, ErrorCode::kDeadlineExceeded,
-                          "deadline of " +
-                              std::to_string(request.deadline_ms) +
-                              " ms expired before solving started",
-                          elapsed_ms());
+    return job_error(job, ErrorCode::kDeadlineExceeded,
+                     "deadline of " + std::to_string(deadline_ms) +
+                         " ms expired before solving started",
+                     elapsed_ms());
   }
   Response response;
   try {
-    response = options_.handler
-                   ? options_.handler(request)
-                   : handle_request(request, &cache_);
+    if (job.is_delta) {
+      response = handle_delta(job.delta, &cache_);
+    } else {
+      response = options_.handler ? options_.handler(job.full)
+                                  : handle_request(job.full, &cache_);
+    }
   } catch (const std::exception& e) {
-    response = error_response(request.id, ErrorCode::kInternal, e.what());
+    response = job_error(job, ErrorCode::kInternal, e.what());
   } catch (...) {
-    response = error_response(request.id, ErrorCode::kInternal,
-                              "unknown handler failure");
+    response = job_error(job, ErrorCode::kInternal,
+                         "unknown handler failure");
   }
   // Report full admission -> completion latency (queueing included),
   // not just the handler's own solve time.

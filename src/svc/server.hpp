@@ -69,8 +69,15 @@ class Server {
   /// shutting_down error. Never blocks.
   bool submit(Request request, ResponseCallback callback);
 
-  /// Parses one wire line and submits it. Malformed lines are answered
-  /// synchronously with bad_request (id "" when the line has none).
+  /// Admits a v2 delta request — same backpressure, deadline, and drain
+  /// semantics; served by svc::handle_delta against the server's cache.
+  bool submit(DeltaRequest request, ResponseCallback callback);
+
+  /// Parses one wire line of either form (full or v2 delta) and submits
+  /// it. Malformed lines are answered synchronously with bad_request;
+  /// lines naming a version this server does not speak get the
+  /// structured unsupported_version error (id "" in both cases — the
+  /// line never parsed far enough to trust one).
   bool submit_line(const std::string& line, ResponseCallback callback);
 
   /// Stops admissions and blocks until every accepted request has been
@@ -89,7 +96,9 @@ class Server {
  private:
   using Clock = std::chrono::steady_clock;
 
-  Response process(const Request& request, Clock::time_point admitted);
+  /// Shared admission path for both request forms.
+  bool admit(ParsedRequest job, ResponseCallback callback);
+  Response process(const ParsedRequest& job, Clock::time_point admitted);
   void finish(const Response& response, const ResponseCallback& callback);
 
   ServerOptions options_;

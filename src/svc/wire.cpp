@@ -145,7 +145,142 @@ Json cycles_json(const CycleSpec& spec) {
   return j;
 }
 
+/// Negotiates the request's wire version: missing "v" means v1 (the
+/// pre-versioning schema), known names map to their version, anything
+/// else is an UnsupportedVersionError so callers can answer with the
+/// structured `unsupported_version` code.
+WireVersion negotiate_version(const Json& doc) {
+  const Json* version = doc.find("v");
+  if (version == nullptr) return WireVersion::kV1;
+  const std::string& name = version->as_string();
+  if (name == kWireVersion) return WireVersion::kV1;
+  if (name == kWireVersionV2) return WireVersion::kV2;
+  throw UnsupportedVersionError("unsupported wire version \"" + name +
+                                "\" (supported: " +
+                                std::string(kWireVersion) + ", " +
+                                std::string(kWireVersionV2) + ")");
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+std::uint64_t parse_fingerprint(const Json& j, const char* what) {
+  const std::string& hex = j.as_string();
+  if (hex.empty() || hex.size() > 16)
+    throw WireError(std::string(what) + " must be 1-16 hex digits");
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= std::uint64_t(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= std::uint64_t(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= std::uint64_t(c - 'A' + 10);
+    else throw WireError(std::string(what) + " must be hex");
+  }
+  return value;
+}
+
+PatchOp parse_patch_op(const Json& j) {
+  if (!j.is_object()) throw WireError("patch[i] must be an object");
+  const std::string& name = j.at("op").as_string();
+  PatchOp op;
+  if (name == "add_sensor") {
+    op.kind = PatchOpKind::kAddSensor;
+    op.pos = parse_point(j.at("pos"), "patch.pos");
+    op.tau = require_positive(j.at("tau").as_double(), "patch.tau");
+  } else if (name == "remove_sensor") {
+    op.kind = PatchOpKind::kRemoveSensor;
+    op.target = static_cast<std::size_t>(j.at("sensor").as_int());
+  } else if (name == "move_sensor") {
+    op.kind = PatchOpKind::kMoveSensor;
+    op.target = static_cast<std::size_t>(j.at("sensor").as_int());
+    op.pos = parse_point(j.at("pos"), "patch.pos");
+  } else if (name == "update_cycles") {
+    op.kind = PatchOpKind::kUpdateCycles;
+    op.target = static_cast<std::size_t>(j.at("sensor").as_int());
+    op.tau = require_positive(j.at("tau").as_double(), "patch.tau");
+  } else if (name == "charger_down") {
+    op.kind = PatchOpKind::kChargerDown;
+    op.target = static_cast<std::size_t>(j.at("charger").as_int());
+  } else if (name == "charger_up") {
+    op.kind = PatchOpKind::kChargerUp;
+    op.target = static_cast<std::size_t>(j.at("charger").as_int());
+  } else {
+    throw WireError("unknown patch op \"" + name + "\"");
+  }
+  return op;
+}
+
+DeltaRequest parse_delta(const Json& doc) {
+  DeltaRequest request;
+  request.id = doc.at("id").as_string();
+  if (request.id.empty()) throw WireError("id must be non-empty");
+  request.base_fingerprint = parse_fingerprint(doc.at("base"), "base");
+  const Json& patch = doc.at("patch");
+  if (!patch.is_array()) throw WireError("patch must be an array");
+  if (patch.size() == 0) throw WireError("patch is empty");
+  for (const Json& op : patch.items())
+    request.patch.push_back(parse_patch_op(op));
+  if (const Json* deadline = doc.find("deadline_ms")) {
+    request.deadline_ms = deadline->as_double();
+    if (request.deadline_ms < 0.0)
+      throw WireError("deadline_ms must be >= 0");
+  }
+  return request;
+}
+
+Request parse_full(const Json& doc, WireVersion version) {
+  Request request;
+  request.version = version;
+  request.id = doc.at("id").as_string();
+  if (request.id.empty()) throw WireError("id must be non-empty");
+  if (const Json* policy = doc.find("policy"))
+    request.policy = policy->as_string();
+  request.network = parse_network(doc.at("network"));
+  request.cycles = parse_cycles(doc.at("cycles"));
+  if (const Json* horizon = doc.find("horizon"))
+    request.horizon = require_positive(horizon->as_double(), "horizon");
+  if (const Json* slot = doc.find("slot_length"))
+    request.slot_length = slot->as_double();
+  if (const Json* improve = doc.find("improve"))
+    request.improve = improve->as_bool();
+  if (const Json* deadline = doc.find("deadline_ms")) {
+    request.deadline_ms = deadline->as_double();
+    if (request.deadline_ms < 0.0)
+      throw WireError("deadline_ms must be >= 0");
+  }
+  if (request.cycles.inline_values && !request.network.inline_points) {
+    // Inline values must match a known sensor count; presets know it.
+    if (request.cycles.values.size() != request.network.deployment.n)
+      throw WireError("cycles.values size != network.preset.n");
+  }
+  if (request.cycles.inline_values && request.network.inline_points &&
+      request.cycles.values.size() != request.network.sensors.size()) {
+    throw WireError("cycles.values size != network.sensors size");
+  }
+  return request;
+}
+
 }  // namespace
+
+const char* wire_version_name(WireVersion version) {
+  return version == WireVersion::kV2 ? kWireVersionV2 : kWireVersion;
+}
+
+const char* patch_op_name(PatchOpKind kind) {
+  switch (kind) {
+    case PatchOpKind::kAddSensor: return "add_sensor";
+    case PatchOpKind::kRemoveSensor: return "remove_sensor";
+    case PatchOpKind::kMoveSensor: return "move_sensor";
+    case PatchOpKind::kUpdateCycles: return "update_cycles";
+    case PatchOpKind::kChargerDown: return "charger_down";
+    case PatchOpKind::kChargerUp: return "charger_up";
+  }
+  return "add_sensor";
+}
 
 const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -156,11 +291,13 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnsupportedVersion: return "unsupported_version";
+    case ErrorCode::kUnknownBase: return "unknown_base";
   }
   return "internal";
 }
 
-Request parse_request(const std::string& line) {
+ParsedRequest parse_any_request(const std::string& line) {
   Json doc;
   try {
     doc = Json::parse(line);
@@ -169,48 +306,30 @@ Request parse_request(const std::string& line) {
   }
   try {
     if (!doc.is_object()) throw WireError("request must be a JSON object");
-    const Json* version = doc.find("v");
-    if (version == nullptr) throw WireError("missing \"v\" (wire version)");
-    if (version->as_string() != kWireVersion) {
-      throw WireError("unsupported wire version \"" + version->as_string() +
-                      "\" (want " + std::string(kWireVersion) + ")");
+    const WireVersion version = negotiate_version(doc);
+    ParsedRequest parsed;
+    if (version == WireVersion::kV2 && doc.find("base") != nullptr) {
+      parsed.is_delta = true;
+      parsed.delta = parse_delta(doc);
+      return parsed;
     }
-    Request request;
-    request.id = doc.at("id").as_string();
-    if (request.id.empty()) throw WireError("id must be non-empty");
-    if (const Json* policy = doc.find("policy"))
-      request.policy = policy->as_string();
-    request.network = parse_network(doc.at("network"));
-    request.cycles = parse_cycles(doc.at("cycles"));
-    if (const Json* horizon = doc.find("horizon"))
-      request.horizon = require_positive(horizon->as_double(), "horizon");
-    if (const Json* slot = doc.find("slot_length"))
-      request.slot_length = slot->as_double();
-    if (const Json* improve = doc.find("improve"))
-      request.improve = improve->as_bool();
-    if (const Json* deadline = doc.find("deadline_ms")) {
-      request.deadline_ms = deadline->as_double();
-      if (request.deadline_ms < 0.0)
-        throw WireError("deadline_ms must be >= 0");
-    }
-    if (request.cycles.inline_values && !request.network.inline_points) {
-      // Inline values must match a known sensor count; presets know it.
-      if (request.cycles.values.size() != request.network.deployment.n)
-        throw WireError("cycles.values size != network.preset.n");
-    }
-    if (request.cycles.inline_values && request.network.inline_points &&
-        request.cycles.values.size() != request.network.sensors.size()) {
-      throw WireError("cycles.values size != network.sensors size");
-    }
-    return request;
+    parsed.full = parse_full(doc, version);
+    return parsed;
   } catch (const JsonError& e) {
     throw WireError(e.what());
   }
 }
 
+Request parse_request(const std::string& line) {
+  ParsedRequest parsed = parse_any_request(line);
+  if (parsed.is_delta)
+    throw WireError("delta request where a full request was expected");
+  return std::move(parsed.full);
+}
+
 std::string to_json(const Request& request) {
   Json doc = Json::object();
-  doc.set("v", Json(kWireVersion));
+  doc.set("v", Json(wire_version_name(request.version)));
   doc.set("id", Json(request.id));
   doc.set("policy", Json(request.policy));
   doc.set("network", network_json(request.network));
@@ -222,9 +341,54 @@ std::string to_json(const Request& request) {
   return doc.dump();
 }
 
+std::string to_json(const DeltaRequest& request) {
+  Json doc = Json::object();
+  doc.set("v", Json(kWireVersionV2));
+  doc.set("id", Json(request.id));
+  doc.set("base", Json(fingerprint_hex(request.base_fingerprint)));
+  Json patch = Json::array();
+  for (const PatchOp& op : request.patch) {
+    Json oj = Json::object();
+    oj.set("op", Json(patch_op_name(op.kind)));
+    switch (op.kind) {
+      case PatchOpKind::kAddSensor: {
+        Json pos = Json::array();
+        pos.push_back(Json(op.pos.x));
+        pos.push_back(Json(op.pos.y));
+        oj.set("pos", std::move(pos));
+        oj.set("tau", Json(op.tau));
+        break;
+      }
+      case PatchOpKind::kMoveSensor: {
+        oj.set("sensor", Json(op.target));
+        Json pos = Json::array();
+        pos.push_back(Json(op.pos.x));
+        pos.push_back(Json(op.pos.y));
+        oj.set("pos", std::move(pos));
+        break;
+      }
+      case PatchOpKind::kUpdateCycles:
+        oj.set("sensor", Json(op.target));
+        oj.set("tau", Json(op.tau));
+        break;
+      case PatchOpKind::kRemoveSensor:
+        oj.set("sensor", Json(op.target));
+        break;
+      case PatchOpKind::kChargerDown:
+      case PatchOpKind::kChargerUp:
+        oj.set("charger", Json(op.target));
+        break;
+    }
+    patch.push_back(std::move(oj));
+  }
+  doc.set("patch", std::move(patch));
+  doc.set("deadline_ms", Json(request.deadline_ms));
+  return doc.dump();
+}
+
 std::string to_jsonl(const Response& response) {
   Json doc = Json::object();
-  doc.set("v", Json(kWireVersion));
+  doc.set("v", Json(wire_version_name(response.version)));
   doc.set("id", Json(response.id));
   doc.set("ok", Json(response.ok));
   if (!response.ok) {
@@ -233,6 +397,10 @@ std::string to_jsonl(const Response& response) {
   }
   doc.set("cached", Json(response.cached));
   doc.set("latency_ms", Json(response.latency_ms));
+  if (response.derived) {
+    doc.set("derived", Json(true));
+    doc.set("base", Json(fingerprint_hex(response.base_fingerprint)));
+  }
   if (response.ok && response.plan != nullptr) {
     const Plan& plan = *response.plan;
     Json pj = Json::object();
@@ -252,10 +420,7 @@ std::string to_jsonl(const Response& response) {
     pj.set("num_dispatches", Json(plan.num_dispatches));
     pj.set("num_sensor_charges", Json(plan.num_sensor_charges));
     pj.set("dead_sensors", Json(plan.dead_sensors));
-    char fp[32];
-    std::snprintf(fp, sizeof fp, "%016llx",
-                  static_cast<unsigned long long>(plan.fingerprint));
-    pj.set("fingerprint", Json(std::string(fp)));
+    pj.set("fingerprint", Json(fingerprint_hex(plan.fingerprint)));
     doc.set("plan", std::move(pj));
   }
   return doc.dump() + "\n";

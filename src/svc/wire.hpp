@@ -4,10 +4,12 @@
 // names a scheduling problem instance (a network carried inline or as a
 // generator preset, a cycle assignment, a policy registry name, horizon /
 // slot parameters) plus service-level fields (deadline). The schema is
-// versioned ("v": "mwc.svc.v1"); unknown versions are rejected with a
-// structured error rather than guessed at. See docs/SERVICE.md.
+// versioned: "v" is "mwc.svc.v1" or "mwc.svc.v2"; a request without the
+// field is treated as v1, and unknown versions are rejected with the
+// structured `unsupported_version` error. Responses echo the negotiated
+// version. See docs/SERVICE.md.
 //
-// Request example (preset network, fixed cycles from a model):
+// Full request example (preset network, fixed cycles from a model):
 //
 //   {"v":"mwc.svc.v1","id":"r1","policy":"MinTotalDistance",
 //    "network":{"preset":{"n":200,"q":5,"field":1000,"seed":7}},
@@ -17,6 +19,14 @@
 //
 // Inline variants carry "network":{"sensors":[[x,y],...],
 // "depots":[[x,y],...],"base":[x,y]} and "cycles":{"values":[...]}.
+//
+// v2 adds the delta form — a patch against a previously solved base plan,
+// selected by the presence of "base" (the base plan's fingerprint):
+//
+//   {"v":"mwc.svc.v2","id":"d1","base":"0c0f1095d4693a41",
+//    "patch":[{"op":"move_sensor","sensor":3,"pos":[120.5,80.0]},
+//             {"op":"add_sensor","pos":[40.0,60.0],"tau":5.0}],
+//    "deadline_ms":250}
 #pragma once
 
 #include <cstddef>
@@ -32,6 +42,14 @@
 namespace mwc::svc {
 
 inline constexpr const char* kWireVersion = "mwc.svc.v1";
+inline constexpr const char* kWireVersionV2 = "mwc.svc.v2";
+
+/// Negotiated protocol version. Requests without "v" default to kV1 so
+/// pre-versioning clients keep working byte-for-byte.
+enum class WireVersion { kV1 = 1, kV2 = 2 };
+
+/// Stable wire spelling of a version ("mwc.svc.v1" / "mwc.svc.v2").
+const char* wire_version_name(WireVersion version);
 
 /// Problem network: either generator-preset parameters (the server runs
 /// wsn::deploy_random) or inline geometry.
@@ -59,6 +77,7 @@ struct CycleSpec {
 
 struct Request {
   std::string id;
+  WireVersion version = WireVersion::kV1;
   std::string policy = "MinTotalDistance";
   NetworkSpec network;
   CycleSpec cycles;
@@ -69,6 +88,46 @@ struct Request {
   /// it expires is answered with `deadline_exceeded` instead of solved.
   /// 0 = no deadline.
   double deadline_ms = 0.0;
+};
+
+/// One mutation in a v2 delta patch list. Sensor/charger ids always
+/// reference the *base* instance; sensors added earlier in the same
+/// patch list cannot be referenced by later ops.
+enum class PatchOpKind {
+  kAddSensor,     ///< {"op":"add_sensor","pos":[x,y],"tau":v}
+  kRemoveSensor,  ///< {"op":"remove_sensor","sensor":i}
+  kMoveSensor,    ///< {"op":"move_sensor","sensor":i,"pos":[x,y]}
+  kUpdateCycles,  ///< {"op":"update_cycles","sensor":i,"tau":v}
+  kChargerDown,   ///< {"op":"charger_down","charger":l}
+  kChargerUp,     ///< {"op":"charger_up","charger":l}
+};
+
+/// Stable wire spelling of a patch op ("add_sensor", ...).
+const char* patch_op_name(PatchOpKind kind);
+
+struct PatchOp {
+  PatchOpKind kind = PatchOpKind::kAddSensor;
+  std::size_t target = 0;  ///< base sensor id or charger id (op-dependent)
+  geom::Point pos{};       ///< add_sensor / move_sensor
+  double tau = 0.0;        ///< add_sensor / update_cycles
+};
+
+/// v2 delta request: repair the cached plan identified by
+/// `base_fingerprint` under a list of patch ops instead of re-solving.
+struct DeltaRequest {
+  std::string id;
+  std::uint64_t base_fingerprint = 0;
+  std::vector<PatchOp> patch;
+  double deadline_ms = 0.0;  ///< same semantics as Request::deadline_ms
+};
+
+/// One parsed request line: exactly one of the two forms is active.
+/// v1 lines always parse as full requests; v2 lines parse as deltas
+/// when the "base" key is present.
+struct ParsedRequest {
+  bool is_delta = false;
+  Request full;        ///< valid iff !is_delta
+  DeltaRequest delta;  ///< valid iff is_delta
 };
 
 /// One charger's closed tour within the plan's first charging round.
@@ -86,7 +145,9 @@ struct Plan {
   std::vector<PlanTour> first_round_tours;
   double first_round_length = 0.0;
   /// Total travelled distance over the horizon (the paper's service
-  /// cost) and its breakdown.
+  /// cost) and its breakdown. Derived (delta) plans inherit these
+  /// horizon aggregates from their base plan; only the first round is
+  /// re-planned.
   double total_distance = 0.0;
   std::size_t num_dispatches = 0;
   std::size_t num_sensor_charges = 0;
@@ -96,12 +157,14 @@ struct Plan {
 
 enum class ErrorCode {
   kNone = 0,
-  kBadRequest,        ///< malformed JSON / missing fields / bad version
-  kUnknownPolicy,     ///< policy not in exp::PolicyRegistry
-  kQueueFull,         ///< admission control rejected (backpressure)
-  kDeadlineExceeded,  ///< deadline_ms expired before solving started
-  kShuttingDown,      ///< server draining; no new admissions
-  kInternal,          ///< unexpected solver failure
+  kBadRequest,          ///< malformed JSON / missing fields
+  kUnknownPolicy,       ///< policy not in exp::PolicyRegistry
+  kQueueFull,           ///< admission control rejected (backpressure)
+  kDeadlineExceeded,    ///< deadline_ms expired before solving started
+  kShuttingDown,        ///< server draining; no new admissions
+  kInternal,            ///< unexpected solver failure
+  kUnsupportedVersion,  ///< "v" names a version this server doesn't speak
+  kUnknownBase,         ///< delta base fingerprint not in the plan cache
 };
 
 /// Stable wire spelling of an error code ("queue_full", ...).
@@ -109,26 +172,46 @@ const char* error_code_name(ErrorCode code);
 
 struct Response {
   std::string id;
+  WireVersion version = WireVersion::kV1;  ///< echoed negotiated version
   bool ok = false;
   ErrorCode error = ErrorCode::kNone;
   std::string message;
   bool cached = false;      ///< plan served from svc::PlanCache
   double latency_ms = 0.0;  ///< admission -> completion
   std::shared_ptr<const Plan> plan;  ///< set iff ok
+  /// Delta responses: the base fingerprint the plan was derived from
+  /// (serialized as "base" alongside "derived":true). 0 = not derived.
+  std::uint64_t base_fingerprint = 0;
+  bool derived = false;
 };
 
-/// Parses one request line. Throws WireError (an std::runtime_error)
-/// on malformed JSON, a missing/mismatched version, or missing fields.
+/// Parsing throws WireError (an std::runtime_error) on malformed JSON
+/// or missing fields.
 class WireError : public std::runtime_error {
  public:
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when "v" names a version this server does not speak, so
+/// callers can answer with `unsupported_version` rather than the
+/// generic `bad_request`.
+class UnsupportedVersionError : public WireError {
+ public:
+  explicit UnsupportedVersionError(const std::string& what)
+      : WireError(what) {}
+};
+
+/// Parses one request line of either form (full or v2 delta).
+ParsedRequest parse_any_request(const std::string& line);
+
+/// Parses one full-request line (v1 or v2). Kept for callers that do
+/// not speak the delta form; a delta line fails with WireError.
 Request parse_request(const std::string& line);
 
 /// Serializes a request to its canonical one-line JSON (round-trips
 /// through parse_request; used by the load generator and tests).
 std::string to_json(const Request& request);
+std::string to_json(const DeltaRequest& request);
 
 /// Serializes a response as one JSONL line (newline included).
 std::string to_jsonl(const Response& response);
@@ -136,5 +219,140 @@ std::string to_jsonl(const Response& response);
 /// Convenience: a failed response carrying a structured error.
 Response error_response(const std::string& id, ErrorCode code,
                         const std::string& message, double latency_ms = 0.0);
+
+/// Fluent builder for full requests — the one in-tree producer of the
+/// wire schema (tools, benches, and tests assemble requests through it
+/// instead of hand-rolling JSON).
+///
+///   const Request r = RequestBuilder("r1")
+///                         .preset(200, 5, 1000.0, /*seed=*/7)
+///                         .cycle_values(taus)
+///                         .horizon(500)
+///                         .improve(true)
+///                         .build();
+class RequestBuilder {
+ public:
+  explicit RequestBuilder(std::string id) { request_.id = std::move(id); }
+
+  RequestBuilder& version(WireVersion v) {
+    request_.version = v;
+    return *this;
+  }
+  RequestBuilder& policy(std::string name) {
+    request_.policy = std::move(name);
+    return *this;
+  }
+  /// Generator-preset network: n sensors, q depots on a square field.
+  RequestBuilder& preset(std::size_t n, std::size_t q,
+                         double field_side = 1000.0, std::uint64_t seed = 1) {
+    request_.network.inline_points = false;
+    request_.network.deployment.n = n;
+    request_.network.deployment.q = q;
+    request_.network.deployment.field_side = field_side;
+    request_.network.seed = seed;
+    return *this;
+  }
+  /// Inline network geometry (field side still bounds the box).
+  RequestBuilder& inline_network(std::vector<geom::Point> sensors,
+                                 std::vector<geom::Point> depots,
+                                 geom::Point base_station) {
+    request_.network.inline_points = true;
+    request_.network.sensors = std::move(sensors);
+    request_.network.depots = std::move(depots);
+    request_.network.base_station = base_station;
+    return *this;
+  }
+  RequestBuilder& cycle_values(std::vector<double> values) {
+    request_.cycles.inline_values = true;
+    request_.cycles.values = std::move(values);
+    return *this;
+  }
+  RequestBuilder& cycle_model(const wsn::CycleModelConfig& model,
+                              std::uint64_t seed) {
+    request_.cycles.inline_values = false;
+    request_.cycles.model = model;
+    request_.cycles.seed = seed;
+    return *this;
+  }
+  RequestBuilder& horizon(double v) {
+    request_.horizon = v;
+    return *this;
+  }
+  RequestBuilder& slot_length(double v) {
+    request_.slot_length = v;
+    return *this;
+  }
+  RequestBuilder& improve(bool v) {
+    request_.improve = v;
+    return *this;
+  }
+  RequestBuilder& deadline_ms(double v) {
+    request_.deadline_ms = v;
+    return *this;
+  }
+
+  const Request& build() const { return request_; }
+  /// The canonical one-line JSON of the built request.
+  std::string to_json_line() const { return to_json(request_); }
+
+ private:
+  Request request_;
+};
+
+/// Fluent builder for v2 delta requests.
+///
+///   const DeltaRequest d = DeltaBuilder("d1", base_fp)
+///                              .move_sensor(3, {120.5, 80.0})
+///                              .add_sensor({40.0, 60.0}, 5.0)
+///                              .build();
+class DeltaBuilder {
+ public:
+  DeltaBuilder(std::string id, std::uint64_t base_fingerprint) {
+    request_.id = std::move(id);
+    request_.base_fingerprint = base_fingerprint;
+  }
+
+  DeltaBuilder& add_sensor(geom::Point pos, double tau) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kAddSensor, 0, pos, tau});
+    return *this;
+  }
+  DeltaBuilder& remove_sensor(std::size_t sensor) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kRemoveSensor, sensor, {}, 0.0});
+    return *this;
+  }
+  DeltaBuilder& move_sensor(std::size_t sensor, geom::Point pos) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kMoveSensor, sensor, pos, 0.0});
+    return *this;
+  }
+  DeltaBuilder& update_cycles(std::size_t sensor, double tau) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kUpdateCycles, sensor, {}, tau});
+    return *this;
+  }
+  DeltaBuilder& charger_down(std::size_t charger) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kChargerDown, charger, {}, 0.0});
+    return *this;
+  }
+  DeltaBuilder& charger_up(std::size_t charger) {
+    request_.patch.push_back(
+        PatchOp{PatchOpKind::kChargerUp, charger, {}, 0.0});
+    return *this;
+  }
+  DeltaBuilder& deadline_ms(double v) {
+    request_.deadline_ms = v;
+    return *this;
+  }
+
+  const DeltaRequest& build() const { return request_; }
+  /// The canonical one-line JSON of the built delta request.
+  std::string to_json_line() const { return to_json(request_); }
+
+ private:
+  DeltaRequest request_;
+};
 
 }  // namespace mwc::svc

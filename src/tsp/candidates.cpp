@@ -1,5 +1,7 @@
 #include "tsp/candidates.hpp"
 
+#include <algorithm>
+
 #include "geom/bbox.hpp"
 #include "geom/grid_index.hpp"
 #include "geom/kdtree.hpp"
@@ -29,6 +31,86 @@ void fill_row(std::size_t i, std::size_t k, const KnnFn& knn,
 }
 
 }  // namespace
+
+CandidateGraph CandidateGraph::repair(const CandidateGraph& base,
+                                      std::span<const geom::Point> new_points,
+                                      const CandidateRemap& remap,
+                                      const CandidateOptions& options) {
+  MWC_ASSERT_MSG(remap.old_to_new.size() == base.size(),
+                 "remap.old_to_new size mismatch");
+  MWC_ASSERT_MSG(remap.new_size == new_points.size(),
+                 "remap.new_size mismatch");
+  const std::size_t n = new_points.size();
+  const std::size_t k = n > 0 ? std::min(options.k, n - 1) : 0;
+  // A k regime change (tiny instances, or the base was complete) shifts
+  // every row; fall back to the full build.
+  if (base.empty() || k != base.k() || base.complete())
+    return build(new_points, options);
+
+  MWC_OBS_SCOPE("tsp.cand_repair");
+  MWC_OBS_COUNT("tsp.cand.repairs");
+
+  std::vector<std::size_t> new_to_old(n, CandidateRemap::kRemoved);
+  for (std::size_t i = 0; i < remap.old_to_new.size(); ++i) {
+    const std::size_t ni = remap.old_to_new[i];
+    if (ni == CandidateRemap::kRemoved) continue;
+    MWC_ASSERT_MSG(ni < n, "remap.old_to_new out of range");
+    new_to_old[ni] = i;
+  }
+  std::vector<char> is_fresh(n, 0);
+  for (std::size_t f : remap.fresh) {
+    MWC_ASSERT_MSG(f < n, "remap.fresh out of range");
+    is_fresh[f] = 1;
+  }
+
+  CandidateGraph graph;
+  graph.n_ = n;
+  graph.k_ = k;
+  graph.flat_.assign(n * k, 0);
+
+  const geom::KdTree index(new_points);
+  std::size_t repaired = 0;
+  std::vector<std::size_t> row(k);
+  for (std::size_t v = 0; v < n; ++v) {
+    bool dirty = new_to_old[v] == CandidateRemap::kRemoved || is_fresh[v];
+    if (!dirty) {
+      const auto old_row = base.neighbors(new_to_old[v]);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t nn = remap.old_to_new[old_row[j]];
+        if (nn == CandidateRemap::kRemoved || is_fresh[nn]) {
+          dirty = true;
+          break;
+        }
+        row[j] = nn;
+      }
+    }
+    if (!dirty) {
+      // Survivor distances are unchanged and compaction preserves index
+      // order, so the remapped row stays sorted; it is exact unless a
+      // fresh point now beats its k-th entry (ties break on index).
+      const double kth = geom::distance2(new_points[v], new_points[row[k - 1]]);
+      for (std::size_t f : remap.fresh) {
+        if (f == v) continue;
+        const double d = geom::distance2(new_points[v], new_points[f]);
+        if (d < kth || (d == kth && f < row[k - 1])) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (dirty) {
+      ++repaired;
+      fill_row(v, k,
+               [&](std::size_t kk) { return index.knearest(new_points[v], kk); },
+               graph.flat_);
+    } else {
+      std::copy(row.begin(), row.end(), graph.flat_.begin() + v * k);
+    }
+  }
+  MWC_OBS_COUNT_N("tsp.cand.repaired_rows", repaired);
+  MWC_OBS_COUNT_N("tsp.cand.reused_rows", n - repaired);
+  return graph;
+}
 
 CandidateGraph CandidateGraph::build(std::span<const geom::Point> points,
                                      const CandidateOptions& options) {

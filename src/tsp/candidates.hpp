@@ -44,6 +44,22 @@ struct CandidateOptions {
   double grid_target_per_cell = 2.0;
 };
 
+/// Node-index remapping from a base graph's point space to a patched
+/// one, driving CandidateGraph::repair. Removals compact the index
+/// space in order (survivors keep their relative order); additions are
+/// appended after the survivors.
+struct CandidateRemap {
+  static constexpr std::size_t kRemoved = static_cast<std::size_t>(-1);
+
+  /// For each base node: its index in the patched space, or kRemoved.
+  std::vector<std::size_t> old_to_new;
+  /// Patched point count (survivors + additions).
+  std::size_t new_size = 0;
+  /// Patched-space ids whose geometry is new — added nodes and moved
+  /// survivors. Their rows are re-queried, as is any row they disturb.
+  std::vector<std::size_t> fresh;
+};
+
 /// Immutable k-nearest-neighbor lists over a fixed point set. Build once
 /// per instance (O(n log n) via geom::KdTree, expected O(n·k) via
 /// geom::GridIndex), then neighbors(i) is a zero-cost span lookup. Row i
@@ -56,6 +72,18 @@ class CandidateGraph {
   /// Builds the graph. Counts one `tsp.cand.rebuilds` telemetry event.
   static CandidateGraph build(std::span<const geom::Point> points,
                               const CandidateOptions& options = {});
+
+  /// Repairs `base` against a patched point set without re-querying
+  /// every row: a row is re-queried only when its node is fresh, it
+  /// references a removed/moved neighbor, or a fresh point breaks into
+  /// its top-k; all other rows are index-remapped in place. The result
+  /// is exactly CandidateGraph::build(new_points, options) — the dirty
+  /// tests are conservative in the sorted-row sense, not approximate.
+  /// Counts `tsp.cand.repairs` plus per-row reuse telemetry.
+  static CandidateGraph repair(const CandidateGraph& base,
+                               std::span<const geom::Point> new_points,
+                               const CandidateRemap& remap,
+                               const CandidateOptions& options = {});
 
   std::size_t size() const noexcept { return n_; }
   bool empty() const noexcept { return n_ == 0; }

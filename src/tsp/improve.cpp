@@ -178,12 +178,23 @@ double two_opt_candidates(Tour& tour, const DistanceView& points,
   std::vector<std::size_t> pos(points.size(), kNpos);
   index_positions(order, pos);
 
-  // First-improvement work queue seeded in tour order; a node leaves the
+  // First-improvement work queue seeded in tour order (or with just the
+  // caller's seed_nodes for a localized re-polish); a node leaves the
   // queue once it yields no improving move (its don't-look bit) and
   // re-enters when one of its tour edges changes.
-  std::vector<std::size_t> queue(order);
+  std::vector<std::size_t> queue;
   std::vector<char> in_queue(points.size(), 0);
-  for (std::size_t v : order) in_queue[v] = 1;
+  if (opts.seed_nodes != nullptr) {
+    for (std::size_t v : *opts.seed_nodes) {
+      if (v < pos.size() && pos[v] != kNpos && !in_queue[v]) {
+        in_queue[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  } else {
+    queue = order;
+    for (std::size_t v : order) in_queue[v] = 1;
+  }
   std::size_t head = 0;
 
   // Safety valve mirroring the sweep version's pass cap; local search
@@ -275,6 +286,12 @@ double or_opt_candidates(Tour& tour, const DistanceView& points,
   std::vector<std::size_t> pos(points.size(), kNpos);
   index_positions(order, pos);
   std::vector<char> dont_look(points.size(), 0);
+  if (opts.seed_nodes != nullptr) {
+    // Localized re-polish: every node starts asleep except the seeds.
+    for (std::size_t v : order) dont_look[v] = 1;
+    for (std::size_t v : *opts.seed_nodes)
+      if (v < pos.size() && pos[v] != kNpos) dont_look[v] = 0;
+  }
 
   // Evaluates inserting the segment after node u (tour successor v) in
   // the given orientation: forward puts s0 next to u, reversed puts s1

@@ -49,6 +49,16 @@ struct ImproveOptions {
   /// candidate coverage — and below ~50 nodes the O(n²) sweep is cheaper
   /// than the queue machinery anyway.
   std::size_t candidate_min_nodes = 48;
+
+  /// Localized re-polish (candidate mode only): when non-null, only the
+  /// listed nodes start with their don't-look bits cleared — everything
+  /// else is presumed locally optimal until a move touches one of its
+  /// tour edges. The incremental delta path seeds this with the nodes a
+  /// patch moved plus their candidate neighbors, making re-polish of an
+  /// already-polished tour O(k·|touched|) instead of O(n·k). Nodes
+  /// outside the tour are ignored; the exhaustive sweep ignores the
+  /// list entirely. Non-owning; the caller keeps the vector alive.
+  const std::vector<std::size_t>* seed_nodes = nullptr;
 };
 
 // Every polisher exists in two forms: the DistanceView form is the

@@ -266,6 +266,237 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q,
   return msf_impl(distances, q, candidates, verify_against_dense);
 }
 
+QRootedForest repair_q_rooted_msf(const DistanceView& distances,
+                                  std::size_t q, const QRootedForest& base,
+                                  const MsfRepairPlan& plan,
+                                  const CandidateGraph* candidates,
+                                  MsfRepairStats* stats) {
+  MWC_OBS_SCOPE("tsp.msf_repair");
+  MWC_OBS_COUNT("tsp.repair.msf");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  MWC_ASSERT_MSG(q >= 1 && base.trees.size() == q,
+                 "base forest must have one tree per depot");
+  MWC_ASSERT_MSG(plan.tree_dirty.size() == q, "tree_dirty must have size q");
+  MWC_ASSERT_MSG(plan.root_active.empty() || plan.root_active.size() == q,
+                 "root_active must be empty or size q");
+  const std::size_t total = distances.size();
+
+  const auto active = [&](std::size_t l) {
+    return plan.root_active.empty() || plan.root_active[l] != 0;
+  };
+  std::size_t num_active = 0;
+  for (std::size_t l = 0; l < q; ++l) {
+    if (active(l)) ++num_active;
+    MWC_ASSERT_MSG(active(l) || plan.tree_dirty[l] != 0,
+                   "inactive roots must have dirty trees");
+  }
+  MWC_ASSERT_MSG(num_active >= 1, "at least one depot must stay active");
+
+  // Split sensors into the dirty region (re-spanned below) and the clean
+  // remainder (kept verbatim, owner recorded for grafting).
+  std::vector<std::size_t> owner(total, kNone);  // clean sensors only
+  std::vector<std::size_t> dirty;                // combined sensor ids
+  std::vector<std::size_t> clean;
+  for (std::size_t l = 0; l < q; ++l) {
+    for (const std::size_t v : base.trees[l].nodes()) {
+      if (v < q) continue;
+      MWC_ASSERT_MSG(v < total, "base tree node outside the combined space");
+      if (plan.tree_dirty[l]) {
+        dirty.push_back(v);
+      } else {
+        owner[v] = l;
+        clean.push_back(v);
+      }
+    }
+  }
+  for (const std::size_t v : plan.extra_sensors) {
+    MWC_ASSERT_MSG(v >= q && v < total, "extra sensor outside the space");
+    dirty.push_back(v);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  const std::size_t d = dirty.size();
+  MWC_OBS_COUNT_N("tsp.repair.dirty_sensors", d);
+  if (stats != nullptr) stats->dirty_sensors = d;
+
+  std::uint64_t probes = 0;
+  std::uint64_t cand_evals = 0;
+
+  // Dirty-local index of each combined id.
+  std::vector<std::size_t> local(total, kNone);
+  for (std::size_t k = 0; k < d; ++k) local[dirty[k]] = k;
+
+  // Virtual-root star: everything already connected — active depots and
+  // clean sensors — contracts into aux node 0. For each dirty sensor,
+  // find its cheapest attachment into that structure: all active depots
+  // exactly, plus clean sensors from its candidate row (or all of them
+  // when running dense).
+  std::vector<double> root_dist(d, kInf);
+  std::vector<std::size_t> attach(d, kNone);  // combined id realizing it
+  const bool pruned = prunable(candidates, total);
+  for (std::size_t k = 0; k < d; ++k) {
+    const std::size_t s = dirty[k];
+    for (std::size_t l = 0; l < q; ++l) {
+      if (!active(l)) continue;
+      const double w = distances(s, l);
+      ++probes;
+      if (w < root_dist[k]) {
+        root_dist[k] = w;
+        attach[k] = l;
+      }
+    }
+    if (pruned) {
+      for (const std::size_t c : candidates->neighbors(s)) {
+        ++cand_evals;
+        if (c < q || owner[c] == kNone) continue;
+        const double w = distances(s, c);
+        ++probes;
+        if (w < root_dist[k]) {
+          root_dist[k] = w;
+          attach[k] = c;
+        }
+      }
+    } else {
+      for (const std::size_t c : clean) {
+        const double w = distances(s, c);
+        ++probes;
+        if (w < root_dist[k]) {
+          root_dist[k] = w;
+          attach[k] = c;
+        }
+      }
+    }
+  }
+
+  // Dirty-dirty adjacency: candidate rows restricted to the dirty set
+  // (symmetrized), or all pairs when dense.
+  std::vector<std::vector<std::size_t>> adj(d);
+  if (pruned) {
+    for (std::size_t k = 0; k < d; ++k) {
+      for (const std::size_t c : candidates->neighbors(dirty[k])) {
+        ++cand_evals;
+        if (c < q || local[c] == kNone) continue;
+        adj[k].push_back(local[c]);
+        adj[local[c]].push_back(k);
+      }
+    }
+    for (auto& a : adj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+  } else {
+    for (std::size_t k = 0; k < d; ++k)
+      for (std::size_t j = 0; j < d; ++j)
+        if (j != k) adj[k].push_back(j);
+  }
+
+  // Lazy-heap Prim over aux nodes {0 = contracted clean structure,
+  // 1..d = dirty sensors} — the same scheme as prim_msf_pruned.
+  graph::MstResult mst;
+  if (d > 0) {
+    std::vector<double> best(d + 1, kInf);
+    std::vector<std::size_t> best_from(d + 1, kNone);
+    std::vector<char> in_tree(d + 1, 0);
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    in_tree[0] = 1;
+    for (std::size_t k = 0; k < d; ++k) {
+      best[k + 1] = root_dist[k];
+      best_from[k + 1] = 0;
+      heap.emplace(root_dist[k], k + 1);
+    }
+    mst.edges.reserve(d);
+    for (std::size_t added = 0; added < d;) {
+      MWC_ASSERT_MSG(!heap.empty(), "root star keeps the aux graph connected");
+      const auto [key, u] = heap.top();
+      heap.pop();
+      if (in_tree[u] || key > best[u]) continue;  // stale entry
+      in_tree[u] = 1;
+      mst.edges.push_back(graph::Edge{best_from[u], u, best[u]});
+      mst.total_weight += best[u];
+      ++added;
+      for (const std::size_t j : adj[u - 1]) {
+        const std::size_t v = j + 1;
+        if (in_tree[v]) continue;
+        const double w = distances(dirty[u - 1], dirty[j]);
+        ++probes;
+        if (w < best[v]) {
+          best[v] = w;
+          best_from[v] = u;
+          heap.emplace(w, v);
+        }
+      }
+    }
+  }
+  flush_probe_count(distances, probes);
+  MWC_OBS_COUNT_N("tsp.cand.hits", cand_evals);
+
+  // Un-contract in the dirty subspace: sensors attached to aux node 0
+  // inherit the depot of their attachment point (the depot itself, or
+  // the owner of the clean sensor they graft onto); sensor-sensor edges
+  // inherit by parent propagation.
+  const auto parent = graph::mst_parents(d + 1, mst.edges, /*root=*/0);
+  std::vector<std::size_t> dirty_owner(d + 1, kNone);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 1; v <= d; ++v) {
+      if (dirty_owner[v] != kNone) continue;
+      if (parent[v] == 0) {
+        const std::size_t at = attach[v - 1];
+        dirty_owner[v] = at < q ? at : owner[at];
+        changed = true;
+      } else if (dirty_owner[parent[v]] != kNone) {
+        dirty_owner[v] = dirty_owner[parent[v]];
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<std::vector<graph::Edge>> new_edges(q);
+  for (const auto& e : mst.edges) {
+    const std::size_t u = e.u;
+    const std::size_t v = e.v;
+    if (u == 0 || v == 0) {
+      const std::size_t k = (u == 0) ? v : u;  // dirty aux index
+      new_edges[dirty_owner[k]].push_back(
+          graph::Edge{attach[k - 1], dirty[k - 1], e.w});
+    } else {
+      MWC_DEBUG_ASSERT(dirty_owner[u] == dirty_owner[v]);
+      new_edges[dirty_owner[u]].push_back(
+          graph::Edge{dirty[u - 1], dirty[v - 1], e.w});
+    }
+  }
+
+  QRootedForest result;
+  result.trees.reserve(q);
+  std::size_t rebuilt = 0;
+  std::vector<char> tree_changed(q, 0);
+  for (std::size_t l = 0; l < q; ++l) {
+    if (!plan.tree_dirty[l] && new_edges[l].empty()) {
+      result.trees.push_back(base.trees[l]);  // untouched — reuse
+    } else {
+      ++rebuilt;
+      tree_changed[l] = 1;
+      std::vector<graph::Edge> edges;
+      if (!plan.tree_dirty[l])
+        edges.assign(base.trees[l].edges().begin(),
+                     base.trees[l].edges().end());
+      edges.insert(edges.end(), new_edges[l].begin(), new_edges[l].end());
+      result.trees.emplace_back(l, edges);
+    }
+    result.total_weight += result.trees.back().total_weight();
+  }
+  MWC_OBS_COUNT_N("tsp.repair.rebuilt_trees", rebuilt);
+  MWC_OBS_COUNT_N("tsp.repair.reused_trees", q - rebuilt);
+  if (stats != nullptr) {
+    stats->rebuilt_trees = rebuilt;
+    stats->reused_trees = q - rebuilt;
+    stats->tree_changed = std::move(tree_changed);
+  }
+  return result;
+}
+
 QRootedTours q_rooted_tsp(const QRootedInstance& instance,
                           const QRootedOptions& options) {
   // Build the candidate graph on demand only on the explicit candidate_msf
@@ -288,7 +519,7 @@ QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
                           const QRootedOptions& options,
                           ThreadPool* polish_pool) {
   MWC_OBS_SCOPE("tsp.q_rooted_tsp");
-  const auto forest =
+  auto forest =
       options.candidate_msf
           ? q_rooted_msf(distances, q, options.candidates,
                          options.verify_candidate_msf)
@@ -355,6 +586,7 @@ QRootedTours q_rooted_tsp(const DistanceView& distances, std::size_t q,
   for (const auto& tour : result.tours)
     result.total_length += tour.length_with(distances);
   MWC_OBS_COUNT_N("tsp.tours_built", result.tours.size());
+  result.forest = std::move(forest);
   return result;
 }
 

@@ -160,12 +160,58 @@ QRootedForest q_rooted_msf(const DistanceView& distances, std::size_t q,
                            const CandidateGraph* candidates,
                            bool verify_against_dense = false);
 
+/// Dirty-region repair of a q-rooted MSF. The base forest must live in
+/// the *current* combined node space (when a patch removed/added nodes,
+/// the caller remaps surviving tree edges first). Trees flagged dirty
+/// are discarded and their sensors re-spanned; clean trees are kept
+/// verbatim and treated as part of the contracted virtual root, so a
+/// re-spanned sensor may attach to a depot directly or graft onto a
+/// clean tree through one of its sensors.
+struct MsfRepairPlan {
+  /// Per-depot dirty flags (size q). A depot whose root is inactive
+  /// must be flagged dirty (its sensors are re-homed elsewhere).
+  std::vector<char> tree_dirty;
+  /// Per-depot availability (size q, or empty for "all active"). An
+  /// inactive depot keeps its combined index but attracts no sensors —
+  /// the charger_down case. At least one depot must stay active.
+  std::vector<char> root_active;
+  /// Combined-space sensor ids in no base tree (nodes a patch added).
+  std::vector<std::size_t> extra_sensors;
+};
+
+struct MsfRepairStats {
+  std::size_t dirty_sensors = 0;  ///< sensors re-spanned by the repair
+  std::size_t reused_trees = 0;   ///< clean trees copied verbatim
+  std::size_t rebuilt_trees = 0;  ///< dirty or edge-gaining trees
+  /// Per-depot flag (size q): 1 when the tree was rebuilt (it was dirty
+  /// or gained grafted edges), 0 when copied verbatim from the base.
+  std::vector<char> tree_changed;
+};
+
+/// Re-runs candidate-pruned Prim only over the dirty region (sensors of
+/// dirty trees plus extra_sensors), attaching it to the clean remainder,
+/// and merges the result with the untouched trees. With every tree dirty
+/// this degenerates to a full (active-root) MSF, so it is total; with a
+/// local patch it costs O(|dirty|·k log |dirty|) instead of O(m²).
+/// Counts `tsp.repair.*` telemetry. `candidates` (over the combined
+/// space) prunes both the dirty-dirty edges and the graft scan; null
+/// scans densely (exact).
+QRootedForest repair_q_rooted_msf(const DistanceView& distances,
+                                  std::size_t q, const QRootedForest& base,
+                                  const MsfRepairPlan& plan,
+                                  const CandidateGraph* candidates = nullptr,
+                                  MsfRepairStats* stats = nullptr);
+
 /// Result of Algorithm 2. tours[l] starts at depot l; a tour of size one
 /// (just the depot) means charger l stays home. Lengths use the Euclidean
 /// metric on the instance points.
 struct QRootedTours {
   std::vector<Tour> tours;
   double total_length = 0.0;
+  /// The MSF the tours were built from (combined node space) — kept so
+  /// incremental re-planning can key its dirty-region repair off the
+  /// existing forest instead of re-deriving it.
+  QRootedForest forest;
 };
 
 enum class TourConstruction {

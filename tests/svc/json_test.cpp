@@ -62,6 +62,42 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
 }
 
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(Json::parse("NaN"), JsonError);
+  EXPECT_THROW(Json::parse("nan"), JsonError);
+  EXPECT_THROW(Json::parse("Infinity"), JsonError);
+  EXPECT_THROW(Json::parse("-Infinity"), JsonError);
+  EXPECT_THROW(Json::parse(R"({"x":NaN})"), JsonError);
+  EXPECT_THROW(Json::parse(R"([1,Infinity])"), JsonError);
+  // Overflow to infinity during conversion is also rejected.
+  EXPECT_THROW(Json::parse("1e999"), JsonError);
+}
+
+TEST(Json, RejectsDuplicateObjectKeys) {
+  EXPECT_THROW(Json::parse(R"({"a":1,"a":2})"), JsonError);
+  EXPECT_THROW(Json::parse(R"({"a":{"b":1,"b":2}})"), JsonError);
+  // Same key at different depths is fine.
+  EXPECT_NO_THROW(Json::parse(R"({"a":{"a":1}})"));
+}
+
+TEST(Json, CapsNestingDepth) {
+  const auto nested = [](std::size_t depth) {
+    std::string text;
+    for (std::size_t i = 0; i < depth; ++i) text += "[";
+    text += "1";
+    for (std::size_t i = 0; i < depth; ++i) text += "]";
+    return text;
+  };
+  EXPECT_NO_THROW(Json::parse(nested(64)));
+  EXPECT_THROW(Json::parse(nested(65)), JsonError);
+  // Mixed object/array nesting counts both container kinds.
+  std::string mixed;
+  for (std::size_t i = 0; i < 33; ++i) mixed += R"({"k":[)";
+  mixed += "1";
+  for (std::size_t i = 0; i < 33; ++i) mixed += "]}";
+  EXPECT_THROW(Json::parse(mixed), JsonError);
+}
+
 TEST(Json, TypeMismatchThrows) {
   const Json doc = Json::parse("{\"a\":1}");
   EXPECT_THROW(doc.at("a").as_string(), JsonError);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "svc/delta.hpp"
+
 #include <memory>
 
 namespace mwc::svc {
@@ -89,6 +91,29 @@ TEST(PlanCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.get(1), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, CarriesBaseStateBesidePlan) {
+  PlanCache cache(2);
+  auto state = std::make_shared<const BaseState>();
+  cache.put(1, plan_with(1), state);
+  cache.put(2, plan_with(2));  // plan without solver state
+  EXPECT_EQ(cache.get_state(1).get(), state.get());  // 1 is now MRU
+  EXPECT_EQ(cache.get_state(2), nullptr);            // ... then 2
+  // Eviction drops the state with the plan: 1 is LRU, put(3) evicts it.
+  cache.put(3, plan_with(3));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get_state(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(PlanCache, PutWithoutStateKeepsExistingState) {
+  PlanCache cache(2);
+  auto state = std::make_shared<const BaseState>();
+  cache.put(1, plan_with(1), state);
+  cache.put(1, plan_with(10));  // refresh plan only
+  EXPECT_DOUBLE_EQ(cache.get(1)->total_distance, 10.0);
+  EXPECT_EQ(cache.get_state(1).get(), state.get());
 }
 
 TEST(PlanCache, ClearEmptiesButKeepsCounters) {

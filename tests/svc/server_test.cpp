@@ -202,6 +202,77 @@ TEST(Server, SubmitLineParsesAndReportsBadLines) {
   server.shutdown();
 }
 
+TEST(Server, UnknownVersionLineGetsStructuredError) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  Server server(options);
+
+  Response rejected;
+  EXPECT_FALSE(server.submit_line(
+      R"({"v":"mwc.svc.v99","id":"x","network":{"preset":{"n":1,"q":1}},)"
+      R"("cycles":{"values":[1]}})",
+      [&](const Response& r) { rejected = r; }));
+  EXPECT_EQ(rejected.error, ErrorCode::kUnsupportedVersion);
+  EXPECT_EQ(rejected.id, "");
+  server.shutdown();
+}
+
+TEST(Server, DeltaRequestsFlowThroughSubmitAndSubmitLine) {
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 8;
+  options.cache_capacity = 8;
+  Server server(options);
+
+  std::promise<Response> solved;
+  ASSERT_TRUE(server.submit(tiny_request("base"), [&](const Response& r) {
+    solved.set_value(r);
+  }));
+  const Response base = solved.get_future().get();
+  ASSERT_TRUE(base.ok) << base.message;
+
+  // Typed delta submit.
+  std::promise<Response> derived;
+  ASSERT_TRUE(server.submit(DeltaBuilder("d1", base.plan->fingerprint)
+                                .move_sensor(2, {10.0, 10.0})
+                                .build(),
+                            [&](const Response& r) {
+                              derived.set_value(r);
+                            }));
+  const Response typed = derived.get_future().get();
+  ASSERT_TRUE(typed.ok) << typed.message;
+  EXPECT_TRUE(typed.derived);
+  EXPECT_EQ(typed.base_fingerprint, base.plan->fingerprint);
+  EXPECT_EQ(typed.version, WireVersion::kV2);
+
+  // Same patch over the wire form: a derived-plan cache hit.
+  std::promise<Response> again;
+  ASSERT_TRUE(server.submit_line(DeltaBuilder("d2", base.plan->fingerprint)
+                                     .move_sensor(2, {10.0, 10.0})
+                                     .to_json_line(),
+                                 [&](const Response& r) {
+                                   again.set_value(r);
+                                 }));
+  const Response wire = again.get_future().get();
+  ASSERT_TRUE(wire.ok) << wire.message;
+  EXPECT_TRUE(wire.cached);
+  EXPECT_EQ(wire.plan->fingerprint, typed.plan->fingerprint);
+
+  // Unknown base comes back structured, with the fingerprint echoed.
+  std::promise<Response> orphan;
+  ASSERT_TRUE(server.submit(
+      DeltaBuilder("d3", 0x1234).remove_sensor(0).build(),
+      [&](const Response& r) { orphan.set_value(r); }));
+  const Response unknown = orphan.get_future().get();
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.error, ErrorCode::kUnknownBase);
+  EXPECT_EQ(unknown.base_fingerprint, 0x1234u);
+  server.shutdown();
+}
+
 TEST(Server, LatencyHistogramObservesEveryCompletion) {
   ServerOptions options;
   options.threads = 2;

@@ -61,14 +61,35 @@ TEST(Wire, RequestRoundTripsThroughToJson) {
   EXPECT_EQ(to_json(a), to_json(b));
 }
 
+TEST(Wire, MissingVersionDefaultsToV1) {
+  // Pre-versioning clients send no "v"; they must keep working.
+  const Request r = parse_request(
+      R"({"id":"x","network":{"preset":{"n":1,"q":1}},)"
+      R"("cycles":{"values":[1]}})");
+  EXPECT_EQ(r.version, WireVersion::kV1);
+  // ... and the canonical serialization spells the default explicitly.
+  EXPECT_NE(to_json(r).find("\"v\":\"mwc.svc.v1\""), std::string::npos);
+}
+
+TEST(Wire, V2FullRequestsParse) {
+  const Request r = parse_request(
+      R"({"v":"mwc.svc.v2","id":"x","network":{"preset":{"n":1,"q":1}},)"
+      R"("cycles":{"values":[1]}})");
+  EXPECT_EQ(r.version, WireVersion::kV2);
+  EXPECT_NE(to_json(r).find("\"v\":\"mwc.svc.v2\""), std::string::npos);
+}
+
+TEST(Wire, UnknownVersionIsStructured) {
+  const char* line =
+      R"({"v":"mwc.svc.v99","id":"x","network":{"preset":{"n":1,"q":1}},)"
+      R"("cycles":{"values":[1]}})";
+  EXPECT_THROW(parse_request(line), UnsupportedVersionError);
+  EXPECT_THROW(parse_any_request(line), UnsupportedVersionError);
+}
+
 TEST(Wire, RejectsBadRequests) {
-  // Version missing / wrong.
+  // Missing network/cycles.
   EXPECT_THROW(parse_request(R"({"id":"x"})"), WireError);
-  EXPECT_THROW(
-      parse_request(
-          R"({"v":"mwc.svc.v2","id":"x","network":{"preset":{"n":1,"q":1}},)"
-          R"("cycles":{"values":[1]}})"),
-      WireError);
   // Malformed JSON.
   EXPECT_THROW(parse_request("{"), WireError);
   // Empty id.
@@ -152,6 +173,146 @@ TEST(Wire, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown),
                "shutting_down");
   EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnsupportedVersion),
+               "unsupported_version");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownBase), "unknown_base");
+}
+
+// v1 responses must stay byte-identical across the v2 redesign; this pins
+// the exact serialization of a structured error (see also the pipeline
+// goldens in golden_v1_test.cpp).
+TEST(Wire, V1ErrorResponseBytesArePinned) {
+  const Response r = error_response(
+      "", ErrorCode::kBadRequest, "json: unterminated string at offset 10");
+  EXPECT_EQ(to_jsonl(r),
+            R"({"v":"mwc.svc.v1","id":"","ok":false,"error":"bad_request",)"
+            R"("message":"json: unterminated string at offset 10",)"
+            R"("cached":false,"latency_ms":0})"
+            "\n");
+}
+
+TEST(Wire, ParseAnyRequestDispatchesOnBaseKey) {
+  // A v2 line WITHOUT "base" is still a full request.
+  const ParsedRequest full = parse_any_request(
+      R"({"v":"mwc.svc.v2","id":"f1","network":{"preset":{"n":2,"q":1}},)"
+      R"("cycles":{"values":[1,2]}})");
+  EXPECT_FALSE(full.is_delta);
+  EXPECT_EQ(full.full.version, WireVersion::kV2);
+
+  const ParsedRequest delta = parse_any_request(
+      R"({"v":"mwc.svc.v2","id":"d1","base":"0c0f1095d4693a41",)"
+      R"("patch":[{"op":"move_sensor","sensor":3,"pos":[120.5,80]},)"
+      R"({"op":"add_sensor","pos":[40,60],"tau":5},)"
+      R"({"op":"remove_sensor","sensor":7},)"
+      R"({"op":"update_cycles","sensor":1,"tau":9.5},)"
+      R"({"op":"charger_down","charger":2},)"
+      R"({"op":"charger_up","charger":2}],"deadline_ms":250})");
+  ASSERT_TRUE(delta.is_delta);
+  const DeltaRequest& d = delta.delta;
+  EXPECT_EQ(d.id, "d1");
+  EXPECT_EQ(d.base_fingerprint, 0x0c0f1095d4693a41ULL);
+  ASSERT_EQ(d.patch.size(), 6u);
+  EXPECT_EQ(d.patch[0].kind, PatchOpKind::kMoveSensor);
+  EXPECT_EQ(d.patch[0].target, 3u);
+  EXPECT_DOUBLE_EQ(d.patch[0].pos.x, 120.5);
+  EXPECT_EQ(d.patch[1].kind, PatchOpKind::kAddSensor);
+  EXPECT_DOUBLE_EQ(d.patch[1].tau, 5.0);
+  EXPECT_EQ(d.patch[2].kind, PatchOpKind::kRemoveSensor);
+  EXPECT_EQ(d.patch[2].target, 7u);
+  EXPECT_EQ(d.patch[3].kind, PatchOpKind::kUpdateCycles);
+  EXPECT_DOUBLE_EQ(d.patch[3].tau, 9.5);
+  EXPECT_EQ(d.patch[4].kind, PatchOpKind::kChargerDown);
+  EXPECT_EQ(d.patch[5].kind, PatchOpKind::kChargerUp);
+  EXPECT_DOUBLE_EQ(d.deadline_ms, 250.0);
+}
+
+TEST(Wire, DeltaRequestRoundTripsThroughToJson) {
+  const DeltaRequest a = DeltaBuilder("d2", 0xdeadbeef01020304ULL)
+                             .move_sensor(3, {120.5, 80.0})
+                             .add_sensor({40.0, 60.0}, 5.0)
+                             .remove_sensor(9)
+                             .update_cycles(1, 2.25)
+                             .charger_down(0)
+                             .deadline_ms(125.0)
+                             .build();
+  const ParsedRequest parsed = parse_any_request(to_json(a));
+  ASSERT_TRUE(parsed.is_delta);
+  EXPECT_EQ(to_json(parsed.delta), to_json(a));
+  EXPECT_EQ(parsed.delta.base_fingerprint, a.base_fingerprint);
+  ASSERT_EQ(parsed.delta.patch.size(), 5u);
+  EXPECT_EQ(parsed.delta.patch[2].kind, PatchOpKind::kRemoveSensor);
+}
+
+TEST(Wire, RejectsBadDeltaRequests) {
+  // Empty patch.
+  EXPECT_THROW(
+      parse_any_request(
+          R"({"v":"mwc.svc.v2","id":"d","base":"ab","patch":[]})"),
+      WireError);
+  // Bad fingerprint spelling.
+  EXPECT_THROW(parse_any_request(
+                   R"({"v":"mwc.svc.v2","id":"d","base":"xyz",)"
+                   R"("patch":[{"op":"remove_sensor","sensor":0}]})"),
+               WireError);
+  // Unknown op.
+  EXPECT_THROW(parse_any_request(
+                   R"({"v":"mwc.svc.v2","id":"d","base":"ab",)"
+                   R"("patch":[{"op":"teleport_sensor","sensor":0}]})"),
+               WireError);
+  // The delta form is v2-only: a v1 line with "base" is a full request
+  // missing its network.
+  EXPECT_THROW(parse_any_request(
+                   R"({"v":"mwc.svc.v1","id":"d","base":"ab",)"
+                   R"("patch":[{"op":"remove_sensor","sensor":0}]})"),
+               WireError);
+}
+
+TEST(Wire, RequestBuilderMatchesHandRolledJson) {
+  const Request built = RequestBuilder("r1")
+                            .policy("Greedy")
+                            .preset(40, 3, 500.0, /*seed=*/9)
+                            .cycle_model(
+                                [] {
+                                  wsn::CycleModelConfig model;
+                                  model.distribution =
+                                      wsn::CycleDistribution::kRandom;
+                                  model.tau_min = 2.0;
+                                  model.tau_max = 20.0;
+                                  model.sigma = 1.0;
+                                  return model;
+                                }(),
+                                4)
+                            .horizon(250)
+                            .slot_length(10)
+                            .improve(true)
+                            .deadline_ms(750)
+                            .build();
+  EXPECT_EQ(to_json(built), to_json(parse_request(kPresetRequest)));
+}
+
+TEST(Wire, DerivedResponseCarriesBaseFingerprint) {
+  auto plan = std::make_shared<Plan>();
+  plan->fingerprint = 0x22ULL;
+  Response r;
+  r.id = "d1";
+  r.version = WireVersion::kV2;
+  r.ok = true;
+  r.plan = plan;
+  r.derived = true;
+  r.base_fingerprint = 0x0c0f1095d4693a41ULL;
+
+  const Json doc = Json::parse(to_jsonl(r));
+  EXPECT_EQ(doc.at("v").as_string(), kWireVersionV2);
+  EXPECT_TRUE(doc.at("derived").as_bool());
+  EXPECT_EQ(doc.at("base").as_string(), "0c0f1095d4693a41");
+
+  // Non-derived responses must not sprout the new keys (v1 byte layout).
+  r.derived = false;
+  r.base_fingerprint = 0;
+  r.version = WireVersion::kV1;
+  const Json v1doc = Json::parse(to_jsonl(r));
+  EXPECT_EQ(v1doc.find("derived"), nullptr);
+  EXPECT_EQ(v1doc.find("base"), nullptr);
 }
 
 }  // namespace

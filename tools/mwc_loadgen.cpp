@@ -19,6 +19,9 @@
 //                     one instance (all but the first hit the PlanCache),
 //                     cold gives every request a fresh topology seed,
 //                     mixed cycles --distinct instances (default 8)
+//   --delta           v2 delta mode: solve one base instance, then drive
+//                     --count move_sensor patches against its fingerprint
+//                     through the mwc.svc.v2 delta form
 //   --n, --q          instance size (default 200 sensors, 5 chargers)
 //   --policy NAME     exp::PolicyRegistry name (default MinTotalDistance)
 //   --horizon T       monitoring period (default 1000)
@@ -31,6 +34,7 @@
 //   --json FILE       write the report as JSON
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -145,8 +149,10 @@ struct Tally {
   std::map<std::string, Clock::time_point> sent;  ///< id -> send time
   std::size_t ok = 0;
   std::size_t cached = 0;
+  std::size_t derived = 0;
   std::size_t errors = 0;
   std::map<std::string, std::size_t> errors_by_code;
+  std::string fingerprint;  ///< latest plan fingerprint (delta base)
 };
 
 void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency) {
@@ -174,6 +180,11 @@ void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency) {
         if (const auto* cached = doc.find("cached");
             cached != nullptr && cached->as_bool())
           ++tally.cached;
+        if (const auto* derived = doc.find("derived");
+            derived != nullptr && derived->as_bool())
+          ++tally.derived;
+        if (const auto* plan = doc.find("plan"))
+          tally.fingerprint = plan->at("fingerprint").as_string();
       } else {
         ++tally.errors;
         ++tally.errors_by_code[doc.at("error").as_string()];
@@ -215,18 +226,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Request template.
-  mwc::svc::Request request;
-  request.policy = args.get_or("policy", "MinTotalDistance");
-  request.network.inline_points = false;
-  request.network.deployment.n =
-      static_cast<std::size_t>(args.get_int_or("n", 200));
-  request.network.deployment.q =
-      static_cast<std::size_t>(args.get_int_or("q", 5));
-  request.cycles.inline_values = false;
-  request.cycles.seed = base_seed;
-  request.horizon = args.get_double_or("horizon", 1000.0);
-  request.deadline_ms = args.get_double_or("deadline-ms", 0.0);
+  // Request template (all requests flow through the typed builders).
+  const bool delta_mode = args.get_bool_or("delta", false);
+  const std::string policy = args.get_or("policy", "MinTotalDistance");
+  const std::size_t n = static_cast<std::size_t>(args.get_int_or("n", 200));
+  const std::size_t q = static_cast<std::size_t>(args.get_int_or("q", 5));
+  const double field_side = args.get_double_or("field", 1000.0);
+  const double horizon = args.get_double_or("horizon", 1000.0);
+  const double deadline_ms = args.get_double_or("deadline-ms", 0.0);
+  const auto full_request = [&](const std::string& id,
+                                std::uint64_t topology_seed) {
+    mwc::svc::RequestBuilder builder(id);
+    builder.policy(policy)
+        .preset(n, q, field_side, topology_seed)
+        .cycle_model({}, base_seed)
+        .horizon(horizon)
+        .deadline_ms(deadline_ms);
+    return builder.to_json_line();
+  };
 
   Transport transport;
   const std::string connect = args.get_or("connect", "");
@@ -260,6 +277,34 @@ int main(int argc, char** argv) {
     return tally.sent.size();
   };
 
+  // Delta mode solves one base instance up front; the patch stream can
+  // only be built once the reader has seen its fingerprint.
+  std::uint64_t base_fingerprint = 0;
+  if (delta_mode) {
+    const std::string line = full_request("base", base_seed) + "\n";
+    {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      tally.sent.emplace("base", Clock::now());
+    }
+    if (::write(transport.write_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      std::fprintf(stderr, "short write to server: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    std::string hex;
+    for (int waited = 0; waited < 600 && hex.empty(); ++waited) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      hex = tally.fingerprint;
+    }
+    if (hex.empty()) {
+      std::fprintf(stderr, "base solve never answered; cannot send deltas\n");
+      return 1;
+    }
+    base_fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+  }
+
   const auto start = Clock::now();
   for (std::size_t i = 0; i < count; ++i) {
     if (rate > 0.0) {
@@ -273,14 +318,29 @@ int main(int argc, char** argv) {
       while (outstanding() >= concurrency)
         std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
-    request.id = "r" + std::to_string(i);
-    const std::uint64_t instance =
-        mode == "cold" ? i : (mode == "warm" ? 0 : i % distinct);
-    request.network.seed = base_seed + instance;
-    const std::string line = mwc::svc::to_json(request) + "\n";
+    std::string id;
+    std::string line;
+    if (delta_mode) {
+      // One sensor nudged per request; each distinct patch derives (and
+      // caches) a new plan against the same base fingerprint.
+      id = "d" + std::to_string(i);
+      const double di = static_cast<double>(i);
+      line = mwc::svc::DeltaBuilder(id, base_fingerprint)
+                 .move_sensor(i % n,
+                              {std::fmod(37.0 * di + 11.0, field_side),
+                               std::fmod(53.0 * di + 29.0, field_side)})
+                 .deadline_ms(deadline_ms)
+                 .to_json_line() +
+             "\n";
+    } else {
+      id = "r" + std::to_string(i);
+      const std::uint64_t instance =
+          mode == "cold" ? i : (mode == "warm" ? 0 : i % distinct);
+      line = full_request(id, base_seed + instance) + "\n";
+    }
     {
       std::lock_guard<std::mutex> lock(tally.mutex);
-      tally.sent.emplace(request.id, Clock::now());
+      tally.sent.emplace(id, Clock::now());
     }
     if (::write(transport.write_fd, line.data(), line.size()) !=
         static_cast<ssize_t>(line.size())) {
@@ -305,10 +365,10 @@ int main(int argc, char** argv) {
       elapsed_s > 0.0 ? static_cast<double>(hist.count) / elapsed_s : 0.0;
 
   std::printf("mode=%s count=%zu answered=%llu ok=%zu cached=%zu "
-              "errors=%zu\n",
-              mode.c_str(), count,
+              "derived=%zu errors=%zu\n",
+              delta_mode ? "delta" : mode.c_str(), count,
               static_cast<unsigned long long>(hist.count), tally.ok,
-              tally.cached, tally.errors);
+              tally.cached, tally.derived, tally.errors);
   std::printf("elapsed %.3f s  throughput %.1f req/s\n", elapsed_s, rps);
   std::printf("latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  "
               "min %.3f  max %.3f\n",
@@ -318,15 +378,16 @@ int main(int argc, char** argv) {
 
   if (const auto json_path = args.get("json")) {
     mwc::svc::Json doc = mwc::svc::Json::object();
-    doc.set("mode", mwc::svc::Json(mode));
+    doc.set("mode", mwc::svc::Json(delta_mode ? std::string("delta") : mode));
     doc.set("count", mwc::svc::Json(count));
     doc.set("answered", mwc::svc::Json(static_cast<double>(hist.count)));
     doc.set("ok", mwc::svc::Json(tally.ok));
     doc.set("cached", mwc::svc::Json(tally.cached));
+    doc.set("derived", mwc::svc::Json(tally.derived));
     doc.set("errors", mwc::svc::Json(tally.errors));
-    doc.set("n", mwc::svc::Json(request.network.deployment.n));
-    doc.set("q", mwc::svc::Json(request.network.deployment.q));
-    doc.set("policy", mwc::svc::Json(request.policy));
+    doc.set("n", mwc::svc::Json(n));
+    doc.set("q", mwc::svc::Json(q));
+    doc.set("policy", mwc::svc::Json(policy));
     doc.set("concurrency", mwc::svc::Json(concurrency));
     doc.set("rate", mwc::svc::Json(rate));
     doc.set("elapsed_s", mwc::svc::Json(elapsed_s));
