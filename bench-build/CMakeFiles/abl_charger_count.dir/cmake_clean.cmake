@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_charger_count"
+  "../bench/abl_charger_count.pdb"
+  "CMakeFiles/abl_charger_count.dir/abl_charger_count.cpp.o"
+  "CMakeFiles/abl_charger_count.dir/abl_charger_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_charger_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

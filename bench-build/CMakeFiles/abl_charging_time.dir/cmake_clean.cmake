@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_charging_time"
+  "../bench/abl_charging_time.pdb"
+  "CMakeFiles/abl_charging_time.dir/abl_charging_time.cpp.o"
+  "CMakeFiles/abl_charging_time.dir/abl_charging_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_charging_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_charging_time.
+# This may be replaced when dependencies are built.

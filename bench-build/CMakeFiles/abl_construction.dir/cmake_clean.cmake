@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_construction"
+  "../bench/abl_construction.pdb"
+  "CMakeFiles/abl_construction.dir/abl_construction.cpp.o"
+  "CMakeFiles/abl_construction.dir/abl_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

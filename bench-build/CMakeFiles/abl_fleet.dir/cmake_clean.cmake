@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fleet"
+  "../bench/abl_fleet.pdb"
+  "CMakeFiles/abl_fleet.dir/abl_fleet.cpp.o"
+  "CMakeFiles/abl_fleet.dir/abl_fleet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_optimality"
+  "../bench/abl_optimality.pdb"
+  "CMakeFiles/abl_optimality.dir/abl_optimality.cpp.o"
+  "CMakeFiles/abl_optimality.dir/abl_optimality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

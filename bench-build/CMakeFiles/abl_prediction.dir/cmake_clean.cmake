@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_prediction"
+  "../bench/abl_prediction.pdb"
+  "CMakeFiles/abl_prediction.dir/abl_prediction.cpp.o"
+  "CMakeFiles/abl_prediction.dir/abl_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_rounding"
+  "../bench/abl_rounding.pdb"
+  "CMakeFiles/abl_rounding.dir/abl_rounding.cpp.o"
+  "CMakeFiles/abl_rounding.dir/abl_rounding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

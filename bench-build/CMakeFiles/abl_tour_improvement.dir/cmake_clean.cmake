@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tour_improvement"
+  "../bench/abl_tour_improvement.pdb"
+  "CMakeFiles/abl_tour_improvement.dir/abl_tour_improvement.cpp.o"
+  "CMakeFiles/abl_tour_improvement.dir/abl_tour_improvement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tour_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

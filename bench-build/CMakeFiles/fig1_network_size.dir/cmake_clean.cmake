@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_network_size"
+  "../bench/fig1_network_size.pdb"
+  "CMakeFiles/fig1_network_size.dir/fig1_network_size.cpp.o"
+  "CMakeFiles/fig1_network_size.dir/fig1_network_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

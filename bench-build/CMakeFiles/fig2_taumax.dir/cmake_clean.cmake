@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_taumax"
+  "../bench/fig2_taumax.pdb"
+  "CMakeFiles/fig2_taumax.dir/fig2_taumax.cpp.o"
+  "CMakeFiles/fig2_taumax.dir/fig2_taumax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_taumax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_var_network_size"
+  "../bench/fig3_var_network_size.pdb"
+  "CMakeFiles/fig3_var_network_size.dir/fig3_var_network_size.cpp.o"
+  "CMakeFiles/fig3_var_network_size.dir/fig3_var_network_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_var_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

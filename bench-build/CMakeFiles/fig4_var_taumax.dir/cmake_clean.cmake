@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_var_taumax"
+  "../bench/fig4_var_taumax.pdb"
+  "CMakeFiles/fig4_var_taumax.dir/fig4_var_taumax.cpp.o"
+  "CMakeFiles/fig4_var_taumax.dir/fig4_var_taumax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_var_taumax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_slot_length"
+  "../bench/fig5_slot_length.pdb"
+  "CMakeFiles/fig5_slot_length.dir/fig5_slot_length.cpp.o"
+  "CMakeFiles/fig5_slot_length.dir/fig5_slot_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_slot_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

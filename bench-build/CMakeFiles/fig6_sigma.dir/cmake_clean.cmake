@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_sigma"
+  "../bench/fig6_sigma.pdb"
+  "CMakeFiles/fig6_sigma.dir/fig6_sigma.cpp.o"
+  "CMakeFiles/fig6_sigma.dir/fig6_sigma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_delta"
+  "../bench/micro_delta.pdb"
+  "CMakeFiles/micro_delta.dir/micro_delta.cpp.o"
+  "CMakeFiles/micro_delta.dir/micro_delta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

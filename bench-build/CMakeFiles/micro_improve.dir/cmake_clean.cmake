@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_improve"
+  "../bench/micro_improve.pdb"
+  "CMakeFiles/micro_improve.dir/micro_improve.cpp.o"
+  "CMakeFiles/micro_improve.dir/micro_improve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

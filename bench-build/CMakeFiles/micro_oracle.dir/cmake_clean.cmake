@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_oracle"
+  "../bench/micro_oracle.pdb"
+  "CMakeFiles/micro_oracle.dir/micro_oracle.cpp.o"
+  "CMakeFiles/micro_oracle.dir/micro_oracle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_qrooted"
+  "../bench/micro_qrooted.pdb"
+  "CMakeFiles/micro_qrooted.dir/micro_qrooted.cpp.o"
+  "CMakeFiles/micro_qrooted.dir/micro_qrooted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qrooted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

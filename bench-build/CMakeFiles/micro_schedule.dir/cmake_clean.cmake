@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_schedule"
+  "../bench/micro_schedule.pdb"
+  "CMakeFiles/micro_schedule.dir/micro_schedule.cpp.o"
+  "CMakeFiles/micro_schedule.dir/micro_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_service"
+  "../bench/micro_service.pdb"
+  "CMakeFiles/micro_service.dir/micro_service.cpp.o"
+  "CMakeFiles/micro_service.dir/micro_service.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_spatial"
+  "../bench/micro_spatial.pdb"
+  "CMakeFiles/micro_spatial.dir/micro_spatial.cpp.o"
+  "CMakeFiles/micro_spatial.dir/micro_spatial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_response.dir/disaster_response.cpp.o"
+  "CMakeFiles/disaster_response.dir/disaster_response.cpp.o.d"
+  "disaster_response"
+  "disaster_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_sizing.dir/fleet_sizing.cpp.o"
+  "CMakeFiles/fleet_sizing.dir/fleet_sizing.cpp.o.d"
+  "fleet_sizing"
+  "fleet_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

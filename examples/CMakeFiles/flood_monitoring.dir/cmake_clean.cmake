@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flood_monitoring.dir/flood_monitoring.cpp.o"
+  "CMakeFiles/flood_monitoring.dir/flood_monitoring.cpp.o.d"
+  "flood_monitoring"
+  "flood_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flood_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

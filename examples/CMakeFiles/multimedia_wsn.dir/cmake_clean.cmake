@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_wsn.dir/multimedia_wsn.cpp.o"
+  "CMakeFiles/multimedia_wsn.dir/multimedia_wsn.cpp.o.d"
+  "multimedia_wsn"
+  "multimedia_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

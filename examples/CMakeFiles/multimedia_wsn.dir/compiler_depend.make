@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multimedia_wsn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multimedia_wsn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tour_map.dir/tour_map.cpp.o"
+  "CMakeFiles/tour_map.dir/tour_map.cpp.o.d"
+  "tour_map"
+  "tour_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tour_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charging/baselines.cpp" "src/CMakeFiles/mwc.dir/charging/baselines.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/baselines.cpp.o.d"
+  "/root/repo/src/charging/exact_schedule.cpp" "src/CMakeFiles/mwc.dir/charging/exact_schedule.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/exact_schedule.cpp.o.d"
+  "/root/repo/src/charging/fleet.cpp" "src/CMakeFiles/mwc.dir/charging/fleet.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/fleet.cpp.o.d"
+  "/root/repo/src/charging/greedy.cpp" "src/CMakeFiles/mwc.dir/charging/greedy.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/greedy.cpp.o.d"
+  "/root/repo/src/charging/min_total_distance.cpp" "src/CMakeFiles/mwc.dir/charging/min_total_distance.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/min_total_distance.cpp.o.d"
+  "/root/repo/src/charging/rounding.cpp" "src/CMakeFiles/mwc.dir/charging/rounding.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/rounding.cpp.o.d"
+  "/root/repo/src/charging/schedule.cpp" "src/CMakeFiles/mwc.dir/charging/schedule.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/schedule.cpp.o.d"
+  "/root/repo/src/charging/var_heuristic.cpp" "src/CMakeFiles/mwc.dir/charging/var_heuristic.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/charging/var_heuristic.cpp.o.d"
+  "/root/repo/src/exp/config.cpp" "src/CMakeFiles/mwc.dir/exp/config.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/exp/config.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/mwc.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/mwc.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/geom/bbox.cpp" "src/CMakeFiles/mwc.dir/geom/bbox.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/geom/bbox.cpp.o.d"
+  "/root/repo/src/geom/distance.cpp" "src/CMakeFiles/mwc.dir/geom/distance.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/geom/distance.cpp.o.d"
+  "/root/repo/src/geom/grid_index.cpp" "src/CMakeFiles/mwc.dir/geom/grid_index.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/geom/grid_index.cpp.o.d"
+  "/root/repo/src/geom/kdtree.cpp" "src/CMakeFiles/mwc.dir/geom/kdtree.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/geom/kdtree.cpp.o.d"
+  "/root/repo/src/geom/point.cpp" "src/CMakeFiles/mwc.dir/geom/point.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/geom/point.cpp.o.d"
+  "/root/repo/src/graph/dsu.cpp" "src/CMakeFiles/mwc.dir/graph/dsu.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/graph/dsu.cpp.o.d"
+  "/root/repo/src/graph/euler.cpp" "src/CMakeFiles/mwc.dir/graph/euler.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/graph/euler.cpp.o.d"
+  "/root/repo/src/graph/forest.cpp" "src/CMakeFiles/mwc.dir/graph/forest.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/graph/forest.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/CMakeFiles/mwc.dir/graph/mst.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/graph/mst.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/CMakeFiles/mwc.dir/obs/registry.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/obs/registry.cpp.o.d"
+  "/root/repo/src/obs/span.cpp" "src/CMakeFiles/mwc.dir/obs/span.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/obs/span.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/mwc.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/CMakeFiles/mwc.dir/sim/replay.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/sim/replay.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/mwc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/solve.cpp" "src/CMakeFiles/mwc.dir/sim/solve.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/sim/solve.cpp.o.d"
+  "/root/repo/src/svc/delta.cpp" "src/CMakeFiles/mwc.dir/svc/delta.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/delta.cpp.o.d"
+  "/root/repo/src/svc/engine.cpp" "src/CMakeFiles/mwc.dir/svc/engine.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/engine.cpp.o.d"
+  "/root/repo/src/svc/json.cpp" "src/CMakeFiles/mwc.dir/svc/json.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/json.cpp.o.d"
+  "/root/repo/src/svc/plan_cache.cpp" "src/CMakeFiles/mwc.dir/svc/plan_cache.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/plan_cache.cpp.o.d"
+  "/root/repo/src/svc/server.cpp" "src/CMakeFiles/mwc.dir/svc/server.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/server.cpp.o.d"
+  "/root/repo/src/svc/wire.cpp" "src/CMakeFiles/mwc.dir/svc/wire.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/svc/wire.cpp.o.d"
+  "/root/repo/src/tsp/candidates.cpp" "src/CMakeFiles/mwc.dir/tsp/candidates.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/candidates.cpp.o.d"
+  "/root/repo/src/tsp/construct.cpp" "src/CMakeFiles/mwc.dir/tsp/construct.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/construct.cpp.o.d"
+  "/root/repo/src/tsp/exact.cpp" "src/CMakeFiles/mwc.dir/tsp/exact.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/exact.cpp.o.d"
+  "/root/repo/src/tsp/improve.cpp" "src/CMakeFiles/mwc.dir/tsp/improve.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/improve.cpp.o.d"
+  "/root/repo/src/tsp/oracle.cpp" "src/CMakeFiles/mwc.dir/tsp/oracle.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/oracle.cpp.o.d"
+  "/root/repo/src/tsp/qrooted.cpp" "src/CMakeFiles/mwc.dir/tsp/qrooted.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/qrooted.cpp.o.d"
+  "/root/repo/src/tsp/split.cpp" "src/CMakeFiles/mwc.dir/tsp/split.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/split.cpp.o.d"
+  "/root/repo/src/tsp/tour.cpp" "src/CMakeFiles/mwc.dir/tsp/tour.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/tsp/tour.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/mwc.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/mwc.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/mwc.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mwc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/mwc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mwc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/mwc.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/viz/chart.cpp" "src/CMakeFiles/mwc.dir/viz/chart.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/viz/chart.cpp.o.d"
+  "/root/repo/src/viz/render.cpp" "src/CMakeFiles/mwc.dir/viz/render.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/viz/render.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/mwc.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/viz/svg.cpp.o.d"
+  "/root/repo/src/wsn/cycles.cpp" "src/CMakeFiles/mwc.dir/wsn/cycles.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/cycles.cpp.o.d"
+  "/root/repo/src/wsn/deployment.cpp" "src/CMakeFiles/mwc.dir/wsn/deployment.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/deployment.cpp.o.d"
+  "/root/repo/src/wsn/energy.cpp" "src/CMakeFiles/mwc.dir/wsn/energy.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/energy.cpp.o.d"
+  "/root/repo/src/wsn/network.cpp" "src/CMakeFiles/mwc.dir/wsn/network.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/network.cpp.o.d"
+  "/root/repo/src/wsn/predictor.cpp" "src/CMakeFiles/mwc.dir/wsn/predictor.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/predictor.cpp.o.d"
+  "/root/repo/src/wsn/storm.cpp" "src/CMakeFiles/mwc.dir/wsn/storm.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/storm.cpp.o.d"
+  "/root/repo/src/wsn/trace.cpp" "src/CMakeFiles/mwc.dir/wsn/trace.cpp.o" "gcc" "src/CMakeFiles/mwc.dir/wsn/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

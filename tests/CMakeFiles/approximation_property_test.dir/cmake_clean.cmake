@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximation_property_test.dir/integration/approximation_property_test.cpp.o"
+  "CMakeFiles/approximation_property_test.dir/integration/approximation_property_test.cpp.o.d"
+  "approximation_property_test"
+  "approximation_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

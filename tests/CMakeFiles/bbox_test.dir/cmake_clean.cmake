@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbox_test.dir/geom/bbox_test.cpp.o"
+  "CMakeFiles/bbox_test.dir/geom/bbox_test.cpp.o.d"
+  "bbox_test"
+  "bbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chart_test.dir/viz/chart_test.cpp.o"
+  "CMakeFiles/chart_test.dir/viz/chart_test.cpp.o.d"
+  "chart_test"
+  "chart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_validation_test.dir/integration/cross_validation_test.cpp.o"
+  "CMakeFiles/cross_validation_test.dir/integration/cross_validation_test.cpp.o.d"
+  "cross_validation_test"
+  "cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycles_test.dir/wsn/cycles_test.cpp.o"
+  "CMakeFiles/cycles_test.dir/wsn/cycles_test.cpp.o.d"
+  "cycles_test"
+  "cycles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

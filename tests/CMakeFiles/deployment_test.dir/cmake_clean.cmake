@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_test.dir/wsn/deployment_test.cpp.o"
+  "CMakeFiles/deployment_test.dir/wsn/deployment_test.cpp.o.d"
+  "deployment_test"
+  "deployment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

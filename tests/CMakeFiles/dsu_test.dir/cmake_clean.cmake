@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_test.dir/graph/dsu_test.cpp.o"
+  "CMakeFiles/dsu_test.dir/graph/dsu_test.cpp.o.d"
+  "dsu_test"
+  "dsu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler_test.dir/graph/euler_test.cpp.o"
+  "CMakeFiles/euler_test.dir/graph/euler_test.cpp.o.d"
+  "euler_test"
+  "euler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

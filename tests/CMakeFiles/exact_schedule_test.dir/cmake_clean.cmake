@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_schedule_test.dir/charging/exact_schedule_test.cpp.o"
+  "CMakeFiles/exact_schedule_test.dir/charging/exact_schedule_test.cpp.o.d"
+  "exact_schedule_test"
+  "exact_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_property_test.dir/integration/feasibility_property_test.cpp.o"
+  "CMakeFiles/feasibility_property_test.dir/integration/feasibility_property_test.cpp.o.d"
+  "feasibility_property_test"
+  "feasibility_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_test.dir/graph/forest_test.cpp.o"
+  "CMakeFiles/forest_test.dir/graph/forest_test.cpp.o.d"
+  "forest_test"
+  "forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_index_test.dir/geom/grid_index_test.cpp.o"
+  "CMakeFiles/grid_index_test.dir/geom/grid_index_test.cpp.o.d"
+  "grid_index_test"
+  "grid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/improve_test.dir/tsp/improve_test.cpp.o"
+  "CMakeFiles/improve_test.dir/tsp/improve_test.cpp.o.d"
+  "improve_test"
+  "improve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/improve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

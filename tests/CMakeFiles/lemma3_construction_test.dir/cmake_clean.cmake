@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma3_construction_test.dir/integration/lemma3_construction_test.cpp.o"
+  "CMakeFiles/lemma3_construction_test.dir/integration/lemma3_construction_test.cpp.o.d"
+  "lemma3_construction_test"
+  "lemma3_construction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma3_construction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

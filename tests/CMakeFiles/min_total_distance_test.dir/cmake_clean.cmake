@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_total_distance_test.dir/charging/min_total_distance_test.cpp.o"
+  "CMakeFiles/min_total_distance_test.dir/charging/min_total_distance_test.cpp.o.d"
+  "min_total_distance_test"
+  "min_total_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_total_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

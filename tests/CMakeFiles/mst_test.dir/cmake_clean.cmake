@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_test.dir/graph/mst_test.cpp.o"
+  "CMakeFiles/mst_test.dir/graph/mst_test.cpp.o.d"
+  "mst_test"
+  "mst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_registry_test.dir/obs/registry_test.cpp.o"
+  "CMakeFiles/obs_registry_test.dir/obs/registry_test.cpp.o.d"
+  "obs_registry_test"
+  "obs_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_span_test.dir/obs/span_test.cpp.o"
+  "CMakeFiles/obs_span_test.dir/obs/span_test.cpp.o.d"
+  "obs_span_test"
+  "obs_span_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

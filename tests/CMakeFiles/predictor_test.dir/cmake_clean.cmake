@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_test.dir/wsn/predictor_test.cpp.o"
+  "CMakeFiles/predictor_test.dir/wsn/predictor_test.cpp.o.d"
+  "predictor_test"
+  "predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

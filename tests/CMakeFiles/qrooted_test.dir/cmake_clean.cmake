@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrooted_test.dir/tsp/qrooted_test.cpp.o"
+  "CMakeFiles/qrooted_test.dir/tsp/qrooted_test.cpp.o.d"
+  "qrooted_test"
+  "qrooted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrooted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounding_test.dir/charging/rounding_test.cpp.o"
+  "CMakeFiles/rounding_test.dir/charging/rounding_test.cpp.o.d"
+  "rounding_test"
+  "rounding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_test.dir/sim/solve_test.cpp.o"
+  "CMakeFiles/solve_test.dir/sim/solve_test.cpp.o.d"
+  "solve_test"
+  "solve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

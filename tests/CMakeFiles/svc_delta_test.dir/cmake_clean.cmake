@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_delta_test.dir/svc/delta_test.cpp.o"
+  "CMakeFiles/svc_delta_test.dir/svc/delta_test.cpp.o.d"
+  "svc_delta_test"
+  "svc_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_engine_test.dir/svc/engine_test.cpp.o"
+  "CMakeFiles/svc_engine_test.dir/svc/engine_test.cpp.o.d"
+  "svc_engine_test"
+  "svc_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_golden_v1_test.dir/svc/golden_v1_test.cpp.o"
+  "CMakeFiles/svc_golden_v1_test.dir/svc/golden_v1_test.cpp.o.d"
+  "svc_golden_v1_test"
+  "svc_golden_v1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_golden_v1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

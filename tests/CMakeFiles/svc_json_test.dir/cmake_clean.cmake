@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_json_test.dir/svc/json_test.cpp.o"
+  "CMakeFiles/svc_json_test.dir/svc/json_test.cpp.o.d"
+  "svc_json_test"
+  "svc_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_plan_cache_test.dir/svc/plan_cache_test.cpp.o"
+  "CMakeFiles/svc_plan_cache_test.dir/svc/plan_cache_test.cpp.o.d"
+  "svc_plan_cache_test"
+  "svc_plan_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_plan_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_server_test.dir/svc/server_test.cpp.o"
+  "CMakeFiles/svc_server_test.dir/svc/server_test.cpp.o.d"
+  "svc_server_test"
+  "svc_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_wire_test.dir/svc/wire_test.cpp.o"
+  "CMakeFiles/svc_wire_test.dir/svc/wire_test.cpp.o.d"
+  "svc_wire_test"
+  "svc_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

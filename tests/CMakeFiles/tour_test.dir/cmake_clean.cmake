@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tour_test.dir/tsp/tour_test.cpp.o"
+  "CMakeFiles/tour_test.dir/tsp/tour_test.cpp.o.d"
+  "tour_test"
+  "tour_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

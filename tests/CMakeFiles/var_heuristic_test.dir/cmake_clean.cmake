@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/var_heuristic_test.dir/charging/var_heuristic_test.cpp.o"
+  "CMakeFiles/var_heuristic_test.dir/charging/var_heuristic_test.cpp.o.d"
+  "var_heuristic_test"
+  "var_heuristic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/var_heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwc_loadgen.dir/mwc_loadgen.cpp.o"
+  "CMakeFiles/mwc_loadgen.dir/mwc_loadgen.cpp.o.d"
+  "mwc_loadgen"
+  "mwc_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwc_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwcd.dir/mwcd.cpp.o"
+  "CMakeFiles/mwcd.dir/mwcd.cpp.o.d"
+  "mwcd"
+  "mwcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
