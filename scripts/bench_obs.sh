@@ -40,6 +40,16 @@ merged = {
     "sim_ms_noop": off["sim_ms_per_rep"],
     "sim_overhead_pct": pct(on["sim_ms_per_rep"], off["sim_ms_per_rep"]),
     "budget_pct": 2.0,
+    # Service warm-request path, measured within the instrumented build:
+    # plain cache hits vs the full observability plane per request
+    # (client trace id + timing echo + access-log line). Separate budget
+    # because this arm buys wire-visible features, not just counters.
+    "svc_batch": on["svc_batch"],
+    "svc_us_plain": on["svc_plain_us_per_req"],
+    "svc_us_traced": on["svc_traced_us_per_req"],
+    "svc_traced_overhead_pct": pct(on["svc_traced_us_per_req"],
+                                   on["svc_plain_us_per_req"]),
+    "svc_budget_pct": 3.0,
     "note": "overhead = instrumented/no-op - 1 on the min-of-reps "
             "timing; negative means the instrumented build measured "
             "faster (code-layout effects dominate the atomic costs)",
@@ -47,7 +57,8 @@ merged = {
 json.dump(merged, open(sys.argv[3], "w"), indent=2)
 open(sys.argv[3], "a").write("\n")
 print(f"tour overhead {merged['tour_overhead_pct']}%, "
-      f"sim overhead {merged['sim_overhead_pct']}% "
-      f"(budget {merged['budget_pct']}%)")
+      f"sim overhead {merged['sim_overhead_pct']}%, "
+      f"svc traced overhead {merged['svc_traced_overhead_pct']}% "
+      f"(budgets {merged['budget_pct']}% / {merged['svc_budget_pct']}%)")
 print(f"wrote {sys.argv[3]}")
 EOF

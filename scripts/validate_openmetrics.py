@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics / Prometheus text exposition document.
+
+Usage:
+    validate_openmetrics.py METRICS_TXT
+
+Stdlib only. Checks the invariants obs::RegistrySnapshot::to_openmetrics
+promises (and that a Prometheus scraper relies on):
+
+  * the document ends with a `# EOF` line and contains nothing after it;
+  * every sample line is `<name>[{labels}] <value>` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*);
+  * every sample belongs to a preceding `# TYPE` declaration:
+      - counter samples use the `_total` suffix and are non-negative
+        integers;
+      - gauge samples use the bare family name;
+      - histogram samples are `_bucket{le="..."}` / `_sum` / `_count`;
+  * histogram buckets are cumulative (non-decreasing) with strictly
+    increasing `le` bounds, and the final `+Inf` bucket equals `_count`;
+  * no family is declared twice and no sample appears before its TYPE.
+
+Exits 0 when valid, 1 with a list of violations otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r"(?:\{([^}]*)\})?"
+                       r" (\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram)$")
+LE_RE = re.compile(r'^le="([^"]+)"$')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    return float(text)
+
+
+def validate(lines):
+    errors = []
+    families = {}  # name -> type
+    # histogram name -> {"buckets": [(le, cum)], "count": int|None,
+    #                    "sum": float|None}
+    histograms = {}
+
+    if not lines or lines[-1] != "# EOF":
+        errors.append("document must end with a '# EOF' line")
+    body = lines[:-1] if lines and lines[-1] == "# EOF" else lines
+
+    for lineno, line in enumerate(body, start=1):
+        if line == "# EOF":
+            errors.append(f"line {lineno}: '# EOF' before end of document")
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                errors.append(f"line {lineno}: unrecognized comment "
+                              f"{line!r} (only '# TYPE name type' and "
+                              f"'# EOF' are emitted)")
+                continue
+            name, family_type = m.groups()
+            if name in families:
+                errors.append(f"line {lineno}: family {name} declared twice")
+            families[name] = family_type
+            if family_type == "histogram":
+                histograms[name] = {"buckets": [], "count": None,
+                                    "sum": None}
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        sample_name, labels, value_text = m.groups()
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {value_text!r}")
+            continue
+
+        # Match the sample back to its declared family.
+        if sample_name.endswith("_total") and \
+                families.get(sample_name[:-len("_total")]) == "counter":
+            if labels:
+                errors.append(f"line {lineno}: counters carry no labels")
+            if value < 0 or value != int(value):
+                errors.append(f"line {lineno}: counter value {value_text} "
+                              f"is not a non-negative integer")
+        elif sample_name.endswith("_bucket") and \
+                families.get(sample_name[:-len("_bucket")]) == "histogram":
+            family = sample_name[:-len("_bucket")]
+            le_match = LE_RE.match(labels or "")
+            if le_match is None:
+                errors.append(f"line {lineno}: histogram bucket needs an "
+                              f"le label, got {labels!r}")
+                continue
+            try:
+                bound = parse_value(le_match.group(1))
+            except ValueError:
+                errors.append(f"line {lineno}: bad le bound "
+                              f"{le_match.group(1)!r}")
+                continue
+            histograms[family]["buckets"].append((lineno, bound, value))
+        elif sample_name.endswith("_sum") and \
+                families.get(sample_name[:-len("_sum")]) == "histogram":
+            histograms[sample_name[:-len("_sum")]]["sum"] = value
+        elif sample_name.endswith("_count") and \
+                families.get(sample_name[:-len("_count")]) == "histogram":
+            histograms[sample_name[:-len("_count")]]["count"] = value
+        elif families.get(sample_name) == "gauge":
+            if labels:
+                errors.append(f"line {lineno}: gauges carry no labels")
+        else:
+            errors.append(f"line {lineno}: sample {sample_name} has no "
+                          f"matching '# TYPE' declaration")
+
+    for name, h in histograms.items():
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"histogram {name}: no _bucket samples")
+            continue
+        previous_bound = None
+        previous_cum = None
+        for lineno, bound, cum in buckets:
+            if previous_bound is not None and bound <= previous_bound:
+                errors.append(f"line {lineno}: {name} le bounds must be "
+                              f"strictly increasing")
+            if previous_cum is not None and cum < previous_cum:
+                errors.append(f"line {lineno}: {name} buckets must be "
+                              f"cumulative (non-decreasing)")
+            previous_bound = bound
+            previous_cum = cum
+        if buckets[-1][1] != float("inf"):
+            errors.append(f"histogram {name}: last bucket must be +Inf")
+        if h["count"] is None:
+            errors.append(f"histogram {name}: missing _count")
+        elif buckets[-1][2] != h["count"]:
+            errors.append(f"histogram {name}: +Inf bucket "
+                          f"({buckets[-1][2]}) != _count ({h['count']})")
+        if h["sum"] is None:
+            errors.append(f"histogram {name}: missing _sum")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate an OpenMetrics text document")
+    parser.add_argument("path", help="OpenMetrics text file")
+    args = parser.parse_args()
+
+    with open(args.path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    errors = validate(lines)
+    if errors:
+        print(f"{args.path}: INVALID")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    n_families = sum(1 for line in lines if line.startswith("# TYPE"))
+    print(f"{args.path}: OK ({n_families} metric families, "
+          f"{len(lines)} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

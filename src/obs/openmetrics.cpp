@@ -1,0 +1,120 @@
+// OpenMetrics / Prometheus text exposition for RegistrySnapshot.
+//
+// The mwc metric namespace is dotted lower_snake (`svc.cache.hits`);
+// Prometheus names admit only [a-zA-Z0-9_:], so dots map to underscores
+// (`svc_cache_hits`). Counters gain the conventional `_total` suffix and
+// `# TYPE ... counter` declaration; gauges export verbatim; histograms
+// export the cumulative `_bucket{le="..."}` form (our buckets store
+// per-bucket counts, so the renderer accumulates them), a `+Inf` bucket
+// equal to `_count`, and `_sum`/`_count` series. The document terminates
+// with `# EOF` per the OpenMetrics spec; scripts/validate_openmetrics.py
+// checks all of these invariants in CI.
+
+#include "obs/registry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace mwc::obs {
+
+namespace {
+
+/// `svc.cache.hits` -> `svc_cache_hits`; anything outside
+/// [a-zA-Z0-9_:] becomes '_' so arbitrary registry names stay legal.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // Prometheus text admits no nan/inf values for our instruments; clamp
+  // defensively like the JSON renderer.
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    v = 0.0;
+  }
+  // Shortest representation that round-trips: le="0.005", not the full
+  // %.17g le="0.0050000000000000001"; integral bounds print plainly
+  // (le="10", not the equally-round-tripping le="1e+01").
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    for (int precision = 1; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RegistrySnapshot::to_openmetrics() const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + "_total ";
+    append_u64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += p + "_bucket{le=\"";
+      append_double(out, h.bounds[i]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += p + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    out += p + "_sum ";
+    append_double(out, h.sum);
+    out += '\n';
+    out += p + "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool Registry::write_openmetrics(const std::string& path) const {
+  const std::string text = to_openmetrics();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mwc::obs

@@ -135,6 +135,13 @@ struct RegistrySnapshot {
   /// Serializes to the `mwc.metrics.v1` JSON document (sorted keys,
   /// deterministic formatting).
   std::string to_json() const;
+
+  /// Serializes to OpenMetrics / Prometheus text exposition format
+  /// (obs/openmetrics.cpp): dots in names become underscores, counters
+  /// get the `_total` suffix, histograms export cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`, and the document
+  /// ends with `# EOF`. Deterministic for a given snapshot.
+  std::string to_openmetrics() const;
 };
 
 class Registry {
@@ -173,6 +180,11 @@ class Registry {
 
   /// Writes to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
+
+  std::string to_openmetrics() const { return snapshot().to_openmetrics(); }
+
+  /// Writes to_openmetrics() to `path`; returns false on I/O failure.
+  bool write_openmetrics(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;

@@ -19,6 +19,8 @@ steady::time_point process_epoch() noexcept {
 
 std::atomic<bool> g_trace_enabled{false};
 
+thread_local std::uint64_t t_trace_id = 0;
+
 /// One thread's ring of recorded spans. Owner thread appends under the
 /// buffer mutex (uncontended except during a drain); drains copy out
 /// under the same mutex. Buffers are registered once per thread and
@@ -143,9 +145,13 @@ bool write_chrome_trace(const std::string& path) {
     const auto& e = events[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"cat\": \"mwc\", \"ph\": \"X\", "
-                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
-                 e.name, e.ts_us, e.dur_us, e.tid,
-                 i + 1 < events.size() ? "," : "");
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                 e.name, e.ts_us, e.dur_us, e.tid);
+    if (e.trace != 0) {
+      std::fprintf(f, ", \"args\": {\"trace\": \"%016llx\"}",
+                   static_cast<unsigned long long>(e.trace));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < events.size() ? "," : "");
   }
   std::fprintf(f,
                "], \"displayTimeUnit\": \"ms\", "
@@ -156,7 +162,10 @@ bool write_chrome_trace(const std::string& path) {
 
 Span::Span(const char* name) noexcept
     : name_(trace_enabled() ? name : nullptr) {
-  if (name_ != nullptr) start_us_ = now_us();
+  if (name_ != nullptr) {
+    start_us_ = now_us();
+    trace_ = t_trace_id;
+  }
 }
 
 Span::~Span() {
@@ -165,9 +174,18 @@ Span::~Span() {
   e.name = name_;
   e.ts_us = start_us_;
   e.dur_us = now_us() - start_us_;
+  e.trace = trace_;
   auto& buffer = local_buffer();
   e.tid = buffer.tid;
   buffer.record(e);
 }
+
+std::uint64_t current_trace_id() noexcept { return t_trace_id; }
+
+TraceContext::TraceContext(std::uint64_t id) noexcept : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+TraceContext::~TraceContext() { t_trace_id = prev_; }
 
 }  // namespace mwc::obs

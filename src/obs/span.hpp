@@ -31,11 +31,15 @@ inline constexpr std::size_t kTraceRingCapacity = 16384;
 
 /// One completed span: [ts_us, ts_us + dur_us) on thread `tid`.
 /// `name` must point to storage outliving the trace (string literals).
+/// `trace` is the owning request's trace id (0 = no request context);
+/// exported as `"args": {"trace": "<16 hex digits>"}` so Perfetto can
+/// filter all spans belonging to one wire request.
 struct TraceEvent {
   const char* name = nullptr;
   double ts_us = 0.0;
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t trace = 0;
 };
 
 /// Microseconds since process start (steady clock). Usable whether or
@@ -77,6 +81,33 @@ class Span {
  private:
   const char* name_;  ///< nullptr when tracing was off at construction
   double start_us_ = 0.0;
+  std::uint64_t trace_ = 0;  ///< current_trace_id() at construction
+};
+
+/// Trace id installed on the calling thread, 0 when outside any
+/// TraceContext. Spans capture it at construction, so every span opened
+/// while a request's context is live carries that request's id.
+std::uint64_t current_trace_id() noexcept;
+
+/// RAII request-context marker: installs `id` as the calling thread's
+/// current trace id for the lifetime of the scope and restores the
+/// previous id on destruction (contexts nest). The service server wraps
+/// each request's handler invocation in one of these so solver spans
+/// (`sim.replan_round`, `tsp.q_rooted_tsp`, ...) recorded on that worker
+/// thread are attributable to the owning wire request.
+///
+/// Cheap enough to install unconditionally: one thread-local store each
+/// way, no atomics, no allocation.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t id) noexcept;
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  std::uint64_t prev_;
 };
 
 }  // namespace mwc::obs

@@ -1,0 +1,162 @@
+#include "svc/access_log.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "svc/json.hpp"
+
+namespace mwc::svc {
+
+Json to_json(const RequestRecord& record) {
+  Json doc = Json::object();
+  doc.set("ts_ms", Json(static_cast<std::int64_t>(record.ts_ms)));
+  doc.set("trace_id", Json(record.trace_id));
+  doc.set("id", Json(record.id));
+  doc.set("peer", Json(record.peer));
+  doc.set("v", Json(wire_version_name(record.version)));
+  doc.set("kind", Json(record.is_delta ? "delta" : "full"));
+  doc.set("policy", Json(record.policy));
+  doc.set("outcome", Json(record.ok ? "ok" : error_code_name(record.error)));
+  doc.set("cached", Json(record.cached));
+  doc.set("derived", Json(record.derived));
+  doc.set("latency_ms", Json(record.latency_ms));
+  Json t = Json::object();
+  t.set("parse_ms", Json(record.stages.parse_ms));
+  t.set("queue_ms", Json(record.stages.queue_ms));
+  t.set("cache_ms", Json(record.stages.cache_ms));
+  t.set("solve_ms", Json(record.stages.solve_ms));
+  t.set("serialize_ms", Json(record.stages.serialize_ms));
+  doc.set("t", std::move(t));
+  return doc;
+}
+
+std::string to_access_jsonl(const RequestRecord& record) {
+  // One line per request on the hot path, so this appends directly
+  // instead of building a Json tree. Byte-identical to
+  // to_json(record).dump() — access_log_test pins the equivalence.
+  std::string out;
+  out.reserve(320);
+  out += "{\"ts_ms\":";
+  append_json_number(out, static_cast<double>(record.ts_ms));
+  out += ",\"trace_id\":";
+  append_json_escaped(out, record.trace_id);
+  out += ",\"id\":";
+  append_json_escaped(out, record.id);
+  out += ",\"peer\":";
+  append_json_escaped(out, record.peer);
+  out += ",\"v\":\"";
+  out += wire_version_name(record.version);
+  out += "\",\"kind\":\"";
+  out += record.is_delta ? "delta" : "full";
+  out += "\",\"policy\":";
+  append_json_escaped(out, record.policy);
+  out += ",\"outcome\":\"";
+  out += record.ok ? "ok" : error_code_name(record.error);
+  out += record.cached ? "\",\"cached\":true" : "\",\"cached\":false";
+  out += record.derived ? ",\"derived\":true" : ",\"derived\":false";
+  out += ",\"latency_ms\":";
+  append_json_number(out, record.latency_ms);
+  out += ",\"t\":{\"parse_ms\":";
+  append_json_number(out, record.stages.parse_ms);
+  out += ",\"queue_ms\":";
+  append_json_number(out, record.stages.queue_ms);
+  out += ",\"cache_ms\":";
+  append_json_number(out, record.stages.cache_ms);
+  out += ",\"solve_ms\":";
+  append_json_number(out, record.stages.solve_ms);
+  out += ",\"serialize_ms\":";
+  append_json_number(out, record.stages.serialize_ms);
+  out += "}}\n";
+  return out;
+}
+
+AccessLog::AccessLog(const std::string& path, double slow_ms)
+    : path_(path), slow_ms_(slow_ms) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ != nullptr) {
+    buffer_ = std::make_unique<char[]>(kBufferBytes);
+    std::setvbuf(file_, buffer_.get(), _IOFBF, kBufferBytes);
+    logger_ = std::thread(&AccessLog::logger_loop, this);
+  }
+}
+
+AccessLog::~AccessLog() {
+  if (logger_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_one();
+    logger_.join();  // drains the queue before exiting
+  }
+  if (file_ != nullptr) std::fclose(file_);  // flushes the tail
+}
+
+std::uint64_t AccessLog::lines_written() const noexcept {
+  return lines_.load(std::memory_order_relaxed);
+}
+
+bool AccessLog::write(const RequestRecord& record) {
+  if (file_ == nullptr) return false;
+  if (slow_ms_ > 0.0 && record.latency_ms < slow_ms_) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    queue_.push_back(record);
+  }
+  // No wakeup here: the logger polls on a short timeout, so the hot
+  // path pays a lock and a copy but never a futex syscall.
+  MWC_OBS_COUNT("svc.access_log.lines");
+  return true;
+}
+
+void AccessLog::flush() {
+  if (file_ == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.notify_one();  // cut the logger's poll nap short
+    drained_cv_.wait(lock, [&] { return queue_.empty() && !draining_; });
+  }
+  // The logger is idle here (queue empty, batch done); pending_lines_
+  // is left alone so only the logger thread ever touches it.
+  std::fflush(file_);
+}
+
+void AccessLog::logger_loop() {
+  std::vector<RequestRecord> batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait_for(lock, kDrainInterval,
+                      [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) break;
+      continue;
+    }
+    batch.swap(queue_);
+    draining_ = true;
+    lock.unlock();
+    for (const RequestRecord& record : batch) write_line(record);
+    batch.clear();
+    lock.lock();
+    draining_ = false;
+    if (queue_.empty()) drained_cv_.notify_all();
+  }
+}
+
+void AccessLog::write_line(const RequestRecord& record) {
+  const std::string line = to_access_jsonl(record);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    return;
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  ++pending_lines_;
+  if (record.ts_ms - last_flush_ms_ >= kFlushIntervalMs ||
+      pending_lines_ >= kFlushEveryLines) {
+    std::fflush(file_);
+    last_flush_ms_ = record.ts_ms;
+    pending_lines_ = 0;
+  }
+}
+
+}  // namespace mwc::svc

@@ -1,0 +1,134 @@
+// Structured request access log + the completed-request record shared
+// with the admin tracez endpoint.
+//
+// `RequestRecord` is the server's per-request postmortem: identity
+// (trace id, wire id, peer), shape (version, full vs delta, policy),
+// outcome (ok / structured error, cache hit, derived), and the stage
+// breakdown (parse / queue / cache / solve / serialize, milliseconds).
+// `svc::Server` materializes one per completed request, appends it to a
+// small in-memory ring (served by `{"admin":"tracez"}`) and, when an
+// `AccessLog` is configured, writes it as one JSONL line:
+//
+//   {"ts_ms":1723111845123,"trace_id":"lg-0007","id":"r7","peer":"tcp",
+//    "v":"mwc.svc.v1","kind":"full","policy":"MinTotalDistance",
+//    "outcome":"ok","cached":true,"derived":false,"latency_ms":0.08,
+//    "t":{"parse_ms":0.01,"queue_ms":0.02,"cache_ms":0.03,
+//         "solve_ms":0,"serialize_ms":0.01}}
+//
+// A slow-threshold filter (`slow_ms`) keeps production logs affordable:
+// only requests with latency_ms >= slow_ms are written (0 logs all).
+//
+// Logging is asynchronous: write() applies the filter and enqueues a
+// copy of the record (sub-microsecond, off the request's critical
+// path); a dedicated logger thread serializes and appends the JSONL
+// lines into a large stdio buffer, flushing adaptively — whenever a
+// second has passed since the last flush or 256 lines are pending — so
+// `tail -f` stays near-live at human request rates while sustained
+// bursts amortize both the serialization and the flush syscall away
+// from the serving threads. flush() and the destructor (graceful
+// shutdown) drain the queue and flush the file; only a hard kill can
+// lose the tail of the current burst.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "svc/wire.hpp"
+
+namespace mwc::svc {
+
+/// Everything the server knows about one completed request.
+struct RequestRecord {
+  std::string trace_id;  ///< resolved id (client-supplied or generated)
+  std::string id;        ///< wire request id ("" for unparseable lines)
+  std::string peer;      ///< transport label ("stdio", "tcp", ...)
+  std::string policy;    ///< effective policy ("" when unknown)
+  WireVersion version = WireVersion::kV1;
+  bool is_delta = false;
+  bool ok = false;
+  ErrorCode error = ErrorCode::kNone;  ///< meaningful iff !ok
+  bool cached = false;
+  bool derived = false;
+  double latency_ms = 0.0;
+  StageTimings stages;
+  std::int64_t ts_ms = 0;  ///< wall-clock completion time, ms since epoch
+};
+
+/// JSON object form of `record` — shared by the access log and the
+/// admin tracez endpoint.
+Json to_json(const RequestRecord& record);
+
+/// One access-log JSONL line for `record` (newline included).
+std::string to_access_jsonl(const RequestRecord& record);
+
+/// Thread-safe JSONL access-log writer with a slow-request filter.
+/// Opens `path` for append on construction; `ok()` reports whether the
+/// open succeeded (a failed log never throws — write() just drops).
+class AccessLog {
+ public:
+  explicit AccessLog(const std::string& path, double slow_ms = 0.0);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  bool ok() const noexcept { return file_ != nullptr; }
+  double slow_ms() const noexcept { return slow_ms_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Lines written to the file so far (post-filter). Queued records
+  /// not yet drained by the logger thread are not counted; flush()
+  /// first if an exact count is needed.
+  std::uint64_t lines_written() const noexcept;
+
+  /// Enqueues `record` for the logger thread unless it beats the slow
+  /// filter. Returns true when the record was accepted for logging.
+  bool write(const RequestRecord& record);
+
+  /// Blocks until every record enqueued so far is serialized, written,
+  /// and flushed to disk (also runs on destruction).
+  void flush();
+
+ private:
+  /// stdio buffer size; large enough that the flush cadence, not the
+  /// buffer, decides when the logger thread pays a syscall.
+  static constexpr std::size_t kBufferBytes = 1 << 16;
+  static constexpr std::int64_t kFlushIntervalMs = 1000;
+  static constexpr std::uint64_t kFlushEveryLines = 256;
+  /// Logger poll period. write() never wakes the logger (that would put
+  /// a futex syscall on the request path); records just wait, at most
+  /// this long, for the next drain. flush() and shutdown wake it early.
+  static constexpr std::chrono::milliseconds kDrainInterval{10};
+
+  void logger_loop();
+  /// Serializes and writes one drained record; caller holds no locks.
+  void write_line(const RequestRecord& record);
+
+  std::string path_;
+  double slow_ms_ = 0.0;
+  std::FILE* file_ = nullptr;
+  std::unique_ptr<char[]> buffer_;
+  std::atomic<std::uint64_t> lines_{0};
+  std::int64_t last_flush_ms_ = 0;   ///< logger thread only
+  std::uint64_t pending_lines_ = 0;  ///< logger thread only
+
+  std::mutex mutex_;  ///< guards the queue + drain bookkeeping
+  std::condition_variable work_cv_;
+  std::condition_variable drained_cv_;
+  std::vector<RequestRecord> queue_;
+  bool draining_ = false;  ///< logger thread is off processing a batch
+  bool stopping_ = false;
+  std::thread logger_;
+};
+
+}  // namespace mwc::svc

@@ -1,0 +1,170 @@
+#include "svc/admin.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "svc/access_log.hpp"
+#include "svc/json.hpp"
+
+namespace mwc::svc {
+
+namespace {
+
+Json envelope(const std::string& id, bool ok) {
+  Json doc = Json::object();
+  doc.set("v", Json(kAdminVersion));
+  doc.set("id", Json(id));
+  doc.set("ok", Json(ok));
+  return doc;
+}
+
+std::string error_line(const std::string& id, const std::string& message) {
+  Json doc = envelope(id, false);
+  doc.set("error", Json("bad_request"));
+  doc.set("message", Json(message));
+  return doc.dump() + "\n";
+}
+
+Json statusz_json(const Server& server, const AdminInfo& info) {
+  Json s = Json::object();
+  s.set("build", Json(info.build));
+  s.set("transport", Json(info.transport));
+  s.set("uptime_s", Json((obs::now_us() - info.start_us) / 1e6));
+  s.set("obs_enabled", Json(MWC_OBS_ENABLED != 0));
+  s.set("trace_enabled", Json(obs::trace_enabled()));
+  Json queue = Json::object();
+  queue.set("in_flight", Json(server.in_flight()));
+  queue.set("capacity", Json(server.options().queue_capacity));
+  s.set("queue", std::move(queue));
+  const PlanCache& cache = server.cache();
+  Json c = Json::object();
+  c.set("size", Json(cache.size()));
+  c.set("capacity", Json(cache.capacity()));
+  c.set("hits", Json(static_cast<std::int64_t>(cache.hits())));
+  c.set("misses", Json(static_cast<std::int64_t>(cache.misses())));
+  c.set("evictions", Json(static_cast<std::int64_t>(cache.evictions())));
+  const double probes = static_cast<double>(cache.hits() + cache.misses());
+  c.set("hit_rate",
+        Json(probes > 0.0 ? static_cast<double>(cache.hits()) / probes : 0.0));
+  s.set("cache", std::move(c));
+  if (const AccessLog* log = server.options().access_log) {
+    Json a = Json::object();
+    a.set("path", Json(log->path()));
+    a.set("slow_ms", Json(log->slow_ms()));
+    a.set("lines", Json(static_cast<std::int64_t>(log->lines_written())));
+    s.set("access_log", std::move(a));
+  }
+  return s;
+}
+
+Json config_json(const Server& server, const AdminInfo& info) {
+  const ServerOptions& options = server.options();
+  Json c = Json::object();
+  c.set("queue_capacity", Json(options.queue_capacity));
+  c.set("threads", Json(options.threads));
+  c.set("cache_capacity", Json(options.cache_capacity));
+  c.set("recent_capacity", Json(options.recent_capacity));
+  c.set("access_log", Json(options.access_log != nullptr
+                               ? options.access_log->path()
+                               : std::string()));
+  c.set("access_log_slow_ms", Json(options.access_log != nullptr
+                                       ? options.access_log->slow_ms()
+                                       : 0.0));
+  c.set("transport", Json(info.transport));
+  c.set("metrics_out", Json(info.metrics_out));
+  c.set("trace_out", Json(info.trace_out));
+  return c;
+}
+
+Json tracez_json(const Server& server, std::size_t limit) {
+  std::vector<RequestRecord> records = server.recent_requests();
+  std::sort(records.begin(), records.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.latency_ms > b.latency_ms;
+            });
+  if (records.size() > limit) records.resize(limit);
+  Json t = Json::object();
+  t.set("ring_capacity", Json(server.options().recent_capacity));
+  Json slowest = Json::array();
+  for (const RequestRecord& r : records) slowest.push_back(to_json(r));
+  t.set("count", Json(slowest.size()));
+  t.set("slowest", std::move(slowest));
+  return t;
+}
+
+}  // namespace
+
+bool AdminHandler::try_handle(const std::string& line,
+                              std::string* response_line) const {
+  // Fast path: scheduling requests never contain the key "admin".
+  if (line.find("\"admin\"") == std::string::npos) return false;
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const JsonError&) {
+    return false;  // malformed; the scheduling parser answers bad_request
+  }
+  if (!doc.is_object()) return false;
+  const Json* command = doc.find("admin");
+  if (command == nullptr) return false;
+
+  std::string id;
+  if (const Json* j = doc.find("id"); j != nullptr && j->is_string())
+    id = j->as_string();
+  if (!command->is_string()) {
+    *response_line = error_line(id, "admin command must be a string");
+    return true;
+  }
+  const std::string& name = command->as_string();
+
+  try {
+    Json response = envelope(id, true);
+    if (name == "statusz") {
+      response.set("statusz", statusz_json(server_, info_));
+    } else if (name == "metrics") {
+      std::string format = "json";
+      if (const Json* j = doc.find("format")) format = j->as_string();
+      const obs::RegistrySnapshot snapshot =
+          obs::Registry::global().snapshot();
+      if (format == "openmetrics") {
+        response.set("openmetrics", Json(snapshot.to_openmetrics()));
+      } else if (format == "json") {
+        // Re-parse the canonical (multi-line) mwc.metrics.v1 document to
+        // embed it compactly in the one-line envelope.
+        response.set("metrics", Json::parse(snapshot.to_json()));
+      } else {
+        *response_line =
+            error_line(id, "metrics format must be \"json\" or "
+                           "\"openmetrics\"");
+        return true;
+      }
+    } else if (name == "tracez") {
+      std::size_t limit = 10;
+      if (const Json* j = doc.find("limit")) {
+        const std::int64_t v = j->as_int();
+        if (v < 1 || v > 1000) {
+          *response_line = error_line(id, "limit must be in [1, 1000]");
+          return true;
+        }
+        limit = static_cast<std::size_t>(v);
+      }
+      response.set("tracez", tracez_json(server_, limit));
+    } else if (name == "config") {
+      response.set("config", config_json(server_, info_));
+    } else {
+      *response_line = error_line(
+          id, "unknown admin command \"" + name +
+                  "\" (supported: statusz, metrics, tracez, config)");
+      return true;
+    }
+    *response_line = response.dump() + "\n";
+  } catch (const std::exception& e) {
+    *response_line = error_line(id, e.what());
+  }
+  return true;
+}
+
+}  // namespace mwc::svc

@@ -1,0 +1,71 @@
+// mwc.svc.admin.v1 — daemon introspection over the service socket.
+//
+// Admin requests share the JSONL transport with scheduling requests and
+// are distinguished by the "admin" key (a scheduling request never has
+// one):
+//
+//   {"admin": "statusz",  "id": "a1"}
+//   {"admin": "metrics",  "id": "a2", "format": "openmetrics"}
+//   {"admin": "tracez",   "id": "a3", "limit": 5}
+//   {"admin": "config",   "id": "a4"}
+//
+// Responses are one JSON line with "v": "mwc.svc.admin.v1":
+//
+//   statusz -> uptime, build info, transport, queue depth/capacity,
+//              in-flight count, PlanCache size/capacity/hit-rate,
+//              access-log state;
+//   metrics -> live obs registry snapshot: the mwc.metrics.v1 object
+//              inline under "metrics" (default) or the OpenMetrics text
+//              under "openmetrics" when "format": "openmetrics";
+//   tracez  -> the N slowest completed requests from the server's
+//              recent-request ring, each with its stage breakdown;
+//   config  -> the server options and daemon flags as started.
+//
+// Admin requests are answered synchronously (no queue admission — an
+// overloaded daemon still answers statusz) and never touch the solve
+// path. Unknown admin commands get {"ok": false, "error": "bad_request"}
+// on the admin version string; lines that merely *contain* the word
+// admin but do not parse as {"admin": ...} objects fall through to the
+// scheduling parser.
+#pragma once
+
+#include <string>
+
+#include "svc/server.hpp"
+
+namespace mwc::svc {
+
+inline constexpr const char* kAdminVersion = "mwc.svc.admin.v1";
+
+/// Daemon-level facts the server object does not know: how the process
+/// was started and where its sidecars go. The embedding tool fills this
+/// once at startup.
+struct AdminInfo {
+  std::string build = "libmwc/1.0.0";
+  std::string transport = "stdio";  ///< "stdio" or "tcp"
+  double start_us = 0.0;            ///< obs::now_us() at daemon start
+  std::string metrics_out;          ///< --metrics-out path ("" = none)
+  std::string trace_out;            ///< --trace-out path ("" = none)
+};
+
+/// Serves mwc.svc.admin.v1 against a live Server. Thread-safe: handlers
+/// only read server state through const accessors and mutex-guarded
+/// snapshots, so transports may call try_handle from any thread.
+class AdminHandler {
+ public:
+  AdminHandler(const Server& server, AdminInfo info)
+      : server_(server), info_(std::move(info)) {}
+
+  /// Answers `line` if it is an admin request: writes one JSONL response
+  /// (newline included) to `*response_line` and returns true. Returns
+  /// false (leaving *response_line untouched) when the line is not an
+  /// admin request — including unparseable lines, which the scheduling
+  /// parser owns.
+  bool try_handle(const std::string& line, std::string* response_line) const;
+
+ private:
+  const Server& server_;
+  AdminInfo info_;
+};
+
+}  // namespace mwc::svc

@@ -207,7 +207,8 @@ std::shared_ptr<Plan> build_derived_plan(const sim::RoundPlan& round,
 
 }  // namespace
 
-Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
+Response handle_delta(const DeltaRequest& request, PlanCache* cache,
+                      StageTimings* stages) {
   MWC_OBS_SCOPE("svc.handle_delta");
   MWC_OBS_COUNT("svc.delta.requests");
   MWC_OBS_COUNT_N("svc.delta.patch_ops", request.patch.size());
@@ -221,6 +222,7 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
     Response response =
         error_response(request.id, code, message, elapsed_ms());
     response.version = WireVersion::kV2;
+    response.trace_id = request.trace_id;
     response.base_fingerprint = request.base_fingerprint;
     return response;
   };
@@ -245,10 +247,12 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
 
   const std::uint64_t key =
       derived_fingerprint(request.base_fingerprint, fold);
+  if (stages != nullptr) stages->cache_ms = elapsed_ms();
   if (auto hit = cache->get(key)) {
     MWC_OBS_COUNT("svc.delta.cache_hits");
     Response response;
     response.id = request.id;
+    response.trace_id = request.trace_id;
     response.version = WireVersion::kV2;
     response.ok = true;
     response.cached = true;
@@ -256,6 +260,7 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
     response.base_fingerprint = request.base_fingerprint;
     response.plan = std::move(hit);
     response.latency_ms = elapsed_ms();
+    response.policy = base->policy;
     return response;
   }
   MWC_OBS_COUNT("svc.delta.cache_misses");
@@ -332,10 +337,13 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
       rpatch.touched.push_back(l);
     }
 
+    const double replan_start_ms = elapsed_ms();
     sim::ReplanOutcome outcome =
         sim::replan_round(network, base->round, base->round_points,
                           base->round_candidates, rpatch,
                           base->sim.tour_options);
+    if (stages != nullptr)
+      stages->solve_ms = elapsed_ms() - replan_start_ms;
     MWC_OBS_COUNT("svc.delta.replans");
 
     auto plan = build_derived_plan(outcome.round, q, base->plan, key);
@@ -363,12 +371,14 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache) {
 
     Response response;
     response.id = request.id;
+    response.trace_id = request.trace_id;
     response.version = WireVersion::kV2;
     response.ok = true;
     response.derived = true;
     response.base_fingerprint = request.base_fingerprint;
     response.plan = std::move(plan);
     response.latency_ms = elapsed_ms();
+    response.policy = base->policy;
     return response;
   } catch (const std::exception& e) {
     return fail(ErrorCode::kInternal, e.what());

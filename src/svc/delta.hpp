@@ -92,7 +92,10 @@ std::shared_ptr<const BaseState> make_base_state(
 /// failures come back as structured errors (`unknown_base` when the
 /// base fingerprint is not cached or was stored without solver state,
 /// `bad_request` on invalid patches). `cache` may be null, which always
-/// answers `unknown_base` — the delta path requires a cache.
-Response handle_delta(const DeltaRequest& request, PlanCache* cache);
+/// answers `unknown_base` — the delta path requires a cache. When
+/// `stages` is non-null, fills `cache_ms` (base resolve + fold + derived
+/// probe) and `solve_ms` (the sim::replan_round repair).
+Response handle_delta(const DeltaRequest& request, PlanCache* cache,
+                      StageTimings* stages = nullptr);
 
 }  // namespace mwc::svc

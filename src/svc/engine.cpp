@@ -162,7 +162,8 @@ std::shared_ptr<const Plan> build_plan(const sim::SolveOutcome& outcome,
 
 }  // namespace
 
-Response handle_request(const Request& request, PlanCache* cache) {
+Response handle_request(const Request& request, PlanCache* cache,
+                        StageTimings* stages) {
   MWC_OBS_SCOPE("svc.handle_request");
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&start] {
@@ -172,6 +173,8 @@ Response handle_request(const Request& request, PlanCache* cache) {
   };
   const auto with_version = [&](Response response) {
     response.version = request.version;
+    response.trace_id = request.trace_id;
+    response.policy = request.policy;
     return response;
   };
 
@@ -192,11 +195,11 @@ Response handle_request(const Request& request, PlanCache* cache) {
   }
 
   const std::uint64_t key = fingerprint(request, instance);
+  if (stages != nullptr) stages->cache_ms = elapsed_ms();
   if (cache != nullptr) {
     if (auto hit = cache->get(key)) {
-      Response response;
+      Response response = with_version(Response{});
       response.id = request.id;
-      response.version = request.version;
       response.ok = true;
       response.cached = true;
       response.plan = std::move(hit);
@@ -207,17 +210,18 @@ Response handle_request(const Request& request, PlanCache* cache) {
 
   try {
     MWC_OBS_SCOPE("svc.solve");
+    const double solve_start_ms = elapsed_ms();
     const sim::SolveOutcome outcome = sim::solve_network(
         instance.network, *instance.cycles, instance.sim, *policy);
+    if (stages != nullptr) stages->solve_ms = elapsed_ms() - solve_start_ms;
     auto plan = build_plan(outcome, instance.network.q(), key);
     if (cache != nullptr) {
       // The solver state rides along so this plan can serve as the base
       // of v2 delta requests.
       cache->put(key, plan, make_base_state(request, instance, outcome, plan));
     }
-    Response response;
+    Response response = with_version(Response{});
     response.id = request.id;
-    response.version = request.version;
     response.ok = true;
     response.plan = std::move(plan);
     response.latency_ms = elapsed_ms();

@@ -48,7 +48,11 @@ std::uint64_t fingerprint(const Request& request,
 /// solve, cache fill. Never throws — every failure comes back as a
 /// structured error Response (bad_request / unknown_policy / internal).
 /// `cache` may be null (solve-always). `latency_ms` covers this call only;
-/// the server adds queueing time on top.
-Response handle_request(const Request& request, PlanCache* cache);
+/// the server adds queueing time on top. When `stages` is non-null the
+/// engine fills `cache_ms` (resolve + fingerprint + cache probe) and
+/// `solve_ms` (the sim::solve_network call); other stages are the
+/// server's to measure.
+Response handle_request(const Request& request, PlanCache* cache,
+                        StageTimings* stages = nullptr);
 
 }  // namespace mwc::svc

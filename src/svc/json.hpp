@@ -4,8 +4,9 @@
 // needs what the rest of the repo never did: *parsing* JSON, not just
 // emitting it. This is a deliberately small recursive-descent
 // implementation — objects keep insertion order (deterministic dumps),
-// numbers are doubles (round-tripped with %.17g), and parse errors throw
-// JsonError with a byte offset. No external dependency; stdlib only.
+// numbers are doubles (round-tripped with %.17g semantics), and parse
+// errors throw JsonError with a byte offset. No external dependency;
+// stdlib only.
 #pragma once
 
 #include <cstddef>
@@ -68,6 +69,8 @@ class Json {
   std::int64_t as_int() const;  ///< as_double, checked integral
   const std::string& as_string() const;
   const std::vector<Json>& items() const;  ///< array elements
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, Json>>& members() const;
 
   /// Object member, or nullptr when absent (or not an object).
   const Json* find(std::string_view key) const;
@@ -96,5 +99,10 @@ class Json {
 
 /// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
 void append_json_escaped(std::string& out, std::string_view s);
+
+/// Appends `v` in exactly the form Json::dump uses for numbers (integral
+/// values as plain integers, everything else as %.17g). Direct-append
+/// serializers share this so their bytes match a Json-tree dump.
+void append_json_number(std::string& out, double v);
 
 }  // namespace mwc::svc

@@ -9,22 +9,39 @@
 // (shutting_down responses) and drains every request already accepted, so
 // no callback is ever dropped.
 //
+// Observability: every request gets a trace id (client-supplied or
+// server-generated) that is echoed on the wire (always for v2; for v1
+// only when the client supplied one, keeping pre-tracing v1 responses
+// byte-identical), installed as an obs::TraceContext around the handler
+// so solver spans carry the owning request id, and attached to a
+// per-request stage breakdown (parse / queue wait / cache probe / solve /
+// serialize). Completed requests land in a bounded ring of
+// RequestRecords (served by the admin `tracez` endpoint) and, when
+// `ServerOptions::access_log` is set, as one JSONL access-log line each.
+//
 // Telemetry lives on a per-server obs::Registry (exact even under
 // MWC_OBS=OFF builds) and is mirrored onto the global registry:
 // svc.requests_accepted, svc.completed, svc.rejected.queue_full,
-// svc.rejected.shutdown, svc.deadline_expired, and the
-// svc.request_latency_ms histogram (admission -> completion).
+// svc.rejected.shutdown, svc.deadline_expired, the
+// svc.request_latency_ms histogram (admission -> completion), and the
+// svc.stage.* stage histograms — both unkeyed (svc.stage.solve_ms) and
+// keyed by wire version and lowercased policy
+// (svc.stage.solve_ms.v1.mintotaldistance).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/registry.hpp"
+#include "svc/access_log.hpp"
 #include "svc/plan_cache.hpp"
 #include "svc/wire.hpp"
 #include "util/thread_pool.hpp"
@@ -51,6 +68,12 @@ struct ServerOptions {
   std::size_t cache_capacity = 128;
   /// Request handler override; null = solve via svc::handle_request.
   Handler handler;
+  /// Structured access log; non-owning, may be null (no logging). Must
+  /// outlive the server.
+  AccessLog* access_log = nullptr;
+  /// Completed-request records retained for the admin tracez endpoint;
+  /// 0 disables the ring.
+  std::size_t recent_capacity = 256;
 };
 
 class Server {
@@ -66,19 +89,23 @@ class Server {
   /// Admits `request`. Returns true when accepted (the callback fires
   /// later from a worker); false when rejected, in which case the
   /// callback has already been invoked synchronously with a queue_full /
-  /// shutting_down error. Never blocks.
-  bool submit(Request request, ResponseCallback callback);
+  /// shutting_down error. Never blocks. `peer` labels the transport in
+  /// the access log and tracez ("stdio", "tcp", ...).
+  bool submit(Request request, ResponseCallback callback,
+              std::string peer = "local");
 
   /// Admits a v2 delta request — same backpressure, deadline, and drain
   /// semantics; served by svc::handle_delta against the server's cache.
-  bool submit(DeltaRequest request, ResponseCallback callback);
+  bool submit(DeltaRequest request, ResponseCallback callback,
+              std::string peer = "local");
 
   /// Parses one wire line of either form (full or v2 delta) and submits
   /// it. Malformed lines are answered synchronously with bad_request;
   /// lines naming a version this server does not speak get the
   /// structured unsupported_version error (id "" in both cases — the
   /// line never parsed far enough to trust one).
-  bool submit_line(const std::string& line, ResponseCallback callback);
+  bool submit_line(const std::string& line, ResponseCallback callback,
+                   std::string peer = "local");
 
   /// Stops admissions and blocks until every accepted request has been
   /// answered, then joins the workers. Idempotent; also run by the
@@ -89,17 +116,37 @@ class Server {
   std::size_t in_flight() const;
 
   PlanCache& cache() noexcept { return cache_; }
+  const PlanCache& cache() const noexcept { return cache_; }
+
+  const ServerOptions& options() const noexcept { return options_; }
 
   /// Per-server telemetry (svc.* instruments); exact under MWC_OBS=OFF.
   const obs::Registry& metrics() const noexcept { return metrics_; }
 
+  /// Copy of the completed-request ring (up to `recent_capacity`
+  /// records, unordered). Feeds the admin tracez endpoint.
+  std::vector<RequestRecord> recent_requests() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// One admitted request plus its request-scoped observability state.
+  struct Job {
+    ParsedRequest parsed;
+    std::string peer;
+    std::string trace_id;        ///< client-supplied or server-generated
+    bool trace_supplied = false;
+    StageTimings stages;
+  };
+
+  Job make_job(ParsedRequest parsed, std::string peer, double parse_ms);
   /// Shared admission path for both request forms.
-  bool admit(ParsedRequest job, ResponseCallback callback);
-  Response process(const ParsedRequest& job, Clock::time_point admitted);
-  void finish(const Response& response, const ResponseCallback& callback);
+  bool admit(Job job, ResponseCallback callback);
+  Response process(Job& job, Clock::time_point admitted);
+  void finish(const Job& job, Response response,
+              const ResponseCallback& callback);
+  void record_stages(const Job& job, const Response& response);
+  std::string generate_trace_id();
 
   ServerOptions options_;
   PlanCache cache_;
@@ -110,6 +157,13 @@ class Server {
   obs::Counter& rejected_shutdown_;
   obs::Counter& expired_;
   obs::Histogram& latency_ms_;
+
+  std::uint64_t trace_prefix_ = 0;  ///< random per-server id stream salt
+  std::atomic<std::uint64_t> trace_seq_{0};
+
+  mutable std::mutex recent_mutex_;
+  std::vector<RequestRecord> recent_;  ///< ring; recent_head_ = next slot
+  std::size_t recent_head_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable drained_cv_;

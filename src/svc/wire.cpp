@@ -214,10 +214,22 @@ PatchOp parse_patch_op(const Json& j) {
   return op;
 }
 
+/// Optional "trace_id": any non-empty string up to kMaxTraceIdLength.
+/// An explicitly empty string parses as absent (server generates).
+std::string parse_trace_id(const Json& doc) {
+  const Json* j = doc.find("trace_id");
+  if (j == nullptr) return {};
+  const std::string& id = j->as_string();
+  if (id.size() > kMaxTraceIdLength)
+    throw WireError("trace_id longer than 128 bytes");
+  return id;
+}
+
 DeltaRequest parse_delta(const Json& doc) {
   DeltaRequest request;
   request.id = doc.at("id").as_string();
   if (request.id.empty()) throw WireError("id must be non-empty");
+  request.trace_id = parse_trace_id(doc);
   request.base_fingerprint = parse_fingerprint(doc.at("base"), "base");
   const Json& patch = doc.at("patch");
   if (!patch.is_array()) throw WireError("patch must be an array");
@@ -237,6 +249,7 @@ Request parse_full(const Json& doc, WireVersion version) {
   request.version = version;
   request.id = doc.at("id").as_string();
   if (request.id.empty()) throw WireError("id must be non-empty");
+  request.trace_id = parse_trace_id(doc);
   if (const Json* policy = doc.find("policy"))
     request.policy = policy->as_string();
   request.network = parse_network(doc.at("network"));
@@ -331,6 +344,7 @@ std::string to_json(const Request& request) {
   Json doc = Json::object();
   doc.set("v", Json(wire_version_name(request.version)));
   doc.set("id", Json(request.id));
+  if (!request.trace_id.empty()) doc.set("trace_id", Json(request.trace_id));
   doc.set("policy", Json(request.policy));
   doc.set("network", network_json(request.network));
   doc.set("cycles", cycles_json(request.cycles));
@@ -345,6 +359,7 @@ std::string to_json(const DeltaRequest& request) {
   Json doc = Json::object();
   doc.set("v", Json(kWireVersionV2));
   doc.set("id", Json(request.id));
+  if (!request.trace_id.empty()) doc.set("trace_id", Json(request.trace_id));
   doc.set("base", Json(fingerprint_hex(request.base_fingerprint)));
   Json patch = Json::array();
   for (const PatchOp& op : request.patch) {
@@ -387,43 +402,87 @@ std::string to_json(const DeltaRequest& request) {
 }
 
 std::string to_jsonl(const Response& response) {
-  Json doc = Json::object();
-  doc.set("v", Json(wire_version_name(response.version)));
-  doc.set("id", Json(response.id));
-  doc.set("ok", Json(response.ok));
-  if (!response.ok) {
-    doc.set("error", Json(error_code_name(response.error)));
-    doc.set("message", Json(response.message));
+  // Responses are serialized once per request (serialize_ms on the
+  // stage breakdown), so this appends straight into the output string
+  // instead of building a Json tree — byte-identical to the tree form
+  // (golden_v1_test pins the exact bytes; keys are escape-free literals
+  // and values go through the shared append_json_* helpers).
+  std::string out;
+  out.reserve(256 + (response.plan != nullptr
+                         ? 24 * response.plan->num_sensor_charges + 512
+                         : 0));
+  out += "{\"v\":\"";
+  out += wire_version_name(response.version);
+  out += "\",\"id\":";
+  append_json_escaped(out, response.id);
+  // Both trace fields are conditional so trace-less v1 responses stay
+  // byte-identical to the pre-tracing wire format (golden_v1_test).
+  if (!response.trace_id.empty()) {
+    out += ",\"trace_id\":";
+    append_json_escaped(out, response.trace_id);
   }
-  doc.set("cached", Json(response.cached));
-  doc.set("latency_ms", Json(response.latency_ms));
+  out += response.ok ? ",\"ok\":true" : ",\"ok\":false";
+  if (!response.ok) {
+    out += ",\"error\":\"";
+    out += error_code_name(response.error);
+    out += "\",\"message\":";
+    append_json_escaped(out, response.message);
+  }
+  out += response.cached ? ",\"cached\":true" : ",\"cached\":false";
+  out += ",\"latency_ms\":";
+  append_json_number(out, response.latency_ms);
+  if (response.has_timings) {
+    out += ",\"t\":{\"parse_ms\":";
+    append_json_number(out, response.stages.parse_ms);
+    out += ",\"queue_ms\":";
+    append_json_number(out, response.stages.queue_ms);
+    out += ",\"cache_ms\":";
+    append_json_number(out, response.stages.cache_ms);
+    out += ",\"solve_ms\":";
+    append_json_number(out, response.stages.solve_ms);
+    out += '}';
+  }
   if (response.derived) {
-    doc.set("derived", Json(true));
-    doc.set("base", Json(fingerprint_hex(response.base_fingerprint)));
+    out += ",\"derived\":true,\"base\":\"";
+    out += fingerprint_hex(response.base_fingerprint);
+    out += '"';
   }
   if (response.ok && response.plan != nullptr) {
     const Plan& plan = *response.plan;
-    Json pj = Json::object();
-    Json tours = Json::array();
+    out += ",\"plan\":{\"first_round_tours\":[";
+    bool first_tour = true;
     for (const auto& tour : plan.first_round_tours) {
-      Json tj = Json::object();
-      tj.set("depot", Json(tour.depot));
-      Json order = Json::array();
-      for (std::size_t id : tour.sensors) order.push_back(Json(id));
-      tj.set("sensors", std::move(order));
-      tj.set("length", Json(tour.length));
-      tours.push_back(std::move(tj));
+      if (!first_tour) out += ',';
+      first_tour = false;
+      out += "{\"depot\":";
+      append_json_number(out, static_cast<double>(tour.depot));
+      out += ",\"sensors\":[";
+      bool first_id = true;
+      for (std::size_t id : tour.sensors) {
+        if (!first_id) out += ',';
+        first_id = false;
+        append_json_number(out, static_cast<double>(id));
+      }
+      out += "],\"length\":";
+      append_json_number(out, tour.length);
+      out += '}';
     }
-    pj.set("first_round_tours", std::move(tours));
-    pj.set("first_round_length", Json(plan.first_round_length));
-    pj.set("total_distance", Json(plan.total_distance));
-    pj.set("num_dispatches", Json(plan.num_dispatches));
-    pj.set("num_sensor_charges", Json(plan.num_sensor_charges));
-    pj.set("dead_sensors", Json(plan.dead_sensors));
-    pj.set("fingerprint", Json(fingerprint_hex(plan.fingerprint)));
-    doc.set("plan", std::move(pj));
+    out += "],\"first_round_length\":";
+    append_json_number(out, plan.first_round_length);
+    out += ",\"total_distance\":";
+    append_json_number(out, plan.total_distance);
+    out += ",\"num_dispatches\":";
+    append_json_number(out, static_cast<double>(plan.num_dispatches));
+    out += ",\"num_sensor_charges\":";
+    append_json_number(out, static_cast<double>(plan.num_sensor_charges));
+    out += ",\"dead_sensors\":";
+    append_json_number(out, static_cast<double>(plan.dead_sensors));
+    out += ",\"fingerprint\":\"";
+    out += fingerprint_hex(plan.fingerprint);
+    out += "\"}";
   }
-  return doc.dump() + "\n";
+  out += "}\n";
+  return out;
 }
 
 Response error_response(const std::string& id, ErrorCode code,

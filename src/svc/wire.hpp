@@ -75,8 +75,29 @@ struct CycleSpec {
   std::uint64_t seed = 1;
 };
 
+/// Maximum accepted length of a client-supplied trace id (longer ids
+/// are rejected with bad_request so access-log lines stay bounded).
+inline constexpr std::size_t kMaxTraceIdLength = 128;
+
+/// Per-request stage breakdown, filled in by the server as a request
+/// moves through the pipeline. Milliseconds, wall clock. `serialize_ms`
+/// is measured *around* the response callback, so it can only appear in
+/// the access log and tracez ring — never in the wire echo.
+struct StageTimings {
+  double parse_ms = 0.0;      ///< JSONL line -> ParsedRequest
+  double queue_ms = 0.0;      ///< admission -> worker dequeue
+  double cache_ms = 0.0;      ///< instance resolve + plan-cache probe
+  double solve_ms = 0.0;      ///< sim::solve_network / sim::replan_round
+  double serialize_ms = 0.0;  ///< Response -> JSONL line + write
+};
+
 struct Request {
   std::string id;
+  /// Optional client-supplied trace id, echoed in the response and used
+  /// to correlate spans / access-log lines. Empty = server generates one
+  /// (echoed on v2; omitted from v1 echoes to keep pre-tracing v1
+  /// responses byte-identical).
+  std::string trace_id;
   WireVersion version = WireVersion::kV1;
   std::string policy = "MinTotalDistance";
   NetworkSpec network;
@@ -116,6 +137,7 @@ struct PatchOp {
 /// `base_fingerprint` under a list of patch ops instead of re-solving.
 struct DeltaRequest {
   std::string id;
+  std::string trace_id;  ///< same semantics as Request::trace_id
   std::uint64_t base_fingerprint = 0;
   std::vector<PatchOp> patch;
   double deadline_ms = 0.0;  ///< same semantics as Request::deadline_ms
@@ -172,17 +194,30 @@ const char* error_code_name(ErrorCode code);
 
 struct Response {
   std::string id;
+  /// Trace id echo: serialized as "trace_id" when non-empty. The server
+  /// sets it to the client-supplied id (any version) or, for v2
+  /// requests, the server-generated one; v1 requests without a client
+  /// id leave it empty so pre-tracing v1 responses stay byte-identical.
+  std::string trace_id;
   WireVersion version = WireVersion::kV1;  ///< echoed negotiated version
   bool ok = false;
   ErrorCode error = ErrorCode::kNone;
   std::string message;
   bool cached = false;      ///< plan served from svc::PlanCache
   double latency_ms = 0.0;  ///< admission -> completion
+  /// Stage breakdown echo: serialized as "t" (parse/queue/cache/solve)
+  /// when `has_timings` — the server sets it whenever a trace id is
+  /// echoed.
+  StageTimings stages;
+  bool has_timings = false;
   std::shared_ptr<const Plan> plan;  ///< set iff ok
   /// Delta responses: the base fingerprint the plan was derived from
   /// (serialized as "base" alongside "derived":true). 0 = not derived.
   std::uint64_t base_fingerprint = 0;
   bool derived = false;
+  /// Effective policy label (request policy, or the base plan's policy
+  /// for deltas). Not serialized; feeds the access log and tracez.
+  std::string policy;
 };
 
 /// Parsing throws WireError (an std::runtime_error) on malformed JSON
@@ -236,6 +271,10 @@ class RequestBuilder {
 
   RequestBuilder& version(WireVersion v) {
     request_.version = v;
+    return *this;
+  }
+  RequestBuilder& trace_id(std::string id) {
+    request_.trace_id = std::move(id);
     return *this;
   }
   RequestBuilder& policy(std::string name) {
@@ -340,6 +379,10 @@ class DeltaBuilder {
   DeltaBuilder& charger_up(std::size_t charger) {
     request_.patch.push_back(
         PatchOp{PatchOpKind::kChargerUp, charger, {}, 0.0});
+    return *this;
+  }
+  DeltaBuilder& trace_id(std::string id) {
+    request_.trace_id = std::move(id);
     return *this;
   }
   DeltaBuilder& deadline_ms(double v) {

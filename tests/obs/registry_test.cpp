@@ -148,6 +148,76 @@ TEST(HistogramSnapshot, QuantileClampsOverflowBucketToObservedMax) {
   EXPECT_LE(snap.quantile(0.99), 7.0);
 }
 
+TEST(HistogramSnapshot, QuantileOnSingleBucketHistogram) {
+  Registry reg;
+  // One finite bucket (plus overflow) is the degenerate configuration:
+  // empty stays 0, and observations inside the finite bucket interpolate
+  // between the observed min and max, never outside.
+  Histogram& h = reg.histogram("lat", {10.0});
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("lat").quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("lat").quantile(1.0), 0.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(6.0);
+  const auto snap = reg.snapshot().histograms.at("lat");
+  EXPECT_GE(snap.quantile(0.0), 2.0);
+  EXPECT_LE(snap.quantile(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 6.0);
+  EXPECT_GE(snap.quantile(0.5), 2.0);
+  EXPECT_LE(snap.quantile(0.5), 6.0);
+}
+
+TEST(RegistrySnapshot, OpenMetricsRendersCountersGaugesHistograms) {
+  Registry reg;
+  reg.counter("svc.requests.accepted").add(3);
+  reg.gauge("svc.queue.depth").set(2.0);
+  Histogram& h = reg.histogram("svc.latency_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  const std::string text = reg.snapshot().to_openmetrics();
+  // Counters: sanitized name, TYPE line, _total suffix.
+  EXPECT_NE(text.find("# TYPE svc_requests_accepted counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_requests_accepted_total 3\n"), std::string::npos);
+  // Gauges export under the plain name.
+  EXPECT_NE(text.find("# TYPE svc_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_queue_depth 2\n"), std::string::npos);
+  // Histogram buckets are cumulative, with +Inf == count.
+  EXPECT_NE(text.find("# TYPE svc_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_count 3\n"), std::string::npos);
+  // The document terminates with the OpenMetrics EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(RegistrySnapshot, OpenMetricsOnEmptyRegistryIsJustEof) {
+  Registry reg;
+  EXPECT_EQ(reg.snapshot().to_openmetrics(), "# EOF\n");
+}
+
+TEST(Registry, WriteOpenMetricsRoundTrip) {
+  Registry reg;
+  reg.counter("a.b").add(1);
+  const std::string path =
+      ::testing::TempDir() + "/mwc_registry_test_openmetrics.txt";
+  ASSERT_TRUE(reg.write_openmetrics(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_EQ(buf.str(), reg.snapshot().to_openmetrics());
+  EXPECT_FALSE(reg.write_openmetrics("/nonexistent-dir/metrics.txt"));
+}
+
 TEST(HistogramSnapshot, QuantileIsMonotoneInQ) {
   Registry reg;
   Histogram& h = reg.histogram("lat", {0.5, 1.0, 2.0, 4.0, 8.0});

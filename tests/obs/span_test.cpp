@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "svc/json.hpp"
 
 namespace mwc::obs {
 namespace {
@@ -115,6 +116,84 @@ TEST(Trace, RingOverflowDropsOldestAndCounts) {
   // minimum the flood alone overflows by 100.
   EXPECT_EQ(trace_event_count(), kTraceRingCapacity);
   EXPECT_GE(trace_dropped_count(), 100u);
+}
+
+TEST(Trace, TraceContextStampsEventsAndRestores) {
+  TraceGuard guard;
+  set_trace_enabled(true);
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    TraceContext outer(42);
+    EXPECT_EQ(current_trace_id(), 42u);
+    { Span span("trace_test.ctx_outer"); }
+    {
+      TraceContext inner(7);
+      EXPECT_EQ(current_trace_id(), 7u);
+      { Span span("trace_test.ctx_inner"); }
+    }
+    EXPECT_EQ(current_trace_id(), 42u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+  { Span span("trace_test.ctx_none"); }
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].trace, 42u);
+  EXPECT_EQ(events[1].trace, 7u);
+  EXPECT_EQ(events[2].trace, 0u);
+}
+
+TEST(Trace, RingWraparoundKeepsNewestEvents) {
+  TraceGuard guard;
+  set_trace_enabled(true);
+  // Flood well past the ring capacity, stamping each span with a
+  // strictly increasing trace id so survivors are identifiable.
+  const std::size_t total = kTraceRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    TraceContext ctx(i + 1);
+    Span span("trace_test.wrap");
+  }
+  ASSERT_EQ(trace_event_count(), kTraceRingCapacity);
+  EXPECT_GE(trace_dropped_count(), 100u);
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), kTraceRingCapacity);
+  // Only the newest kTraceRingCapacity events survive: ids (101..total]
+  // for a clean run (fixtures may shift the window, never backwards).
+  std::uint64_t min_trace = ~0ull;
+  std::uint64_t max_trace = 0;
+  for (const TraceEvent& e : events) {
+    min_trace = std::min(min_trace, e.trace);
+    max_trace = std::max(max_trace, e.trace);
+  }
+  EXPECT_EQ(max_trace, static_cast<std::uint64_t>(total));
+  EXPECT_GE(min_trace, static_cast<std::uint64_t>(total) -
+                           kTraceRingCapacity + 1);
+}
+
+TEST(Trace, ChromeTraceAfterWraparoundIsValidJsonWithTraceArgs) {
+  TraceGuard guard;
+  set_trace_enabled(true);
+  for (std::size_t i = 0; i < kTraceRingCapacity + 10; ++i) {
+    TraceContext ctx(i + 1);
+    Span span("trace_test.wrapjson");
+  }
+  const std::string path =
+      ::testing::TempDir() + "/mwc_span_test_wrap_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+  // The whole document must stay parseable after the ring wrapped.
+  const svc::Json doc = svc::Json::parse(json);
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), kTraceRingCapacity);
+  // Every event carries its trace id as a 16-hex-digit args entry.
+  const auto& first = events.front();
+  const std::string& trace_hex = first.at("args").at("trace").as_string();
+  EXPECT_EQ(trace_hex.size(), 16u);
+  EXPECT_EQ(trace_hex.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
 }
 
 TEST(Trace, ThreadsGetDistinctTids) {

@@ -1,0 +1,185 @@
+#include "svc/access_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+
+namespace mwc::svc {
+namespace {
+
+RequestRecord sample_record(double latency_ms) {
+  RequestRecord record;
+  record.trace_id = "lg-0007";
+  record.id = "r7";
+  record.peer = "tcp";
+  record.policy = "MinTotalDistance";
+  record.version = WireVersion::kV1;
+  record.is_delta = false;
+  record.ok = true;
+  record.cached = true;
+  record.latency_ms = latency_ms;
+  record.stages.parse_ms = 0.01;
+  record.stages.queue_ms = 0.02;
+  record.stages.cache_ms = 0.03;
+  record.stages.solve_ms = 0.0;
+  record.stages.serialize_ms = 0.04;
+  record.ts_ms = 1723111845123;
+  return record;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AccessLog, RecordSerializesAllKeys) {
+  const std::string line = to_access_jsonl(sample_record(0.08));
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  const Json doc = Json::parse(line);
+  EXPECT_EQ(doc.at("ts_ms").as_int(), 1723111845123);
+  EXPECT_EQ(doc.at("trace_id").as_string(), "lg-0007");
+  EXPECT_EQ(doc.at("id").as_string(), "r7");
+  EXPECT_EQ(doc.at("peer").as_string(), "tcp");
+  EXPECT_EQ(doc.at("v").as_string(), "mwc.svc.v1");
+  EXPECT_EQ(doc.at("kind").as_string(), "full");
+  EXPECT_EQ(doc.at("policy").as_string(), "MinTotalDistance");
+  EXPECT_EQ(doc.at("outcome").as_string(), "ok");
+  EXPECT_TRUE(doc.at("cached").as_bool());
+  EXPECT_FALSE(doc.at("derived").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("latency_ms").as_double(), 0.08);
+  const Json& t = doc.at("t");
+  EXPECT_DOUBLE_EQ(t.at("parse_ms").as_double(), 0.01);
+  EXPECT_DOUBLE_EQ(t.at("queue_ms").as_double(), 0.02);
+  EXPECT_DOUBLE_EQ(t.at("cache_ms").as_double(), 0.03);
+  EXPECT_DOUBLE_EQ(t.at("solve_ms").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(t.at("serialize_ms").as_double(), 0.04);
+}
+
+TEST(AccessLog, ErrorRecordsCarryStructuredOutcome) {
+  RequestRecord record = sample_record(5.0);
+  record.ok = false;
+  record.error = ErrorCode::kQueueFull;
+  const Json doc = Json::parse(to_access_jsonl(record));
+  EXPECT_EQ(doc.at("outcome").as_string(), "queue_full");
+}
+
+TEST(AccessLog, DirectSerializerMatchesJsonTreeForm) {
+  // to_access_jsonl appends straight into the line for speed; it must
+  // stay byte-identical to the Json-tree form tracez serves, including
+  // string escaping and %.17g number rendering.
+  RequestRecord record = sample_record(0.123456789012345);
+  record.trace_id = "quote\"backslash\\ctrl\x01";
+  record.id = "";
+  record.is_delta = true;
+  record.derived = true;
+  record.stages.solve_ms = 17.25;
+  for (const RequestRecord& r :
+       {record, sample_record(0.08), sample_record(1e-9)}) {
+    EXPECT_EQ(to_access_jsonl(r), to_json(r).dump() + "\n");
+  }
+}
+
+TEST(AccessLog, WritesOneLinePerRecordAndCounts) {
+  const std::string path = ::testing::TempDir() + "/mwc_access_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    AccessLog log(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log.path(), path);
+    EXPECT_DOUBLE_EQ(log.slow_ms(), 0.0);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_TRUE(log.write(sample_record(0.1 * (i + 1))));
+    // Logging is asynchronous; flush() drains the logger thread and
+    // puts every accepted line on disk while the log is still open.
+    log.flush();
+    EXPECT_EQ(log.lines_written(), 3u);
+    ASSERT_EQ(read_lines(path).size(), 3u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    const Json doc = Json::parse(line);  // every line parses standalone
+    EXPECT_EQ(doc.at("id").as_string(), "r7");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AccessLog, SlowThresholdFiltersFastRequests) {
+  const std::string path =
+      ::testing::TempDir() + "/mwc_access_log_slow_test.jsonl";
+  std::remove(path.c_str());
+  {
+    AccessLog log(path, 10.0);
+    ASSERT_TRUE(log.ok());
+    EXPECT_DOUBLE_EQ(log.slow_ms(), 10.0);
+    EXPECT_FALSE(log.write(sample_record(0.5)));   // fast: dropped
+    EXPECT_FALSE(log.write(sample_record(9.99)));  // still under
+    EXPECT_TRUE(log.write(sample_record(10.0)));   // at threshold: kept
+    EXPECT_TRUE(log.write(sample_record(250.0)));
+    log.flush();
+    EXPECT_EQ(log.lines_written(), 2u);
+  }
+  EXPECT_EQ(read_lines(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(AccessLog, UnopenablePathNeverThrows) {
+  AccessLog log("/nonexistent-dir/access.jsonl");
+  EXPECT_FALSE(log.ok());
+  EXPECT_FALSE(log.write(sample_record(1.0)));
+  EXPECT_EQ(log.lines_written(), 0u);
+}
+
+TEST(AccessLog, ServerWritesRecordsForCompletedRequests) {
+  const std::string path =
+      ::testing::TempDir() + "/mwc_access_log_server_test.jsonl";
+  std::remove(path.c_str());
+  AccessLog log(path);
+  ASSERT_TRUE(log.ok());
+
+  ServerOptions options;
+  options.threads = 1;
+  options.access_log = &log;
+  Server server(options);
+  Request request;
+  request.id = "al1";
+  request.trace_id = "al-trace-1";
+  request.network.deployment.n = 12;
+  request.network.deployment.q = 2;
+  request.network.deployment.field_side = 100.0;
+  request.network.seed = 5;
+  request.horizon = 50.0;
+  std::promise<Response> answered;
+  ASSERT_TRUE(server.submit(
+      std::move(request), [&](const Response& r) { answered.set_value(r); },
+      "unit"));
+  ASSERT_TRUE(answered.get_future().get().ok);
+  server.shutdown();
+  log.flush();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const Json doc = Json::parse(lines.front());
+  EXPECT_EQ(doc.at("id").as_string(), "al1");
+  EXPECT_EQ(doc.at("trace_id").as_string(), "al-trace-1");
+  EXPECT_EQ(doc.at("peer").as_string(), "unit");
+  EXPECT_EQ(doc.at("outcome").as_string(), "ok");
+  EXPECT_GT(doc.at("ts_ms").as_int(), 0);
+  EXPECT_GE(doc.at("latency_ms").as_double(), 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mwc::svc

@@ -1,0 +1,216 @@
+#include "svc/admin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+
+namespace mwc::svc {
+namespace {
+
+Request tiny_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.network.deployment.n = 12;
+  request.network.deployment.q = 2;
+  request.network.deployment.field_side = 100.0;
+  request.network.seed = 5;
+  request.horizon = 50.0;
+  return request;
+}
+
+/// Serves `count` identical tiny instances through the default engine
+/// handler so the server has live queue/cache/ring state to introspect.
+void serve_some(Server& server, int count) {
+  for (int i = 0; i < count; ++i) {
+    std::promise<Response> answered;
+    Request request = tiny_request("a" + std::to_string(i));
+    request.trace_id = "admin-test-" + std::to_string(i);
+    ASSERT_TRUE(server.submit(std::move(request), [&](const Response& r) {
+      answered.set_value(r);
+    }));
+    ASSERT_TRUE(answered.get_future().get().ok);
+  }
+}
+
+AdminInfo test_info() {
+  AdminInfo info;
+  info.build = "test-build";
+  info.transport = "test";
+  info.start_us = obs::now_us();
+  info.metrics_out = "/tmp/met.json";
+  return info;
+}
+
+Json handle(const AdminHandler& admin, const std::string& line) {
+  std::string response;
+  EXPECT_TRUE(admin.try_handle(line, &response));
+  EXPECT_FALSE(response.empty());
+  EXPECT_EQ(response.back(), '\n');
+  return Json::parse(response);
+}
+
+TEST(Admin, NonAdminLinesFallThrough) {
+  ServerOptions options;
+  options.threads = 1;
+  Server server(options);
+  const AdminHandler admin(server, test_info());
+
+  std::string out = "untouched";
+  // A scheduling request is not admin traffic.
+  EXPECT_FALSE(admin.try_handle(
+      R"({"id":"r1","network":{"preset":{"n":2,"q":1}},)"
+      R"("cycles":{"values":[1,2]}})",
+      &out));
+  // "admin" as a VALUE is not an admin request either.
+  EXPECT_FALSE(admin.try_handle(R"({"id":"x","policy":"admin"})", &out));
+  // Malformed JSON mentioning admin falls through to the scheduling
+  // parser, which owns the bad_request answer.
+  EXPECT_FALSE(admin.try_handle(R"({"admin": oops)", &out));
+  // Non-object documents too.
+  EXPECT_FALSE(admin.try_handle(R"(["admin"])", &out));
+  EXPECT_EQ(out, "untouched");
+  server.shutdown();
+}
+
+TEST(Admin, StatuszReportsServerState) {
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 7;
+  options.cache_capacity = 4;
+  Server server(options);
+  serve_some(server, 3);
+  const AdminHandler admin(server, test_info());
+
+  const Json doc = handle(admin, R"({"admin":"statusz","id":"s1"})");
+  EXPECT_EQ(doc.at("v").as_string(), kAdminVersion);
+  EXPECT_EQ(doc.at("id").as_string(), "s1");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  const Json& s = doc.at("statusz");
+  EXPECT_EQ(s.at("build").as_string(), "test-build");
+  EXPECT_EQ(s.at("transport").as_string(), "test");
+  EXPECT_GE(s.at("uptime_s").as_double(), 0.0);
+  EXPECT_EQ(s.at("queue").at("capacity").as_int(), 7);
+  // The worker decrements in_flight after the response callback runs,
+  // so the last request may still be winding down here.
+  EXPECT_LE(s.at("queue").at("in_flight").as_int(), 1);
+  EXPECT_GE(s.at("queue").at("in_flight").as_int(), 0);
+  // Three identical requests: one miss, two hits.
+  EXPECT_EQ(s.at("cache").at("size").as_int(), 1);
+  EXPECT_EQ(s.at("cache").at("capacity").as_int(), 4);
+  EXPECT_EQ(s.at("cache").at("hits").as_int(), 2);
+  EXPECT_EQ(s.at("cache").at("misses").as_int(), 1);
+  EXPECT_NEAR(s.at("cache").at("hit_rate").as_double(), 2.0 / 3.0, 1e-9);
+  server.shutdown();
+}
+
+TEST(Admin, MetricsServesJsonAndOpenMetricsForms) {
+  ServerOptions options;
+  options.threads = 1;
+  Server server(options);
+  serve_some(server, 1);
+  const AdminHandler admin(server, test_info());
+
+  const Json plain = handle(admin, R"({"admin":"metrics","id":"m1"})");
+  ASSERT_TRUE(plain.at("ok").as_bool());
+  // The embedded document is the global registry's mwc.metrics.v1 form.
+  const Json& metrics = plain.at("metrics");
+#if MWC_OBS_ENABLED
+  EXPECT_NE(metrics.find("counters"), nullptr);
+#else
+  // Kill switch: the admin surface stays up, the snapshot is empty.
+  EXPECT_TRUE(metrics.is_object());
+#endif
+
+  const Json om = handle(
+      admin, R"({"admin":"metrics","id":"m2","format":"openmetrics"})");
+  ASSERT_TRUE(om.at("ok").as_bool());
+  const std::string& text = om.at("openmetrics").as_string();
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+
+  const Json bad = handle(
+      admin, R"({"admin":"metrics","id":"m3","format":"xml"})");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "bad_request");
+  server.shutdown();
+}
+
+TEST(Admin, TracezReturnsSlowestRequestsWithStageBreakdown) {
+  ServerOptions options;
+  options.threads = 1;
+  options.recent_capacity = 8;
+  Server server(options);
+  serve_some(server, 5);
+  const AdminHandler admin(server, test_info());
+
+  const Json doc = handle(admin, R"({"admin":"tracez","id":"t1","limit":3})");
+  ASSERT_TRUE(doc.at("ok").as_bool());
+  const Json& t = doc.at("tracez");
+  EXPECT_EQ(t.at("ring_capacity").as_int(), 8);
+  EXPECT_EQ(t.at("count").as_int(), 3);
+  const auto& slowest = t.at("slowest").items();
+  ASSERT_EQ(slowest.size(), 3u);
+  double previous = slowest.front().at("latency_ms").as_double();
+  for (const Json& r : slowest) {
+    const double latency = r.at("latency_ms").as_double();
+    EXPECT_LE(latency, previous);  // sorted slowest-first
+    previous = latency;
+    EXPECT_EQ(r.at("trace_id").as_string().rfind("admin-test-", 0), 0u);
+    EXPECT_EQ(r.at("kind").as_string(), "full");
+    EXPECT_EQ(r.at("outcome").as_string(), "ok");
+    // The full stage breakdown, serialize included, is visible here.
+    EXPECT_NE(r.at("t").find("serialize_ms"), nullptr);
+  }
+
+  const Json bad = handle(admin, R"({"admin":"tracez","id":"t2","limit":0})");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  server.shutdown();
+}
+
+TEST(Admin, ConfigEchoesOptionsAndDaemonInfo) {
+  ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 5;
+  options.cache_capacity = 3;
+  options.recent_capacity = 11;
+  Server server(options);
+  const AdminHandler admin(server, test_info());
+
+  const Json doc = handle(admin, R"({"admin":"config","id":"c1"})");
+  ASSERT_TRUE(doc.at("ok").as_bool());
+  const Json& c = doc.at("config");
+  EXPECT_EQ(c.at("queue_capacity").as_int(), 5);
+  EXPECT_EQ(c.at("threads").as_int(), 2);
+  EXPECT_EQ(c.at("cache_capacity").as_int(), 3);
+  EXPECT_EQ(c.at("recent_capacity").as_int(), 11);
+  EXPECT_EQ(c.at("metrics_out").as_string(), "/tmp/met.json");
+  EXPECT_EQ(c.at("access_log").as_string(), "");
+  server.shutdown();
+}
+
+TEST(Admin, UnknownCommandIsStructuredError) {
+  ServerOptions options;
+  options.threads = 1;
+  Server server(options);
+  const AdminHandler admin(server, test_info());
+
+  const Json doc = handle(admin, R"({"admin":"reboot","id":"u1"})");
+  EXPECT_EQ(doc.at("v").as_string(), kAdminVersion);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error").as_string(), "bad_request");
+  EXPECT_NE(doc.at("message").as_string().find("statusz"),
+            std::string::npos);
+
+  // Non-string command values are also structured errors, not crashes.
+  const Json numeric = handle(admin, R"({"admin":42,"id":"u2"})");
+  EXPECT_FALSE(numeric.at("ok").as_bool());
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace mwc::svc

@@ -71,6 +71,50 @@ TEST(GoldenV1, UnknownPolicyErrorIsByteIdentical) {
       "\n");
 }
 
+TEST(GoldenV1, ClientTraceIdResponseIsByteIdentical) {
+  // The one additive change on the v1 surface: a client that OPTS IN by
+  // supplying trace_id gets it echoed (right after "id") plus the stage
+  // breakdown "t" (after latency_ms). Stage timings are nondeterministic
+  // like latency, so the serve() helper here zeroes them too.
+  Response response = handle_request(
+      parse_request(
+          R"({"v":"mwc.svc.v1","id":"g1","trace_id":"golden-1",)"
+          R"("network":{"preset":{"n":25,"q":2,"field":400,"seed":11}},)"
+          R"("cycles":{"values":[5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,)"
+          R"(5,5,5,5,5]},"horizon":120})"),
+      nullptr);
+  response.latency_ms = 0.0;
+  response.stages = StageTimings{};
+  response.has_timings = true;
+  EXPECT_EQ(
+      to_jsonl(response),
+      R"({"v":"mwc.svc.v1","id":"g1","trace_id":"golden-1","ok":true,)"
+      R"("cached":false,"latency_ms":0,"t":{"parse_ms":0,"queue_ms":0,)"
+      R"("cache_ms":0,"solve_ms":0},"plan":{"first_round_tours":[{"depot":0,)"
+      R"("sensors":[17,3,11,14,20,9,2,7,23,10,24,8,18,21,12,5,13,22,0],)"
+      R"("length":1481.0445615993488},{"depot":1,)"
+      R"("sensors":[19,1,6,15,16,4],"length":410.28973032833323}],)"
+      R"("first_round_length":1891.334291927682,)"
+      R"("total_distance":43500.688714336713,"num_dispatches":23,)"
+      R"("num_sensor_charges":575,"dead_sensors":0,)"
+      R"("fingerprint":"0c0f1095d4693a41"}})"
+      "\n");
+}
+
+TEST(GoldenV1, NoClientTraceIdLeavesResponseUntouched) {
+  // Without the opt-in, the solved-preset golden above must hold exactly:
+  // no trace_id key, no "t" key, same bytes the seed served. (The
+  // SolvedPresetResponseIsByteIdentical test pins the full bytes; this
+  // one makes the invariant explicit against accidental echo.)
+  const std::string got = serve(
+      R"({"v":"mwc.svc.v1","id":"g1",)"
+      R"("network":{"preset":{"n":25,"q":2,"field":400,"seed":11}},)"
+      R"("cycles":{"values":[5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,5,)"
+      R"(5,5,5,5,5]},"horizon":120})");
+  EXPECT_EQ(got.find("trace_id"), std::string::npos);
+  EXPECT_EQ(got.find("\"t\":"), std::string::npos);
+}
+
 TEST(GoldenV1, ParseErrorIsByteIdentical) {
   std::string message;
   try {

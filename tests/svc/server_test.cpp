@@ -292,6 +292,97 @@ TEST(Server, LatencyHistogramObservesEveryCompletion) {
   EXPECT_GE(hist.quantile(0.99), hist.quantile(0.5));
 }
 
+TEST(Server, V1EchoesSuppliedTraceIdAndTimings) {
+  ServerOptions options;
+  options.threads = 1;
+  Server server(options);
+
+  // Client-supplied trace id: echoed verbatim with stage timings.
+  std::promise<Response> traced;
+  Request with_trace = tiny_request("t1");
+  with_trace.trace_id = "client-abc";
+  ASSERT_TRUE(server.submit(std::move(with_trace), [&](const Response& r) {
+    traced.set_value(r);
+  }));
+  const Response echoed = traced.get_future().get();
+  ASSERT_TRUE(echoed.ok) << echoed.message;
+  EXPECT_EQ(echoed.trace_id, "client-abc");
+  EXPECT_TRUE(echoed.has_timings);
+  EXPECT_GT(echoed.stages.solve_ms, 0.0);
+
+  // No client trace id on v1: the response omits it (byte-stability).
+  std::promise<Response> plain;
+  ASSERT_TRUE(server.submit(tiny_request("t2"), [&](const Response& r) {
+    plain.set_value(r);
+  }));
+  const Response untraced = plain.get_future().get();
+  ASSERT_TRUE(untraced.ok);
+  EXPECT_TRUE(untraced.trace_id.empty());
+  EXPECT_FALSE(untraced.has_timings);
+  server.shutdown();
+}
+
+TEST(Server, V2ResponsesAlwaysCarryAGeneratedTraceId) {
+  ServerOptions options;
+  options.threads = 1;
+  options.cache_capacity = 4;
+  Server server(options);
+
+  std::promise<Response> solved;
+  ASSERT_TRUE(server.submit(tiny_request("base"), [&](const Response& r) {
+    solved.set_value(r);
+  }));
+  const Response base = solved.get_future().get();
+  ASSERT_TRUE(base.ok) << base.message;
+
+  // v2 delta without a client trace id: the server generates a 16-hex
+  // id and echoes it.
+  std::promise<Response> derived;
+  ASSERT_TRUE(server.submit(DeltaBuilder("d1", base.plan->fingerprint)
+                                .move_sensor(1, {5.0, 5.0})
+                                .build(),
+                            [&](const Response& r) {
+                              derived.set_value(r);
+                            }));
+  const Response v2 = derived.get_future().get();
+  ASSERT_TRUE(v2.ok) << v2.message;
+  ASSERT_EQ(v2.trace_id.size(), 16u);
+  EXPECT_EQ(v2.trace_id.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_TRUE(v2.has_timings);
+  server.shutdown();
+}
+
+TEST(Server, RecentRequestRingKeepsNewestUpToCapacity) {
+  ServerOptions options;
+  options.threads = 1;
+  options.recent_capacity = 4;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  Server server(options);
+  for (int i = 0; i < 7; ++i) {
+    std::promise<Response> answered;
+    ASSERT_TRUE(server.submit(tiny_request("r" + std::to_string(i)),
+                              [&](const Response& r) {
+                                answered.set_value(r);
+                              }));
+    answered.get_future().get();
+  }
+  server.shutdown();
+  const auto recent = server.recent_requests();
+  ASSERT_EQ(recent.size(), 4u);
+  // The four newest ids survive, the first three were overwritten.
+  std::size_t newest = 0;
+  for (const auto& record : recent) {
+    EXPECT_NE(record.id, "r0");
+    EXPECT_NE(record.id, "r1");
+    EXPECT_NE(record.id, "r2");
+    if (record.id == "r6") ++newest;
+  }
+  EXPECT_EQ(newest, 1u);
+}
+
 TEST(Server, EndToEndSolvesThroughDefaultEngineHandler) {
   ServerOptions options;
   options.threads = 2;

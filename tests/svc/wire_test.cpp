@@ -191,6 +191,82 @@ TEST(Wire, V1ErrorResponseBytesArePinned) {
             "\n");
 }
 
+TEST(Wire, TraceIdParsesOnFullAndDeltaRequests) {
+  const Request full = parse_request(
+      R"({"id":"r1","trace_id":"abc-123","network":{"preset":{"n":2,"q":1}},)"
+      R"("cycles":{"values":[1,2]}})");
+  EXPECT_EQ(full.trace_id, "abc-123");
+
+  const ParsedRequest delta = parse_any_request(
+      R"({"v":"mwc.svc.v2","id":"d1","trace_id":"abc-124",)"
+      R"("base":"0c0f1095d4693a41",)"
+      R"("patch":[{"op":"charger_down","charger":0}]})");
+  ASSERT_TRUE(delta.is_delta);
+  EXPECT_EQ(delta.delta.trace_id, "abc-124");
+
+  // Absent trace_id stays empty (server generates one).
+  const Request plain = parse_request(
+      R"({"id":"r2","network":{"preset":{"n":2,"q":1}},)"
+      R"("cycles":{"values":[1,2]}})");
+  EXPECT_TRUE(plain.trace_id.empty());
+}
+
+TEST(Wire, TraceIdRoundTripsThroughBuilders) {
+  RequestBuilder builder("r1");
+  builder.policy("Greedy").preset(4, 1, 100.0, 3).cycle_values({1, 2, 3, 4});
+  builder.trace_id("lg-0007");
+  const Request parsed = parse_request(builder.to_json_line());
+  EXPECT_EQ(parsed.trace_id, "lg-0007");
+
+  DeltaBuilder delta("d1", 0x0c0f1095d4693a41ull);
+  delta.move_sensor(0, {1.0, 2.0}).trace_id("lg-0008");
+  const ParsedRequest dparsed = parse_any_request(delta.to_json_line());
+  ASSERT_TRUE(dparsed.is_delta);
+  EXPECT_EQ(dparsed.delta.trace_id, "lg-0008");
+}
+
+TEST(Wire, OversizedTraceIdIsRejected) {
+  const std::string long_id(kMaxTraceIdLength + 1, 'x');
+  EXPECT_THROW(parse_request(R"({"id":"r1","trace_id":")" + long_id +
+                             R"(","network":{"preset":{"n":2,"q":1}},)" +
+                             R"("cycles":{"values":[1,2]}})"),
+               WireError);
+  const std::string max_id(kMaxTraceIdLength, 'x');
+  EXPECT_EQ(parse_request(R"({"id":"r1","trace_id":")" + max_id +
+                          R"(","network":{"preset":{"n":2,"q":1}},)" +
+                          R"("cycles":{"values":[1,2]}})")
+                .trace_id,
+            max_id);
+}
+
+TEST(Wire, ResponseEchoesTraceIdAndStageTimingsWhenSet) {
+  Response r = error_response("r9", ErrorCode::kQueueFull, "queue full");
+  r.trace_id = "abc-999";
+  r.stages.parse_ms = 0.25;
+  r.stages.queue_ms = 1.5;
+  r.stages.cache_ms = 0.0;
+  r.stages.solve_ms = 3.0;
+  r.has_timings = true;
+  const std::string line = to_jsonl(r);
+  const Json doc = Json::parse(line);
+  EXPECT_EQ(doc.at("trace_id").as_string(), "abc-999");
+  const Json& t = doc.at("t");
+  EXPECT_DOUBLE_EQ(t.at("parse_ms").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(t.at("queue_ms").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(t.at("cache_ms").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(t.at("solve_ms").as_double(), 3.0);
+  // serialize_ms is not part of the wire echo (it is measured around the
+  // write itself); it lives in the access log and tracez instead.
+  EXPECT_EQ(t.find("serialize_ms"), nullptr);
+}
+
+TEST(Wire, ResponseWithoutTraceIdOmitsTraceAndTimingKeys) {
+  const Response r = error_response("r9", ErrorCode::kQueueFull, "full");
+  const std::string line = to_jsonl(r);
+  EXPECT_EQ(line.find("trace_id"), std::string::npos);
+  EXPECT_EQ(line.find("\"t\":"), std::string::npos);
+}
+
 TEST(Wire, ParseAnyRequestDispatchesOnBaseKey) {
   // A v2 line WITHOUT "base" is still a full request.
   const ParsedRequest full = parse_any_request(

@@ -31,7 +31,12 @@
 //   --threads N       forwarded to the spawned child
 //   --cache-capacity N forwarded to the spawned child
 //   --metrics-out F   forwarded to the spawned child
+//   --trace-id-prefix P  stamp request trace_ids as "P-<id>"; the server
+//                     echoes them plus a per-stage timing breakdown
+//                     ("t": parse/queue/cache/solve ms), which feeds the
+//                     stage-latency table printed after the run
 //   --json FILE       write the report as JSON
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -66,7 +71,14 @@ struct Transport {
   pid_t child = -1;
 
   void close_write() {
-    if (write_fd >= 0) ::close(write_fd);
+    if (write_fd >= 0) {
+      // TCP transport: read_fd is a dup of the same socket, so close()
+      // alone would not half-close the connection and the daemon would
+      // never see EOF. shutdown() is a no-op error (ENOTSOCK) on the
+      // spawned-child pipe.
+      ::shutdown(write_fd, SHUT_WR);
+      ::close(write_fd);
+    }
     write_fd = -1;
   }
 
@@ -155,7 +167,13 @@ struct Tally {
   std::string fingerprint;  ///< latest plan fingerprint (delta base)
 };
 
-void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency) {
+/// Server-side stage names, in pipeline order, matching the keys of the
+/// "t" timing echo on traced responses.
+constexpr std::array<const char*, 4> kStageKeys = {
+    "parse_ms", "queue_ms", "cache_ms", "solve_ms"};
+
+void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency,
+                 const std::array<mwc::obs::Histogram*, 4>& stages) {
   std::FILE* in = ::fdopen(fd, "r");
   if (in == nullptr) return;
   char* buffer = nullptr;
@@ -188,6 +206,14 @@ void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency) {
       } else {
         ++tally.errors;
         ++tally.errors_by_code[doc.at("error").as_string()];
+      }
+      // Traced responses (and all v2 responses) echo the server-side
+      // stage breakdown; errors carry one too.
+      if (const auto* t = doc.find("t")) {
+        for (std::size_t k = 0; k < kStageKeys.size(); ++k) {
+          if (const auto* v = t->find(kStageKeys[k]))
+            stages[k]->observe(v->as_double());
+        }
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bad response line: %s\n", e.what());
@@ -234,6 +260,10 @@ int main(int argc, char** argv) {
   const double field_side = args.get_double_or("field", 1000.0);
   const double horizon = args.get_double_or("horizon", 1000.0);
   const double deadline_ms = args.get_double_or("deadline-ms", 0.0);
+  const std::string trace_prefix = args.get_or("trace-id-prefix", "");
+  const auto trace_for = [&](const std::string& id) {
+    return trace_prefix.empty() ? std::string() : trace_prefix + "-" + id;
+  };
   const auto full_request = [&](const std::string& id,
                                 std::uint64_t topology_seed) {
     mwc::svc::RequestBuilder builder(id);
@@ -242,6 +272,7 @@ int main(int argc, char** argv) {
         .cycle_model({}, base_seed)
         .horizon(horizon)
         .deadline_ms(deadline_ms);
+    if (!trace_prefix.empty()) builder.trace_id(trace_for(id));
     return builder.to_json_line();
   };
 
@@ -263,12 +294,20 @@ int main(int argc, char** argv) {
 
   Tally tally;
   mwc::obs::Registry local;
-  mwc::obs::Histogram& latency = local.histogram(
-      "loadgen.latency_ms",
-      {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
-       250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0});
+  const std::vector<double> latency_buckets{
+      0.05, 0.1,  0.25,  0.5,   1.0,    2.5,    5.0,    10.0,   25.0,
+      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  mwc::obs::Histogram& latency =
+      local.histogram("loadgen.latency_ms", latency_buckets);
+  // Server-side stage breakdown, fed from the "t" echo on responses that
+  // carry a trace id (--trace-id-prefix, or any v2 delta response).
+  std::array<mwc::obs::Histogram*, 4> stage_hists{};
+  for (std::size_t k = 0; k < kStageKeys.size(); ++k) {
+    stage_hists[k] = &local.histogram(
+        std::string("loadgen.stage.") + kStageKeys[k], latency_buckets);
+  }
   std::thread reader([&] {
-    reader_loop(transport.read_fd, tally, latency);
+    reader_loop(transport.read_fd, tally, latency, stage_hists);
     transport.read_fd = -1;  // reader closed it
   });
 
@@ -325,13 +364,13 @@ int main(int argc, char** argv) {
       // caches) a new plan against the same base fingerprint.
       id = "d" + std::to_string(i);
       const double di = static_cast<double>(i);
-      line = mwc::svc::DeltaBuilder(id, base_fingerprint)
-                 .move_sensor(i % n,
-                              {std::fmod(37.0 * di + 11.0, field_side),
+      mwc::svc::DeltaBuilder builder(id, base_fingerprint);
+      builder
+          .move_sensor(i % n, {std::fmod(37.0 * di + 11.0, field_side),
                                std::fmod(53.0 * di + 29.0, field_side)})
-                 .deadline_ms(deadline_ms)
-                 .to_json_line() +
-             "\n";
+          .deadline_ms(deadline_ms);
+      if (!trace_prefix.empty()) builder.trace_id(trace_for(id));
+      line = builder.to_json_line() + "\n";
     } else {
       id = "r" + std::to_string(i);
       const std::uint64_t instance =
@@ -376,6 +415,27 @@ int main(int argc, char** argv) {
   for (const auto& [code, n] : tally.errors_by_code)
     std::printf("  error %s: %zu\n", code.c_str(), n);
 
+  // Per-run stage-latency table (server-side breakdown); rows only exist
+  // when responses echoed timings.
+  bool any_stages = false;
+  for (const char* key : kStageKeys) {
+    const auto& h = snapshot.histograms.at(std::string("loadgen.stage.") + key);
+    if (h.count > 0) any_stages = true;
+  }
+  if (any_stages) {
+    std::printf("server stage ms:   %8s %8s %8s %8s %8s\n", "mean", "p50",
+                "p95", "p99", "max");
+    for (const char* key : kStageKeys) {
+      const auto& h =
+          snapshot.histograms.at(std::string("loadgen.stage.") + key);
+      const double stage_mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      std::printf("  %-16s %8.3f %8.3f %8.3f %8.3f %8.3f\n", key, stage_mean,
+                  h.quantile(0.50), h.quantile(0.95), h.quantile(0.99),
+                  h.max);
+    }
+  }
+
   if (const auto json_path = args.get("json")) {
     mwc::svc::Json doc = mwc::svc::Json::object();
     doc.set("mode", mwc::svc::Json(delta_mode ? std::string("delta") : mode));
@@ -396,6 +456,25 @@ int main(int argc, char** argv) {
     doc.set("latency_ms_p50", mwc::svc::Json(p50));
     doc.set("latency_ms_p95", mwc::svc::Json(p95));
     doc.set("latency_ms_p99", mwc::svc::Json(p99));
+    if (any_stages) {
+      mwc::svc::Json stages_doc = mwc::svc::Json::object();
+      for (const char* key : kStageKeys) {
+        const auto& h =
+            snapshot.histograms.at(std::string("loadgen.stage.") + key);
+        mwc::svc::Json s = mwc::svc::Json::object();
+        s.set("count", mwc::svc::Json(static_cast<double>(h.count)));
+        s.set("mean",
+              mwc::svc::Json(h.count > 0
+                                 ? h.sum / static_cast<double>(h.count)
+                                 : 0.0));
+        s.set("p50", mwc::svc::Json(h.quantile(0.50)));
+        s.set("p95", mwc::svc::Json(h.quantile(0.95)));
+        s.set("p99", mwc::svc::Json(h.quantile(0.99)));
+        s.set("max", mwc::svc::Json(h.max));
+        stages_doc.set(key, std::move(s));
+      }
+      doc.set("stage_ms", std::move(stages_doc));
+    }
     std::FILE* f = std::fopen(json_path->c_str(), "w");
     if (f == nullptr) {
       std::perror("fopen --json");

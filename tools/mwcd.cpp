@@ -1,29 +1,41 @@
 // mwcd — the mwc::svc scheduling daemon.
 //
-// Speaks the mwc.svc.v1 JSONL wire protocol (one request per line, one
-// response per line, matched by id; see docs/SERVICE.md). Two transports:
+// Speaks the mwc.svc.v1/v2 JSONL wire protocol (one request per line, one
+// response per line, matched by id; see docs/SERVICE.md) plus the
+// mwc.svc.admin.v1 introspection family ({"admin":"statusz|metrics|
+// tracez|config"}, see docs/OBSERVABILITY.md) on the same transport.
+// Two transports:
 //
-//   * stdin/stdout (default): reads requests until EOF, then drains all
-//     accepted work and exits — the mode mwc_loadgen and the CI smoke
-//     job drive through a pipe;
+//   * stdin/stdout (default): reads requests until EOF or SIGINT/SIGTERM,
+//     then drains all accepted work and exits — the mode mwc_loadgen and
+//     the CI smoke job drive through a pipe;
 //   * TCP (--port N): listens on 127.0.0.1:N, one thread per connection,
 //     same line protocol per connection; SIGINT/SIGTERM stops accepting
 //     and drains.
 //
+// Both transports write the --metrics-out / --trace-out sidecars on
+// *every* graceful exit path, signals included (stdio uses a self-pipe so
+// a Ctrl-C'd run doesn't lose its metrics).
+//
 // Flags:
-//   --queue-depth N      max in-flight requests before queue_full (64)
-//   --threads N          solver worker threads (0 = hardware)
-//   --cache-capacity N   PlanCache capacity in plans; 0 disables (128)
-//   --port N             serve TCP on 127.0.0.1:N instead of stdin/stdout
-//   --metrics-out FILE   write the global obs registry (mwc.metrics.v1
-//                        JSON) after draining
-//   --trace-out FILE     enable span collection, write a Chrome trace
+//   --queue-depth N          max in-flight requests before queue_full (64)
+//   --threads N              solver worker threads (0 = hardware)
+//   --cache-capacity N       PlanCache capacity in plans; 0 disables (128)
+//   --port N                 serve TCP on 127.0.0.1:N instead of stdio
+//   --metrics-out FILE       write the global obs registry (mwc.metrics.v1
+//                            JSON) after draining
+//   --trace-out FILE         enable span collection, write a Chrome trace
+//   --access-log FILE        append one JSONL line per completed request
+//   --access-log-slow-ms MS  only log requests slower than MS (0 = all)
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <csignal>
+#include <functional>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -31,17 +43,22 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/obs.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "svc/access_log.hpp"
+#include "svc/admin.hpp"
 #include "svc/server.hpp"
 #include "svc/wire.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
+using mwc::svc::AdminHandler;
 using mwc::svc::Response;
 using mwc::svc::Server;
 
@@ -51,7 +68,11 @@ class LineSink {
   explicit LineSink(std::FILE* out) : out_(out) {}
 
   void write(const Response& response) {
-    const std::string line = mwc::svc::to_jsonl(response);
+    write_line(mwc::svc::to_jsonl(response));
+  }
+
+  /// Raw pre-serialized JSONL line (admin responses).
+  void write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mutex_);
     std::fwrite(line.data(), 1, line.size(), out_);
     std::fflush(out_);
@@ -62,13 +83,85 @@ class LineSink {
   std::mutex mutex_;
 };
 
-int run_stdio(Server& server) {
-  LineSink sink(stdout);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    server.submit_line(line, [&sink](const Response& r) { sink.write(r); });
+/// Dispatches one inbound line: admin requests answer synchronously,
+/// everything else goes through the server's admission path.
+void dispatch_line(Server& server, const AdminHandler& admin,
+                   const std::string& line, LineSink& sink, const char* peer,
+                   const std::function<void(const Response&)>& callback) {
+  std::string admin_response;
+  if (admin.try_handle(line, &admin_response)) {
+    sink.write_line(admin_response);
+    return;
   }
+  server.submit_line(line, callback, peer);
+}
+
+// Self-pipe: signal handlers write one byte, the stdio poll loop wakes
+// up and begins a graceful drain — so SIGINT/SIGTERM runs still write
+// their --metrics-out / --trace-out sidecars (async-signal-safe, unlike
+// doing the drain in the handler).
+std::atomic<int> g_signal_pipe_w{-1};
+
+void notify_signal_pipe(int) {
+  const int fd = g_signal_pipe_w.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+int run_stdio(Server& server, const AdminHandler& admin) {
+  LineSink sink(stdout);
+  const auto callback = [&sink](const Response& r) { sink.write(r); };
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  g_signal_pipe_w.store(pipe_fds[1], std::memory_order_relaxed);
+  std::signal(SIGINT, notify_signal_pipe);
+  std::signal(SIGTERM, notify_signal_pipe);
+
+  std::string pending;
+  char buffer[65536];
+  bool signaled = false;
+  while (!signaled) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {pipe_fds[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;  // handler ran before the pipe write
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      signaled = true;  // drain accepted work, skip unread input
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof buffer);
+    if (got <= 0) break;  // EOF (or read error): drain and exit
+    pending.append(buffer, static_cast<std::size_t>(got));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      while (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty())
+        dispatch_line(server, admin, line, sink, "stdio", callback);
+    }
+    pending.erase(0, start);
+  }
+  // A final unterminated line is still a request (EOF ends it).
+  while (!pending.empty() &&
+         (pending.back() == '\n' || pending.back() == '\r'))
+    pending.pop_back();
+  if (!pending.empty() && !signaled)
+    dispatch_line(server, admin, pending, sink, "stdio", callback);
+
+  g_signal_pipe_w.store(-1, std::memory_order_relaxed);
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
   server.shutdown();
   return 0;
 }
@@ -80,7 +173,7 @@ void stop_listening(int) {
   if (fd >= 0) ::close(fd);  // unblocks accept() with an error
 }
 
-void serve_connection(Server& server, int fd) {
+void serve_connection(Server& server, const AdminHandler& admin, int fd) {
   std::FILE* in = ::fdopen(fd, "r");
   if (in == nullptr) {
     ::close(fd);
@@ -98,6 +191,12 @@ void serve_connection(Server& server, int fd) {
     std::mutex done_mutex;
     std::condition_variable done_cv;
     std::size_t pending = 0;
+    const auto callback = [&](const Response& r) {
+      sink.write(r);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      --pending;
+      done_cv.notify_all();
+    };
     char* buffer = nullptr;
     std::size_t buffer_size = 0;
     ssize_t got;
@@ -106,16 +205,16 @@ void serve_connection(Server& server, int fd) {
       while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
         line.pop_back();
       if (line.empty()) continue;
+      std::string admin_response;
+      if (admin.try_handle(line, &admin_response)) {
+        sink.write_line(admin_response);
+        continue;
+      }
       {
         std::lock_guard<std::mutex> lock(done_mutex);
         ++pending;
       }
-      server.submit_line(line, [&](const Response& r) {
-        sink.write(r);
-        std::lock_guard<std::mutex> lock(done_mutex);
-        --pending;
-        done_cv.notify_all();
-      });
+      server.submit_line(line, callback, "tcp");
     }
     std::free(buffer);
     std::unique_lock<std::mutex> lock(done_mutex);
@@ -125,7 +224,7 @@ void serve_connection(Server& server, int fd) {
   std::fclose(in);
 }
 
-int run_tcp(Server& server, int port) {
+int run_tcp(Server& server, const AdminHandler& admin, int port) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -154,7 +253,7 @@ int run_tcp(Server& server, int port) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by a stop signal
     connections.emplace_back(
-        [&server, fd] { serve_connection(server, fd); });
+        [&server, &admin, fd] { serve_connection(server, admin, fd); });
   }
   for (auto& t : connections) t.join();
   server.shutdown();
@@ -165,6 +264,7 @@ int run_tcp(Server& server, int port) {
 
 int main(int argc, char** argv) {
   mwc::CliArgs args(argc, argv);
+  const double start_us = mwc::obs::now_us();
 
   mwc::svc::ServerOptions options;
   options.queue_capacity =
@@ -174,14 +274,41 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int_or("cache-capacity", 128));
   const std::string metrics_path = args.get_or("metrics-out", "");
   const std::string trace_path = args.get_or("trace-out", "");
+  const std::string access_log_path = args.get_or("access-log", "");
+  const double access_log_slow_ms =
+      args.get_double_or("access-log-slow-ms", 0.0);
   const int port = static_cast<int>(args.get_int_or("port", 0));
   if (!trace_path.empty()) mwc::obs::set_trace_enabled(true);
+
+  std::unique_ptr<mwc::svc::AccessLog> access_log;
+  if (!access_log_path.empty()) {
+    access_log = std::make_unique<mwc::svc::AccessLog>(access_log_path,
+                                                       access_log_slow_ms);
+    if (!access_log->ok()) {
+      std::fprintf(stderr, "mwcd: cannot open access log %s\n",
+                   access_log_path.c_str());
+      return 1;
+    }
+    options.access_log = access_log.get();
+  }
 
   int rc;
   {
     Server server(options);
-    rc = port > 0 ? run_tcp(server, port) : run_stdio(server);
+    mwc::svc::AdminInfo info;
+    info.build = std::string("mwcd libmwc/1.0.0 (obs ") +
+                 (MWC_OBS_ENABLED != 0 ? "on" : "off") + ")";
+    info.transport = port > 0 ? "tcp" : "stdio";
+    info.start_us = start_us;
+    info.metrics_out = metrics_path;
+    info.trace_out = trace_path;
+    AdminHandler admin(server, info);
+    rc = port > 0 ? run_tcp(server, admin, port) : run_stdio(server, admin);
   }
+
+  // The log is asynchronous; tear it down before the sidecars so that
+  // once metrics.json exists, every access-log line is on disk too.
+  access_log.reset();
 
   if (!metrics_path.empty() &&
       !mwc::obs::Registry::global().write_json(metrics_path)) {
