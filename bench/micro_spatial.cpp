@@ -1,14 +1,34 @@
-// Microbenchmark: uniform-grid vs kd-tree nearest-neighbour queries over
-// sensor deployments (the spatial-index design choice called out in
-// DESIGN.md). Uniform deployments favour the grid; the kd-tree is
-// insensitive to clustering.
-#include <benchmark/benchmark.h>
-
+// Microbenchmark: uniform-grid vs kd-tree nearest-neighbour and k-NN
+// queries over sensor deployments (the spatial-index design choice called
+// out in DESIGN.md), plus a SoA brute-force baseline through the
+// geom::simd row kernel. Uniform deployments favour the grid; the
+// kd-tree is insensitive to clustering; brute force wins only at tiny n.
+//
+//   ./micro_spatial [--n 10000] [--queries 2048] [--k 12]
+//                   [--json PATH] [--metrics-out PATH]
+//
+// The two indexes are also cross-checked on every k-NN query: both must
+// return the identical (index, distance) list — the tie-break contract
+// pinned by tests/geom/soa_test.cpp — so a bench run doubles as an
+// agreement sweep at sizes the unit tests don't reach.
+//
+// scripts/bench_spatial.sh loops n in {1k, 10k, 100k}, merges the JSON
+// outputs into BENCH_spatial.json, and validates the --metrics-out
+// sidecar (the geom.simd.* counters) with scripts/validate_metrics.py.
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "geom/grid_index.hpp"
 #include "geom/kdtree.hpp"
+#include "geom/simd.hpp"
+#include "geom/soa.hpp"
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -43,69 +63,138 @@ std::vector<Point> clustered_points(std::size_t n, std::uint64_t seed) {
   return pts;
 }
 
-std::vector<Point> queries(std::size_t n, std::uint64_t seed) {
-  return uniform_points(n, seed);
+/// Per-query microseconds for `fn(q)` over every query point.
+template <typename Fn>
+double per_query_us(std::span<const Point> queries, Fn&& fn) {
+  mwc::Timer timer;
+  for (const Point& q : queries) fn(q);
+  return timer.elapsed_ms() * 1e3 / static_cast<double>(queries.size());
 }
-
-template <typename MakePoints>
-void bench_grid(benchmark::State& state, MakePoints&& make) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto pts = make(n, 1);
-  const GridIndex index(pts, BBox::square(1000.0));
-  const auto qs = queries(1024, 2);
-  std::size_t qi = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index.nearest(qs[qi++ & 1023]));
-  }
-}
-
-template <typename MakePoints>
-void bench_kdtree(benchmark::State& state, MakePoints&& make) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto pts = make(n, 1);
-  const KdTree index(pts);
-  const auto qs = queries(1024, 2);
-  std::size_t qi = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index.nearest(qs[qi++ & 1023]));
-  }
-}
-
-void BM_GridNN_Uniform(benchmark::State& state) {
-  bench_grid(state, uniform_points);
-}
-void BM_KdTreeNN_Uniform(benchmark::State& state) {
-  bench_kdtree(state, uniform_points);
-}
-void BM_GridNN_Clustered(benchmark::State& state) {
-  bench_grid(state, clustered_points);
-}
-void BM_KdTreeNN_Clustered(benchmark::State& state) {
-  bench_kdtree(state, clustered_points);
-}
-
-BENCHMARK(BM_GridNN_Uniform)->Range(256, 4096);
-BENCHMARK(BM_KdTreeNN_Uniform)->Range(256, 4096);
-BENCHMARK(BM_GridNN_Clustered)->Range(256, 4096);
-BENCHMARK(BM_KdTreeNN_Clustered)->Range(256, 4096);
-
-void BM_GridBuild(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto pts = uniform_points(n, 3);
-  for (auto _ : state) {
-    GridIndex index(pts, BBox::square(1000.0));
-    benchmark::DoNotOptimize(index.size());
-  }
-}
-void BM_KdTreeBuild(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto pts = uniform_points(n, 3);
-  for (auto _ : state) {
-    KdTree index(pts);
-    benchmark::DoNotOptimize(index.size());
-  }
-}
-BENCHMARK(BM_GridBuild)->Range(256, 4096);
-BENCHMARK(BM_KdTreeBuild)->Range(256, 4096);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mwc;
+  CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int_or("n", 10'000));
+  const auto num_queries =
+      static_cast<std::size_t>(args.get_int_or("queries", 2048));
+  const auto k = static_cast<std::size_t>(args.get_int_or("k", 12));
+  const std::string json_path = args.get_or("json", "");
+  const std::string metrics_path = args.get_or("metrics-out", "");
+
+  const auto uniform = uniform_points(n, 1);
+  const auto clustered = clustered_points(n, 1);
+  const auto queries = uniform_points(num_queries, 2);
+  double checksum = 0.0;  // defeats dead-code elimination
+
+  // Build times (one cold build each; construction is not the hot path).
+  Timer timer;
+  const GridIndex grid(uniform, BBox::of(uniform.begin(), uniform.end()));
+  const double grid_build_ms = timer.elapsed_ms();
+  timer.reset();
+  const KdTree kd(uniform);
+  const double kd_build_ms = timer.elapsed_ms();
+  const GridIndex grid_clustered(
+      clustered, BBox::of(clustered.begin(), clustered.end()));
+  const KdTree kd_clustered(clustered);
+
+  // Nearest-neighbour throughput, uniform and clustered deployments.
+  const double grid_nn_us = per_query_us(
+      queries, [&](const Point& q) { checksum += grid.nearest(q); });
+  const double kd_nn_us = per_query_us(
+      queries, [&](const Point& q) { checksum += kd.nearest(q); });
+  const double grid_nn_clustered_us = per_query_us(
+      queries, [&](const Point& q) { checksum += grid_clustered.nearest(q); });
+  const double kd_nn_clustered_us = per_query_us(
+      queries, [&](const Point& q) { checksum += kd_clustered.nearest(q); });
+
+  // k-NN throughput; every query doubles as a cross-index agreement
+  // check (identical sorted (index, distance) lists, ties included).
+  std::size_t disagreements = 0;
+  const double grid_knn_us = per_query_us(queries, [&](const Point& q) {
+    checksum += grid.knearest(q, k).back().second;
+  });
+  const double kd_knn_us = per_query_us(queries, [&](const Point& q) {
+    checksum += kd.knearest(q, k).back().second;
+  });
+  for (const Point& q : queries) {
+    if (kd.knearest(q, k) != grid.knearest(q, k)) ++disagreements;
+  }
+
+  // Brute-force baseline: one geom::simd squared-distance row over the
+  // SoA coordinates per query, then a scalar argmin. Linear in n, but at
+  // small n it beats both indexes' pointer chasing — the crossover is
+  // the design datum this bench exists to record.
+  const geom::PointsSoA soa{std::span<const Point>(uniform)};
+  std::vector<double> d2(n);
+  const double brute_nn_us = per_query_us(queries, [&](const Point& q) {
+    geom::simd::distance2_row(q.x, q.y, soa.xs().data(), soa.ys().data(),
+                              d2.data(), n);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (d2[i] < d2[best]) best = i;
+    checksum += static_cast<double>(best);
+  });
+
+  std::printf("micro_spatial: n=%zu queries=%zu k=%zu backend=%s\n", n,
+              num_queries, k, geom::simd::backend());
+  std::printf("  build        grid %8.3f ms   kdtree %8.3f ms\n",
+              grid_build_ms, kd_build_ms);
+  std::printf("  nn uniform   grid %8.3f us   kdtree %8.3f us   brute %8.3f us\n",
+              grid_nn_us, kd_nn_us, brute_nn_us);
+  std::printf("  nn clustered grid %8.3f us   kdtree %8.3f us\n",
+              grid_nn_clustered_us, kd_nn_clustered_us);
+  std::printf("  knn (k=%zu)   grid %8.3f us   kdtree %8.3f us   (%zu/%zu "
+              "disagreements)\n",
+              k, grid_knn_us, kd_knn_us, disagreements, num_queries);
+  std::printf("  (checksum %.3f)\n", checksum);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_spatial\",\n"
+                 "  \"n\": %zu,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"k\": %zu,\n"
+                 "  \"backend\": \"%s\",\n"
+                 "  \"grid_build_ms\": %.6f,\n"
+                 "  \"kd_build_ms\": %.6f,\n"
+                 "  \"grid_nn_us\": %.6f,\n"
+                 "  \"kd_nn_us\": %.6f,\n"
+                 "  \"brute_nn_us\": %.6f,\n"
+                 "  \"grid_nn_clustered_us\": %.6f,\n"
+                 "  \"kd_nn_clustered_us\": %.6f,\n"
+                 "  \"grid_knn_us\": %.6f,\n"
+                 "  \"kd_knn_us\": %.6f,\n"
+                 "  \"knn_disagreements\": %zu\n"
+                 "}\n",
+                 n, num_queries, k, geom::simd::backend(), grid_build_ms,
+                 kd_build_ms, grid_nn_us, kd_nn_us, brute_nn_us,
+                 grid_nn_clustered_us, kd_nn_clustered_us, grid_knn_us,
+                 kd_knn_us, disagreements);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (obs::Registry::global().write_json(metrics_path)) {
+      std::printf("wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (disagreements != 0) {
+    std::fprintf(stderr,
+                 "FAIL: kd-tree and grid k-NN lists disagree on %zu/%zu "
+                 "queries\n",
+                 disagreements, num_queries);
+    return 1;
+  }
+  return 0;
+}

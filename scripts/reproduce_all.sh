@@ -36,8 +36,13 @@ ABLS="abl_tour_improvement abl_charger_count abl_rounding abl_fleet \
   done
   echo
   "$BUILD/bench/micro_oracle" --reps 10 --json "$OUT/BENCH_oracle.json"
+  echo
+  scripts/bench_kernels.sh "$OUT/BENCH_kernels.json"
+  echo
+  scripts/bench_spatial.sh "$OUT/BENCH_spatial.json"
 } | tee "$OUT/reproduction_run.txt"
 
 echo
 echo "done: tables in $OUT/reproduction_run.txt, CSVs and SVG charts in $OUT/,"
-echo "      oracle timings in $OUT/BENCH_oracle.json"
+echo "      oracle timings in $OUT/BENCH_oracle.json, SIMD kernel grid in"
+echo "      $OUT/BENCH_kernels.json, spatial-index grid in $OUT/BENCH_spatial.json"

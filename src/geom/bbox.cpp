@@ -14,7 +14,7 @@ void BBox::expand(const Point& p) {
 double BBox::distance2_to(const Point& p) const {
   const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
   const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
-  return dx * dx + dy * dy;
+  return squared_norm(dx, dy);
 }
 
 }  // namespace mwc::geom

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "geom/simd.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 
@@ -9,13 +10,16 @@ namespace mwc::geom {
 
 DistanceMatrix::DistanceMatrix(std::span<const Point> points)
     : n_(points.size()), d_(points.size() * points.size(), 0.0) {
+  // Full-row SIMD fills instead of the seed's mirrored upper triangle:
+  // each pair is evaluated twice, but with unit-stride vector kernels
+  // that is still much faster, and symmetry is exact anyway
+  // ((xi-xj)^2 == (xj-xi)^2 bit-for-bit).
+  const PointsSoA soa(points);
   for (std::size_t i = 0; i < n_; ++i) {
-    d_[i * n_ + i] = 0.0;
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const double dij = distance(points[i], points[j]);
-      d_[i * n_ + j] = dij;
-      d_[j * n_ + i] = dij;
-    }
+    double* row = d_.data() + i * n_;
+    simd::distance_row(soa.x(i), soa.y(i), soa.xs().data(), soa.ys().data(),
+                       row, n_);
+    row[i] = 0.0;
   }
 }
 
@@ -29,7 +33,11 @@ bool DistanceMatrix::satisfies_triangle_inequality(double tol) const {
 
 LazyDistanceMatrix::LazyDistanceMatrix(std::vector<Point> points)
     : pts_(std::move(points)),
-      d_(pts_.size() * pts_.size(), 0.0),
+      soa_(std::span<const Point>(pts_)),
+      // Deliberately uninitialized: zero-filling n^2 doubles costs more
+      // than many consumers' whole probe set, and every row is written by
+      // fill_row before its ready flag ever lets a reader in.
+      d_(pts_.empty() ? nullptr : new double[pts_.size() * pts_.size()]),
       state_(pts_.empty() ? nullptr
                           : new std::atomic<std::uint8_t>[pts_.size()]) {
   for (std::size_t i = 0; i < pts_.size(); ++i)
@@ -38,9 +46,9 @@ LazyDistanceMatrix::LazyDistanceMatrix(std::vector<Point> points)
 
 void LazyDistanceMatrix::fill_row(std::size_t i) const {
   const std::size_t n = pts_.size();
-  double* row = d_.data() + i * n;
-  const Point& p = pts_[i];
-  for (std::size_t j = 0; j < n; ++j) row[j] = distance(p, pts_[j]);
+  double* row = d_.get() + i * n;
+  simd::distance_row(soa_.x(i), soa_.y(i), soa_.xs().data(), soa_.ys().data(),
+                     row, n);
   row[i] = 0.0;
   MWC_OBS_COUNT("oracle.rows_materialized");
   MWC_OBS_COUNT_N("oracle.row_fill_entries", n);
@@ -63,6 +71,11 @@ void LazyDistanceMatrix::ensure_row(std::size_t i) const {
 
 void LazyDistanceMatrix::materialize_all() const {
   for (std::size_t i = 0; i < pts_.size(); ++i) ensure_row(i);
+}
+
+void LazyDistanceMatrix::reset() {
+  for (std::size_t i = 0; i < pts_.size(); ++i)
+    state_[i].store(0, std::memory_order_relaxed);
 }
 
 std::size_t LazyDistanceMatrix::rows_materialized() const noexcept {

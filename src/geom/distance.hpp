@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "geom/point.hpp"
+#include "geom/soa.hpp"
 
 namespace mwc::geom {
 
@@ -67,6 +68,10 @@ class LazyDistanceMatrix {
   bool empty() const noexcept { return pts_.empty(); }
   std::span<const Point> points() const noexcept { return pts_; }
 
+  /// The same points deinterleaved, for callers that batch their own
+  /// probes through geom/simd.hpp instead of materializing rows here.
+  const PointsSoA& soa() const noexcept { return soa_; }
+
   double operator()(std::size_t i, std::size_t j) const {
     ensure_row(i);
     return d_[i * pts_.size() + j];
@@ -75,12 +80,17 @@ class LazyDistanceMatrix {
   /// Row i as a contiguous span, materializing it if needed.
   std::span<const double> row(std::size_t i) const {
     ensure_row(i);
-    return {d_.data() + i * pts_.size(), pts_.size()};
+    return {d_.get() + i * pts_.size(), pts_.size()};
   }
 
   /// Eagerly fills every remaining row (e.g. before a measurement where
   /// first-touch cost should not be attributed to the consumer).
   void materialize_all() const;
+
+  /// Drops every cached row (storage is kept, so the next fills reuse
+  /// already-faulted pages). Bench helper; not safe against concurrent
+  /// readers.
+  void reset();
 
   /// Rows currently materialized (cache-occupancy statistic).
   std::size_t rows_materialized() const noexcept;
@@ -90,7 +100,10 @@ class LazyDistanceMatrix {
   void fill_row(std::size_t i) const;
 
   std::vector<Point> pts_;
-  mutable std::vector<double> d_;
+  PointsSoA soa_;
+  /// Row-major n x n storage, allocated uninitialized (see the ctor);
+  /// row i is valid only once state_[i] reads 2.
+  mutable std::unique_ptr<double[]> d_;
   /// Per-row state: 0 = empty, 1 = being filled, 2 = ready.
   mutable std::unique_ptr<std::atomic<std::uint8_t>[]> state_;
 };

@@ -95,7 +95,7 @@ std::pair<std::size_t, double> GridIndex::nearest_with_distance(
       // Minimum distance from query to any cell in this ring.
       const double ring_gap =
           (static_cast<double>(ring) - 1.0) * std::min(cell_w_, cell_h_);
-      if (ring_gap > 0.0 && ring_gap * ring_gap > best_d2) break;
+      if (ring_gap > 0.0 && squared_norm(ring_gap, 0.0) > best_d2) break;
     }
     bool visited_any = false;
     for (long long dy = -ring; dy <= ring; ++dy) {
@@ -155,7 +155,8 @@ std::vector<std::pair<std::size_t, double>> GridIndex::knearest(
       // Closest possible point in this ring cannot displace the k-th best.
       const double ring_gap =
           (static_cast<double>(ring) - 1.0) * std::min(cell_w_, cell_h_);
-      if (ring_gap > 0.0 && ring_gap * ring_gap > heap.front().first) break;
+      if (ring_gap > 0.0 && squared_norm(ring_gap, 0.0) > heap.front().first)
+        break;
     }
     bool visited_any = false;
     for (long long dy = -ring; dy <= ring; ++dy) {

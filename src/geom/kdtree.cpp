@@ -52,7 +52,8 @@ void KdTree::nn_search(std::size_t node, const Point& query,
   const std::size_t near_child = delta < 0.0 ? nd.left : nd.right;
   const std::size_t far_child = delta < 0.0 ? nd.right : nd.left;
   nn_search(near_child, query, best, best_d2);
-  if (delta * delta < best_d2) nn_search(far_child, query, best, best_d2);
+  if (squared_norm(delta, 0.0) < best_d2)
+    nn_search(far_child, query, best, best_d2);
 }
 
 std::pair<std::size_t, double> KdTree::nearest_with_distance(
@@ -90,8 +91,12 @@ void KdTree::knn_search(
   const std::size_t far_child = delta < 0.0 ? nd.right : nd.left;
   knn_search(near_child, query, k, heap);
   // The far side can only contribute while the heap is short or the
-  // splitting plane is closer than the current k-th best.
-  if (heap.size() < k || delta * delta < heap.front().first)
+  // splitting plane is no farther than the current k-th best. The bound
+  // must be inclusive: a far-side point at *exactly* the k-th distance
+  // with a smaller index wins the (d2, index) tie-break, and a strict
+  // prune would discard it (GridIndex scans whole cells and never prunes
+  // such ties — tests/geom/soa_test.cpp pins the two indexes identical).
+  if (heap.size() < k || squared_norm(delta, 0.0) <= heap.front().first)
     knn_search(far_child, query, k, heap);
 }
 
@@ -121,7 +126,7 @@ void KdTree::range_search(std::size_t node, const Point& query, double r2,
   const std::size_t near_child = delta < 0.0 ? nd.left : nd.right;
   const std::size_t far_child = delta < 0.0 ? nd.right : nd.left;
   range_search(near_child, query, r2, out);
-  if (delta * delta <= r2) range_search(far_child, query, r2, out);
+  if (squared_norm(delta, 0.0) <= r2) range_search(far_child, query, r2, out);
 }
 
 std::vector<std::size_t> KdTree::within(const Point& query,

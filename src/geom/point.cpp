@@ -5,7 +5,7 @@
 namespace mwc::geom {
 
 double distance(const Point& a, const Point& b) {
-  return std::hypot(a.x - b.x, a.y - b.y);
+  return std::sqrt(distance2(a, b));
 }
 
 std::ostream& operator<<(std::ostream& os, const Point& p) {

@@ -28,12 +28,31 @@ struct Point {
   double norm() const { return std::sqrt(norm2()); }
 };
 
-/// Euclidean distance.
+/// The one definition of squared Euclidean arithmetic: dx*dx + dy*dy in
+/// exactly this order. Every distance path — Point/BBox overloads, the
+/// KdTree/GridIndex pruning tests, and the SIMD kernels in geom/simd.hpp
+/// (per-lane) — routes through this helper, so the scalar fallback and
+/// every vector backend compute bit-identical values.
+constexpr double squared_norm(double dx, double dy) {
+  return dx * dx + dy * dy;
+}
+
+/// Squared Euclidean distance on raw coordinates (the SoA form).
+constexpr double distance2(double ax, double ay, double bx, double by) {
+  return squared_norm(ax - bx, ay - by);
+}
+
+/// Euclidean distance. Defined as sqrt(distance2): one IEEE-correctly-
+/// rounded sqrt over the squared norm, which is the form the SIMD kernels
+/// evaluate per lane — scalar and vector paths are bit-identical. (The
+/// seed used std::hypot here; the sqrt form trades hypot's overflow
+/// robustness beyond ~1e154 — far outside any deployment field — for a
+/// single vectorizable definition. See docs/ALGORITHMS.md §9.)
 double distance(const Point& a, const Point& b);
 
 /// Squared Euclidean distance (avoids the sqrt in comparisons).
 constexpr double distance2(const Point& a, const Point& b) {
-  return (a - b).norm2();
+  return distance2(a.x, a.y, b.x, b.y);
 }
 
 /// Dot product of position vectors.

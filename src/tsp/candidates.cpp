@@ -5,6 +5,7 @@
 #include "geom/bbox.hpp"
 #include "geom/grid_index.hpp"
 #include "geom/kdtree.hpp"
+#include "geom/simd.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 
@@ -68,6 +69,16 @@ CandidateGraph CandidateGraph::repair(const CandidateGraph& base,
   graph.k_ = k;
   graph.flat_.assign(n * k, 0);
 
+  // Fresh-point coordinates, deinterleaved once: the break-in scan below
+  // evaluates every clean row against the same fresh set, so it becomes
+  // one SIMD squared-distance row per survivor.
+  const std::size_t nf = remap.fresh.size();
+  std::vector<double> fx(nf), fy(nf), fd2(nf);
+  for (std::size_t t = 0; t < nf; ++t) {
+    fx[t] = new_points[remap.fresh[t]].x;
+    fy[t] = new_points[remap.fresh[t]].y;
+  }
+
   const geom::KdTree index(new_points);
   std::size_t repaired = 0;
   std::vector<std::size_t> row(k);
@@ -87,12 +98,17 @@ CandidateGraph CandidateGraph::repair(const CandidateGraph& base,
     if (!dirty) {
       // Survivor distances are unchanged and compaction preserves index
       // order, so the remapped row stays sorted; it is exact unless a
-      // fresh point now beats its k-th entry (ties break on index).
+      // fresh point now beats its k-th entry (ties break on index). One
+      // batched squared-distance row over the fresh set, then the
+      // original comparison loop in the original order (bit-identical —
+      // the kernel's per-lane arithmetic is geom::distance2).
       const double kth = geom::distance2(new_points[v], new_points[row[k - 1]]);
-      for (std::size_t f : remap.fresh) {
+      geom::simd::distance2_row(new_points[v].x, new_points[v].y, fx.data(),
+                                fy.data(), fd2.data(), nf);
+      for (std::size_t t = 0; t < nf; ++t) {
+        const std::size_t f = remap.fresh[t];
         if (f == v) continue;
-        const double d = geom::distance2(new_points[v], new_points[f]);
-        if (d < kth || (d == kth && f < row[k - 1])) {
+        if (fd2[t] < kth || (fd2[t] == kth && f < row[k - 1])) {
           dirty = true;
           break;
         }

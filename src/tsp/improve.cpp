@@ -202,6 +202,10 @@ double two_opt_candidates(Tour& tour, const DistanceView& points,
   const std::size_t max_steps = opts.max_passes * n * 8 + 64;
   std::size_t steps = 0;
 
+  // Scratch for the batched candidate scans (reused across steps).
+  std::vector<std::size_t> cs, es;
+  std::vector<double> d_ac, d_ce, d_be;
+
   double total_gain = 0.0;
   while (head < queue.size() && steps < max_steps) {
     const std::size_t a = queue[head++];
@@ -230,22 +234,38 @@ double two_opt_candidates(Tour& tour, const DistanceView& points,
                                        : order[(pa + n - 1) % n];
         const double d_ab = dist(points, a, b);
         ++counts.probes;
+        // Gather the valid (c, e) pairs in candidate-row order, batch
+        // the three distance arrays through the SIMD kernels, then
+        // replay the original selection loop over the results — same
+        // comparisons in the same order, so the chosen move (and hence
+        // the tour) is bit-identical to the per-probe scan.
+        cs.clear();
+        es.clear();
         for (const std::size_t c : cand.neighbors(a)) {
           ++counts.cand_evals;
           if (pos[c] == kNpos || c == b) continue;
-          const double d_ac = dist(points, a, c);
-          ++counts.probes;
           const std::size_t pc = pos[c];
           const std::size_t e = dir == 0 ? order[(pc + 1) % n]
                                          : order[(pc + n - 1) % n];
           if (e == a) continue;
-          const double gain = d_ab + dist(points, c, e) - d_ac -
-                              dist(points, b, e);
-          counts.probes += 2;
+          cs.push_back(c);
+          es.push_back(e);
+        }
+        if (cs.empty()) continue;
+        d_ac.resize(cs.size());
+        d_ce.resize(cs.size());
+        d_be.resize(cs.size());
+        points.distances_to(a, cs, d_ac.data());
+        points.distances_pairs(cs, es, d_ce.data());
+        points.distances_to(b, es, d_be.data());
+        counts.probes += 3 * cs.size();
+        for (std::size_t t = 0; t < cs.size(); ++t) {
+          const double gain = d_ab + d_ce[t] - d_ac[t] - d_be[t];
           if (gain <= best_gain) continue;
 
           // Removed edges sit at tour positions lo/hi; reversing the
           // inner segment installs (a,c) and (b,e).
+          const std::size_t pc = pos[cs[t]];
           std::size_t lo = dir == 0 ? pa : (pa + n - 1) % n;
           std::size_t hi = dir == 0 ? pc : (pc + n - 1) % n;
           if (lo > hi) std::swap(lo, hi);
@@ -253,8 +273,8 @@ double two_opt_candidates(Tour& tour, const DistanceView& points,
           best_lo = lo;
           best_hi = hi;
           best_b = b;
-          best_c = c;
-          best_e = e;
+          best_c = cs[t];
+          best_e = es[t];
         }
       }
       if (best_gain > opts.min_gain) {
@@ -293,20 +313,15 @@ double or_opt_candidates(Tour& tour, const DistanceView& points,
       if (v < pos.size() && pos[v] != kNpos) dont_look[v] = 0;
   }
 
-  // Evaluates inserting the segment after node u (tour successor v) in
-  // the given orientation: forward puts s0 next to u, reversed puts s1
-  // there. Returns the signed delta (< 0 improves). The reversed
-  // orientation is extra power the exhaustive sweep doesn't have — it
-  // claws back some of the slots candidate pruning can't see.
-  const auto insertion_delta = [&](std::size_t u, std::size_t v,
-                                   std::size_t s0, std::size_t s1,
-                                   double removal_gain, bool reversed) {
-    counts.probes += 3;
-    const std::size_t head = reversed ? s1 : s0;
-    const std::size_t tail = reversed ? s0 : s1;
-    return dist(points, u, head) + dist(points, tail, v) -
-           dist(points, u, v) - removal_gain;
-  };
+  // Candidate slots accumulate here per segment, in the exact order the
+  // per-probe version evaluated them; three batched pair-distance calls
+  // then feed the original comparator replay. Inserting after node u
+  // (tour successor v) in the forward orientation puts s0 next to u; the
+  // reversed orientation puts s1 there — extra power the exhaustive
+  // sweep doesn't have, clawing back slots candidate pruning can't see.
+  std::vector<std::size_t> us, vs, heads, tails;
+  std::vector<char> revs;
+  std::vector<double> d_uh, d_tv, d_uv;
 
   double total_gain = 0.0;
   for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
@@ -335,25 +350,22 @@ double or_opt_candidates(Tour& tour, const DistanceView& points,
           return pv >= i && pv < i + seg_len;
         };
 
-        double best_delta = -opts.min_gain;
-        std::size_t best_u = kNpos;
-        bool best_rev = false;
-        // Tries the slot after u in the given orientation. u == p is the
-        // only node whose successor lies inside the segment, so it is
-        // never a valid slot.
+        // Gathers the slot after u in the given orientation. u == p is
+        // the only node whose successor lies inside the segment, so it
+        // is never a valid slot.
         const auto consider = [&](std::size_t u, bool reversed) {
           if (pos[u] == kNpos || in_segment(u) || u == p) return;
-          const std::size_t v = order[(pos[u] + 1) % n];
-          const double delta =
-              insertion_delta(u, v, s0, s1, removal_gain, reversed);
-          if (delta < best_delta ||
-              (delta == best_delta &&
-               (u < best_u || (u == best_u && !reversed && best_rev)))) {
-            best_delta = delta;
-            best_u = u;
-            best_rev = reversed;
-          }
+          us.push_back(u);
+          vs.push_back(order[(pos[u] + 1) % n]);
+          heads.push_back(reversed ? s1 : s0);
+          tails.push_back(reversed ? s0 : s1);
+          revs.push_back(reversed ? 1 : 0);
         };
+        us.clear();
+        vs.clear();
+        heads.clear();
+        tails.clear();
+        revs.clear();
         // Each neighbor c of an endpoint offers two slots: the segment's
         // matching end lands after c (c = u), or before it (u = pred(c)).
         for (const std::size_t c : cand.neighbors(s0)) {
@@ -369,6 +381,33 @@ double or_opt_candidates(Tour& tour, const DistanceView& points,
           consider(c, /*reversed=*/true);           // u—s1…s0—v, u = c
           if (!in_segment(c))                       // u—s0…s1—v, v = c
             consider(order[(pos[c] + n - 1) % n], /*reversed=*/false);
+        }
+        if (us.empty()) continue;
+
+        // Batch the three distance arrays, then replay the original
+        // tie-broken minimum scan in gathering order — bit-identical to
+        // the per-slot evaluation.
+        d_uh.resize(us.size());
+        d_tv.resize(us.size());
+        d_uv.resize(us.size());
+        points.distances_pairs(us, heads, d_uh.data());
+        points.distances_pairs(tails, vs, d_tv.data());
+        points.distances_pairs(us, vs, d_uv.data());
+        counts.probes += 3 * us.size();
+        double best_delta = -opts.min_gain;
+        std::size_t best_u = kNpos;
+        bool best_rev = false;
+        for (std::size_t t = 0; t < us.size(); ++t) {
+          const std::size_t u = us[t];
+          const bool reversed = revs[t] != 0;
+          const double delta = d_uh[t] + d_tv[t] - d_uv[t] - removal_gain;
+          if (delta < best_delta ||
+              (delta == best_delta &&
+               (u < best_u || (u == best_u && !reversed && best_rev)))) {
+            best_delta = delta;
+            best_u = u;
+            best_rev = reversed;
+          }
         }
         if (best_u == kNpos) continue;
 

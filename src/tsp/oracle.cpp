@@ -1,5 +1,6 @@
 #include "tsp/oracle.hpp"
 
+#include "geom/simd.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 
@@ -38,6 +39,59 @@ DistanceView DistanceView::direct(std::span<const geom::Point> head,
   view.tail_ = tail;
   view.size_ = head.size() + tail.size();
   return view;
+}
+
+void DistanceView::distances_to(std::size_t i, std::span<const std::size_t> js,
+                                double* out) const {
+  const std::size_t a = map_.empty() ? i : map_[i];
+  if (oracle_ != nullptr) {
+    // One (vectorized) row materialization, then a straight gather.
+    const std::span<const double> row = oracle_->row(a);
+    if (map_.empty()) {
+      for (std::size_t k = 0; k < js.size(); ++k) out[k] = row[js[k]];
+    } else {
+      for (std::size_t k = 0; k < js.size(); ++k) out[k] = row[map_[js[k]]];
+    }
+    return;
+  }
+  // Direct geometry: gather coordinates once, run one row kernel.
+  thread_local std::vector<double> gx, gy;
+  gx.resize(js.size());
+  gy.resize(js.size());
+  for (std::size_t k = 0; k < js.size(); ++k) {
+    const geom::Point& t = backing_point(map_.empty() ? js[k] : map_[js[k]]);
+    gx[k] = t.x;
+    gy[k] = t.y;
+  }
+  const geom::Point& p = backing_point(a);
+  geom::simd::distance_row(p.x, p.y, gx.data(), gy.data(), out, js.size());
+}
+
+void DistanceView::distances_pairs(std::span<const std::size_t> as,
+                                   std::span<const std::size_t> bs,
+                                   double* out) const {
+  MWC_DEBUG_ASSERT(as.size() == bs.size());
+  if (oracle_ != nullptr) {
+    // Pairs hit arbitrary rows; cached lookups are already plain loads
+    // once their rows exist, so there is nothing to vectorize here.
+    for (std::size_t k = 0; k < as.size(); ++k) out[k] = (*this)(as[k], bs[k]);
+    return;
+  }
+  thread_local std::vector<double> gax, gay, gbx, gby;
+  gax.resize(as.size());
+  gay.resize(as.size());
+  gbx.resize(as.size());
+  gby.resize(as.size());
+  for (std::size_t k = 0; k < as.size(); ++k) {
+    const geom::Point& pa = backing_point(map_.empty() ? as[k] : map_[as[k]]);
+    const geom::Point& pb = backing_point(map_.empty() ? bs[k] : map_[bs[k]]);
+    gax[k] = pa.x;
+    gay[k] = pa.y;
+    gbx[k] = pb.x;
+    gby[k] = pb.y;
+  }
+  geom::simd::distance_pairs(gax.data(), gay.data(), gbx.data(), gby.data(),
+                             out, as.size());
 }
 
 DistanceView DistanceView::sub(std::vector<std::size_t> locals) const {

@@ -57,6 +57,18 @@ class DistanceView {
   /// Distance between local node indices i and j.
   double operator()(std::size_t i, std::size_t j) const;
 
+  /// Batched probes: out[k] = (*this)(i, js[k]) for every k. Cached
+  /// views gather from the (SIMD-filled) oracle row; direct views gather
+  /// coordinates and run one geom::simd row kernel. Bit-identical to
+  /// per-probe operator() either way.
+  void distances_to(std::size_t i, std::span<const std::size_t> js,
+                    double* out) const;
+
+  /// Batched probes: out[k] = (*this)(as[k], bs[k]) for every k
+  /// (as.size() == bs.size()).
+  void distances_pairs(std::span<const std::size_t> as,
+                       std::span<const std::size_t> bs, double* out) const;
+
   /// View over a subset of this view's nodes; `locals[k]` becomes node k
   /// of the returned view. Maps compose, so sub-views of sub-views keep
   /// reading the same backing storage.
@@ -106,6 +118,10 @@ class DistanceOracle {
   double operator()(std::size_t i, std::size_t j) const {
     return matrix_(i, j);
   }
+
+  /// Combined-space row i as a contiguous span, materializing it (one
+  /// SIMD fill) if needed. What the batched DistanceView probes read.
+  std::span<const double> row(std::size_t i) const { return matrix_.row(i); }
 
   /// View over the whole combined space.
   DistanceView view() const;

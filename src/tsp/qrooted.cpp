@@ -93,6 +93,12 @@ graph::MstResult prim_msf_pruned(const DistanceView& distances, std::size_t q,
   }
 
   result.edges.reserve(m);
+  // Key updates run in two passes per extraction: gather the still-open
+  // frontier neighbors, one batched row probe, then the original relax
+  // loop over the results (same order, same comparisons — bit-identical).
+  std::vector<std::size_t> batch_js;
+  std::vector<std::size_t> batch_v;
+  std::vector<double> batch_w;
   for (std::size_t added = 0; added < m;) {
     MWC_ASSERT_MSG(!heap.empty(), "root star keeps the aux graph connected");
     const auto [key, u] = heap.top();
@@ -102,12 +108,22 @@ graph::MstResult prim_msf_pruned(const DistanceView& distances, std::size_t q,
     result.edges.push_back(graph::Edge{best_from[u], u, best[u]});
     result.total_weight += best[u];
     ++added;
+    batch_js.clear();
+    batch_v.clear();
     for (const std::size_t j : adj[u - 1]) {
       const std::size_t v = j + 1;
       if (in_tree[v]) continue;
-      ++cand_evals;
-      const double w = distances(q + u - 1, q + j);
-      ++probes;
+      batch_js.push_back(q + j);
+      batch_v.push_back(v);
+    }
+    if (batch_js.empty()) continue;
+    cand_evals += batch_js.size();
+    probes += batch_js.size();
+    batch_w.resize(batch_js.size());
+    distances.distances_to(q + u - 1, batch_js, batch_w.data());
+    for (std::size_t t = 0; t < batch_v.size(); ++t) {
+      const std::size_t v = batch_v[t];
+      const double w = batch_w[t];
       if (w < best[v]) {
         best[v] = w;
         best_from[v] = u;
@@ -148,12 +164,29 @@ QRootedForest msf_impl(const DistanceView& distances, std::size_t q,
   // from sensor k to its nearest depot; remember which depot realizes it.
   std::vector<double> root_dist(m, std::numeric_limits<double>::infinity());
   std::vector<std::size_t> nearest_depot(m, 0);
-  for (std::size_t k = 0; k < m; ++k) {
-    for (std::size_t l = 0; l < q; ++l) {
-      const double d = distances(q + k, l);
-      if (d < root_dist[k]) {
-        root_dist[k] = d;
-        nearest_depot[k] = l;
+  {
+    // Depot-major, cache-blocked scan: one batched row probe per
+    // (depot, sensor-block) instead of m per-sensor depot loops. In
+    // oracle mode this materializes the q depot rows rather than all m
+    // sensor rows (the entire matrix); distances are symmetric
+    // bit-for-bit, so probing (l, q+k) equals the seed's (q+k, l), and
+    // merging depots in ascending order with strict < keeps the seed's
+    // first-minimal-depot tie-breaking.
+    constexpr std::size_t kBlock = 4096;
+    std::vector<std::size_t> sensor_ids(m);
+    for (std::size_t k = 0; k < m; ++k) sensor_ids[k] = q + k;
+    std::vector<double> dl(std::min(m, kBlock));
+    for (std::size_t k0 = 0; k0 < m; k0 += kBlock) {
+      const std::size_t len = std::min(kBlock, m - k0);
+      const std::span<const std::size_t> block(sensor_ids.data() + k0, len);
+      for (std::size_t l = 0; l < q; ++l) {
+        distances.distances_to(l, block, dl.data());
+        for (std::size_t k = 0; k < len; ++k) {
+          if (dl[k] < root_dist[k0 + k]) {
+            root_dist[k0 + k] = dl[k];
+            nearest_depot[k0 + k] = l;
+          }
+        }
       }
     }
   }
@@ -334,35 +367,35 @@ QRootedForest repair_q_rooted_msf(const DistanceView& distances,
   std::vector<double> root_dist(d, kInf);
   std::vector<std::size_t> attach(d, kNone);  // combined id realizing it
   const bool pruned = prunable(candidates, total);
-  for (std::size_t k = 0; k < d; ++k) {
-    const std::size_t s = dirty[k];
-    for (std::size_t l = 0; l < q; ++l) {
-      if (!active(l)) continue;
-      const double w = distances(s, l);
-      ++probes;
-      if (w < root_dist[k]) {
-        root_dist[k] = w;
-        attach[k] = l;
-      }
-    }
-    if (pruned) {
-      for (const std::size_t c : candidates->neighbors(s)) {
-        ++cand_evals;
-        if (c < q || owner[c] == kNone) continue;
-        const double w = distances(s, c);
-        ++probes;
-        if (w < root_dist[k]) {
-          root_dist[k] = w;
-          attach[k] = c;
+  {
+    // Batched attachment scan: per dirty sensor, gather every legal
+    // attachment target in the seed's evaluation order (active depots
+    // ascending, then candidate/clean sensors), one row probe, then the
+    // original strict-< merge — first minimum wins, bit-identical.
+    std::vector<std::size_t> active_depots;
+    for (std::size_t l = 0; l < q; ++l)
+      if (active(l)) active_depots.push_back(l);
+    std::vector<std::size_t> targets;
+    std::vector<double> tw;
+    for (std::size_t k = 0; k < d; ++k) {
+      const std::size_t s = dirty[k];
+      targets.assign(active_depots.begin(), active_depots.end());
+      if (pruned) {
+        for (const std::size_t c : candidates->neighbors(s)) {
+          ++cand_evals;
+          if (c < q || owner[c] == kNone) continue;
+          targets.push_back(c);
         }
+      } else {
+        targets.insert(targets.end(), clean.begin(), clean.end());
       }
-    } else {
-      for (const std::size_t c : clean) {
-        const double w = distances(s, c);
-        ++probes;
-        if (w < root_dist[k]) {
-          root_dist[k] = w;
-          attach[k] = c;
+      tw.resize(targets.size());
+      distances.distances_to(s, targets, tw.data());
+      probes += targets.size();
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (tw[t] < root_dist[k]) {
+          root_dist[k] = tw[t];
+          attach[k] = targets[t];
         }
       }
     }
@@ -406,6 +439,10 @@ QRootedForest repair_q_rooted_msf(const DistanceView& distances,
       heap.emplace(root_dist[k], k + 1);
     }
     mst.edges.reserve(d);
+    // Same gather / batch-probe / relay scheme as prim_msf_pruned.
+    std::vector<std::size_t> batch_js;
+    std::vector<std::size_t> batch_v;
+    std::vector<double> batch_w;
     for (std::size_t added = 0; added < d;) {
       MWC_ASSERT_MSG(!heap.empty(), "root star keeps the aux graph connected");
       const auto [key, u] = heap.top();
@@ -415,11 +452,21 @@ QRootedForest repair_q_rooted_msf(const DistanceView& distances,
       mst.edges.push_back(graph::Edge{best_from[u], u, best[u]});
       mst.total_weight += best[u];
       ++added;
+      batch_js.clear();
+      batch_v.clear();
       for (const std::size_t j : adj[u - 1]) {
         const std::size_t v = j + 1;
         if (in_tree[v]) continue;
-        const double w = distances(dirty[u - 1], dirty[j]);
-        ++probes;
+        batch_js.push_back(dirty[j]);
+        batch_v.push_back(v);
+      }
+      if (batch_js.empty()) continue;
+      probes += batch_js.size();
+      batch_w.resize(batch_js.size());
+      distances.distances_to(dirty[u - 1], batch_js, batch_w.data());
+      for (std::size_t t = 0; t < batch_v.size(); ++t) {
+        const std::size_t v = batch_v[t];
+        const double w = batch_w[t];
         if (w < best[v]) {
           best[v] = w;
           best_from[v] = u;

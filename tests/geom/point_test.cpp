@@ -55,9 +55,22 @@ TEST(Point, StreamOutput) {
   EXPECT_EQ(oss.str(), "(1.5, -2)");
 }
 
-TEST(Point, HypotRobustToLargeValues) {
-  // std::hypot avoids overflow where sqrt(dx^2+dy^2) would not.
-  const Point a{0.0, 0.0}, b{1e200, 1e200};
+TEST(Point, DistanceIsSqrtOfSquaredNorm) {
+  // The SIMD exactness contract (docs/ALGORITHMS.md §9): distance is
+  // exactly sqrt(squared_norm(dx, dy)) — the one form every vector lane
+  // and scalar path computes — not std::hypot (whose different rounding
+  // could not be matched by vsqrtpd-style kernels). Bit-equality, not
+  // near-equality.
+  const Point a{-2.5, 7.0}, b{4.0, -1.0};
+  EXPECT_EQ(distance(a, b), std::sqrt(squared_norm(a.x - b.x, a.y - b.y)));
+  EXPECT_EQ(distance2(a, b), squared_norm(a.x - b.x, a.y - b.y));
+  EXPECT_EQ(distance2(a.x, a.y, b.x, b.y), distance2(a, b));
+}
+
+TEST(Point, DistanceStaysFiniteAcrossDeploymentFields) {
+  // sqrt(dx^2+dy^2) overflows only past ~1e154 — far beyond any planar
+  // WSN field; pin that plausible field extremes stay finite.
+  const Point a{0.0, 0.0}, b{1e9, 1e9};
   EXPECT_TRUE(std::isfinite(distance(a, b)));
 }
 

@@ -1,0 +1,147 @@
+// The SIMD exactness contract: every batch kernel in geom/simd.hpp is
+// bit-identical to the scalar loops it replaces — same values whether the
+// active backend is AVX-512F, AVX2, SSE2, NEON, or the scalar fallback,
+// and the same values as per-pair geom::distance / geom::distance2.
+#include "geom/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/soa.hpp"
+#include "util/rng.hpp"
+
+namespace mwc::geom {
+namespace {
+
+/// Restores the runtime SIMD toggle on scope exit, so a failing
+/// EXPECT_* cannot leak a disabled kernel into other tests.
+struct SimdToggleGuard {
+  ~SimdToggleGuard() { simd::set_enabled(true); }
+};
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed) {
+  mwc::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  return pts;
+}
+
+TEST(Simd, BackendReporting) {
+  SimdToggleGuard guard;
+  EXPECT_GE(simd::lanes(), 1u);
+  if (simd::enabled()) {
+    EXPECT_TRUE(simd::compiled_in());
+    EXPECT_GT(simd::lanes(), 1u);
+    EXPECT_STRNE(simd::backend(), "scalar");
+  }
+  simd::set_enabled(false);
+  EXPECT_FALSE(simd::enabled());
+  EXPECT_EQ(simd::lanes(), 1u);
+  EXPECT_STREQ(simd::backend(), "scalar");
+  simd::set_enabled(true);
+}
+
+// Sizes straddle every lane-width boundary so both the full-vector body
+// and the scalar tail of each kernel are exercised.
+constexpr std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63};
+
+TEST(Simd, DistanceRowMatchesScalarBitForBit) {
+  SimdToggleGuard guard;
+  for (const std::size_t n : kSizes) {
+    const auto pts = random_points(n + 1, 0x51AD + n);
+    const PointsSoA soa(std::span<const Point>(pts).subspan(1));
+    const Point q = pts[0];
+    std::vector<double> vec(n), ref(n);
+    simd::set_enabled(true);
+    simd::distance_row(q.x, q.y, soa.xs().data(), soa.ys().data(), vec.data(),
+                       n);
+    simd::set_enabled(false);
+    simd::distance_row(q.x, q.y, soa.xs().data(), soa.ys().data(), ref.data(),
+                       n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(vec[j], ref[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(vec[j], distance(q, soa.point(j)));
+    }
+  }
+}
+
+TEST(Simd, Distance2RowMatchesScalarBitForBit) {
+  SimdToggleGuard guard;
+  for (const std::size_t n : kSizes) {
+    const auto pts = random_points(n + 1, 0xD157 + n);
+    const PointsSoA soa(std::span<const Point>(pts).subspan(1));
+    const Point q = pts[0];
+    std::vector<double> vec(n), ref(n);
+    simd::set_enabled(true);
+    simd::distance2_row(q.x, q.y, soa.xs().data(), soa.ys().data(), vec.data(),
+                        n);
+    simd::set_enabled(false);
+    simd::distance2_row(q.x, q.y, soa.xs().data(), soa.ys().data(), ref.data(),
+                        n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(vec[j], ref[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(vec[j], distance2(q, soa.point(j)));
+    }
+  }
+}
+
+TEST(Simd, DistancePairsMatchesScalarBitForBit) {
+  SimdToggleGuard guard;
+  for (const std::size_t n : kSizes) {
+    const auto a = random_points(n, 0xAAAA + n);
+    const auto b = random_points(n, 0xBBBB + n);
+    const PointsSoA sa{std::span<const Point>(a)};
+    const PointsSoA sb{std::span<const Point>(b)};
+    std::vector<double> vec(n), ref(n);
+    simd::set_enabled(true);
+    simd::distance_pairs(sa.xs().data(), sa.ys().data(), sb.xs().data(),
+                         sb.ys().data(), vec.data(), n);
+    simd::set_enabled(false);
+    simd::distance_pairs(sa.xs().data(), sa.ys().data(), sb.xs().data(),
+                         sb.ys().data(), ref.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(vec[j], ref[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(vec[j], distance(a[j], b[j]));
+    }
+  }
+}
+
+TEST(Simd, KernelIsExactlySqrtOfSquaredNorm) {
+  // The per-lane arithmetic promise the rest of the pipeline builds on:
+  // no FMA, no hypot — sub, mul, add, sqrt in the squared_norm order.
+  SimdToggleGuard guard;
+  const auto pts = random_points(33, 0xE5AC7);
+  const PointsSoA soa{std::span<const Point>(pts)};
+  std::vector<double> row(pts.size());
+  simd::set_enabled(true);
+  simd::distance_row(pts[0].x, pts[0].y, soa.xs().data(), soa.ys().data(),
+                     row.data(), pts.size());
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    EXPECT_EQ(row[j], std::sqrt(squared_norm(pts[0].x - pts[j].x,
+                                             pts[0].y - pts[j].y)));
+  }
+}
+
+TEST(Simd, ZeroAndDuplicatePointsExact) {
+  SimdToggleGuard guard;
+  // Coincident points must give exactly 0.0, and exact-duplicate
+  // coordinates exactly equal distances (tie-break inputs downstream).
+  const std::vector<Point> pts{{5.0, 5.0}, {5.0, 5.0}, {1.0, 2.0},
+                               {1.0, 2.0}, {5.0, 5.0}};
+  const PointsSoA soa{std::span<const Point>(pts)};
+  std::vector<double> row(pts.size());
+  simd::distance_row(5.0, 5.0, soa.xs().data(), soa.ys().data(), row.data(),
+                     pts.size());
+  EXPECT_EQ(row[0], 0.0);
+  EXPECT_EQ(row[1], 0.0);
+  EXPECT_EQ(row[4], 0.0);
+  EXPECT_EQ(row[2], row[3]);
+}
+
+}  // namespace
+}  // namespace mwc::geom
