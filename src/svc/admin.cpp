@@ -43,6 +43,7 @@ Json statusz_json(const Server& server, const AdminInfo& info) {
   Json c = Json::object();
   c.set("size", Json(cache.size()));
   c.set("capacity", Json(cache.capacity()));
+  c.set("shards", Json(cache.shards()));
   c.set("hits", Json(static_cast<std::int64_t>(cache.hits())));
   c.set("misses", Json(static_cast<std::int64_t>(cache.misses())));
   c.set("evictions", Json(static_cast<std::int64_t>(cache.evictions())));
@@ -57,6 +58,7 @@ Json statusz_json(const Server& server, const AdminInfo& info) {
     a.set("lines", Json(static_cast<std::int64_t>(log->lines_written())));
     s.set("access_log", std::move(a));
   }
+  if (info.statusz_extra) info.statusz_extra(s);
   return s;
 }
 
@@ -66,6 +68,7 @@ Json config_json(const Server& server, const AdminInfo& info) {
   c.set("queue_capacity", Json(options.queue_capacity));
   c.set("threads", Json(options.threads));
   c.set("cache_capacity", Json(options.cache_capacity));
+  c.set("cache_shards", Json(options.cache_shards));
   c.set("recent_capacity", Json(options.recent_capacity));
   c.set("access_log", Json(options.access_log != nullptr
                                ? options.access_log->path()

@@ -29,8 +29,10 @@
 // scheduling parser.
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "svc/json.hpp"
 #include "svc/server.hpp"
 
 namespace mwc::svc {
@@ -46,6 +48,11 @@ struct AdminInfo {
   double start_us = 0.0;            ///< obs::now_us() at daemon start
   std::string metrics_out;          ///< --metrics-out path ("" = none)
   std::string trace_out;            ///< --trace-out path ("" = none)
+  /// Optional hook appending transport-specific sections to statusz
+  /// (mwcd's epoll transport adds a "net" object of connection / event-
+  /// loop gauges). Called on the admin caller's thread; must be
+  /// thread-safe. Null = no extra section.
+  std::function<void(Json&)> statusz_extra;
 };
 
 /// Serves mwc.svc.admin.v1 against a live Server. Thread-safe: handlers

@@ -131,6 +131,53 @@ std::uint64_t fingerprint(const Request& request,
   return h.value();
 }
 
+std::uint64_t spec_fingerprint(const Request& request) {
+  Fnv1a h;
+  h.str("spec");  // domain-separate from instance fingerprints
+  h.str(request.policy);
+  h.quantized(request.horizon, kValueQuantum);
+  h.quantized(request.slot_length, kValueQuantum);
+  h.u64(request.improve ? 1 : 0);
+
+  const NetworkSpec& net = request.network;
+  h.u64(net.inline_points ? 1 : 0);
+  h.quantized(net.deployment.field_side, kValueQuantum);
+  if (!net.inline_points) {
+    h.u64(net.deployment.n);
+    h.u64(net.deployment.q);
+    h.u64(net.deployment.depot_at_base_station ? 1 : 0);
+    h.quantized(net.deployment.battery_capacity, kValueQuantum);
+    h.u64(net.seed);
+  } else {
+    h.u64(net.sensors.size());
+    for (const auto& p : net.sensors) {
+      h.quantized(p.x, kCoordQuantum);
+      h.quantized(p.y, kCoordQuantum);
+    }
+    h.u64(net.depots.size());
+    for (const auto& p : net.depots) {
+      h.quantized(p.x, kCoordQuantum);
+      h.quantized(p.y, kCoordQuantum);
+    }
+    h.quantized(net.base_station.x, kCoordQuantum);
+    h.quantized(net.base_station.y, kCoordQuantum);
+  }
+
+  const CycleSpec& cycles = request.cycles;
+  h.u64(cycles.inline_values ? 1 : 0);
+  if (cycles.inline_values) {
+    h.u64(cycles.values.size());
+    for (double tau : cycles.values) h.quantized(tau, kValueQuantum);
+  } else {
+    h.u64(static_cast<std::uint64_t>(cycles.model.distribution));
+    h.quantized(cycles.model.tau_min, kValueQuantum);
+    h.quantized(cycles.model.tau_max, kValueQuantum);
+    h.quantized(cycles.model.sigma, kValueQuantum);
+    h.u64(cycles.seed);
+  }
+  return h.value();
+}
+
 namespace {
 
 std::shared_ptr<const Plan> build_plan(const sim::SolveOutcome& outcome,
@@ -178,6 +225,37 @@ Response handle_request(const Request& request, PlanCache* cache,
     return response;
   };
 
+  const auto cache_hit = [&](std::shared_ptr<const Plan> hit) {
+    Response response = with_version(Response{});
+    response.id = request.id;
+    response.ok = true;
+    response.cached = true;
+    response.plan = std::move(hit);
+    response.latency_ms = elapsed_ms();
+    return response;
+  };
+
+  // Warm fast lane: a spec previously seen maps straight to its instance
+  // fingerprint, so a repeat request skips resolution (network
+  // deployment + quantized hashing) entirely. Memo hits only ever
+  // shortcut work — a spec is remembered only after it resolved and
+  // fingerprinted successfully, and resolution is deterministic, so the
+  // plan returned is the one the slow path would have found.
+  bool probed = false;
+  const std::uint64_t spec =
+      cache != nullptr ? spec_fingerprint(request) : 0;
+  if (cache != nullptr) {
+    if (const std::uint64_t memo_key = cache->spec_lookup(spec)) {
+      auto hit = cache->get(memo_key);
+      if (stages != nullptr) stages->cache_ms = elapsed_ms();
+      if (hit != nullptr) {
+        MWC_OBS_COUNT("svc.cache.spec_fast_hits");
+        return cache_hit(std::move(hit));
+      }
+      probed = true;  // the plan was evicted; counted as this miss
+    }
+  }
+
   ResolvedInstance instance;
   try {
     instance = resolve(request);
@@ -197,15 +275,10 @@ Response handle_request(const Request& request, PlanCache* cache,
   const std::uint64_t key = fingerprint(request, instance);
   if (stages != nullptr) stages->cache_ms = elapsed_ms();
   if (cache != nullptr) {
-    if (auto hit = cache->get(key)) {
-      Response response = with_version(Response{});
-      response.id = request.id;
-      response.ok = true;
-      response.cached = true;
-      response.plan = std::move(hit);
-      response.latency_ms = elapsed_ms();
-      return response;
-    }
+    cache->spec_remember(spec, key);
+    // The fast lane's probe already counted this key's miss.
+    if (auto hit = probed ? nullptr : cache->get(key))
+      return cache_hit(std::move(hit));
   }
 
   try {

@@ -44,6 +44,17 @@ ResolvedInstance resolve(const Request& request);
 std::uint64_t fingerprint(const Request& request,
                           const ResolvedInstance& instance);
 
+/// Cheap hash of the *raw* request spec (everything resolution and
+/// fingerprinting read: policy, solve options, network spec, cycle
+/// spec — id / trace / deadline excluded). Resolution is deterministic,
+/// so equal spec hashes imply equal instance fingerprints; the warm path
+/// memoizes spec -> fingerprint in the PlanCache and skips resolving
+/// (network deployment + quantized hashing) on repeat requests. Unlike
+/// the fingerprint it does not canonicalize: a preset and an equivalent
+/// inline request hash differently here but still meet at the same
+/// fingerprint and cache entry.
+std::uint64_t spec_fingerprint(const Request& request);
+
 /// Serves one request end to end: resolve, policy lookup, cache probe,
 /// solve, cache fill. Never throws — every failure comes back as a
 /// structured error Response (bad_request / unknown_policy / internal).

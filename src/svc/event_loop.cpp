@@ -1,0 +1,476 @@
+#include "svc/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+#include "svc/wire.hpp"
+
+namespace mwc::svc {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}
+
+/// Per-connection state. The loop thread owns everything except `done`
+/// and `closed`, which workers touch under `mutex`.
+struct NetServer::Conn {
+  int fd = -1;
+  std::string in;   ///< unparsed input tail
+  std::string out;  ///< in-order response bytes awaiting the socket
+  std::size_t out_pos = 0;  ///< flushed prefix of `out`
+  /// Responses completed out of order, parked until every earlier
+  /// sequence number has flushed.
+  std::map<std::uint64_t, std::string> ready;
+  std::uint64_t next_seq = 0;    ///< sequence of the next inbound line
+  std::uint64_t next_flush = 0;  ///< sequence owed to the client next
+  bool half_closed = false;      ///< peer sent EOF; flush then close
+  bool epollout = false;         ///< EPOLLOUT currently armed
+  SteadyClock::time_point last_activity;
+
+  std::mutex mutex;
+  bool closed = false;
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+};
+
+NetServer::NetServer(Server& server, const AdminHandler* admin,
+                     NetServerOptions options)
+    : server_(server), admin_(admin), options_(std::move(options)) {}
+
+NetServer::~NetServer() {
+  // Drain the solver first: after shutdown() no worker callback can run,
+  // so tearing down connection state below cannot race one.
+  server_.shutdown();
+  for (auto& [fd, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conns_.clear();
+  const int wfd = wake_fd_.exchange(-1);
+  if (wfd >= 0) ::close(wfd);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool NetServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    std::perror("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad listen host %s\n", options_.host.c_str());
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    std::perror("bind/listen");
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0)
+    bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  const int wfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wfd < 0) {
+    std::perror("epoll_create1/eventfd");
+    if (wfd >= 0) ::close(wfd);
+    return false;
+  }
+  wake_fd_.store(wfd, std::memory_order_release);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    std::perror("epoll_ctl listen");
+    return false;
+  }
+  // Level-triggered on purpose: an unread wake count must keep the loop
+  // from blocking (request_stop can fire between drain and wait).
+  ev.events = EPOLLIN;
+  ev.data.fd = wfd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wfd, &ev) < 0) {
+    std::perror("epoll_ctl wake");
+    return false;
+  }
+  return true;
+}
+
+void NetServer::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  const int fd = wake_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &one, sizeof one);
+  }
+}
+
+void NetServer::wake() noexcept {
+  // Coalesce: one pending eventfd count is enough to get the loop
+  // through drain_completions(), which picks up everything queued.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.net.wakeups");
+  const int fd = wake_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &one, sizeof one);
+  }
+}
+
+void NetServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    if (stopping_ || conns_.size() >= options_.max_connections) {
+      ::close(fd);
+      if (!stopping_) {
+        overflow_closed_.fetch_add(1, std::memory_order_relaxed);
+        MWC_OBS_COUNT("svc.net.overflow_closed");
+      }
+      continue;
+    }
+    if (options_.tcp_nodelay) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->last_activity = SteadyClock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.net.accepted");
+    MWC_OBS_GAUGE_SET("svc.net.connections",
+                      static_cast<double>(conns_.size()));
+  }
+}
+
+void NetServer::process_line(const std::shared_ptr<Conn>& conn,
+                             std::string line) {
+  const std::uint64_t seq = conn->next_seq++;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.net.requests");
+
+  // Admin requests answer synchronously on the loop thread but join the
+  // sequence stream so pipelined responses stay in request order.
+  if (admin_ != nullptr) {
+    std::string admin_response;
+    if (admin_->try_handle(line, &admin_response)) {
+      conn->ready.emplace(seq, std::move(admin_response));
+      return;
+    }
+  }
+
+  // The callback runs on a solver worker (or inline for synchronous
+  // rejections); it serializes there so the loop thread only moves
+  // bytes. A connection that died first drops the response.
+  auto callback = [this, conn, seq](const Response& response) {
+    std::string out_line = to_jsonl(response);
+    bool enqueue = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->closed) {
+        conn->done.emplace_back(seq, std::move(out_line));
+        enqueue = true;
+      }
+    }
+    if (enqueue) {
+      {
+        std::lock_guard<std::mutex> lock(completed_mutex_);
+        completed_.push_back(conn);
+      }
+      wake();
+    }
+  };
+  server_.submit_line(line, std::move(callback), "tcp");
+}
+
+void NetServer::read_input(const std::shared_ptr<Conn>& conn) {
+  // Edge-triggered: drain the socket completely.
+  char buffer[65536];
+  for (;;) {
+    const ssize_t got = ::read(conn->fd, buffer, sizeof buffer);
+    if (got > 0) {
+      bytes_read_.fetch_add(static_cast<std::uint64_t>(got),
+                            std::memory_order_relaxed);
+      MWC_OBS_COUNT_N("svc.net.bytes_read", static_cast<std::uint64_t>(got));
+      conn->in.append(buffer, static_cast<std::size_t>(got));
+      conn->last_activity = SteadyClock::now();
+      if (conn->in.size() > options_.max_buffered_bytes) {
+        overflow_closed_.fetch_add(1, std::memory_order_relaxed);
+        MWC_OBS_COUNT("svc.net.overflow_closed");
+        close_conn(conn, "input overflow");
+        return;
+      }
+      continue;
+    }
+    if (got == 0) {
+      conn->half_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(conn, "read error");
+    return;
+  }
+
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn->in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->in.substr(start, nl - start);
+    start = nl + 1;
+    while (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || stopping_) continue;  // stop: no new admissions
+    process_line(conn, std::move(line));
+  }
+  conn->in.erase(0, start);
+  // EOF ends a final unterminated line, matching the stdio transport.
+  if (conn->half_closed && !conn->in.empty()) {
+    std::string line = std::move(conn->in);
+    conn->in.clear();
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+      line.pop_back();
+    if (!line.empty() && !stopping_) process_line(conn, std::move(line));
+  }
+  pump(conn);
+}
+
+void NetServer::pump(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    for (auto& [seq, line] : conn->done)
+      conn->ready.emplace(seq, std::move(line));
+    conn->done.clear();
+  }
+  // Release responses strictly in request order.
+  auto it = conn->ready.begin();
+  while (it != conn->ready.end() && it->first == conn->next_flush) {
+    conn->out += it->second;
+    it = conn->ready.erase(it);
+    ++conn->next_flush;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.net.responses");
+  }
+  if (conn->out.size() - conn->out_pos > options_.max_buffered_bytes) {
+    overflow_closed_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.net.overflow_closed");
+    close_conn(conn, "output overflow");
+    return;
+  }
+
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t wrote =
+        ::send(conn->fd, conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      bytes_written_.fetch_add(static_cast<std::uint64_t>(wrote),
+                               std::memory_order_relaxed);
+      MWC_OBS_COUNT_N("svc.net.bytes_written",
+                      static_cast<std::uint64_t>(wrote));
+      conn->out_pos += static_cast<std::size_t>(wrote);
+      conn->last_activity = SteadyClock::now();
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->epollout) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0)
+          conn->epollout = true;
+      }
+      break;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    close_conn(conn, "write error");
+    return;
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+    if (conn->epollout) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+      ev.data.fd = conn->fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0)
+        conn->epollout = false;
+    }
+  } else if (conn->out_pos > (1u << 20)) {
+    conn->out.erase(0, conn->out_pos);  // compact a long flushed prefix
+    conn->out_pos = 0;
+  }
+
+  // Finished: every line answered and flushed, and no more input coming.
+  if ((conn->half_closed || stopping_) && conn->out_pos == conn->out.size() &&
+      conn->next_flush == conn->next_seq)
+    close_conn(conn, "done");
+}
+
+void NetServer::close_conn(const std::shared_ptr<Conn>& conn,
+                           const char* /*reason*/) {
+  if (conn->fd < 0) return;
+  const int fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conn->fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+    conn->done.clear();
+  }
+  conn->ready.clear();
+  conns_.erase(fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.net.closed");
+  MWC_OBS_GAUGE_SET("svc.net.connections",
+                    static_cast<double>(conns_.size()));
+}
+
+void NetServer::handle_conn_event(const std::shared_ptr<Conn>& conn,
+                                  std::uint32_t events) {
+  if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+    read_input(conn);
+    if (conn->fd < 0) return;
+  }
+  if ((events & EPOLLOUT) != 0) pump(conn);
+}
+
+void NetServer::drain_completions() {
+  std::vector<std::shared_ptr<Conn>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completed_mutex_);
+    batch.swap(completed_);
+  }
+  for (const auto& conn : batch) pump(conn);
+}
+
+void NetServer::sweep_idle() {
+  if (options_.idle_timeout_ms <= 0.0) return;
+  const auto now = SteadyClock::now();
+  std::vector<std::shared_ptr<Conn>> idle;
+  for (const auto& [fd, conn] : conns_) {
+    const double idle_ms =
+        std::chrono::duration<double, std::milli>(now - conn->last_activity)
+            .count();
+    // Only reap quiet connections: nothing owed, nothing buffered.
+    if (idle_ms > options_.idle_timeout_ms &&
+        conn->next_flush == conn->next_seq &&
+        conn->out_pos == conn->out.size())
+      idle.push_back(conn);
+  }
+  for (const auto& conn : idle) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.net.idle_closed");
+    close_conn(conn, "idle");
+  }
+}
+
+void NetServer::begin_stop() {
+  stopping_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unread input is dropped (a drain answers what was admitted, not what
+  // is still in flight on the wire); connections owing nothing close now.
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) all.push_back(conn);
+  for (const auto& conn : all) {
+    conn->in.clear();
+    pump(conn);
+  }
+}
+
+void NetServer::run() {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) && !stopping_)
+      begin_stop();
+    if (stopping_ && conns_.empty()) break;
+
+    int timeout = -1;
+    if (options_.idle_timeout_ms > 0.0 && !conns_.empty())
+      timeout = std::clamp(static_cast<int>(options_.idle_timeout_ms / 2),
+                           10, 1000);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_.load(std::memory_order_acquire)) {
+        std::uint64_t drained;
+        while (::read(fd, &drained, sizeof drained) > 0) {
+        }
+        wake_pending_.store(false, std::memory_order_release);
+      } else if (fd == listen_fd_ && listen_fd_ >= 0) {
+        handle_accept();
+      } else {
+        const auto it = conns_.find(fd);
+        if (it != conns_.end())
+          handle_conn_event(it->second,
+                            events[static_cast<std::size_t>(i)].events);
+      }
+    }
+    drain_completions();
+    sweep_idle();
+  }
+}
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.connections = s.accepted - s.closed;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.overflow_closed = overflow_closed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mwc::svc

@@ -67,7 +67,7 @@ WireVersion job_version(const ParsedRequest& job) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity),
+      cache_(options_.cache_capacity, options_.cache_shards),
       accepted_(metrics_.counter("svc.requests_accepted")),
       completed_(metrics_.counter("svc.completed")),
       rejected_full_(metrics_.counter("svc.rejected.queue_full")),

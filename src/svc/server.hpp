@@ -66,6 +66,9 @@ struct ServerOptions {
   std::size_t threads = 0;
   /// PlanCache capacity (plans retained); 0 disables caching.
   std::size_t cache_capacity = 128;
+  /// PlanCache shard count (independently-locked LRUs; clamped to the
+  /// capacity). More shards take the cache mutex off the warm path.
+  std::size_t cache_shards = 8;
   /// Request handler override; null = solve via svc::handle_request.
   Handler handler;
   /// Structured access log; non-owning, may be null (no logging). Must

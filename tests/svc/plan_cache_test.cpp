@@ -116,6 +116,90 @@ TEST(PlanCache, PutWithoutStateKeepsExistingState) {
   EXPECT_EQ(cache.get_state(1).get(), state.get());
 }
 
+TEST(PlanCache, ShardedCacheServesAllKeysAndAggregatesCounters) {
+  // Room for 8 plans per shard: even if all 8 keys hash to one shard,
+  // nothing is evicted, so every key must be retrievable.
+  PlanCache cache(32, 4);
+  EXPECT_EQ(cache.shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 32u);
+  for (std::uint64_t k = 1; k <= 8; ++k) cache.put(k, plan_with(double(k)));
+  EXPECT_EQ(cache.size(), 8u);
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    const auto hit = cache.get(k);
+    ASSERT_NE(hit, nullptr) << "key " << k;
+    EXPECT_DOUBLE_EQ(hit->total_distance, double(k));
+  }
+  EXPECT_EQ(cache.get(99), nullptr);
+  // hits/misses aggregate across shards.
+  EXPECT_EQ(cache.hits(), 8u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, ShardedEvictionIsPerShardLru) {
+  PlanCache cache(4, 4);  // one plan per shard
+  // Find two keys landing in the same shard: insert until an eviction.
+  std::uint64_t k = 1;
+  while (cache.evictions() == 0) {
+    cache.put(k, plan_with(double(k)));
+    ++k;
+  }
+  // Total held never exceeds capacity, and the newest key survived its
+  // shard's eviction.
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_NE(cache.get(k - 1), nullptr);
+}
+
+TEST(PlanCache, ShardCountIsClampedToCapacity) {
+  PlanCache cache(2, 64);
+  EXPECT_EQ(cache.shards(), 2u);  // every shard holds >= 1 plan
+  PlanCache disabled(0, 8);
+  EXPECT_EQ(disabled.shards(), 1u);
+  disabled.put(1, plan_with(1));
+  EXPECT_EQ(disabled.get(1), nullptr);
+}
+
+TEST(PlanCache, SpecMemoRemembersAndForgetsFifo) {
+  PlanCache cache(2);  // per-shard memo bound = 4 * capacity share
+  EXPECT_EQ(cache.spec_lookup(111), 0u);  // unknown
+  cache.spec_remember(111, 42);
+  EXPECT_EQ(cache.spec_lookup(111), 42u);
+  // Memo probes are not cache hits/misses.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Remembering 0 is a no-op (0 means "unknown").
+  cache.spec_remember(222, 0);
+  EXPECT_EQ(cache.spec_lookup(222), 0u);
+  // The memo is bounded: flooding it evicts the oldest mapping.
+  for (std::uint64_t s = 1000; s < 1100; ++s) cache.spec_remember(s, s);
+  EXPECT_EQ(cache.spec_lookup(111), 0u);
+  EXPECT_EQ(cache.spec_lookup(1099), 1099u);
+}
+
+TEST(PlanCache, SpecMemoDisabledWithCaching) {
+  PlanCache cache(0);
+  cache.spec_remember(1, 2);
+  EXPECT_EQ(cache.spec_lookup(1), 0u);
+}
+
+TEST(PlanCache, ExportEntriesWalksLruFirst) {
+  PlanCache cache(4);
+  cache.put(1, plan_with(1));
+  cache.put(2, plan_with(2));
+  cache.put(3, plan_with(3));
+  ASSERT_NE(cache.get(1), nullptr);  // order (LRU->MRU): 2, 3, 1
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 2u);
+  EXPECT_EQ(entries[1].key, 3u);
+  EXPECT_EQ(entries[2].key, 1u);
+  // Replaying through put() reproduces recency: 2 is evicted first.
+  PlanCache replay(3);
+  for (const auto& e : entries) replay.put(e.key, e.plan);
+  replay.put(4, plan_with(4));
+  EXPECT_EQ(replay.get(2), nullptr);
+  EXPECT_NE(replay.get(1), nullptr);
+}
+
 TEST(PlanCache, ClearEmptiesButKeepsCounters) {
   PlanCache cache(4);
   cache.put(1, plan_with(1));

@@ -1,20 +1,35 @@
 // mwc_loadgen — load-generator client for mwcd.
 //
 // Spawns an mwcd child over a stdin/stdout pipe (default) or connects to
-// a running daemon (--connect host:port), drives a request mix through
-// the mwc.svc.v1 wire protocol, and reports throughput plus latency
-// percentiles (p50/p95/p99 estimated from an obs::Histogram of
-// client-observed round-trip times).
+// one or more running daemons (--connect host:port[,host:port...]),
+// drives a request mix through the mwc.svc.v1 wire protocol, and reports
+// throughput plus latency percentiles (p50/p95/p99 estimated from an
+// obs::Histogram of client-observed round-trip times).
+//
+// With several endpoints, requests route by consistent hashing on the
+// instance topology seed (64 virtual nodes per endpoint), so repeats of
+// an instance always land on the same daemon and its PlanCache stays
+// warm — a fleet of mwcd processes behaves like one sharded cache.
+// --pipeline D writes up to D requests back-to-back per endpoint in a
+// single write() (JSONL pipelining against mwcd's epoll transport; TCP
+// sockets get TCP_NODELAY so bursts are not serialized by Nagle).
 //
 // Flags:
 //   --server PATH     mwcd binary to spawn (default: mwcd next to this
 //                     binary); child gets --queue-depth/--threads/
 //                     --cache-capacity forwarded
-//   --connect HOST:PORT  use a running daemon instead of spawning
+//   --connect HOST:PORT[,HOST:PORT...]
+//                     use running daemons instead of spawning; more than
+//                     one endpoint enables consistent-hash routing
 //   --count N         total requests (default 64)
 //   --concurrency C   closed loop: max outstanding requests (default 4)
+//   --pipeline D      batch up to D requests per endpoint into one write
+//                     (default 1; raises the closed-loop window to at
+//                     least D)
 //   --rate R          open loop: send R req/s regardless of completions
 //                     (0 = closed loop)
+//   --warmup K        send K untimed priming requests (same instance mix)
+//                     and await them before the measured run (default 0)
 //   --mode M          warm | cold | mixed (default mixed): warm repeats
 //                     one instance (all but the first hit the PlanCache),
 //                     cold gives every request a fresh topology seed,
@@ -44,7 +59,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +69,7 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -151,6 +169,9 @@ bool connect_tcp(Transport& t, const std::string& hostport) {
     if (fd >= 0) ::close(fd);
     return false;
   }
+  // Pipelined bursts must not sit in Nagle / delayed-ACK limbo.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   t.write_fd = fd;
   t.read_fd = ::dup(fd);
   return true;
@@ -159,6 +180,7 @@ bool connect_tcp(Transport& t, const std::string& hostport) {
 struct Tally {
   std::mutex mutex;
   std::map<std::string, Clock::time_point> sent;  ///< id -> send time
+  std::set<std::string> warmup;  ///< priming ids, excluded from stats
   std::size_t ok = 0;
   std::size_t cached = 0;
   std::size_t derived = 0;
@@ -186,6 +208,10 @@ void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency,
       const mwc::svc::Json doc = mwc::svc::Json::parse(line);
       const std::string id = doc.at("id").as_string();
       std::lock_guard<std::mutex> lock(tally.mutex);
+      if (const auto w = tally.warmup.find(id); w != tally.warmup.end()) {
+        tally.warmup.erase(w);  // priming response: completion only
+        continue;
+      }
       const auto it = tally.sent.find(id);
       if (it != tally.sent.end()) {
         latency.observe(
@@ -232,6 +258,55 @@ std::string dirname_of(const std::string& path) {
                                     : path.substr(0, slash);
 }
 
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One connected daemon plus its pending pipelined batch.
+struct Endpoint {
+  Transport transport;
+  std::string label;
+  std::string batch;               ///< concatenated unsent lines
+  std::vector<std::string> batch_ids;
+  std::size_t routed = 0;          ///< requests routed here (report)
+};
+
+/// Consistent-hash ring over endpoints: 64 virtual nodes each, keyed by
+/// the mixed instance seed. One endpoint short-circuits.
+class Router {
+ public:
+  explicit Router(const std::vector<std::unique_ptr<Endpoint>>& endpoints) {
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+      for (int v = 0; v < 64; ++v)
+        ring_.emplace(fnv1a(endpoints[i]->label + "#" + std::to_string(v)),
+                      i);
+    single_ = endpoints.size() <= 1;
+  }
+
+  std::size_t pick(std::uint64_t key) const {
+    if (single_ || ring_.empty()) return 0;
+    auto it = ring_.lower_bound(mix64(key));
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+ private:
+  std::map<std::uint64_t, std::size_t> ring_;
+  bool single_ = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +316,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int_or("count", 64));
   const std::size_t concurrency =
       static_cast<std::size_t>(args.get_int_or("concurrency", 4));
+  const std::size_t pipeline = static_cast<std::size_t>(
+      std::max<long long>(1, args.get_int_or("pipeline", 1)));
+  const std::size_t warmup =
+      static_cast<std::size_t>(args.get_int_or("warmup", 0));
   const double rate = args.get_double_or("rate", 0.0);
   const std::string mode = args.get_or("mode", "mixed");
   const std::size_t distinct = static_cast<std::size_t>(
@@ -275,22 +354,49 @@ int main(int argc, char** argv) {
     if (!trace_prefix.empty()) builder.trace_id(trace_for(id));
     return builder.to_json_line();
   };
+  const auto instance_for = [&](std::size_t i) -> std::uint64_t {
+    return mode == "cold" ? i : (mode == "warm" ? 0 : i % distinct);
+  };
 
-  Transport transport;
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
   const std::string connect = args.get_or("connect", "");
   if (!connect.empty()) {
-    if (!connect_tcp(transport, connect)) return 1;
+    std::size_t start_pos = 0;
+    for (;;) {
+      const std::size_t comma = connect.find(',', start_pos);
+      const std::string hostport =
+          connect.substr(start_pos, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - start_pos);
+      if (!hostport.empty()) {
+        auto ep = std::make_unique<Endpoint>();
+        ep->label = hostport;
+        if (!connect_tcp(ep->transport, hostport)) return 1;
+        endpoints.push_back(std::move(ep));
+      }
+      if (comma == std::string::npos) break;
+      start_pos = comma + 1;
+    }
+    if (endpoints.empty()) {
+      std::fprintf(stderr, "--connect wants HOST:PORT[,HOST:PORT...]\n");
+      return 1;
+    }
   } else {
     const std::string server =
         args.get_or("server", dirname_of(args.program()) + "/mwcd");
     std::vector<std::string> child_argv{server};
-    for (const char* flag : {"queue-depth", "threads", "cache-capacity",
-                             "metrics-out", "trace-out"}) {
+    for (const char* flag :
+         {"queue-depth", "threads", "cache-capacity", "cache-shards",
+          "cache-snapshot", "metrics-out", "trace-out"}) {
       if (const auto v = args.get(flag))
         child_argv.push_back("--" + std::string(flag) + "=" + *v);
     }
-    if (!spawn_child(transport, child_argv)) return 1;
+    auto ep = std::make_unique<Endpoint>();
+    ep->label = "child";
+    if (!spawn_child(ep->transport, child_argv)) return 1;
+    endpoints.push_back(std::move(ep));
   }
+  const Router router(endpoints);
 
   Tally tally;
   mwc::obs::Registry local;
@@ -306,27 +412,88 @@ int main(int argc, char** argv) {
     stage_hists[k] = &local.histogram(
         std::string("loadgen.stage.") + kStageKeys[k], latency_buckets);
   }
-  std::thread reader([&] {
-    reader_loop(transport.read_fd, tally, latency, stage_hists);
-    transport.read_fd = -1;  // reader closed it
-  });
+  std::vector<std::thread> readers;
+  readers.reserve(endpoints.size());
+  for (auto& ep : endpoints) {
+    Endpoint* e = ep.get();
+    readers.emplace_back([e, &tally, &latency, &stage_hists] {
+      reader_loop(e->transport.read_fd, tally, latency, stage_hists);
+      e->transport.read_fd = -1;  // reader closed it
+    });
+  }
 
   const auto outstanding = [&tally] {
     std::lock_guard<std::mutex> lock(tally.mutex);
     return tally.sent.size();
   };
+  const auto write_all = [](int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t put = ::write(fd, data.data() + off, data.size() - off);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(put);
+    }
+    return true;
+  };
+  std::size_t buffered = 0;  // requests batched but not yet written
+  // Stamps every batched id "sent now" and pushes the whole batch in one
+  // write(): DEPTH pipelined requests reach the daemon back-to-back.
+  const auto flush_endpoint = [&](Endpoint& ep) {
+    if (ep.batch.empty()) return true;
+    {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      const auto now = Clock::now();
+      for (auto& id : ep.batch_ids) tally.sent.emplace(std::move(id), now);
+    }
+    buffered -= ep.batch_ids.size();
+    ep.batch_ids.clear();
+    std::string data = std::move(ep.batch);
+    ep.batch.clear();
+    if (!write_all(ep.transport.write_fd, data)) {
+      std::fprintf(stderr, "short write to server: %s\n",
+                   std::strerror(errno));
+      return false;
+    }
+    return true;
+  };
+
+  // Priming pass: same instance mix and routing as the measured loop,
+  // awaited before the clock starts and excluded from every statistic.
+  if (warmup > 0 && !delta_mode) {
+    for (std::size_t j = 0; j < warmup; ++j) {
+      const std::string id = "w" + std::to_string(j);
+      const std::uint64_t seed = base_seed + instance_for(j);
+      Endpoint& ep = *endpoints[router.pick(seed)];
+      {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        tally.warmup.insert(id);
+      }
+      if (!write_all(ep.transport.write_fd, full_request(id, seed) + "\n"))
+        return 1;
+    }
+    for (int waited = 0; waited < 6000; ++waited) {
+      {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        if (tally.warmup.empty()) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
 
   // Delta mode solves one base instance up front; the patch stream can
   // only be built once the reader has seen its fingerprint.
   std::uint64_t base_fingerprint = 0;
+  Endpoint& delta_endpoint = *endpoints[router.pick(base_seed)];
   if (delta_mode) {
     const std::string line = full_request("base", base_seed) + "\n";
     {
       std::lock_guard<std::mutex> lock(tally.mutex);
       tally.sent.emplace("base", Clock::now());
     }
-    if (::write(transport.write_fd, line.data(), line.size()) !=
-        static_cast<ssize_t>(line.size())) {
+    if (!write_all(delta_endpoint.transport.write_fd, line)) {
       std::fprintf(stderr, "short write to server: %s\n",
                    std::strerror(errno));
       return 1;
@@ -344,8 +511,12 @@ int main(int argc, char** argv) {
     base_fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
   }
 
+  // Closed-loop window: at least the pipeline depth, else a deep batch
+  // could never fill.
+  const std::size_t window = std::max(concurrency, pipeline);
+  bool write_failed = false;
   const auto start = Clock::now();
-  for (std::size_t i = 0; i < count; ++i) {
+  for (std::size_t i = 0; i < count && !write_failed; ++i) {
     if (rate > 0.0) {
       // Open loop: fixed send schedule, independent of completions.
       const auto due =
@@ -354,14 +525,23 @@ int main(int argc, char** argv) {
                           static_cast<double>(i) / rate));
       std::this_thread::sleep_until(due);
     } else {
-      while (outstanding() >= concurrency)
+      while (!write_failed && outstanding() + buffered >= window) {
+        // The window can fill while every per-endpoint batch is still
+        // short of the pipeline depth (requests split across daemons);
+        // release the partial batches so responses can drain it.
+        for (auto& ep : endpoints)
+          if (buffered > 0 && !flush_endpoint(*ep)) write_failed = true;
         std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (write_failed) break;
     }
     std::string id;
     std::string line;
+    std::uint64_t route_key;
     if (delta_mode) {
       // One sensor nudged per request; each distinct patch derives (and
-      // caches) a new plan against the same base fingerprint.
+      // caches) a new plan against the same base fingerprint — which
+      // lives on exactly one daemon, so deltas route with the base.
       id = "d" + std::to_string(i);
       const double di = static_cast<double>(i);
       mwc::svc::DeltaBuilder builder(id, base_fingerprint);
@@ -371,25 +551,25 @@ int main(int argc, char** argv) {
           .deadline_ms(deadline_ms);
       if (!trace_prefix.empty()) builder.trace_id(trace_for(id));
       line = builder.to_json_line() + "\n";
+      route_key = base_seed;
     } else {
       id = "r" + std::to_string(i);
-      const std::uint64_t instance =
-          mode == "cold" ? i : (mode == "warm" ? 0 : i % distinct);
-      line = full_request(id, base_seed + instance) + "\n";
+      const std::uint64_t seed = base_seed + instance_for(i);
+      line = full_request(id, seed) + "\n";
+      route_key = seed;
     }
-    {
-      std::lock_guard<std::mutex> lock(tally.mutex);
-      tally.sent.emplace(id, Clock::now());
-    }
-    if (::write(transport.write_fd, line.data(), line.size()) !=
-        static_cast<ssize_t>(line.size())) {
-      std::fprintf(stderr, "short write to server: %s\n",
-                   std::strerror(errno));
-      break;
-    }
+    Endpoint& ep = *endpoints[router.pick(route_key)];
+    ep.batch += line;
+    ep.batch_ids.push_back(std::move(id));
+    ++ep.routed;
+    ++buffered;
+    if (ep.batch_ids.size() >= pipeline) write_failed = !flush_endpoint(ep);
   }
-  transport.close_write();  // EOF -> stdio daemon drains and exits
-  reader.join();
+  for (auto& ep : endpoints)
+    if (!flush_endpoint(*ep)) write_failed = true;
+  for (auto& ep : endpoints)
+    ep->transport.close_write();  // EOF -> daemon answers and half-closes
+  for (auto& t : readers) t.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -408,6 +588,13 @@ int main(int argc, char** argv) {
               delta_mode ? "delta" : mode.c_str(), count,
               static_cast<unsigned long long>(hist.count), tally.ok,
               tally.cached, tally.derived, tally.errors);
+  if (pipeline > 1 || endpoints.size() > 1) {
+    std::printf("pipeline=%zu endpoints=%zu routed=[", pipeline,
+                endpoints.size());
+    for (std::size_t e = 0; e < endpoints.size(); ++e)
+      std::printf("%s%zu", e == 0 ? "" : ", ", endpoints[e]->routed);
+    std::printf("]\n");
+  }
   std::printf("elapsed %.3f s  throughput %.1f req/s\n", elapsed_s, rps);
   std::printf("latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  "
               "min %.3f  max %.3f\n",
@@ -449,6 +636,9 @@ int main(int argc, char** argv) {
     doc.set("q", mwc::svc::Json(q));
     doc.set("policy", mwc::svc::Json(policy));
     doc.set("concurrency", mwc::svc::Json(concurrency));
+    doc.set("pipeline", mwc::svc::Json(pipeline));
+    doc.set("warmup", mwc::svc::Json(warmup));
+    doc.set("endpoints", mwc::svc::Json(endpoints.size()));
     doc.set("rate", mwc::svc::Json(rate));
     doc.set("elapsed_s", mwc::svc::Json(elapsed_s));
     doc.set("req_per_s", mwc::svc::Json(rps));
@@ -484,6 +674,7 @@ int main(int argc, char** argv) {
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
   }
-  const bool failed = tally.errors > 0 || hist.count == 0;
+  const bool failed =
+      tally.errors > 0 || hist.count == 0 || write_failed;
   return failed && args.get_bool_or("strict", true) ? 1 : 0;
 }

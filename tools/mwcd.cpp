@@ -9,19 +9,29 @@
 //   * stdin/stdout (default): reads requests until EOF or SIGINT/SIGTERM,
 //     then drains all accepted work and exits — the mode mwc_loadgen and
 //     the CI smoke job drive through a pipe;
-//   * TCP (--port N): listens on 127.0.0.1:N, one thread per connection,
-//     same line protocol per connection; SIGINT/SIGTERM stops accepting
-//     and drains.
+//   * TCP (--port N): a single non-blocking epoll event loop
+//     (svc::NetServer) serves every connection on 127.0.0.1:N — clients
+//     may pipeline requests back-to-back on one socket and always get
+//     responses in request order; SIGINT/SIGTERM deterministically stops
+//     the loop, flushes every response owed, and drains.
 //
 // Both transports write the --metrics-out / --trace-out sidecars on
 // *every* graceful exit path, signals included (stdio uses a self-pipe so
-// a Ctrl-C'd run doesn't lose its metrics).
+// a Ctrl-C'd run doesn't lose its metrics). With --cache-snapshot the
+// daemon reloads its PlanCache from PATH at startup (ignoring a missing
+// or invalid file) and rewrites PATH after draining, so a restarted
+// daemon answers repeat requests warm.
 //
 // Flags:
 //   --queue-depth N          max in-flight requests before queue_full (64)
 //   --threads N              solver worker threads (0 = hardware)
 //   --cache-capacity N       PlanCache capacity in plans; 0 disables (128)
+//   --cache-shards N         PlanCache shard count (8)
+//   --cache-snapshot FILE    load the plan cache from FILE at start and
+//                            save it back after draining
 //   --port N                 serve TCP on 127.0.0.1:N instead of stdio
+//   --idle-timeout-ms MS     close TCP connections idle for MS (0 = never)
+//   --max-conns N            concurrent TCP connection cap (1024)
 //   --metrics-out FILE       write the global obs registry (mwc.metrics.v1
 //                            JSON) after draining
 //   --trace-out FILE         enable span collection, write a Chrome trace
@@ -29,22 +39,17 @@
 //   --access-log-slow-ms MS  only log requests slower than MS (0 = all)
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <csignal>
-#include <functional>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
+#include <utility>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include "obs/obs.hpp"
@@ -52,13 +57,19 @@
 #include "obs/span.hpp"
 #include "svc/access_log.hpp"
 #include "svc/admin.hpp"
+#include "svc/event_loop.hpp"
+#include "svc/json.hpp"
 #include "svc/server.hpp"
+#include "svc/snapshot.hpp"
 #include "svc/wire.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using mwc::svc::AdminHandler;
+using mwc::svc::NetServer;
+using mwc::svc::NetServerOptions;
+using mwc::svc::NetStats;
 using mwc::svc::Response;
 using mwc::svc::Server;
 
@@ -166,96 +177,31 @@ int run_stdio(Server& server, const AdminHandler& admin) {
   return 0;
 }
 
-std::atomic<int> g_listen_fd{-1};
+// SIGINT/SIGTERM call NetServer::request_stop (async-signal-safe: an
+// atomic flag plus an eventfd write) — the loop flushes owed responses,
+// closes every connection, and returns. No thread ever blocks in read()
+// past the signal.
+std::atomic<NetServer*> g_net_server{nullptr};
 
-void stop_listening(int) {
-  const int fd = g_listen_fd.exchange(-1);
-  if (fd >= 0) ::close(fd);  // unblocks accept() with an error
+void stop_net_server(int) {
+  NetServer* net = g_net_server.load(std::memory_order_relaxed);
+  if (net != nullptr) net->request_stop();
 }
 
-void serve_connection(Server& server, const AdminHandler& admin, int fd) {
-  std::FILE* in = ::fdopen(fd, "r");
-  if (in == nullptr) {
-    ::close(fd);
-    return;
-  }
-  std::FILE* out = ::fdopen(::dup(fd), "w");
-  if (out == nullptr) {
-    std::fclose(in);
-    return;
-  }
-  {
-    LineSink sink(out);
-    // Per-connection tally of submitted-vs-answered so the close below
-    // never races a worker still holding the sink.
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::size_t pending = 0;
-    const auto callback = [&](const Response& r) {
-      sink.write(r);
-      std::lock_guard<std::mutex> lock(done_mutex);
-      --pending;
-      done_cv.notify_all();
-    };
-    char* buffer = nullptr;
-    std::size_t buffer_size = 0;
-    ssize_t got;
-    while ((got = ::getline(&buffer, &buffer_size, in)) > 0) {
-      std::string line(buffer, static_cast<std::size_t>(got));
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
-        line.pop_back();
-      if (line.empty()) continue;
-      std::string admin_response;
-      if (admin.try_handle(line, &admin_response)) {
-        sink.write_line(admin_response);
-        continue;
-      }
-      {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        ++pending;
-      }
-      server.submit_line(line, callback, "tcp");
-    }
-    std::free(buffer);
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return pending == 0; });
-  }
-  std::fclose(out);
-  std::fclose(in);
-}
-
-int run_tcp(Server& server, const AdminHandler& admin, int port) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::perror("bind/listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  g_listen_fd.store(listen_fd);
-  std::signal(SIGINT, stop_listening);
-  std::signal(SIGTERM, stop_listening);
-  std::fprintf(stderr, "mwcd: listening on 127.0.0.1:%d\n", port);
-
-  std::vector<std::thread> connections;
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by a stop signal
-    connections.emplace_back(
-        [&server, &admin, fd] { serve_connection(server, admin, fd); });
-  }
-  for (auto& t : connections) t.join();
+int run_tcp(Server& server, const AdminHandler& admin,
+            NetServerOptions options,
+            const std::shared_ptr<std::atomic<NetServer*>>& statusz_handle) {
+  NetServer net(server, &admin, std::move(options));
+  if (!net.start()) return 1;
+  statusz_handle->store(&net);
+  g_net_server.store(&net);
+  std::signal(SIGINT, stop_net_server);
+  std::signal(SIGTERM, stop_net_server);
+  std::fprintf(stderr, "mwcd: listening on 127.0.0.1:%d (epoll)\n",
+               net.port());
+  net.run();
+  g_net_server.store(nullptr);
+  statusz_handle->store(nullptr);
   server.shutdown();
   return 0;
 }
@@ -272,12 +218,20 @@ int main(int argc, char** argv) {
   options.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
   options.cache_capacity =
       static_cast<std::size_t>(args.get_int_or("cache-capacity", 128));
+  options.cache_shards =
+      static_cast<std::size_t>(args.get_int_or("cache-shards", 8));
   const std::string metrics_path = args.get_or("metrics-out", "");
   const std::string trace_path = args.get_or("trace-out", "");
   const std::string access_log_path = args.get_or("access-log", "");
   const double access_log_slow_ms =
       args.get_double_or("access-log-slow-ms", 0.0);
+  const std::string snapshot_path = args.get_or("cache-snapshot", "");
   const int port = static_cast<int>(args.get_int_or("port", 0));
+  NetServerOptions net_options;
+  net_options.port = port;
+  net_options.idle_timeout_ms = args.get_double_or("idle-timeout-ms", 0.0);
+  net_options.max_connections =
+      static_cast<std::size_t>(args.get_int_or("max-conns", 1024));
   if (!trace_path.empty()) mwc::obs::set_trace_enabled(true);
 
   std::unique_ptr<mwc::svc::AccessLog> access_log;
@@ -295,6 +249,24 @@ int main(int argc, char** argv) {
   int rc;
   {
     Server server(options);
+
+    if (!snapshot_path.empty() && options.cache_capacity > 0) {
+      std::string error;
+      const std::size_t restored =
+          mwc::svc::load_cache_snapshot(server.cache(), snapshot_path,
+                                        &error);
+      if (!error.empty())
+        std::fprintf(stderr, "mwcd: cache snapshot %s rejected: %s\n",
+                     snapshot_path.c_str(), error.c_str());
+      else if (restored > 0)
+        std::fprintf(stderr, "mwcd: cache snapshot: restored %zu plans\n",
+                     restored);
+    }
+
+    // statusz_extra must be wired before AdminHandler copies AdminInfo,
+    // but the NetServer only exists inside run_tcp — bridge with an
+    // atomic handle the hook dereferences at call time.
+    auto net_handle = std::make_shared<std::atomic<NetServer*>>(nullptr);
     mwc::svc::AdminInfo info;
     info.build = std::string("mwcd libmwc/1.0.0 (obs ") +
                  (MWC_OBS_ENABLED != 0 ? "on" : "off") + ")";
@@ -302,8 +274,38 @@ int main(int argc, char** argv) {
     info.start_us = start_us;
     info.metrics_out = metrics_path;
     info.trace_out = trace_path;
+    info.statusz_extra = [net_handle](mwc::svc::Json& s) {
+      NetServer* net = net_handle->load(std::memory_order_acquire);
+      if (net == nullptr) return;
+      const NetStats st = net->stats();
+      mwc::svc::Json n = mwc::svc::Json::object();
+      n.set("connections", mwc::svc::Json(st.connections));
+      n.set("accepted", mwc::svc::Json(st.accepted));
+      n.set("closed", mwc::svc::Json(st.closed));
+      n.set("requests", mwc::svc::Json(st.requests));
+      n.set("responses", mwc::svc::Json(st.responses));
+      n.set("bytes_read", mwc::svc::Json(st.bytes_read));
+      n.set("bytes_written", mwc::svc::Json(st.bytes_written));
+      n.set("wakeups", mwc::svc::Json(st.wakeups));
+      n.set("idle_closed", mwc::svc::Json(st.idle_closed));
+      n.set("overflow_closed", mwc::svc::Json(st.overflow_closed));
+      s.set("net", std::move(n));
+    };
     AdminHandler admin(server, info);
-    rc = port > 0 ? run_tcp(server, admin, port) : run_stdio(server, admin);
+    rc = port > 0 ? run_tcp(server, admin, net_options, net_handle)
+                  : run_stdio(server, admin);
+
+    // Snapshot after the drain (cache fully settled) but while the
+    // server is alive; sidecars below then record the save counters.
+    if (!snapshot_path.empty() && options.cache_capacity > 0) {
+      const long written =
+          mwc::svc::save_cache_snapshot(server.cache(), snapshot_path);
+      if (written < 0) {
+        std::fprintf(stderr, "mwcd: cannot write cache snapshot %s\n",
+                     snapshot_path.c_str());
+        rc = rc == 0 ? 1 : rc;
+      }
+    }
   }
 
   // The log is asynchronous; tear it down before the sidecars so that
