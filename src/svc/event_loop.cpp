@@ -389,8 +389,9 @@ void NetServer::sweep_idle() {
     const double idle_ms =
         std::chrono::duration<double, std::milli>(now - conn->last_activity)
             .count();
-    // Only reap quiet connections: nothing owed, nothing buffered.
-    if (idle_ms > options_.idle_timeout_ms &&
+    // Only reap quiet connections: nothing owed, nothing buffered —
+    // a half-received request line in `in` counts as activity.
+    if (idle_ms > options_.idle_timeout_ms && conn->in.empty() &&
         conn->next_flush == conn->next_seq &&
         conn->out_pos == conn->out.size())
       idle.push_back(conn);
@@ -404,6 +405,10 @@ void NetServer::sweep_idle() {
 
 void NetServer::begin_stop() {
   stopping_ = true;
+  drain_deadline_ =
+      SteadyClock::now() +
+      std::chrono::duration_cast<SteadyClock::duration>(
+          std::chrono::duration<double, std::milli>(options_.drain_timeout_ms));
   if (listen_fd_ >= 0) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
     ::close(listen_fd_);
@@ -426,11 +431,27 @@ void NetServer::run() {
     if (stop_requested_.load(std::memory_order_acquire) && !stopping_)
       begin_stop();
     if (stopping_ && conns_.empty()) break;
+    if (stopping_ && options_.drain_timeout_ms > 0.0 &&
+        SteadyClock::now() >= drain_deadline_) {
+      // Drain deadline: a peer that stopped reading holds unflushable
+      // output forever — force-close so run() always returns.
+      std::vector<std::shared_ptr<Conn>> rest;
+      rest.reserve(conns_.size());
+      for (const auto& [fd, conn] : conns_) rest.push_back(conn);
+      for (const auto& conn : rest) {
+        drain_dropped_.fetch_add(1, std::memory_order_relaxed);
+        MWC_OBS_COUNT("svc.net.drain_dropped");
+        close_conn(conn, "drain timeout");
+      }
+      break;
+    }
 
     int timeout = -1;
     if (options_.idle_timeout_ms > 0.0 && !conns_.empty())
       timeout = std::clamp(static_cast<int>(options_.idle_timeout_ms / 2),
                            10, 1000);
+    if (stopping_ && options_.drain_timeout_ms > 0.0)
+      timeout = timeout < 0 ? 50 : std::min(timeout, 50);
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()), timeout);
     if (n < 0) {
@@ -448,9 +469,13 @@ void NetServer::run() {
         handle_accept();
       } else {
         const auto it = conns_.find(fd);
-        if (it != conns_.end())
-          handle_conn_event(it->second,
-                            events[static_cast<std::size_t>(i)].events);
+        if (it != conns_.end()) {
+          // Copy out of the map: close_conn() inside the handler erases
+          // this entry, which would destroy the shared_ptr a reference
+          // to it->second still dereferences afterwards.
+          const std::shared_ptr<Conn> conn = it->second;
+          handle_conn_event(conn, events[static_cast<std::size_t>(i)].events);
+        }
       }
     }
     drain_completions();
@@ -470,6 +495,7 @@ NetStats NetServer::stats() const {
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   s.overflow_closed = overflow_closed_.load(std::memory_order_relaxed);
+  s.drain_dropped = drain_dropped_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -19,7 +19,10 @@
 // Shutdown is deterministic: request_stop() (async-signal-safe) wakes
 // the loop, which closes the listener, stops parsing new input, flushes
 // every response already owed, closes all connections, and returns from
-// run() — no thread ever blocks in read() past the stop. Accepted
+// run() — no thread ever blocks in read() past the stop, and a peer
+// that stops reading cannot stall the drain: connections whose owed
+// output is still unflushed after `drain_timeout_ms` are force-closed
+// (`svc.net.drain_dropped`). Accepted
 // sockets get TCP_NODELAY so pipelined request/response exchanges are
 // not serialized by Nagle / delayed ACKs. Idle connections (nothing
 // owed, nothing buffered) close after `idle_timeout_ms`.
@@ -29,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,6 +55,10 @@ struct NetServerOptions {
   /// a connection exceeding it is closed.
   std::size_t max_buffered_bytes = 64 * 1024 * 1024;
   bool tcp_nodelay = true;
+  /// After request_stop(), connections whose owed output still cannot
+  /// be flushed (peer stopped reading) are force-closed once this many
+  /// ms have passed, so shutdown always terminates. 0 = wait forever.
+  double drain_timeout_ms = 5000.0;
 };
 
 /// Monotonic transport counters (exact, usable under MWC_OBS=OFF);
@@ -66,6 +74,7 @@ struct NetStats {
   std::uint64_t wakeups = 0;      ///< eventfd wakeups (worker -> loop)
   std::uint64_t idle_closed = 0;
   std::uint64_t overflow_closed = 0;  ///< buffer-guard / accept-cap closes
+  std::uint64_t drain_dropped = 0;  ///< force-closed at the drain deadline
 };
 
 class NetServer {
@@ -131,6 +140,7 @@ class NetServer {
 
   std::atomic<bool> stop_requested_{false};
   bool stopping_ = false;  ///< loop-thread view (begin_stop ran)
+  std::chrono::steady_clock::time_point drain_deadline_{};
   std::atomic<bool> wake_pending_{false};
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
@@ -141,7 +151,7 @@ class NetServer {
   // Stats (atomics: workers bump responses-side counters).
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, requests_{0},
       responses_{0}, bytes_read_{0}, bytes_written_{0}, wakeups_{0},
-      idle_closed_{0}, overflow_closed_{0};
+      idle_closed_{0}, overflow_closed_{0}, drain_dropped_{0};
 };
 
 }  // namespace mwc::svc

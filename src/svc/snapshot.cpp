@@ -5,6 +5,9 @@
 #include <cstring>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "obs/obs.hpp"
 
 namespace mwc::svc {
@@ -88,10 +91,21 @@ long save_cache_snapshot(const PlanCache& cache, const std::string& path) {
   std::string tail;
   put_u64(tail, checksum(payload.data(), payload.size()));
   ok = ok && std::fwrite(tail.data(), 1, tail.size(), f) == tail.size();
+  // The tmp+rename is only atomic against power loss if the data hits
+  // disk before the rename does.
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return -1;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   MWC_OBS_COUNT("svc.cache.snapshot_saved");
   return static_cast<long>(entries.size());

@@ -67,11 +67,15 @@ struct Loop {
 struct Client {
   int fd = -1;
 
-  explicit Client(int port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connect (tiny TCP window, so
+  /// an unread peer backs the server's writes up quickly).
+  explicit Client(int port, int rcvbuf = 0) {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd, 0);
     timeval tv{10, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    if (rcvbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -296,6 +300,63 @@ TEST(NetServer, StopFlushesInFlightWorkAndClosesIdleConnections) {
   EXPECT_EQ(id_of(lines[0]), "r0");
   EXPECT_TRUE(busy.read_eof());
   EXPECT_TRUE(idle.read_eof());
+}
+
+TEST(NetServer, BufferedPartialRequestLineIsNotReapedAsIdle) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  NetServerOptions net_options;
+  net_options.idle_timeout_ms = 50.0;
+  Loop loop(options, net_options);
+
+  // Send half a request line, go quiet past the idle timeout, then
+  // finish it: the half-sent request must still be answered, not
+  // silently dropped by the idle sweep.
+  Client client(loop.net.port());
+  const std::string line = request_line("r0");
+  client.send_all(line.substr(0, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  client.send_all(line.substr(10));
+
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "r0");
+  EXPECT_EQ(loop.net.stats().idle_closed, 0u);
+}
+
+TEST(NetServer, StopForceClosesConnectionsThatCannotFlush) {
+  ServerOptions options;
+  options.threads = 1;
+  // An 8 MiB response cannot fit the kernel socket buffers, so a peer
+  // that never reads leaves it unflushable forever.
+  options.handler = [](const Request& request) {
+    Response response;
+    response.id = std::string(8u << 20, 'x');
+    response.ok = true;
+    return response;
+  };
+  NetServerOptions net_options;
+  net_options.drain_timeout_ms = 300.0;
+  Loop loop(options, net_options);
+
+  Client client(loop.net.port(), /*rcvbuf=*/1);
+  client.send_all(request_line("r0"));
+  // Wait until the response is queued on the connection's output buffer
+  // (flushed as far as the socket accepts) before asking for the stop.
+  for (int i = 0; i < 2000 && loop.net.stats().responses == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(loop.net.stats().responses, 1u);
+
+  // run() must return anyway: the drain deadline force-closes the
+  // connection the peer refuses to drain.
+  loop.net.request_stop();
+  auto joined = std::async(std::launch::async, [&] { loop.stop(); });
+  ASSERT_EQ(joined.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(loop.net.stats().drain_dropped, 1u);
 }
 
 TEST(NetServer, WireBytesMatchInProcessServerModuloLatency) {

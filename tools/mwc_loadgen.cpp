@@ -523,6 +523,15 @@ int main(int argc, char** argv) {
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(
                           static_cast<double>(i) / rate));
+      // Everything batched so far is already due: release partial
+      // batches before sleeping so --pipeline cannot hold paced
+      // requests past their slot (batching then only coalesces sends
+      // when the sender is behind schedule).
+      if (buffered > 0 && Clock::now() < due) {
+        for (auto& ep : endpoints)
+          if (!flush_endpoint(*ep)) write_failed = true;
+        if (write_failed) break;
+      }
       std::this_thread::sleep_until(due);
     } else {
       while (!write_failed && outstanding() + buffered >= window) {

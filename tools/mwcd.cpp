@@ -31,6 +31,8 @@
 //                            save it back after draining
 //   --port N                 serve TCP on 127.0.0.1:N instead of stdio
 //   --idle-timeout-ms MS     close TCP connections idle for MS (0 = never)
+//   --drain-timeout-ms MS    on shutdown, force-close connections whose
+//                            output cannot flush after MS (5000; 0 = wait)
 //   --max-conns N            concurrent TCP connection cap (1024)
 //   --metrics-out FILE       write the global obs registry (mwc.metrics.v1
 //                            JSON) after draining
@@ -230,6 +232,8 @@ int main(int argc, char** argv) {
   NetServerOptions net_options;
   net_options.port = port;
   net_options.idle_timeout_ms = args.get_double_or("idle-timeout-ms", 0.0);
+  net_options.drain_timeout_ms =
+      args.get_double_or("drain-timeout-ms", 5000.0);
   net_options.max_connections =
       static_cast<std::size_t>(args.get_int_or("max-conns", 1024));
   if (!trace_path.empty()) mwc::obs::set_trace_enabled(true);
@@ -289,6 +293,7 @@ int main(int argc, char** argv) {
       n.set("wakeups", mwc::svc::Json(st.wakeups));
       n.set("idle_closed", mwc::svc::Json(st.idle_closed));
       n.set("overflow_closed", mwc::svc::Json(st.overflow_closed));
+      n.set("drain_dropped", mwc::svc::Json(st.drain_dropped));
       s.set("net", std::move(n));
     };
     AdminHandler admin(server, info);
