@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Benchmarks the mwc.svc.stream.v1 predictive streaming sessions and
+# writes BENCH_stream.json:
+#   * bench/micro_stream — in-process SessionManager: wall time from a
+#     surge observation to the unsolicited plan push, vs a cold full
+#     solve of the same instance size;
+#   * tools/mwc_loadgen --stream --surge driving tools/mwcd --sessions
+#     over TCP — a regional storm arrives mid-session, the server's
+#     deadline trigger replans, and a client-side two-arm replay counts
+#     the sensors the pushed plans saved vs riding the base plan.
+#
+# Budgets: replan-push p50 < cold-solve p50 at the headline n (speedup
+# > 1x), surge sensors-saved > 0, and the daemon's svc.delta.requests /
+# svc.stream.pushes counters prove replans flowed through the normal
+# delta admission path.
+#
+# Usage: scripts/bench_stream.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_stream.json}"
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2> /dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PORT=$((18000 + RANDOM % 4000))
+
+wait_listening() {  # port
+  for _ in $(seq 1 200); do
+    if (exec 3<> "/dev/tcp/127.0.0.1/$1") 2> /dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "daemon on port $1 never came up" >&2
+  return 1
+}
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build --target micro_stream mwcd mwc_loadgen \
+      -j "$(nproc)" > /dev/null
+
+build/bench/micro_stream --json "$TMP/inproc.json"
+
+build/tools/mwcd --port "$PORT" --sessions \
+    --metrics-out "$TMP/metrics.json" > /dev/null 2>&1 &
+PIDS+=($!)
+wait_listening "$PORT"
+build/tools/mwc_loadgen --connect "127.0.0.1:$PORT" --stream --surge \
+    --n 200 --json "$TMP/wire_stream.json"
+kill -TERM "${PIDS[0]}"
+for _ in $(seq 1 100); do
+  [ -s "$TMP/metrics.json" ] && break
+  sleep 0.05
+done
+wait "${PIDS[0]}" 2> /dev/null || true
+PIDS=()
+
+python3 - "$TMP/inproc.json" "$TMP/wire_stream.json" "$TMP/metrics.json" \
+    "$OUT" <<'EOF'
+import json, sys
+inproc = json.load(open(sys.argv[1]))
+wire = json.load(open(sys.argv[2]))
+metrics = json.load(open(sys.argv[3]))
+
+headline = max(inproc["rows"], key=lambda r: r["n"])
+speedup = round(headline["speedup_p50"], 1)
+saved = wire["surge"]["sensors_saved"]
+counters = metrics["counters"]
+merged = {
+    "bench": "stream",
+    "inprocess": inproc,
+    "wire_stream": wire,
+    "daemon_counters": {
+        k: counters[k]
+        for k in sorted(counters)
+        if k.startswith("svc.stream.") or k == "svc.delta.requests"
+        or k == "svc.net.pushes"
+    },
+    "headline_n": headline["n"],
+    "headline_replan_push_p50_ms": headline["replan_push_p50_ms"],
+    "headline_cold_p50_ms": headline["cold_p50_ms"],
+    "headline_speedup_p50": speedup,
+    "budget_speedup_p50": 1.0,
+    "surge_sensors_saved": saved,
+    "note": "inprocess = svc::SessionManager surge observe -> plan push "
+            "wall time vs handle_request on a fresh topology; "
+            "wire_stream = mwc_loadgen streaming storm-driven discharge "
+            "rates to mwcd --sessions over TCP, with a client-side "
+            "two-arm replay (base plan vs base+pushed plans) counting "
+            "sensors saved by mid-session replans.",
+}
+json.dump(merged, open(sys.argv[4], "w"), indent=2)
+open(sys.argv[4], "a").write("\n")
+
+failures = []
+if speedup < merged["budget_speedup_p50"]:
+    failures.append(f"replan push p50 not under cold p50 ({speedup}x)")
+if saved <= 0:
+    failures.append(f"surge saved no sensors ({saved})")
+if counters.get("svc.delta.requests", 0) <= 0:
+    failures.append("no svc.delta.requests on the daemon")
+if counters.get("svc.stream.pushes", 0) <= 0:
+    failures.append("no svc.stream.pushes on the daemon")
+print(f"replan-push-vs-cold p50 speedup {speedup}x at "
+      f"n={headline['n']} (budget {merged['budget_speedup_p50']}x); "
+      f"surge saved {saved} sensors; "
+      f"delta requests {counters.get('svc.delta.requests', 0)}, "
+      f"stream pushes {counters.get('svc.stream.pushes', 0)} "
+      f"{'OK' if not failures else 'FAIL: ' + '; '.join(failures)}")
+print(f"wrote {sys.argv[4]}")
+sys.exit(0 if not failures else 1)
+EOF

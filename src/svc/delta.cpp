@@ -17,13 +17,6 @@ constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 constexpr double kCoordQuantum = 1e-6;  ///< metres; below survey accuracy
 constexpr double kValueQuantum = 1e-9;  ///< cycles / times / options
 
-std::string fingerprint_hex(std::uint64_t fp) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(fp));
-  return std::string(buf);
-}
-
 }  // namespace
 
 PatchState fold_patch(const std::vector<PatchOp>& patch, std::size_t n,
@@ -326,6 +319,28 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache,
       rpatch.base_slot.push_back(slot);
       if (fold.moved.find(s) != fold.moved.end())
         rpatch.touched.push_back(q + j);
+    }
+    // Deadline-driven admission (Rao et al.): a surviving sensor whose
+    // cycle was shortened below the round's urgency bar — it now needs
+    // charging at least as soon as some sensor already dispatched —
+    // joins the round as a fresh insertion. This is what lets a
+    // streaming session's update_cycles replan actually visit a sensor
+    // the storm pushed toward death instead of only relabeling its τ.
+    {
+      const std::size_t n0 = base->network.n();
+      std::vector<char> in_round(n0, 0);
+      double round_tau_max = 0.0;
+      for (const std::size_t s : base->round.sensors) {
+        in_round[s] = 1;
+        if (base->tau[s] > round_tau_max) round_tau_max = base->tau[s];
+      }
+      for (const auto& [s, t] : fold.retau) {
+        if (in_round[s] != 0 || is_removed[s] != 0) continue;
+        if (t > round_tau_max) continue;
+        rpatch.touched.push_back(q + rpatch.sensors.size());
+        rpatch.sensors.push_back(new_id[s]);
+        rpatch.base_slot.push_back(kNpos);
+      }
     }
     for (const std::size_t id : added_ids) {
       rpatch.touched.push_back(q + rpatch.sensors.size());

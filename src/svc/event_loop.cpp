@@ -29,6 +29,7 @@ using SteadyClock = std::chrono::steady_clock;
 /// and `closed`, which workers touch under `mutex`.
 struct NetServer::Conn {
   int fd = -1;
+  std::uint64_t token = 0;  ///< stable id handed to the StreamHub
   std::string in;   ///< unparsed input tail
   std::string out;  ///< in-order response bytes awaiting the socket
   std::size_t out_pos = 0;  ///< flushed prefix of `out`
@@ -39,16 +40,23 @@ struct NetServer::Conn {
   std::uint64_t next_flush = 0;  ///< sequence owed to the client next
   bool half_closed = false;      ///< peer sent EOF; flush then close
   bool epollout = false;         ///< EPOLLOUT currently armed
+  bool streaming = false;  ///< holds a live stream session (loop thread)
   SteadyClock::time_point last_activity;
 
   std::mutex mutex;
   bool closed = false;
   std::vector<std::pair<std::uint64_t, std::string>> done;
+  /// Server-initiated lines (no sequence number); drained into `out`
+  /// between in-order flushes.
+  std::vector<std::string> pushed;
 };
 
 NetServer::NetServer(Server& server, const AdminHandler* admin,
-                     NetServerOptions options)
-    : server_(server), admin_(admin), options_(std::move(options)) {}
+                     NetServerOptions options, StreamHub* sessions)
+    : server_(server),
+      admin_(admin),
+      options_(std::move(options)),
+      sessions_(sessions) {}
 
 NetServer::~NetServer() {
   // Drain the solver first: after shutdown() no worker callback can run,
@@ -164,6 +172,7 @@ void NetServer::handle_accept() {
     }
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
+    conn->token = next_conn_token_++;
     conn->last_activity = SteadyClock::now();
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
@@ -185,6 +194,29 @@ void NetServer::process_line(const std::shared_ptr<Conn>& conn,
   const std::uint64_t seq = conn->next_seq++;
   requests_.fetch_add(1, std::memory_order_relaxed);
   MWC_OBS_COUNT("svc.net.requests");
+
+  // Stream-session frames answer synchronously on the loop thread (the
+  // hub's reply takes the frame's sequence slot); servers without a hub
+  // reject them with the structured error instead of letting the
+  // version string hit parse_any_request as unsupported_version.
+  if (is_stream_frame(line)) {
+    std::string reply;
+    if (sessions_ == nullptr) {
+      reply = stream_error_line(stream_frame_id(line),
+                                ErrorCode::kSessionsDisabled,
+                                "server started without --sessions");
+    } else {
+      auto push = [this, conn](std::string pushed) {
+        return push_line(conn, std::move(pushed));
+      };
+      bool streaming = conn->streaming;
+      reply = sessions_->handle_frame(conn->token, line, std::move(push),
+                                      &streaming);
+      conn->streaming = streaming;
+    }
+    conn->ready.emplace(seq, std::move(reply));
+    return;
+  }
 
   // Admin requests answer synchronously on the loop thread but join the
   // sequence stream so pipelined responses stay in request order.
@@ -288,6 +320,19 @@ void NetServer::pump(const std::shared_ptr<Conn>& conn) {
     responses_.fetch_add(1, std::memory_order_relaxed);
     MWC_OBS_COUNT("svc.net.responses");
   }
+  // Server-initiated pushes carry no sequence number: they append after
+  // whatever in-order prefix is flushable right now, so they interleave
+  // with pipelined responses without perturbing their order (a push
+  // never waits on a still-parked earlier response, and the
+  // next_flush/next_seq close accounting never sees them).
+  {
+    std::vector<std::string> pushed;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      pushed.swap(conn->pushed);
+    }
+    for (std::string& line : pushed) conn->out += line;
+  }
   if (conn->out.size() - conn->out_pos > options_.max_buffered_bytes) {
     overflow_closed_.fetch_add(1, std::memory_order_relaxed);
     MWC_OBS_COUNT("svc.net.overflow_closed");
@@ -343,6 +388,31 @@ void NetServer::pump(const std::shared_ptr<Conn>& conn) {
     close_conn(conn, "done");
 }
 
+bool NetServer::push_line(const std::shared_ptr<Conn>& conn,
+                          std::string line) {
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->closed) {
+      conn->pushed.push_back(std::move(line));
+      enqueue = true;
+    }
+  }
+  if (!enqueue) {
+    pushes_dropped_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.net.pushes_dropped");
+    return false;
+  }
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.net.pushes");
+  {
+    std::lock_guard<std::mutex> lock(completed_mutex_);
+    completed_.push_back(conn);
+  }
+  wake();
+  return true;
+}
+
 void NetServer::close_conn(const std::shared_ptr<Conn>& conn,
                            const char* /*reason*/) {
   if (conn->fd < 0) return;
@@ -354,8 +424,13 @@ void NetServer::close_conn(const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> lock(conn->mutex);
     conn->closed = true;
     conn->done.clear();
+    conn->pushed.clear();
   }
   conn->ready.clear();
+  if (conn->streaming && sessions_ != nullptr) {
+    conn->streaming = false;
+    sessions_->drop_connection(conn->token);
+  }
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
   MWC_OBS_COUNT("svc.net.closed");
@@ -390,9 +465,10 @@ void NetServer::sweep_idle() {
         std::chrono::duration<double, std::milli>(now - conn->last_activity)
             .count();
     // Only reap quiet connections: nothing owed, nothing buffered —
-    // a half-received request line in `in` counts as activity.
-    if (idle_ms > options_.idle_timeout_ms && conn->in.empty() &&
-        conn->next_flush == conn->next_seq &&
+    // a half-received request line in `in` counts as activity. A live
+    // stream session is long-lived by design and never idle-reaped.
+    if (idle_ms > options_.idle_timeout_ms && !conn->streaming &&
+        conn->in.empty() && conn->next_flush == conn->next_seq &&
         conn->out_pos == conn->out.size())
       idle.push_back(conn);
   }
@@ -496,6 +572,8 @@ NetStats NetServer::stats() const {
   s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   s.overflow_closed = overflow_closed_.load(std::memory_order_relaxed);
   s.drain_dropped = drain_dropped_.load(std::memory_order_relaxed);
+  s.pushes = pushes_.load(std::memory_order_relaxed);
+  s.pushes_dropped = pushes_dropped_.load(std::memory_order_relaxed);
   return s;
 }
 

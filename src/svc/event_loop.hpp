@@ -27,6 +27,16 @@
 // not serialized by Nagle / delayed ACKs. Idle connections (nothing
 // owed, nothing buffered) close after `idle_timeout_ms`.
 //
+// Streaming sessions (mwc.svc.stream.v1): when constructed with a
+// StreamHub, lines carrying the stream version string are routed to it
+// instead of Server::submit_line. The hub answers synchronously on the
+// loop thread (the reply joins the sequence stream at the frame's slot)
+// and may later push server-initiated lines — plan updates — through
+// the same ordered write path. Pushes carry no sequence number: they
+// are appended to the output buffer between in-order flushes, so they
+// interleave with pipelined responses without ever reordering them.
+// Connections with a live session are exempt from idle reaping.
+//
 // Telemetry: `svc.net.*` counters/gauges on the global registry plus an
 // exact local NetStats snapshot (stats()) that mwcd's statusz exposes.
 #pragma once
@@ -34,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +55,35 @@
 #include "svc/server.hpp"
 
 namespace mwc::svc {
+
+/// Session-layer seam: NetServer routes mwc.svc.stream.v1 frames to a
+/// StreamHub (svc::SessionManager in production; fakes in tests)
+/// instead of the request parser.
+class StreamHub {
+ public:
+  /// Writes one server-initiated JSONL line (newline included) to the
+  /// connection the hub received it from. Thread-safe; callable from
+  /// worker threads. Returns false when the connection is gone (the
+  /// line is dropped and counted in NetStats::pushes_dropped).
+  using PushFn = std::function<bool(std::string)>;
+
+  virtual ~StreamHub() = default;
+
+  /// Handles one stream frame on the loop thread and returns the
+  /// complete JSONL reply, which joins the connection's in-order
+  /// response stream at the frame's sequence slot. `push` may be
+  /// retained for the life of the connection. `*streaming` enters as
+  /// the connection's current flag and must be left true while the
+  /// connection holds any live session (exempts it from idle reaping
+  /// and routes its close to drop_connection).
+  virtual std::string handle_frame(std::uint64_t conn_token,
+                                   const std::string& line, PushFn push,
+                                   bool* streaming) = 0;
+
+  /// The transport closed this connection: tear down its sessions.
+  /// Runs on the loop thread.
+  virtual void drop_connection(std::uint64_t conn_token) = 0;
+};
 
 struct NetServerOptions {
   std::string host = "127.0.0.1";
@@ -75,14 +115,17 @@ struct NetStats {
   std::uint64_t idle_closed = 0;
   std::uint64_t overflow_closed = 0;  ///< buffer-guard / accept-cap closes
   std::uint64_t drain_dropped = 0;  ///< force-closed at the drain deadline
+  std::uint64_t pushes = 0;          ///< server-initiated lines enqueued
+  std::uint64_t pushes_dropped = 0;  ///< pushes to already-closed conns
 };
 
 class NetServer {
  public:
-  /// `admin` may be null (no in-band introspection). Both referents must
-  /// outlive the NetServer.
+  /// `admin` may be null (no in-band introspection); `sessions` may be
+  /// null (stream frames answered with the structured sessions_disabled
+  /// error). All referents must outlive the NetServer.
   NetServer(Server& server, const AdminHandler* admin,
-            NetServerOptions options = {});
+            NetServerOptions options = {}, StreamHub* sessions = nullptr);
 
   /// Drains the Server (so no worker callback can outlive the loop
   /// state) — safe also when run() never started.
@@ -124,6 +167,9 @@ class NetServer {
   /// writes as much as the socket accepts; closes the connection when
   /// it is finished or broken.
   void pump(const std::shared_ptr<Conn>& conn);
+  /// Enqueues one server-initiated line (thread-safe; see
+  /// StreamHub::PushFn for the contract).
+  bool push_line(const std::shared_ptr<Conn>& conn, std::string line);
   void close_conn(const std::shared_ptr<Conn>& conn, const char* reason);
   void drain_completions();
   void sweep_idle();
@@ -132,6 +178,8 @@ class NetServer {
   Server& server_;
   const AdminHandler* admin_;
   NetServerOptions options_;
+  StreamHub* sessions_;
+  std::uint64_t next_conn_token_ = 1;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -151,7 +199,8 @@ class NetServer {
   // Stats (atomics: workers bump responses-side counters).
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, requests_{0},
       responses_{0}, bytes_read_{0}, bytes_written_{0}, wakeups_{0},
-      idle_closed_{0}, overflow_closed_{0}, drain_dropped_{0};
+      idle_closed_{0}, overflow_closed_{0}, drain_dropped_{0}, pushes_{0},
+      pushes_dropped_{0};
 };
 
 }  // namespace mwc::svc

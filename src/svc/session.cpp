@@ -1,0 +1,519 @@
+#include "svc/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "geom/point.hpp"
+#include "obs/obs.hpp"
+
+namespace mwc::svc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Relative τ change below which an update_cycles op is a no-op (same
+/// quantum the delta engine's fold uses for values).
+constexpr double kTauQuantum = 1e-9;
+
+std::string frame_id(const Json& doc) {
+  const Json* id = doc.find("id");
+  if (id != nullptr && id->is_string() &&
+      id->as_string().size() <= kMaxTraceIdLength)
+    return id->as_string();
+  return {};
+}
+
+void append_head(std::string& out, const std::string& id) {
+  out += "{\"v\":\"";
+  out += kWireVersionStream;
+  out += "\",\"id\":";
+  append_json_escaped(out, id);
+}
+
+double optional_double(const Json& doc, const char* key, double fallback) {
+  const Json* j = doc.find(key);
+  return j != nullptr ? j->as_double() : fallback;
+}
+
+}  // namespace
+
+std::vector<double> plan_visit_times(const Plan& plan,
+                                     const wsn::Network& network,
+                                     double travel_speed,
+                                     double charge_time) {
+  std::vector<double> out(network.n(), kInf);
+  if (!(travel_speed > 0.0)) return out;
+  for (const PlanTour& tour : plan.first_round_tours) {
+    if (tour.depot >= network.q()) continue;
+    geom::Point pos = network.depots()[tour.depot];
+    double t = 0.0;
+    for (const std::size_t id : tour.sensors) {
+      if (id >= network.n()) continue;
+      const geom::Point& p = network.sensor_points()[id];
+      t += geom::distance(pos, p) / travel_speed;
+      if (t < out[id]) out[id] = t;
+      t += charge_time;
+      pos = p;
+    }
+  }
+  return out;
+}
+
+SessionManager::SessionManager(Server& server, SessionOptions options)
+    : server_(server), options_(options) {}
+
+SessionManager::~SessionManager() {
+  // An in-flight replan callback captures `this`; draining the server
+  // first guarantees none outlives the session table.
+  server_.shutdown();
+}
+
+std::string SessionManager::reject(const std::string& id, ErrorCode code,
+                                   const std::string& message) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.stream.rejected");
+  return stream_error_line(id, code, message);
+}
+
+std::string SessionManager::handle_frame(std::uint64_t conn_token,
+                                         const std::string& line,
+                                         PushFn push, bool* streaming) {
+  MWC_OBS_COUNT("svc.stream.frames");
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const JsonError& e) {
+    return reject("", ErrorCode::kBadRequest, e.what());
+  }
+  if (!doc.is_object())
+    return reject("", ErrorCode::kBadRequest,
+                  "stream frame must be a JSON object");
+  try {
+    const Json* op = doc.find("op");
+    if (op == nullptr)
+      return reject(frame_id(doc), ErrorCode::kBadRequest,
+                    "stream frame needs \"op\"");
+    const std::string& name = op->as_string();
+    if (name == "open") return handle_open(conn_token, doc, push, streaming);
+    if (name == "observe") return handle_observe(conn_token, doc);
+    if (name == "close") return handle_close(conn_token, doc, streaming);
+    return reject(frame_id(doc), ErrorCode::kBadRequest,
+                  "unknown stream op \"" + name + "\"");
+  } catch (const WireError& e) {
+    return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
+  } catch (const JsonError& e) {
+    return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    // e.g. FleetPredictor::observe on a mismatched rates length.
+    return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
+  }
+}
+
+void SessionManager::refresh_deadlines(Session& session) {
+  const wsn::Network& network = session.base->network;
+  const std::size_t n = network.n();
+  std::vector<double> times =
+      session.base->plan != nullptr
+          ? plan_visit_times(*session.base->plan, network,
+                             session.travel_speed, session.charge_time)
+          : std::vector<double>(n, kInf);
+  session.visit.assign(n, kInf);
+  session.deadline.assign(n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isfinite(times[i])) {
+      session.visit[i] = session.plan_epoch + times[i];
+      session.deadline[i] = session.visit[i];
+    } else {
+      session.deadline[i] = session.plan_epoch + session.base->tau[i];
+    }
+  }
+}
+
+std::string SessionManager::handle_open(std::uint64_t conn_token,
+                                        const Json& doc, PushFn& push,
+                                        bool* streaming) {
+  const std::string id = doc.at("id").as_string();
+  if (id.empty()) throw WireError("id must be non-empty");
+  const std::uint64_t fp =
+      parse_fingerprint_hex(doc.at("base").as_string());
+
+  const double gamma = optional_double(doc, "gamma", options_.gamma);
+  if (!(gamma > 0.0 && gamma < 1.0))
+    throw WireError("gamma must be in (0, 1)");
+  const double margin = optional_double(doc, "margin", options_.margin);
+  if (!(margin >= 0.0 && margin < 1.0))
+    throw WireError("margin must be in [0, 1)");
+  const double speed =
+      optional_double(doc, "speed", options_.travel_speed);
+  if (!(speed > 0.0)) throw WireError("speed must be > 0");
+  const double charge_time =
+      optional_double(doc, "charge_time", options_.charge_time);
+  if (charge_time < 0.0) throw WireError("charge_time must be >= 0");
+  const double t0 = optional_double(doc, "t", 0.0);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= options_.max_sessions)
+    return reject(id, ErrorCode::kSessionLimit,
+                  "session table full (" +
+                      std::to_string(options_.max_sessions) + " live)");
+  std::shared_ptr<const BaseState> base = server_.cache().get_state(fp);
+  if (base == nullptr)
+    return reject(id, ErrorCode::kUnknownBase,
+                  "unknown base plan \"" + fingerprint_hex(fp) +
+                      "\"; solve it first on the same server");
+
+  auto session = std::make_shared<Session>();
+  session->id = next_session_++;
+  session->conn = conn_token;
+  session->push = std::move(push);
+  session->fingerprint = fp;
+  session->base = std::move(base);
+  session->travel_speed = speed;
+  session->charge_time = charge_time;
+  session->margin = margin;
+  session->plan_epoch = t0;
+  session->now = t0;
+
+  const wsn::Network& network = session->base->network;
+  const std::size_t n = network.n();
+  session->battery.resize(n);
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    session->battery[i] = network.sensor(i).battery_capacity;
+    // Planned steady state: draining one battery per cycle τ_i.
+    rates[i] = session->battery[i] / session->base->tau[i];
+  }
+  session->residual = session->battery;
+  if (const Json* residual = doc.find("residual")) {
+    if (!residual->is_array() || residual->size() != n)
+      throw WireError("residual must be an array of n numbers");
+    for (std::size_t i = 0; i < n; ++i) {
+      session->residual[i] = residual->items()[i].as_double();
+      if (session->residual[i] < 0.0)
+        throw WireError("residual must be >= 0");
+    }
+  }
+  session->predictor = std::make_unique<wsn::FleetPredictor>(
+      gamma, std::move(rates), options_.report_threshold);
+  refresh_deadlines(*session);
+  std::size_t round_sensors = 0;
+  for (const double v : session->visit)
+    if (std::isfinite(v)) ++round_sensors;
+
+  const std::uint64_t sid = session->id;
+  sessions_.emplace(sid, std::move(session));
+  *streaming = true;
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.stream.sessions");
+  MWC_OBS_GAUGE_SET("svc.stream.active_sessions",
+                    static_cast<double>(sessions_.size()));
+
+  std::string out;
+  append_head(out, id);
+  out += ",\"ok\":true,\"op\":\"open\",\"session\":";
+  append_json_number(out, static_cast<double>(sid));
+  out += ",\"n\":";
+  append_json_number(out, static_cast<double>(n));
+  out += ",\"round_sensors\":";
+  append_json_number(out, static_cast<double>(round_sensors));
+  out += ",\"base\":\"";
+  out += fingerprint_hex(fp);
+  out += "\"}\n";
+  return out;
+}
+
+std::string SessionManager::handle_observe(std::uint64_t conn_token,
+                                           const Json& doc) {
+  const std::string id = doc.at("id").as_string();
+  const std::uint64_t sid =
+      static_cast<std::uint64_t>(doc.at("session").as_int());
+  const double t = doc.at("t").as_double();
+  const Json& rates_json = doc.at("rates");
+  if (!rates_json.is_array())
+    throw WireError("rates must be an array of n numbers");
+  std::vector<double> rates;
+  rates.reserve(rates_json.size());
+  for (const Json& r : rates_json.items()) {
+    rates.push_back(r.as_double());
+    if (!(rates.back() >= 0.0)) throw WireError("rates must be >= 0");
+  }
+
+  bool do_replan = false;
+  DeltaRequest delta;
+  double trigger_t = 0.0;
+  std::vector<std::size_t> at_risk;
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end() || it->second->conn != conn_token)
+      return reject(id, ErrorCode::kUnknownSession,
+                    "unknown session " + std::to_string(sid));
+    Session& session = *it->second;
+    if (!(t >= session.now))
+      return reject(id, ErrorCode::kBadRequest,
+                    "t must be non-decreasing within a session");
+
+    // FleetPredictor validates the rates length (throws on mismatch —
+    // answered as bad_request by handle_frame's catch).
+    const std::vector<std::size_t> reporters =
+        session.predictor->observe(rates);
+
+    // Integrate the observed discharge into the residual estimates,
+    // crediting round visits that happened inside (now, t].
+    const std::size_t n = session.battery.size();
+    const double dt = t - session.now;
+    std::uint64_t new_deaths = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool was_alive = session.residual[i] > 0.0;
+      if (session.visit[i] > session.now && session.visit[i] <= t) {
+        session.residual[i] =
+            session.battery[i] - rates[i] * (t - session.visit[i]);
+        // Visit consumed: the plan's next promise is one cycle out.
+        session.deadline[i] = session.visit[i] + session.base->tau[i];
+        session.visit[i] = kInf;
+      } else {
+        session.residual[i] -= rates[i] * dt;
+      }
+      if (session.residual[i] < 0.0) session.residual[i] = 0.0;
+      if (was_alive && session.residual[i] <= 0.0) ++new_deaths;
+      // A deadline that passed without a visit rolls forward one cycle
+      // so the monitor keeps a finite horizon instead of latching.
+      const double tau = std::max(session.base->tau[i], kTauQuantum);
+      while (session.deadline[i] <= t) session.deadline[i] += tau;
+    }
+    session.now = t;
+    if (new_deaths > 0) {
+      deaths_.fetch_add(new_deaths, std::memory_order_relaxed);
+      MWC_OBS_COUNT_N("svc.stream.deaths", new_deaths);
+    }
+
+    // Feasibility monitor: predicted residual lifetime vs. the time
+    // remaining until the plan serves the sensor, with hysteresis.
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (session.residual[i] <= 0.0) {
+        ++dead;
+        continue;
+      }
+      const double rate = session.predictor->predicted_rate(i);
+      const double lifetime =
+          rate > 0.0 ? session.residual[i] / rate : kInf;
+      const double remaining = session.deadline[i] - t;
+      if (remaining > 0.0 &&
+          lifetime < remaining * (1.0 - session.margin))
+        at_risk.push_back(i);
+    }
+    if (!at_risk.empty()) {
+      at_risk_.fetch_add(at_risk.size(), std::memory_order_relaxed);
+      MWC_OBS_COUNT_N("svc.stream.at_risk", at_risk.size());
+    }
+
+    if (!at_risk.empty() && !session.replan_in_flight &&
+        t - session.last_replan_t >= options_.min_replan_interval &&
+        build_replan(session, at_risk, reporters, &delta)) {
+      session.replan_in_flight = true;
+      session.last_replan_t = t;
+      trigger_t = t;
+      do_replan = true;
+    }
+
+    observes_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.stream.observes");
+    append_head(out, id);
+    out += ",\"ok\":true,\"op\":\"observe\",\"session\":";
+    append_json_number(out, static_cast<double>(sid));
+    out += ",\"t\":";
+    append_json_number(out, t);
+    out += ",\"at_risk\":";
+    append_json_number(out, static_cast<double>(at_risk.size()));
+    out += ",\"dead\":";
+    append_json_number(out, static_cast<double>(dead));
+    out += ",\"reporters\":";
+    append_json_number(out, static_cast<double>(reporters.size()));
+    out += do_replan ? ",\"replan\":true}\n" : ",\"replan\":false}\n";
+  }
+
+  // Submit outside the lock: a synchronous rejection (queue_full,
+  // shutting_down) invokes on_replan inline, which re-locks mutex_.
+  if (do_replan) {
+    const auto started = std::chrono::steady_clock::now();
+    server_.submit(
+        std::move(delta),
+        [this, sid, trigger_t, at_risk, started](const Response& r) {
+          on_replan(sid, trigger_t, at_risk, started, r);
+        },
+        "stream");
+  }
+  return out;
+}
+
+bool SessionManager::build_replan(Session& session,
+                                  const std::vector<std::size_t>& at_risk,
+                                  const std::vector<std::size_t>& reporters,
+                                  DeltaRequest* out) {
+  std::vector<char> take(session.battery.size(), 0);
+  for (const std::size_t i : at_risk) take[i] = 1;
+  for (const std::size_t i : reporters) take[i] = 1;
+
+  DeltaBuilder builder(
+      "replan-" + std::to_string(session.id) + "-" +
+          std::to_string(next_replan_++),
+      session.fingerprint);
+  builder.deadline_ms(options_.replan_deadline_ms);
+  std::size_t ops = 0;
+  for (std::size_t i = 0; i < take.size(); ++i) {
+    if (take[i] == 0 || session.residual[i] <= 0.0) continue;
+    const double predicted =
+        session.predictor->predicted_cycle(i, session.battery[i]);
+    if (!std::isfinite(predicted) || !(predicted > 0.0)) continue;
+    const double tau = std::max(predicted, kTauQuantum);
+    if (std::abs(tau - session.base->tau[i]) <=
+        kTauQuantum * std::max(1.0, session.base->tau[i]))
+      continue;
+    builder.update_cycles(i, tau);
+    ++ops;
+  }
+  if (ops == 0) return false;
+  *out = builder.build();
+  return true;
+}
+
+void SessionManager::on_replan(
+    std::uint64_t session_id, double trigger_t,
+    std::vector<std::size_t> at_risk,
+    std::chrono::steady_clock::time_point started,
+    const Response& response) {
+  const double replan_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  std::string line;
+  PushFn push;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;  // dropped while solving
+    Session& session = *it->second;
+    session.replan_in_flight = false;
+    std::shared_ptr<const BaseState> state =
+        response.ok && response.plan != nullptr
+            ? server_.cache().get_state(response.plan->fingerprint)
+            : nullptr;
+    if (state == nullptr) {
+      replan_failures_.fetch_add(1, std::memory_order_relaxed);
+      MWC_OBS_COUNT("svc.stream.replan_failures");
+      return;
+    }
+    const std::uint64_t old_fp = session.fingerprint;
+    session.fingerprint = response.plan->fingerprint;
+    session.base = std::move(state);
+    session.plan_epoch = trigger_t;
+    refresh_deadlines(session);
+    ++session.replans;
+    replans_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.stream.replans");
+    last_replan_ms_.store(replan_ms, std::memory_order_relaxed);
+    MWC_OBS_HISTOGRAM("svc.stream.replan_ms", replan_ms, 0.1, 0.25, 0.5,
+                      1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                      500.0, 1000.0);
+
+    line += "{\"v\":\"";
+    line += kWireVersionStream;
+    line += "\",\"op\":\"plan\",\"push\":true,\"session\":";
+    append_json_number(line, static_cast<double>(session.id));
+    line += ",\"seq\":";
+    append_json_number(line, static_cast<double>(++session.push_seq));
+    line += ",\"reason\":\"deadline\",\"t\":";
+    append_json_number(line, trigger_t);
+    line += ",\"at_risk\":[";
+    bool first = true;
+    for (const std::size_t i : at_risk) {
+      if (!first) line += ',';
+      first = false;
+      append_json_number(line, static_cast<double>(i));
+    }
+    line += "],\"replan_ms\":";
+    append_json_number(line, replan_ms);
+    line += ",\"base\":\"";
+    line += fingerprint_hex(old_fp);
+    line += "\",\"plan\":";
+    append_plan_json(line, *response.plan);
+    line += "}\n";
+    push = session.push;
+  }
+  if (push && push(std::move(line))) {
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+    MWC_OBS_COUNT("svc.stream.pushes");
+  }
+}
+
+std::string SessionManager::handle_close(std::uint64_t conn_token,
+                                         const Json& doc,
+                                         bool* streaming) {
+  const std::string id = doc.at("id").as_string();
+  const std::uint64_t sid =
+      static_cast<std::uint64_t>(doc.at("session").as_int());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(sid);
+  if (it == sessions_.end() || it->second->conn != conn_token)
+    return reject(id, ErrorCode::kUnknownSession,
+                  "unknown session " + std::to_string(sid));
+  sessions_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  MWC_OBS_COUNT("svc.stream.closed");
+  MWC_OBS_GAUGE_SET("svc.stream.active_sessions",
+                    static_cast<double>(sessions_.size()));
+  bool any = false;
+  for (const auto& [other_id, session] : sessions_)
+    any = any || session->conn == conn_token;
+  *streaming = any;
+
+  std::string out;
+  append_head(out, id);
+  out += ",\"ok\":true,\"op\":\"close\",\"session\":";
+  append_json_number(out, static_cast<double>(sid));
+  out += "}\n";
+  return out;
+}
+
+void SessionManager::drop_connection(std::uint64_t conn_token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->conn == conn_token) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped == 0) return;
+  closed_.fetch_add(dropped, std::memory_order_relaxed);
+  MWC_OBS_COUNT_N("svc.stream.closed", dropped);
+  MWC_OBS_GAUGE_SET("svc.stream.active_sessions",
+                    static_cast<double>(sessions_.size()));
+}
+
+StreamStats SessionManager::stats() const {
+  StreamStats s;
+  s.opened = opened_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.active = sessions_.size();
+  }
+  s.observes = observes_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.replans = replans_.load(std::memory_order_relaxed);
+  s.replan_failures = replan_failures_.load(std::memory_order_relaxed);
+  s.pushes = pushes_.load(std::memory_order_relaxed);
+  s.at_risk = at_risk_.load(std::memory_order_relaxed);
+  s.deaths = deaths_.load(std::memory_order_relaxed);
+  s.last_replan_ms = last_replan_ms_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mwc::svc

@@ -1,0 +1,200 @@
+// svc::SessionManager — mwc.svc.stream.v1 predictive streaming sessions.
+//
+// The paper's Sec. VI online protocol has sensors report EWMA-predicted
+// discharge rates so the base station re-plans before deaths occur. This
+// subsystem is that protocol as a service: a client opens a long-lived
+// session against a previously solved plan (named by fingerprint, so the
+// BaseState is still in the PlanCache), then streams observed per-sensor
+// discharge rates as {"op":"observe"} frames. The server integrates the
+// observations into per-sensor residual-energy estimates, feeds a
+// wsn::FleetPredictor (per-sensor EWMA, the paper's ρ̂ update), and runs
+// a feasibility monitor: each sensor's predicted residual lifetime
+// l̂_i = residual_i / ρ̂_i is compared against the time remaining until
+// the current plan next serves it (tour arrival time for sensors in the
+// dispatched round; the planned cycle τ_i otherwise). When a predicted
+// death violates its charging deadline — the deadline-driven trigger of
+// Rao et al. — the monitor synthesizes an update_cycles patch from the
+// predicted cycles, drives svc::handle_delta against the session's
+// cached BaseState through the normal Server::submit admission path, and
+// pushes the revised plan to the client unsolicited as an {"op":"plan"}
+// frame through the transport's ordered write path.
+//
+// Frames (one JSON object per line, all carrying
+// "v":"mwc.svc.stream.v1"; see docs/SERVICE.md for the full schema):
+//
+//   -> {"op":"open","id":"c1","base":"0c0f1095d4693a41"}
+//   <- {"v":...,"id":"c1","ok":true,"op":"open","session":1,"n":60,...}
+//   -> {"op":"observe","id":"c2","session":1,"t":1.5,"rates":[...]}
+//   <- {"v":...,"id":"c2","ok":true,"op":"observe","at_risk":3,...}
+//   <- {"v":...,"op":"plan","push":true,"session":1,"reason":"deadline",
+//       "at_risk":[...],"replan_ms":...,"base":"<old fp>","plan":{...}}
+//   -> {"op":"close","id":"c9","session":1}
+//
+// Threading: handle_frame and drop_connection run on the transport's
+// loop thread; the replan completion callback runs on a solver worker.
+// All session state is guarded by one mutex. The manager must outlive
+// in-flight replans — its destructor drains the Server to guarantee it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/delta.hpp"
+#include "svc/event_loop.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+#include "wsn/predictor.hpp"
+
+namespace mwc::svc {
+
+struct SessionOptions {
+  /// Live sessions across all connections; opens beyond are rejected
+  /// with the structured session_limit error.
+  std::size_t max_sessions = 64;
+  /// EWMA weight of the newest rate observation (the paper's γ).
+  double gamma = 0.3;
+  /// FleetPredictor report threshold: relative predicted-rate change
+  /// that makes a sensor a "reporter" (included in the next patch).
+  double report_threshold = 0.05;
+  /// Deadline-trigger hysteresis: a sensor is at risk when its
+  /// predicted lifetime drops below (1 - margin) x the time remaining
+  /// until the plan serves it. 0.1 = trigger 10% early.
+  double margin = 0.1;
+  /// Charger travel speed in field units per session time unit, used to
+  /// turn tour order into per-sensor arrival times. The default treats
+  /// one cycle unit as enough to cross ~1000m of field.
+  double travel_speed = 1000.0;
+  /// Time spent charging each visited sensor, in session time units.
+  double charge_time = 0.0;
+  /// Minimum session time between replan triggers (per session).
+  double min_replan_interval = 0.0;
+  /// deadline_ms forwarded on synthesized delta requests; 0 = none.
+  double replan_deadline_ms = 0.0;
+};
+
+/// Exact monotonic counters (usable under MWC_OBS=OFF); mirrors the
+/// svc.stream.* instruments on the global registry. `active` is the one
+/// point-in-time gauge.
+struct StreamStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t active = 0;
+  std::uint64_t observes = 0;
+  std::uint64_t rejected = 0;  ///< frames answered with ok:false
+  std::uint64_t replans = 0;   ///< successful deadline-triggered replans
+  std::uint64_t replan_failures = 0;
+  std::uint64_t pushes = 0;    ///< plan frames handed to the transport
+  std::uint64_t at_risk = 0;   ///< cumulative at-risk flags raised
+  std::uint64_t deaths = 0;    ///< sensors whose residual estimate hit 0
+  double last_replan_ms = 0.0;
+};
+
+/// Per-sensor first-visit times implied by a plan's first-round tours:
+/// out[i] = time from plan start until a charger reaches sensor i
+/// (cumulative tour distance / travel_speed + charge_time per earlier
+/// stop), or +inf for sensors the round does not visit. Shared by the
+/// feasibility monitor, the load generator, and bench/micro_stream so
+/// all three walk tours identically.
+std::vector<double> plan_visit_times(const Plan& plan,
+                                     const wsn::Network& network,
+                                     double travel_speed,
+                                     double charge_time);
+
+class SessionManager : public StreamHub {
+ public:
+  /// `server` must outlive the manager and have a plan cache (sessions
+  /// resolve their base plan through Server::cache()).
+  explicit SessionManager(Server& server, SessionOptions options = {});
+
+  /// Drains the Server first so no replan callback can outlive the
+  /// session table.
+  ~SessionManager() override;
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  std::string handle_frame(std::uint64_t conn_token,
+                           const std::string& line, PushFn push,
+                           bool* streaming) override;
+  void drop_connection(std::uint64_t conn_token) override;
+
+  StreamStats stats() const;
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    std::uint64_t conn = 0;
+    PushFn push;
+    std::uint64_t fingerprint = 0;  ///< current plan (delta base)
+    std::shared_ptr<const BaseState> base;
+    std::unique_ptr<wsn::FleetPredictor> predictor;
+    std::vector<double> battery;   ///< B_i
+    std::vector<double> residual;  ///< current residual-energy estimate
+    /// Absolute session time a charger reaches each sensor on the
+    /// current plan's round (+inf when the round skips it); consumed —
+    /// reset to +inf — once the visit recharges the sensor.
+    std::vector<double> visit;
+    /// Absolute session time the current plan next serves each sensor:
+    /// the round arrival for visited sensors, plan_epoch + τ_i (the
+    /// plan's recharge promise) otherwise. Rolled forward by τ_i when
+    /// it passes, so the monitor keeps watching between rounds.
+    std::vector<double> deadline;
+    double plan_epoch = 0.0;  ///< session time the current plan applied
+    double now = 0.0;         ///< last observed t
+    double travel_speed = 0.0;
+    double charge_time = 0.0;
+    double margin = 0.0;
+    bool replan_in_flight = false;
+    double last_replan_t = -std::numeric_limits<double>::infinity();
+    std::uint64_t replans = 0;
+    std::uint64_t push_seq = 0;
+  };
+
+  std::string handle_open(std::uint64_t conn_token, const Json& doc,
+                          PushFn& push, bool* streaming);
+  std::string handle_observe(std::uint64_t conn_token, const Json& doc);
+  std::string handle_close(std::uint64_t conn_token, const Json& doc,
+                           bool* streaming);
+  /// Recomputes a session's absolute visit/deadline vectors from its
+  /// current base state and plan epoch.
+  void refresh_deadlines(Session& session);
+  /// Synthesizes the update_cycles delta for at_risk ∪ reporters from
+  /// the session's predicted cycles. Caller holds mutex_. Returns false
+  /// when every candidate folds to a no-op (nothing to submit).
+  bool build_replan(Session& session,
+                    const std::vector<std::size_t>& at_risk,
+                    const std::vector<std::size_t>& reporters,
+                    DeltaRequest* out);
+  /// Replan completion (solver worker): swap the session onto the
+  /// derived plan and push it to the client.
+  void on_replan(std::uint64_t session_id, double trigger_t,
+                 std::vector<std::size_t> at_risk,
+                 std::chrono::steady_clock::time_point started,
+                 const Response& response);
+  std::string reject(const std::string& id, ErrorCode code,
+                     const std::string& message);
+
+  Server& server_;
+  SessionOptions options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_replan_ = 1;
+
+  std::atomic<std::uint64_t> opened_{0}, closed_{0}, observes_{0},
+      rejected_{0}, replans_{0}, replan_failures_{0}, pushes_{0},
+      at_risk_{0}, deaths_{0};
+  std::atomic<double> last_replan_ms_{0.0};
+};
+
+}  // namespace mwc::svc

@@ -161,26 +161,13 @@ WireVersion negotiate_version(const Json& doc) {
                                 std::string(kWireVersionV2) + ")");
 }
 
-std::string fingerprint_hex(std::uint64_t fingerprint) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return std::string(buf);
-}
-
 std::uint64_t parse_fingerprint(const Json& j, const char* what) {
   const std::string& hex = j.as_string();
-  if (hex.empty() || hex.size() > 16)
+  try {
+    return parse_fingerprint_hex(hex);
+  } catch (const WireError&) {
     throw WireError(std::string(what) + " must be 1-16 hex digits");
-  std::uint64_t value = 0;
-  for (char c : hex) {
-    value <<= 4;
-    if (c >= '0' && c <= '9') value |= std::uint64_t(c - '0');
-    else if (c >= 'a' && c <= 'f') value |= std::uint64_t(c - 'a' + 10);
-    else if (c >= 'A' && c <= 'F') value |= std::uint64_t(c - 'A' + 10);
-    else throw WireError(std::string(what) + " must be hex");
   }
-  return value;
 }
 
 PatchOp parse_patch_op(const Json& j) {
@@ -306,8 +293,67 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kUnsupportedVersion: return "unsupported_version";
     case ErrorCode::kUnknownBase: return "unknown_base";
+    case ErrorCode::kSessionsDisabled: return "sessions_disabled";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kSessionLimit: return "session_limit";
   }
   return "internal";
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+std::uint64_t parse_fingerprint_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16)
+    throw WireError("fingerprint must be 1-16 hex digits");
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= std::uint64_t(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= std::uint64_t(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= std::uint64_t(c - 'A' + 10);
+    else throw WireError("fingerprint must be hex");
+  }
+  return value;
+}
+
+bool is_stream_frame(const std::string& line) {
+  return line.find(kWireVersionStream) != std::string::npos;
+}
+
+std::string stream_frame_id(const std::string& line) {
+  try {
+    const Json doc = Json::parse(line);
+    if (!doc.is_object()) return {};
+    const Json* id = doc.find("id");
+    if (id != nullptr && id->is_string() &&
+        id->as_string().size() <= kMaxTraceIdLength)
+      return id->as_string();
+  } catch (const JsonError&) {
+  }
+  return {};
+}
+
+std::string stream_error_line(const std::string& id, ErrorCode code,
+                              const std::string& message) {
+  std::string out;
+  out += "{\"v\":\"";
+  out += kWireVersionStream;
+  out += '"';
+  if (!id.empty()) {
+    out += ",\"id\":";
+    append_json_escaped(out, id);
+  }
+  out += ",\"ok\":false,\"error\":\"";
+  out += error_code_name(code);
+  out += "\",\"message\":";
+  append_json_escaped(out, message);
+  out += "}\n";
+  return out;
 }
 
 ParsedRequest parse_any_request(const std::string& line) {
@@ -448,41 +494,45 @@ std::string to_jsonl(const Response& response) {
     out += '"';
   }
   if (response.ok && response.plan != nullptr) {
-    const Plan& plan = *response.plan;
-    out += ",\"plan\":{\"first_round_tours\":[";
-    bool first_tour = true;
-    for (const auto& tour : plan.first_round_tours) {
-      if (!first_tour) out += ',';
-      first_tour = false;
-      out += "{\"depot\":";
-      append_json_number(out, static_cast<double>(tour.depot));
-      out += ",\"sensors\":[";
-      bool first_id = true;
-      for (std::size_t id : tour.sensors) {
-        if (!first_id) out += ',';
-        first_id = false;
-        append_json_number(out, static_cast<double>(id));
-      }
-      out += "],\"length\":";
-      append_json_number(out, tour.length);
-      out += '}';
-    }
-    out += "],\"first_round_length\":";
-    append_json_number(out, plan.first_round_length);
-    out += ",\"total_distance\":";
-    append_json_number(out, plan.total_distance);
-    out += ",\"num_dispatches\":";
-    append_json_number(out, static_cast<double>(plan.num_dispatches));
-    out += ",\"num_sensor_charges\":";
-    append_json_number(out, static_cast<double>(plan.num_sensor_charges));
-    out += ",\"dead_sensors\":";
-    append_json_number(out, static_cast<double>(plan.dead_sensors));
-    out += ",\"fingerprint\":\"";
-    out += fingerprint_hex(plan.fingerprint);
-    out += "\"}";
+    out += ",\"plan\":";
+    append_plan_json(out, *response.plan);
   }
   out += "}\n";
   return out;
+}
+
+void append_plan_json(std::string& out, const Plan& plan) {
+  out += "{\"first_round_tours\":[";
+  bool first_tour = true;
+  for (const auto& tour : plan.first_round_tours) {
+    if (!first_tour) out += ',';
+    first_tour = false;
+    out += "{\"depot\":";
+    append_json_number(out, static_cast<double>(tour.depot));
+    out += ",\"sensors\":[";
+    bool first_id = true;
+    for (std::size_t id : tour.sensors) {
+      if (!first_id) out += ',';
+      first_id = false;
+      append_json_number(out, static_cast<double>(id));
+    }
+    out += "],\"length\":";
+    append_json_number(out, tour.length);
+    out += '}';
+  }
+  out += "],\"first_round_length\":";
+  append_json_number(out, plan.first_round_length);
+  out += ",\"total_distance\":";
+  append_json_number(out, plan.total_distance);
+  out += ",\"num_dispatches\":";
+  append_json_number(out, static_cast<double>(plan.num_dispatches));
+  out += ",\"num_sensor_charges\":";
+  append_json_number(out, static_cast<double>(plan.num_sensor_charges));
+  out += ",\"dead_sensors\":";
+  append_json_number(out, static_cast<double>(plan.dead_sensors));
+  out += ",\"fingerprint\":\"";
+  out += fingerprint_hex(plan.fingerprint);
+  out += "\"}";
 }
 
 Response error_response(const std::string& id, ErrorCode code,

@@ -43,6 +43,11 @@ namespace mwc::svc {
 
 inline constexpr const char* kWireVersion = "mwc.svc.v1";
 inline constexpr const char* kWireVersionV2 = "mwc.svc.v2";
+/// Streaming-session frames ({"op":"open"/"observe"/"close"} plus the
+/// server-initiated {"op":"plan"} push) carry this version string and
+/// are routed to svc::SessionManager instead of parse_any_request.
+/// See docs/SERVICE.md and svc/session.hpp.
+inline constexpr const char* kWireVersionStream = "mwc.svc.stream.v1";
 
 /// Negotiated protocol version. Requests without "v" default to kV1 so
 /// pre-versioning clients keep working byte-for-byte.
@@ -187,6 +192,11 @@ enum class ErrorCode {
   kInternal,            ///< unexpected solver failure
   kUnsupportedVersion,  ///< "v" names a version this server doesn't speak
   kUnknownBase,         ///< delta base fingerprint not in the plan cache
+  // Streaming-session codes (mwc.svc.stream.v1 frames only; never
+  // emitted on v1/v2 responses, so the v1 golden bytes are unaffected).
+  kSessionsDisabled,  ///< stream frame on a server without --sessions
+  kUnknownSession,    ///< "session" does not name a live session
+  kSessionLimit,      ///< open rejected: session table is full
 };
 
 /// Stable wire spelling of an error code ("queue_full", ...).
@@ -254,6 +264,35 @@ std::string to_jsonl(const Response& response);
 /// Convenience: a failed response carrying a structured error.
 Response error_response(const std::string& id, ErrorCode code,
                         const std::string& message, double latency_ms = 0.0);
+
+/// Canonical 16-hex-digit wire spelling of a plan fingerprint.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// Parses a 1-16 hex digit fingerprint string (throws WireError).
+std::uint64_t parse_fingerprint_hex(const std::string& hex);
+
+/// Appends the plan object (the exact bytes to_jsonl emits for "plan")
+/// to `out`. Shared with the stream-session plan push so pushed plans
+/// are byte-identical to the same plan served over v1/v2.
+void append_plan_json(std::string& out, const Plan& plan);
+
+/// True when a request line is an mwc.svc.stream.v1 session frame.
+/// Cheap substring probe used by transports to route session traffic
+/// before parse_any_request (which rejects the stream version string).
+bool is_stream_frame(const std::string& line);
+
+/// Best-effort "id" extraction from a stream frame (empty string when
+/// the frame is malformed or carries no string id) — lets a transport
+/// echo the id on sessions_disabled errors without a session layer.
+std::string stream_frame_id(const std::string& line);
+
+/// One structured stream-session error frame (newline included):
+///   {"v":"mwc.svc.stream.v1","id":...,"ok":false,"error":...,
+///    "message":...}
+/// `id` is echoed when non-empty (it may be unrecoverable from a
+/// malformed frame).
+std::string stream_error_line(const std::string& id, ErrorCode code,
+                              const std::string& message);
 
 /// Fluent builder for full requests — the one in-tree producer of the
 /// wire schema (tools, benches, and tests assemble requests through it

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -39,7 +41,13 @@ FleetPredictor::FleetPredictor(double gamma,
 
 std::vector<std::size_t> FleetPredictor::observe(
     const std::vector<double>& rates) {
-  MWC_ASSERT(rates.size() == predictors_.size());
+  // A hard error, not an assert: observation vectors arrive from the
+  // network (stream-session frames), and release builds compile
+  // MWC_ASSERT out — a mismatched length would index out of bounds.
+  if (rates.size() != predictors_.size())
+    throw std::invalid_argument(
+        "FleetPredictor::observe: " + std::to_string(rates.size()) +
+        " rates for a fleet of " + std::to_string(predictors_.size()));
   std::vector<std::size_t> reporters;
   for (std::size_t i = 0; i < rates.size(); ++i) {
     predictors_[i].observe(rates[i]);

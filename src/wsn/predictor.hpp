@@ -46,6 +46,7 @@ class FleetPredictor {
 
   /// Feeds the current rates; returns ids of sensors whose predicted cycle
   /// changed by more than the report threshold since their last report.
+  /// Throws std::invalid_argument when rates.size() != size().
   std::vector<std::size_t> observe(const std::vector<double>& rates);
 
   double predicted_rate(std::size_t i) const;

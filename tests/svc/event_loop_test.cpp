@@ -6,6 +6,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -46,10 +47,11 @@ struct Loop {
   std::thread thread;
 
   explicit Loop(ServerOptions server_options,
-                NetServerOptions net_options = {})
+                NetServerOptions net_options = {},
+                StreamHub* sessions = nullptr)
       : server(std::move(server_options)),
         admin(server, AdminInfo{}),
-        net(server, &admin, std::move(net_options)) {
+        net(server, &admin, std::move(net_options), sessions) {
     EXPECT_TRUE(net.start());
     thread = std::thread([this] { net.run(); });
   }
@@ -137,6 +139,58 @@ struct Client {
 
 std::string id_of(const std::string& line) {
   return Json::parse(line).at("id").as_string();
+}
+
+std::string stream_frame(const std::string& id) {
+  return R"({"v":"mwc.svc.stream.v1","op":"open","id":")" + id + "\"}\n";
+}
+
+/// Minimal StreamHub: acks every frame, marks the connection streaming,
+/// and hands the captured PushFn to the test thread so it can inject
+/// server-initiated lines at chosen moments.
+struct FakeHub final : StreamHub {
+  std::mutex mutex;
+  std::map<std::uint64_t, PushFn> push_fns;
+  std::vector<std::uint64_t> dropped;
+
+  std::string handle_frame(std::uint64_t conn_token, const std::string& line,
+                           PushFn push, bool* streaming) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      push_fns[conn_token] = std::move(push);
+    }
+    *streaming = true;
+    return R"({"v":"mwc.svc.stream.v1","id":")" +
+           Json::parse(line).at("id").as_string() + R"(","ok":true})" "\n";
+  }
+
+  void drop_connection(std::uint64_t conn_token) override {
+    std::lock_guard<std::mutex> lock(mutex);
+    dropped.push_back(conn_token);
+  }
+
+  /// PushFn of the first (only) registered connection; waits for the
+  /// loop thread to process the registering frame first.
+  PushFn wait_push_fn() {
+    for (int i = 0; i < 2000; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!push_fns.empty()) return push_fns.begin()->second;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return {};
+  }
+
+  bool was_dropped() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return !dropped.empty();
+  }
+};
+
+std::string push_line(const std::string& tag) {
+  return R"({"v":"mwc.svc.stream.v1","op":"plan","push":true,"tag":")" + tag +
+         "\"}\n";
 }
 
 TEST(NetServer, PipelinedOutOfOrderCompletionsFlushInRequestOrder) {
@@ -332,7 +386,7 @@ TEST(NetServer, StopForceClosesConnectionsThatCannotFlush) {
   options.threads = 1;
   // An 8 MiB response cannot fit the kernel socket buffers, so a peer
   // that never reads leaves it unflushable forever.
-  options.handler = [](const Request& request) {
+  options.handler = [](const Request&) {
     Response response;
     response.id = std::string(8u << 20, 'x');
     response.ok = true;
@@ -387,6 +441,177 @@ TEST(NetServer, WireBytesMatchInProcessServerModuloLatency) {
   from_local.set("latency_ms", Json(0.0));
   EXPECT_EQ(from_wire.dump(), from_local.dump());
   reference.shutdown();
+}
+
+TEST(NetServer, StreamFramesRejectedWithoutHub) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  Loop loop(options);  // no StreamHub attached
+
+  Client client(loop.net.port());
+  client.send_all(stream_frame("s0"));
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  const Json doc = Json::parse(lines[0]);
+  EXPECT_EQ(doc.at("id").as_string(), "s0");
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error").as_string(), "sessions_disabled");
+}
+
+TEST(NetServer, PushesInterleaveWithoutDesyncingThePipeline) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool released = false;
+  ServerOptions options;
+  options.threads = 2;
+  // r0 parks the head of the response queue until the test releases it;
+  // pushes injected meanwhile must flush without waiting for it.
+  options.handler = [&](const Request& request) {
+    if (request.id == "r0") {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return released; });
+    }
+    return ok_response(request.id);
+  };
+  FakeHub hub;
+  Loop loop(options, {}, &hub);
+
+  Client client(loop.net.port());
+  client.send_all(request_line("r0") + stream_frame("s0") +
+                  request_line("r1"));
+  StreamHub::PushFn push = hub.wait_push_fn();
+  ASSERT_TRUE(static_cast<bool>(push));
+  EXPECT_TRUE(push(push_line("p0")));
+  EXPECT_TRUE(push(push_line("p1")));
+
+  // Both pushes must reach the client while r0 still blocks the
+  // sequence stream — a push carries no sequence number.
+  const auto early = client.read_lines(2);
+  ASSERT_EQ(early.size(), 2u);
+  EXPECT_EQ(Json::parse(early[0]).at("tag").as_string(), "p0");
+  EXPECT_EQ(Json::parse(early[1]).at("tag").as_string(), "p1");
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+  // The owed responses then flush in request order: r0, s0's ack, r1.
+  const auto lines = client.read_lines(3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(id_of(lines[0]), "r0");
+  EXPECT_EQ(id_of(lines[1]), "s0");
+  EXPECT_EQ(id_of(lines[2]), "r1");
+
+  const NetStats stats = loop.net.stats();
+  EXPECT_EQ(stats.pushes, 2u);
+  EXPECT_EQ(stats.pushes_dropped, 0u);
+}
+
+TEST(NetServer, PushesCoexistWithMidPipelineRejections) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool released = false;
+  ServerOptions options;
+  options.threads = 2;
+  options.handler = [&](const Request& request) {
+    if (request.id == "r0") {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return released; });
+    }
+    return ok_response(request.id);
+  };
+  FakeHub hub;
+  Loop loop(options, {}, &hub);
+
+  Client client(loop.net.port());
+  // A malformed line parks its bad_request rejection mid-pipeline while
+  // r0 blocks; a push injected on top must not disturb the order.
+  client.send_all(request_line("r0") + "{not json\n" + stream_frame("s0") +
+                  request_line("r1"));
+  StreamHub::PushFn push = hub.wait_push_fn();
+  ASSERT_TRUE(static_cast<bool>(push));
+  EXPECT_TRUE(push(push_line("p0")));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+
+  const auto lines = client.read_lines(5);
+  ASSERT_EQ(lines.size(), 5u);
+  // The push interleaves at an arbitrary point; everything else keeps
+  // request order: r0, the rejection, s0's ack, r1.
+  std::vector<std::string> ordered;
+  std::size_t pushes_seen = 0;
+  for (const auto& line : lines) {
+    const Json doc = Json::parse(line);
+    if (doc.find("tag") != nullptr) {
+      ++pushes_seen;
+      continue;
+    }
+    ordered.push_back(line);
+  }
+  EXPECT_EQ(pushes_seen, 1u);
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(id_of(ordered[0]), "r0");
+  const Json bad = Json::parse(ordered[1]);
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "bad_request");
+  EXPECT_EQ(id_of(ordered[2]), "s0");
+  EXPECT_EQ(id_of(ordered[3]), "r1");
+}
+
+TEST(NetServer, PushToClosedConnectionReportsDropped) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  FakeHub hub;
+  Loop loop(options, {}, &hub);
+
+  {
+    Client client(loop.net.port());
+    client.send_all(stream_frame("s0"));
+    ASSERT_EQ(client.read_lines(1).size(), 1u);
+  }  // client disconnects
+  StreamHub::PushFn push = hub.wait_push_fn();
+  ASSERT_TRUE(static_cast<bool>(push));
+  // The loop notices the EOF and tears the streaming connection down,
+  // telling the hub; a late push must fail cleanly, not write to a
+  // dead socket.
+  for (int i = 0; i < 2000 && !hub.was_dropped(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(hub.was_dropped());
+  EXPECT_FALSE(push(push_line("late")));
+  EXPECT_EQ(loop.net.stats().pushes_dropped, 1u);
+}
+
+TEST(NetServer, StreamingConnectionsAreNotReapedAsIdle) {
+  ServerOptions options;
+  options.threads = 1;
+  options.handler = [](const Request& request) {
+    return ok_response(request.id);
+  };
+  NetServerOptions net_options;
+  net_options.idle_timeout_ms = 50.0;
+  FakeHub hub;
+  Loop loop(options, net_options, &hub);
+
+  Client client(loop.net.port());
+  client.send_all(stream_frame("s0"));
+  ASSERT_EQ(client.read_lines(1).size(), 1u);
+  // Quiet for several idle periods: a live session holds the line open.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(loop.net.stats().idle_closed, 0u);
+  client.send_all(request_line("r0"));
+  const auto lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "r0");
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -86,6 +87,20 @@ TEST(FleetPredictor, ThresholdSuppressesSmallChanges) {
   const auto reporters = fleet.observe({60.0, 10.5});
   ASSERT_EQ(reporters.size(), 1u);
   EXPECT_EQ(reporters[0], 0u);
+}
+
+TEST(FleetPredictor, ObserveRejectsLengthMismatch) {
+  FleetPredictor fleet(0.5, {1.0, 2.0, 4.0});
+  EXPECT_THROW(fleet.observe({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fleet.observe({1.0, 2.0, 4.0, 8.0}), std::invalid_argument);
+  EXPECT_THROW(fleet.observe({}), std::invalid_argument);
+  // A rejected observation must leave every prediction untouched.
+  EXPECT_DOUBLE_EQ(fleet.predicted_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(fleet.predicted_rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(fleet.predicted_rate(2), 4.0);
+  // The fleet still accepts a correctly sized vector afterwards.
+  fleet.observe({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(fleet.predicted_rate(0), 1.5);
 }
 
 TEST(FleetPredictor, ReportBaselineUpdatesOnReport) {

@@ -117,6 +117,63 @@ TEST(StormProcess, RegionalModeStormsAreSpatiallyCoherent) {
   GTEST_SKIP() << "no multi-sensor storm in 40 slots";
 }
 
+TEST(StormProcess, RegionalModeDeterministicPerSeed) {
+  const auto net = test_network(200, 9);
+  StormConfig config;
+  config.regional = true;
+  config.storm_radius = 300.0;
+  const StormCycleProcess a(net, config, 11), b(net, config, 11);
+  const StormCycleProcess other(net, config, 12);
+  bool any_storm = false;
+  bool seeds_differ = false;
+  for (std::size_t slot = 0; slot < 64; ++slot) {
+    for (std::size_t i = 0; i < net.n(); ++i) {
+      // The regional chain is a pure function of (seed, slot): two
+      // processes with the same seed must replay the identical storm
+      // trajectory, query order notwithstanding.
+      ASSERT_EQ(a.storming(i, slot), b.storming(i, slot))
+          << "slot " << slot << " sensor " << i;
+      ASSERT_DOUBLE_EQ(a.cycle_at_slot(i, slot), b.cycle_at_slot(i, slot));
+      any_storm = any_storm || a.storming(i, slot);
+      seeds_differ =
+          seeds_differ || a.storming(i, slot) != other.storming(i, slot);
+    }
+  }
+  EXPECT_TRUE(any_storm) << "no regional storm in 64 slots";
+  EXPECT_TRUE(seeds_differ) << "independent seeds replayed the same storms";
+}
+
+TEST(StormProcess, RegionalChainCorrelatesSensorsInsideRadius) {
+  const auto net = test_network(300, 10);
+  StormConfig config;
+  config.regional = true;
+  config.storm_radius = 350.0;
+  const StormCycleProcess storm(net, config, 13);
+  // In regional mode a slot's storm is one shared cell, not independent
+  // per-sensor draws: whenever any sensor storms, every sensor within
+  // storm_radius of it either storms too or lies outside the (unknown)
+  // cell centre's disc — so the storming set must be pairwise within one
+  // cell diameter, and across many active slots the same nearby sensors
+  // storm together far more often than independent chains would allow.
+  std::size_t active_slots = 0;
+  for (std::size_t slot = 1; slot < 80; ++slot) {
+    std::vector<std::size_t> stormers;
+    for (std::size_t i = 0; i < net.n(); ++i)
+      if (storm.storming(i, slot)) stormers.push_back(i);
+    if (stormers.empty()) continue;
+    ++active_slots;
+    for (const std::size_t a : stormers)
+      for (const std::size_t b : stormers)
+        ASSERT_LE(geom::distance(net.sensor(a).position,
+                                 net.sensor(b).position),
+                  2.0 * config.storm_radius + 1e-9)
+            << "slot " << slot;
+  }
+  // ~half of all slots carry an active cell (the regional gate); with 80
+  // slots the chance of fewer than 10 is negligible.
+  EXPECT_GE(active_slots, 10u);
+}
+
 TEST(StormProcess, AdaptivePoliciesSurviveStorms) {
   const auto net = test_network(60, 8);
   StormConfig config;

@@ -51,6 +51,30 @@
 //                     ("t": parse/queue/cache/solve ms), which feeds the
 //                     stage-latency table printed after the run
 //   --json FILE       write the report as JSON
+//
+// Streaming-session mode (mwc.svc.stream.v1; requires --connect against
+// an mwcd started with --port and --sessions):
+//   --stream          drive one streaming session instead of the request
+//                     mix: solve a calm base plan, open a session on its
+//                     fingerprint, stream per-sensor discharge rates as
+//                     observe frames, and capture server-pushed replans
+//   --surge           storm workload: a regional StormCycleProcess storm
+//                     cell is held active from --surge-at onwards, so a
+//                     correlated sensor cluster drains --storm-stress x
+//                     faster than the plan assumed. After the run both
+//                     arms — the static base plan and the actual pushed
+//                     plan sequence — replay the identical discharge
+//                     trajectory client-side; the summary table reports
+//                     sensors saved by replanning plus replan and
+//                     push-to-apply latency percentiles
+//   --steps K --step-dt D   K observe frames, one per D session time
+//                     units (defaults 16 x 1.0)
+//   --surge-at K      step at which the storm arrives (default 10)
+//   --tau-min/--tau-max     calm cycle range of the storm process
+//                     (defaults 10 / 50; linear in distance to base)
+//   --storm-stress F  storm consumption multiplier (default 4)
+//   --storm-radius R  storm cell radius in metres (default 300)
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -58,6 +82,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,8 +101,12 @@
 
 #include "obs/registry.hpp"
 #include "svc/json.hpp"
+#include "svc/session.hpp"
 #include "svc/wire.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/storm.hpp"
 
 namespace {
 
@@ -194,8 +223,163 @@ struct Tally {
 constexpr std::array<const char*, 4> kStageKeys = {
     "parse_ms", "queue_ms", "cache_ms", "solve_ms"};
 
+/// A server-pushed plan frame captured off the wire (stream mode).
+struct StreamPush {
+  double t = 0.0;          ///< session time the replan applied (epoch)
+  double replan_ms = 0.0;  ///< server-reported trigger->plan latency
+  double apply_ms = 0.0;   ///< client trigger-send -> push-received
+  mwc::svc::Plan plan;     ///< first_round_tours only
+};
+
+/// Client-side state of the one streaming session (stream mode). Stream
+/// frames never enter the Tally: plan pushes carry no request id, and the
+/// session handshake is paced on `acked`, not on the latency histogram.
+struct StreamState {
+  std::mutex mutex;
+  std::set<std::string> acked;       ///< frame ids answered ok
+  std::uint64_t session = 0;         ///< id from the open ack
+  std::size_t round_sensors = 0;     ///< open ack round size
+  std::size_t observes = 0;          ///< observe acks seen
+  std::size_t at_risk_total = 0;     ///< sum of ack at_risk counts
+  std::size_t server_dead = 0;       ///< latest ack dead count
+  std::vector<StreamPush> pushes;
+  mwc::svc::Plan base_plan;          ///< tours of the calm base solve
+  bool have_base = false;
+  Clock::time_point last_send;       ///< most recent observe write
+  bool failed = false;
+  std::string error;
+};
+
+/// One client-side replay arm: drains every sensor along the observed
+/// rate trajectory, crediting visits from the active plan's first-round
+/// tours. A pushed plan replaces the whole visit schedule from its epoch
+/// on, exactly like the server monitor's refresh_deadlines, so the two
+/// arms differ only in which plans were available. step_rates[k] is the
+/// rate vector reported at t = (k+1) * step_dt and drains the interval
+/// ((k) * step_dt, (k+1) * step_dt] — the server's integration rule.
+/// Returns the number of sensors whose residual ever reached zero.
+std::size_t replay_deaths(const mwc::wsn::Network& network,
+                          const std::vector<std::vector<double>>& step_rates,
+                          double step_dt,
+                          const std::vector<StreamPush>& plan_events,
+                          double travel_speed, double charge_time) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = network.n();
+  std::vector<double> battery(n), residual(n), visit(n, kInf);
+  for (std::size_t i = 0; i < n; ++i)
+    battery[i] = residual[i] = network.sensor(i).battery_capacity;
+  std::vector<char> dead(n, 0);
+  std::size_t next_event = 0;
+  const auto apply = [&](const StreamPush& event) {
+    const std::vector<double> times = mwc::svc::plan_visit_times(
+        event.plan, network, travel_speed, charge_time);
+    for (std::size_t i = 0; i < n; ++i)
+      visit[i] = std::isfinite(times[i]) ? event.t + times[i] : kInf;
+  };
+  while (next_event < plan_events.size() &&
+         plan_events[next_event].t <= 0.0)
+    apply(plan_events[next_event++]);
+  for (std::size_t k = 0; k < step_rates.size(); ++k) {
+    const double t_prev = step_dt * static_cast<double>(k);
+    const double t = step_dt * static_cast<double>(k + 1);
+    const std::vector<double>& rates = step_rates[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visit[i] > t_prev && visit[i] <= t) {
+        // Did the drain catch the sensor before the charger did?
+        if (residual[i] - rates[i] * (visit[i] - t_prev) <= 0.0) dead[i] = 1;
+        residual[i] = battery[i] - rates[i] * (t - visit[i]);
+        visit[i] = kInf;
+      } else {
+        residual[i] -= rates[i] * (t - t_prev);
+      }
+      if (residual[i] <= 0.0) {
+        residual[i] = 0.0;
+        dead[i] = 1;
+      }
+    }
+    while (next_event < plan_events.size() && plan_events[next_event].t <= t)
+      apply(plan_events[next_event++]);
+  }
+  std::size_t deaths = 0;
+  for (const char d : dead) deaths += static_cast<std::size_t>(d);
+  return deaths;
+}
+
+double quantile_of(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Rebuilds the tour list of a pushed plan frame ("plan" object, same
+/// shape to_jsonl emits) far enough for plan_visit_times.
+mwc::svc::Plan parse_pushed_plan(const mwc::svc::Json& doc) {
+  mwc::svc::Plan plan;
+  for (const auto& tour_doc : doc.at("first_round_tours").items()) {
+    mwc::svc::PlanTour tour;
+    tour.depot = static_cast<std::size_t>(tour_doc.at("depot").as_int());
+    for (const auto& id : tour_doc.at("sensors").items())
+      tour.sensors.push_back(static_cast<std::size_t>(id.as_int()));
+    tour.length = tour_doc.at("length").as_double();
+    plan.first_round_tours.push_back(std::move(tour));
+  }
+  return plan;
+}
+
+/// Absorbs one mwc.svc.stream.v1 line into the stream state. Returns
+/// false only on a malformed frame (caller counts it as an error).
+bool on_stream_line(const mwc::svc::Json& doc, StreamState& stream,
+                    Clock::time_point now) {
+  try {
+    std::lock_guard<std::mutex> lock(stream.mutex);
+    const mwc::svc::Json* op = doc.find("op");
+    const std::string opname =
+        op != nullptr && op->is_string() ? op->as_string() : std::string();
+    if (opname == "plan") {
+      StreamPush push;
+      push.t = doc.at("t").as_double();
+      push.replan_ms = doc.at("replan_ms").as_double();
+      push.apply_ms =
+          std::chrono::duration<double, std::milli>(now - stream.last_send)
+              .count();
+      push.plan = parse_pushed_plan(doc.at("plan"));
+      stream.pushes.push_back(std::move(push));
+      return true;
+    }
+    if (!doc.at("ok").as_bool()) {
+      stream.failed = true;
+      stream.error = doc.at("error").as_string();
+      if (const auto* message = doc.find("message"))
+        stream.error += ": " + message->as_string();
+      return true;
+    }
+    if (opname == "open") {
+      stream.session = static_cast<std::uint64_t>(doc.at("session").as_int());
+      stream.round_sensors =
+          static_cast<std::size_t>(doc.at("round_sensors").as_int());
+    } else if (opname == "observe") {
+      ++stream.observes;
+      stream.at_risk_total +=
+          static_cast<std::size_t>(doc.at("at_risk").as_int());
+      stream.server_dead = static_cast<std::size_t>(doc.at("dead").as_int());
+    }
+    if (const auto* id = doc.find("id")) stream.acked.insert(id->as_string());
+    return true;
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(stream.mutex);
+    stream.failed = true;
+    stream.error = e.what();
+    return false;
+  }
+}
+
 void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency,
-                 const std::array<mwc::obs::Histogram*, 4>& stages) {
+                 const std::array<mwc::obs::Histogram*, 4>& stages,
+                 StreamState* stream) {
   std::FILE* in = ::fdopen(fd, "r");
   if (in == nullptr) return;
   char* buffer = nullptr;
@@ -206,6 +390,16 @@ void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency,
     std::string line(buffer, static_cast<std::size_t>(got));
     try {
       const mwc::svc::Json doc = mwc::svc::Json::parse(line);
+      // Stream-session frames (including unsolicited plan pushes, which
+      // carry no request id) route to the session state, not the tally.
+      if (stream != nullptr) {
+        if (const auto* v = doc.find("v");
+            v != nullptr && v->is_string() &&
+            v->as_string() == mwc::svc::kWireVersionStream) {
+          on_stream_line(doc, *stream, now);
+          continue;
+        }
+      }
       const std::string id = doc.at("id").as_string();
       std::lock_guard<std::mutex> lock(tally.mutex);
       if (const auto w = tally.warmup.find(id); w != tally.warmup.end()) {
@@ -227,8 +421,16 @@ void reader_loop(int fd, Tally& tally, mwc::obs::Histogram& latency,
         if (const auto* derived = doc.find("derived");
             derived != nullptr && derived->as_bool())
           ++tally.derived;
-        if (const auto* plan = doc.find("plan"))
+        if (const auto* plan = doc.find("plan")) {
           tally.fingerprint = plan->at("fingerprint").as_string();
+          if (stream != nullptr) {
+            // Stream mode needs the calm base tours for the replay arms.
+            auto parsed = parse_pushed_plan(*plan);
+            std::lock_guard<std::mutex> stream_lock(stream->mutex);
+            stream->base_plan = std::move(parsed);
+            stream->have_base = true;
+          }
+        }
       } else {
         ++tally.errors;
         ++tally.errors_by_code[doc.at("error").as_string()];
@@ -333,6 +535,11 @@ int main(int argc, char** argv) {
 
   // Request template (all requests flow through the typed builders).
   const bool delta_mode = args.get_bool_or("delta", false);
+  const bool stream_mode = args.get_bool_or("stream", false);
+  if (stream_mode && delta_mode) {
+    std::fprintf(stderr, "--stream and --delta are exclusive\n");
+    return 2;
+  }
   const std::string policy = args.get_or("policy", "MinTotalDistance");
   const std::size_t n = static_cast<std::size_t>(args.get_int_or("n", 200));
   const std::size_t q = static_cast<std::size_t>(args.get_int_or("q", 5));
@@ -412,12 +619,15 @@ int main(int argc, char** argv) {
     stage_hists[k] = &local.histogram(
         std::string("loadgen.stage.") + kStageKeys[k], latency_buckets);
   }
+  StreamState stream_state;
+  StreamState* const stream_ptr = stream_mode ? &stream_state : nullptr;
   std::vector<std::thread> readers;
   readers.reserve(endpoints.size());
   for (auto& ep : endpoints) {
     Endpoint* e = ep.get();
-    readers.emplace_back([e, &tally, &latency, &stage_hists] {
-      reader_loop(e->transport.read_fd, tally, latency, stage_hists);
+    readers.emplace_back([e, &tally, &latency, &stage_hists, stream_ptr] {
+      reader_loop(e->transport.read_fd, tally, latency, stage_hists,
+                  stream_ptr);
       e->transport.read_fd = -1;  // reader closed it
     });
   }
@@ -459,6 +669,290 @@ int main(int argc, char** argv) {
     }
     return true;
   };
+
+  // ---- Streaming-session mode -------------------------------------
+  // One session, one connection: solve a calm base plan, open a stream
+  // on its fingerprint, feed observed discharge rates (with a regional
+  // storm held active from --surge-at on), collect the server's pushed
+  // replans, and replay both arms client-side.
+  if (stream_mode) {
+    if (connect.empty() || endpoints.size() != 1) {
+      std::fprintf(stderr,
+                   "--stream requires --connect with exactly one endpoint "
+                   "(an mwcd started with --port and --sessions)\n");
+      return 2;
+    }
+    const bool surge = args.get_bool_or("surge", false);
+    const std::size_t steps =
+        static_cast<std::size_t>(args.get_int_or("steps", 16));
+    const double step_dt = args.get_double_or("step-dt", 1.0);
+    const std::size_t surge_at =
+        static_cast<std::size_t>(args.get_int_or("surge-at", 10));
+    const double travel_speed = args.get_double_or("speed", 1000.0);
+    mwc::wsn::StormConfig storm_config;
+    storm_config.tau_min = args.get_double_or("tau-min", 10.0);
+    storm_config.tau_max = args.get_double_or("tau-max", 50.0);
+    storm_config.stress_factor = args.get_double_or("storm-stress", 4.0);
+    storm_config.regional = true;
+    storm_config.storm_radius = args.get_double_or("storm-radius", 300.0);
+
+    // Local mirror of the server's preset deployment: the engine derives
+    // it from Rng(seed, 0), so client and server agree on every position.
+    mwc::wsn::DeploymentConfig deploy;
+    deploy.n = n;
+    deploy.q = q;
+    deploy.field_side = field_side;
+    mwc::Rng deploy_rng(base_seed, 0);
+    const mwc::wsn::Network network =
+        mwc::wsn::deploy_random(deploy, deploy_rng);
+    const mwc::wsn::StormCycleProcess storm(network, storm_config,
+                                            base_seed);
+    // Slot 0 is all-calm by construction: those cycles are the base plan.
+    std::vector<double> calm(n);
+    for (std::size_t i = 0; i < n; ++i) calm[i] = storm.cycle_at_slot(i, 0);
+    // The storm cell the surge holds active: the first slot where one
+    // covers a meaningful sensor cluster.
+    std::size_t storm_slot = 0;
+    if (surge) {
+      for (std::size_t s = 1; s < 4096 && storm_slot == 0; ++s)
+        if (storm.storm_fraction(s) >= 0.05) storm_slot = s;
+      if (storm_slot == 0) {
+        std::fprintf(stderr,
+                     "no storm slot covers >= 5%% of sensors; try another "
+                     "--seed\n");
+        return 1;
+      }
+    }
+
+    Endpoint& ep = *endpoints[0];
+    // Solve the calm base plan and learn its fingerprint + tours.
+    {
+      mwc::svc::RequestBuilder builder("base");
+      builder.policy(policy)
+          .preset(n, q, field_side, base_seed)
+          .cycle_values(calm)
+          .horizon(horizon)
+          .deadline_ms(deadline_ms);
+      if (!trace_prefix.empty()) builder.trace_id(trace_for("base"));
+      {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        tally.sent.emplace("base", Clock::now());
+      }
+      if (!write_all(ep.transport.write_fd, builder.to_json_line() + "\n")) {
+        std::fprintf(stderr, "short write to server: %s\n",
+                     std::strerror(errno));
+        return 1;
+      }
+    }
+    std::string base_hex;
+    for (int waited = 0; waited < 600 && base_hex.empty(); ++waited) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      base_hex = tally.fingerprint;
+    }
+    if (base_hex.empty() || tally.errors > 0) {
+      std::fprintf(stderr, "base solve never answered; cannot stream\n");
+      return 1;
+    }
+
+    const auto await_ack = [&](const std::string& id) {
+      for (int waited = 0; waited < 2000; ++waited) {
+        {
+          std::lock_guard<std::mutex> lock(stream_state.mutex);
+          if (stream_state.failed) return false;
+          if (stream_state.acked.count(id) != 0) return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return false;
+    };
+    const auto send_frame = [&](const std::string& line) {
+      {
+        std::lock_guard<std::mutex> lock(stream_state.mutex);
+        stream_state.last_send = Clock::now();
+      }
+      return write_all(ep.transport.write_fd, line);
+    };
+
+    // Open the session against the solved base (speed pinned so the
+    // server's visit-time model matches the client replay below).
+    {
+      std::string line = "{\"v\":\"";
+      line += mwc::svc::kWireVersionStream;
+      line += "\",\"op\":\"open\",\"id\":\"open\",\"base\":\"" + base_hex +
+              "\",\"speed\":";
+      mwc::svc::append_json_number(line, travel_speed);
+      line += ",\"charge_time\":0,\"t\":0}\n";
+      if (!send_frame(line) || !await_ack("open")) {
+        std::lock_guard<std::mutex> lock(stream_state.mutex);
+        std::fprintf(stderr, "session open failed: %s\n",
+                     stream_state.error.c_str());
+        return 1;
+      }
+    }
+    std::uint64_t session_id;
+    {
+      std::lock_guard<std::mutex> lock(stream_state.mutex);
+      session_id = stream_state.session;
+    }
+
+    // Observe loop, paced on acks: rates are the ground truth B_i /
+    // tau_i(t) of the storm process — calm until the surge arrives, then
+    // the held storm cell's stressed cycles.
+    std::vector<std::vector<double>> step_rates;
+    step_rates.reserve(steps);
+    bool stream_failed = false;
+    const auto run_start = Clock::now();
+    for (std::size_t k = 1; k <= steps && !stream_failed; ++k) {
+      const std::size_t slot =
+          surge && k >= surge_at ? storm_slot : std::size_t{0};
+      std::vector<double> rates(n);
+      for (std::size_t i = 0; i < n; ++i)
+        rates[i] =
+            network.sensor(i).battery_capacity / storm.cycle_at_slot(i, slot);
+      const std::string id = "o" + std::to_string(k);
+      std::string line = "{\"v\":\"";
+      line += mwc::svc::kWireVersionStream;
+      line += "\",\"op\":\"observe\",\"id\":\"" + id + "\",\"session\":";
+      mwc::svc::append_json_number(line, static_cast<double>(session_id));
+      line += ",\"t\":";
+      mwc::svc::append_json_number(line,
+                                   step_dt * static_cast<double>(k));
+      line += ",\"rates\":[";
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0) line += ',';
+        mwc::svc::append_json_number(line, rates[i]);
+      }
+      line += "]}\n";
+      step_rates.push_back(std::move(rates));
+      stream_failed = !send_frame(line) || !await_ack(id);
+    }
+    // Let a replan triggered by the last observe finish and push.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    {
+      std::string line = "{\"v\":\"";
+      line += mwc::svc::kWireVersionStream;
+      line += "\",\"op\":\"close\",\"id\":\"bye\",\"session\":";
+      mwc::svc::append_json_number(line, static_cast<double>(session_id));
+      line += "}\n";
+      if (!send_frame(line) || !await_ack("bye")) stream_failed = true;
+    }
+    ep.transport.close_write();
+    for (auto& t : readers) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - run_start).count();
+
+    // Replay both arms over the identical discharge trajectory.
+    std::vector<StreamPush> pushes;
+    std::size_t observes, at_risk_total, server_dead;
+    {
+      std::lock_guard<std::mutex> lock(stream_state.mutex);
+      pushes = stream_state.pushes;
+      observes = stream_state.observes;
+      at_risk_total = stream_state.at_risk_total;
+      server_dead = stream_state.server_dead;
+      if (stream_state.failed && !stream_state.error.empty())
+        std::fprintf(stderr, "stream error: %s\n",
+                     stream_state.error.c_str());
+      stream_failed = stream_failed || stream_state.failed;
+    }
+    StreamPush base_event;
+    base_event.t = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(stream_state.mutex);
+      base_event.plan = stream_state.base_plan;
+    }
+    std::vector<StreamPush> static_events{base_event};
+    std::vector<StreamPush> streamed_events{base_event};
+    streamed_events.insert(streamed_events.end(), pushes.begin(),
+                           pushes.end());
+    std::stable_sort(streamed_events.begin(), streamed_events.end(),
+                     [](const StreamPush& a, const StreamPush& b) {
+                       return a.t < b.t;
+                     });
+    const std::size_t deaths_static = replay_deaths(
+        network, step_rates, step_dt, static_events, travel_speed, 0.0);
+    const std::size_t deaths_stream = replay_deaths(
+        network, step_rates, step_dt, streamed_events, travel_speed, 0.0);
+    const long long saved = static_cast<long long>(deaths_static) -
+                            static_cast<long long>(deaths_stream);
+
+    std::vector<double> replan_ms, apply_ms;
+    for (const StreamPush& push : pushes) {
+      replan_ms.push_back(push.replan_ms);
+      apply_ms.push_back(push.apply_ms);
+    }
+    std::size_t storm_sensors = 0;
+    if (surge)
+      for (std::size_t i = 0; i < n; ++i)
+        storm_sensors +=
+            static_cast<std::size_t>(storm.storming(i, storm_slot));
+
+    std::printf("mode=stream session=%llu observes=%zu/%zu pushes=%zu "
+                "at_risk_flags=%zu server_dead=%zu elapsed %.3f s\n",
+                static_cast<unsigned long long>(session_id), observes,
+                steps, pushes.size(), at_risk_total, server_dead,
+                elapsed_s);
+    if (surge) {
+      std::printf("surge: storm slot %zu covers %zu/%zu sensors "
+                  "(stress x%.1f from t=%.1f)\n",
+                  storm_slot, storm_sensors, n,
+                  storm_config.stress_factor,
+                  step_dt * static_cast<double>(surge_at));
+      std::printf("surge summary:          deaths\n");
+      std::printf("  static base plan      %6zu\n", deaths_static);
+      std::printf("  streamed replans      %6zu\n", deaths_stream);
+      std::printf("  sensors saved         %6lld\n", saved);
+      std::printf(
+          "replan ms (server): p50 %.3f  p95 %.3f   push->apply ms: "
+          "p50 %.3f  p95 %.3f\n",
+          quantile_of(replan_ms, 0.50), quantile_of(replan_ms, 0.95),
+          quantile_of(apply_ms, 0.50), quantile_of(apply_ms, 0.95));
+    }
+
+    if (const auto json_path = args.get("json")) {
+      mwc::svc::Json doc = mwc::svc::Json::object();
+      doc.set("mode", mwc::svc::Json(std::string("stream")));
+      doc.set("n", mwc::svc::Json(n));
+      doc.set("q", mwc::svc::Json(q));
+      doc.set("policy", mwc::svc::Json(policy));
+      doc.set("steps", mwc::svc::Json(steps));
+      doc.set("step_dt", mwc::svc::Json(step_dt));
+      doc.set("observes", mwc::svc::Json(observes));
+      doc.set("pushes", mwc::svc::Json(pushes.size()));
+      doc.set("at_risk_flags", mwc::svc::Json(at_risk_total));
+      doc.set("elapsed_s", mwc::svc::Json(elapsed_s));
+      doc.set("replan_ms_p50", mwc::svc::Json(quantile_of(replan_ms, 0.50)));
+      doc.set("replan_ms_p95", mwc::svc::Json(quantile_of(replan_ms, 0.95)));
+      doc.set("push_apply_ms_p50",
+              mwc::svc::Json(quantile_of(apply_ms, 0.50)));
+      doc.set("push_apply_ms_p95",
+              mwc::svc::Json(quantile_of(apply_ms, 0.95)));
+      if (surge) {
+        mwc::svc::Json surge_doc = mwc::svc::Json::object();
+        surge_doc.set("surge_at", mwc::svc::Json(surge_at));
+        surge_doc.set("storm_slot", mwc::svc::Json(storm_slot));
+        surge_doc.set("storm_sensors", mwc::svc::Json(storm_sensors));
+        surge_doc.set("stress", mwc::svc::Json(storm_config.stress_factor));
+        surge_doc.set("deaths_static", mwc::svc::Json(deaths_static));
+        surge_doc.set("deaths_stream", mwc::svc::Json(deaths_stream));
+        surge_doc.set("sensors_saved",
+                      mwc::svc::Json(static_cast<double>(saved)));
+        doc.set("surge", std::move(surge_doc));
+      }
+      std::FILE* f = std::fopen(json_path->c_str(), "w");
+      if (f == nullptr) {
+        std::perror("fopen --json");
+        return 1;
+      }
+      const std::string text = doc.dump() + "\n";
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+    const bool failed = stream_failed || session_id == 0 ||
+                        tally.errors > 0 || (surge && pushes.empty());
+    return failed && args.get_bool_or("strict", true) ? 1 : 0;
+  }
 
   // Priming pass: same instance mix and routing as the measured loop,
   // awaited before the clock starts and excluded from every statistic.

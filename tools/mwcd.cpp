@@ -30,6 +30,15 @@
 //   --cache-snapshot FILE    load the plan cache from FILE at start and
 //                            save it back after draining
 //   --port N                 serve TCP on 127.0.0.1:N instead of stdio
+//   --sessions               enable mwc.svc.stream.v1 streaming sessions
+//                            (TCP only; stdio rejects stream frames with
+//                            the structured sessions_disabled error)
+//   --max-sessions N         live session cap across connections (64)
+//   --session-gamma G        EWMA weight of new rate observations (0.3)
+//   --session-margin M       deadline-trigger hysteresis fraction (0.1)
+//   --session-speed V        charger speed, field units / cycle unit (1000)
+//   --session-charge-time S  per-visit charge time in cycle units (0)
+//   --session-interval S     min cycle-time between replans/session (0)
 //   --idle-timeout-ms MS     close TCP connections idle for MS (0 = never)
 //   --drain-timeout-ms MS    on shutdown, force-close connections whose
 //                            output cannot flush after MS (5000; 0 = wait)
@@ -62,6 +71,7 @@
 #include "svc/event_loop.hpp"
 #include "svc/json.hpp"
 #include "svc/server.hpp"
+#include "svc/session.hpp"
 #include "svc/snapshot.hpp"
 #include "svc/wire.hpp"
 #include "util/cli.hpp"
@@ -74,6 +84,9 @@ using mwc::svc::NetServerOptions;
 using mwc::svc::NetStats;
 using mwc::svc::Response;
 using mwc::svc::Server;
+using mwc::svc::SessionManager;
+using mwc::svc::SessionOptions;
+using mwc::svc::StreamStats;
 
 /// Serializes responses onto one stream; callbacks fire from any worker.
 class LineSink {
@@ -101,6 +114,17 @@ class LineSink {
 void dispatch_line(Server& server, const AdminHandler& admin,
                    const std::string& line, LineSink& sink, const char* peer,
                    const std::function<void(const Response&)>& callback) {
+  // Streaming sessions need the TCP transport's ordered push path; the
+  // stdio transport rejects stream frames with the structured error
+  // instead of letting the version string parse as unsupported_version.
+  if (mwc::svc::is_stream_frame(line)) {
+    sink.write_line(mwc::svc::stream_error_line(
+        mwc::svc::stream_frame_id(line),
+        mwc::svc::ErrorCode::kSessionsDisabled,
+        "streaming sessions require the TCP transport (--port) with "
+        "--sessions"));
+    return;
+  }
   std::string admin_response;
   if (admin.try_handle(line, &admin_response)) {
     sink.write_line(admin_response);
@@ -192,8 +216,9 @@ void stop_net_server(int) {
 
 int run_tcp(Server& server, const AdminHandler& admin,
             NetServerOptions options,
-            const std::shared_ptr<std::atomic<NetServer*>>& statusz_handle) {
-  NetServer net(server, &admin, std::move(options));
+            const std::shared_ptr<std::atomic<NetServer*>>& statusz_handle,
+            mwc::svc::StreamHub* sessions) {
+  NetServer net(server, &admin, std::move(options), sessions);
   if (!net.start()) return 1;
   statusz_handle->store(&net);
   g_net_server.store(&net);
@@ -236,6 +261,22 @@ int main(int argc, char** argv) {
       args.get_double_or("drain-timeout-ms", 5000.0);
   net_options.max_connections =
       static_cast<std::size_t>(args.get_int_or("max-conns", 1024));
+  const bool sessions_enabled = args.get_bool_or("sessions", false);
+  SessionOptions session_options;
+  session_options.max_sessions =
+      static_cast<std::size_t>(args.get_int_or("max-sessions", 64));
+  session_options.gamma = args.get_double_or("session-gamma", 0.3);
+  session_options.margin = args.get_double_or("session-margin", 0.1);
+  session_options.travel_speed =
+      args.get_double_or("session-speed", 1000.0);
+  session_options.charge_time =
+      args.get_double_or("session-charge-time", 0.0);
+  session_options.min_replan_interval =
+      args.get_double_or("session-interval", 0.0);
+  if (sessions_enabled && port <= 0)
+    std::fprintf(stderr,
+                 "mwcd: --sessions requires --port; stream frames on "
+                 "stdio are rejected\n");
   if (!trace_path.empty()) mwc::obs::set_trace_enabled(true);
 
   std::unique_ptr<mwc::svc::AccessLog> access_log;
@@ -253,6 +294,12 @@ int main(int argc, char** argv) {
   int rc;
   {
     Server server(options);
+    // Declared after `server` so it is destroyed first (its destructor
+    // drains the server, so no replan callback outlives the session
+    // table); run_tcp's NetServer dies before either.
+    std::unique_ptr<SessionManager> sessions;
+    if (sessions_enabled && port > 0)
+      sessions = std::make_unique<SessionManager>(server, session_options);
 
     if (!snapshot_path.empty() && options.cache_capacity > 0) {
       std::string error;
@@ -271,6 +318,7 @@ int main(int argc, char** argv) {
     // but the NetServer only exists inside run_tcp — bridge with an
     // atomic handle the hook dereferences at call time.
     auto net_handle = std::make_shared<std::atomic<NetServer*>>(nullptr);
+    SessionManager* const sessions_ptr = sessions.get();
     mwc::svc::AdminInfo info;
     info.build = std::string("mwcd libmwc/1.0.0 (obs ") +
                  (MWC_OBS_ENABLED != 0 ? "on" : "off") + ")";
@@ -278,7 +326,7 @@ int main(int argc, char** argv) {
     info.start_us = start_us;
     info.metrics_out = metrics_path;
     info.trace_out = trace_path;
-    info.statusz_extra = [net_handle](mwc::svc::Json& s) {
+    info.statusz_extra = [net_handle, sessions_ptr](mwc::svc::Json& s) {
       NetServer* net = net_handle->load(std::memory_order_acquire);
       if (net == nullptr) return;
       const NetStats st = net->stats();
@@ -294,10 +342,29 @@ int main(int argc, char** argv) {
       n.set("idle_closed", mwc::svc::Json(st.idle_closed));
       n.set("overflow_closed", mwc::svc::Json(st.overflow_closed));
       n.set("drain_dropped", mwc::svc::Json(st.drain_dropped));
+      n.set("pushes", mwc::svc::Json(st.pushes));
+      n.set("pushes_dropped", mwc::svc::Json(st.pushes_dropped));
       s.set("net", std::move(n));
+      SessionManager* hub = sessions_ptr;
+      if (hub == nullptr) return;
+      const StreamStats ss = hub->stats();
+      mwc::svc::Json j = mwc::svc::Json::object();
+      j.set("active", mwc::svc::Json(ss.active));
+      j.set("opened", mwc::svc::Json(ss.opened));
+      j.set("closed", mwc::svc::Json(ss.closed));
+      j.set("observes", mwc::svc::Json(ss.observes));
+      j.set("rejected", mwc::svc::Json(ss.rejected));
+      j.set("replans", mwc::svc::Json(ss.replans));
+      j.set("replan_failures", mwc::svc::Json(ss.replan_failures));
+      j.set("pushes", mwc::svc::Json(ss.pushes));
+      j.set("at_risk", mwc::svc::Json(ss.at_risk));
+      j.set("deaths", mwc::svc::Json(ss.deaths));
+      j.set("last_replan_ms", mwc::svc::Json(ss.last_replan_ms));
+      s.set("sessions", std::move(j));
     };
     AdminHandler admin(server, info);
-    rc = port > 0 ? run_tcp(server, admin, net_options, net_handle)
+    rc = port > 0 ? run_tcp(server, admin, net_options, net_handle,
+                            sessions.get())
                   : run_stdio(server, admin);
 
     // Snapshot after the drain (cache fully settled) but while the
