@@ -1,5 +1,6 @@
 #include "svc/delta.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <set>
@@ -337,6 +338,11 @@ Response handle_delta(const DeltaRequest& request, PlanCache* cache,
       for (const auto& [s, t] : fold.retau) {
         if (in_round[s] != 0 || is_removed[s] != 0) continue;
         if (t > round_tau_max) continue;
+        // The bar alone is not enough: a τ that grew (or stayed put
+        // within the value quantum) was not shortened, so it must not
+        // perturb the dispatched round even when it sits below the bar.
+        if (t >= base->tau[s] - kValueQuantum * std::max(1.0, base->tau[s]))
+          continue;
         rpatch.touched.push_back(q + rpatch.sensors.size());
         rpatch.sensors.push_back(new_id[s]);
         rpatch.base_slot.push_back(kNpos);

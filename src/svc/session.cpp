@@ -16,6 +16,19 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Relative τ change below which an update_cycles op is a no-op (same
 /// quantum the delta engine's fold uses for values).
 constexpr double kTauQuantum = 1e-9;
+/// Upper bound on client-supplied session times. Generous for any real
+/// workload (1e12 cycle units) while keeping deadline arithmetic
+/// (epoch + k·τ) well inside the exact-integer range of a double; a t
+/// beyond it — or non-finite — is a client fault, never admitted into
+/// the monitor's time math.
+constexpr double kMaxSessionTime = 1e12;
+
+/// Validates a client-supplied session time (throws WireError).
+double checked_time(double t) {
+  if (!(std::isfinite(t) && t >= 0.0 && t <= kMaxSessionTime))
+    throw WireError("t must be finite and in [0, 1e12]");
+  return t;
+}
 
 std::string frame_id(const Json& doc) {
   const Json* id = doc.find("id");
@@ -105,9 +118,13 @@ std::string SessionManager::handle_frame(std::uint64_t conn_token,
     return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
   } catch (const JsonError& e) {
     return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
-  } catch (const std::exception& e) {
-    // e.g. FleetPredictor::observe on a mismatched rates length.
+  } catch (const std::invalid_argument& e) {
+    // FleetPredictor::observe on a mismatched rates length.
     return reject(frame_id(doc), ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    // Anything else (bad_alloc, logic errors) is a server-side failure,
+    // not a malformed client frame.
+    return reject(frame_id(doc), ErrorCode::kInternal, e.what());
   }
 }
 
@@ -151,7 +168,7 @@ std::string SessionManager::handle_open(std::uint64_t conn_token,
   const double charge_time =
       optional_double(doc, "charge_time", options_.charge_time);
   if (charge_time < 0.0) throw WireError("charge_time must be >= 0");
-  const double t0 = optional_double(doc, "t", 0.0);
+  const double t0 = checked_time(optional_double(doc, "t", 0.0));
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (sessions_.size() >= options_.max_sessions)
@@ -229,7 +246,7 @@ std::string SessionManager::handle_observe(std::uint64_t conn_token,
   const std::string id = doc.at("id").as_string();
   const std::uint64_t sid =
       static_cast<std::uint64_t>(doc.at("session").as_int());
-  const double t = doc.at("t").as_double();
+  const double t = checked_time(doc.at("t").as_double());
   const Json& rates_json = doc.at("rates");
   if (!rates_json.is_array())
     throw WireError("rates must be an array of n numbers");
@@ -279,10 +296,20 @@ std::string SessionManager::handle_observe(std::uint64_t conn_token,
       }
       if (session.residual[i] < 0.0) session.residual[i] = 0.0;
       if (was_alive && session.residual[i] <= 0.0) ++new_deaths;
-      // A deadline that passed without a visit rolls forward one cycle
-      // so the monitor keeps a finite horizon instead of latching.
+      // A deadline that passed without a visit rolls forward whole
+      // cycles so the monitor keeps a finite horizon instead of
+      // latching. Closed form, never a t-driven loop: this runs on the
+      // transport loop thread under mutex_, and kMaxSessionTime alone
+      // must not be the only thing standing between a client frame and
+      // an unbounded spin.
       const double tau = std::max(session.base->tau[i], kTauQuantum);
-      while (session.deadline[i] <= t) session.deadline[i] += tau;
+      if (session.deadline[i] <= t) {
+        const double cycles =
+            std::floor((t - session.deadline[i]) / tau) + 1.0;
+        session.deadline[i] += tau * cycles;
+        // floor rounding can land exactly on t; nudge one more cycle.
+        if (session.deadline[i] <= t) session.deadline[i] += tau;
+      }
     }
     session.now = t;
     if (new_deaths > 0) {

@@ -322,7 +322,28 @@ std::uint64_t parse_fingerprint_hex(const std::string& hex) {
 }
 
 bool is_stream_frame(const std::string& line) {
-  return line.find(kWireVersionStream) != std::string::npos;
+  // Probe for the "v":"mwc.svc.stream.v1" key/value pair rather than a
+  // raw substring: a v1/v2 request whose id merely *contains* the
+  // stream version string must still reach the solver. JSON escapes
+  // every quote inside a string value, so this exact byte sequence can
+  // only occur as a genuine "v" member.
+  static const std::string value =
+      '"' + std::string(kWireVersionStream) + '"';
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  std::size_t pos = 0;
+  while ((pos = line.find("\"v\"", pos)) != std::string::npos) {
+    std::size_t i = pos + 3;
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i < line.size() && line[i] == ':') {
+      ++i;
+      while (i < line.size() && is_space(line[i])) ++i;
+      if (line.compare(i, value.size(), value) == 0) return true;
+    }
+    pos += 3;
+  }
+  return false;
 }
 
 std::string stream_frame_id(const std::string& line) {

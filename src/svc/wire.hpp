@@ -276,9 +276,12 @@ std::uint64_t parse_fingerprint_hex(const std::string& hex);
 /// are byte-identical to the same plan served over v1/v2.
 void append_plan_json(std::string& out, const Plan& plan);
 
-/// True when a request line is an mwc.svc.stream.v1 session frame.
-/// Cheap substring probe used by transports to route session traffic
-/// before parse_any_request (which rejects the stream version string).
+/// True when a request line is an mwc.svc.stream.v1 session frame:
+/// a cheap scan for the `"v":"mwc.svc.stream.v1"` key/value pair
+/// (whitespace around the colon tolerated), used by transports to
+/// route session traffic before parse_any_request (which rejects the
+/// stream version string). A v1/v2 request whose id merely contains
+/// the version string does not match.
 bool is_stream_frame(const std::string& line);
 
 /// Best-effort "id" extraction from a stream frame (empty string when

@@ -278,6 +278,85 @@ TEST(HandleDelta, StructuredErrors) {
   EXPECT_EQ(bad.version, WireVersion::kV2);
 }
 
+/// Deadline-driven round admission must only fire for cycles that were
+/// genuinely *shortened* below the round's urgency bar. A τ that grew
+/// (or stayed put) — even one sitting below the bar — must leave the
+/// dispatched round untouched.
+TEST(HandleDelta, DeadlineAdmissionRequiresShortenedCycle) {
+  PlanCache cache(16);
+  constexpr std::size_t n = 24;
+  // Mixed cycles: the τ=5 sensors form the first dispatch round
+  // (V_0 = [τ_min, 2 τ_min]); the τ=30 sensors sit outside it.
+  std::vector<double> tau(n);
+  for (std::size_t i = 0; i < n; ++i) tau[i] = (i % 2 == 0) ? 5.0 : 30.0;
+  const Request request = RequestBuilder("base")
+                              .preset(n, 2, 400.0, /*seed=*/5)
+                              .cycle_values(tau)
+                              .horizon(60.0)
+                              .build();
+  const Response base = handle_request(request, &cache);
+  ASSERT_TRUE(base.ok) << base.message;
+
+  const auto in_round = [](const Response& r, std::size_t s) {
+    for (const PlanTour& tour : r.plan->first_round_tours)
+      for (const std::size_t id : tour.sensors)
+        if (id == s) return true;
+    return false;
+  };
+  std::size_t a = n, b = n;  // a: in the round; b: outside it
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_round(base, i)) {
+      if (a == n) a = i;
+    } else if (b == n) {
+      b = i;
+    }
+  }
+  ASSERT_LT(a, n);
+  ASSERT_LT(b, n);
+  ASSERT_DOUBLE_EQ(tau[b], 30.0);
+
+  // Raise the round's urgency bar: lengthen in-round sensor a's τ to 40
+  // (membership is inherited by the repair, so a stays dispatched and
+  // round_tau_max becomes 40 in the derived state).
+  const Response lifted =
+      handle_delta(DeltaBuilder("lift", base.plan->fingerprint)
+                       .update_cycles(a, 40.0)
+                       .build(),
+                   &cache);
+  ASSERT_TRUE(lifted.ok) << lifted.message;
+  EXPECT_TRUE(in_round(lifted, a));
+  EXPECT_FALSE(in_round(lifted, b));
+
+  // b's τ grows 30 -> 35: below the bar, but NOT shortened — it must
+  // not be force-inserted into the round.
+  const Response longer =
+      handle_delta(DeltaBuilder("longer", lifted.plan->fingerprint)
+                       .update_cycles(b, 35.0)
+                       .build(),
+                   &cache);
+  ASSERT_TRUE(longer.ok) << longer.message;
+  EXPECT_FALSE(in_round(longer, b));
+
+  // b's τ restated at exactly 30 (unchanged within the value quantum):
+  // same story.
+  const Response same =
+      handle_delta(DeltaBuilder("same", lifted.plan->fingerprint)
+                       .update_cycles(b, 30.0)
+                       .build(),
+                   &cache);
+  ASSERT_TRUE(same.ok) << same.message;
+  EXPECT_FALSE(in_round(same, b));
+
+  // Genuinely shortened below the bar: b joins the dispatch.
+  const Response shortened =
+      handle_delta(DeltaBuilder("short", lifted.plan->fingerprint)
+                       .update_cycles(b, 6.0)
+                       .build(),
+                   &cache);
+  ASSERT_TRUE(shortened.ok) << shortened.message;
+  EXPECT_TRUE(in_round(shortened, b));
+}
+
 /// The equivalence grid: repairing the base plan must never serve the
 /// patched round with a longer tour set than re-solving the patched
 /// instance from scratch. Uniform τ keeps the first dispatch set equal

@@ -357,6 +357,56 @@ TEST_F(SessionManagerTest, MalformedFramesAnswerBadRequest) {
   EXPECT_EQ(manager.stats().rejected, 6u);
 }
 
+TEST_F(SessionManagerTest, NonFiniteOrHugeTimesRejected) {
+  SessionManager manager(server_);
+  const std::uint64_t sid = open_session(manager);
+  bool streaming = true;
+  PushCapture pushes;
+  const auto expect_bad = [&](const std::string& frame) {
+    const Json reply = reply_of(
+        manager.handle_frame(1, frame, pushes.fn(), &streaming));
+    EXPECT_FALSE(reply.at("ok").as_bool()) << frame;
+    EXPECT_EQ(reply.at("error").as_string(), "bad_request") << frame;
+  };
+  // A huge observation time used to spin the deadline roll-forward loop
+  // forever on the transport thread (1e300 makes `deadline += tau` a
+  // double-precision no-op) — it must be a structured rejection instead.
+  expect_bad(observe_frame("huge", sid, 1e300, calm_rates()));
+  expect_bad(observe_frame("neg", sid, -1.0, calm_rates()));
+  // Same bound applies to the open epoch.
+  expect_bad("{\"v\":\"mwc.svc.stream.v1\",\"op\":\"open\",\"id\":\"o\","
+             "\"base\":\"" +
+             fingerprint_hex(fp_) + "\",\"t\":1e300}");
+
+  // The session is still healthy: a sane observation is accepted.
+  const Json ok = reply_of(manager.handle_frame(
+      1, observe_frame("fine", sid, 1.0, calm_rates()), pushes.fn(),
+      &streaming));
+  EXPECT_TRUE(ok.at("ok").as_bool()) << ok.dump();
+  EXPECT_EQ(manager.stats().rejected, 3u);
+}
+
+TEST_F(SessionManagerTest, FarFutureObserveIsBoundedWork) {
+  SessionManager manager(server_);
+  const std::uint64_t sid = open_session(manager);
+  bool streaming = true;
+  PushCapture pushes;
+  // A jump spanning ~1e7 cycles stays within the validated time bound;
+  // the closed-form deadline roll must absorb it instantly (the old
+  // loop iterated once per missed cycle per sensor). Everybody drains
+  // to zero over such a gap — the frame still answers.
+  const Json far = reply_of(manager.handle_frame(
+      1, observe_frame("far", sid, 1e8, calm_rates()), pushes.fn(),
+      &streaming));
+  ASSERT_TRUE(far.at("ok").as_bool()) << far.dump();
+  EXPECT_EQ(far.at("dead").as_int(), std::int64_t(kN));
+  // And time keeps advancing from there.
+  const Json later = reply_of(manager.handle_frame(
+      1, observe_frame("later", sid, 2e8, calm_rates()), pushes.fn(),
+      &streaming));
+  EXPECT_TRUE(later.at("ok").as_bool()) << later.dump();
+}
+
 TEST_F(SessionManagerTest, DropConnectionReapsItsSessions) {
   SessionManager manager(server_);
   const std::uint64_t mine = open_session(manager, /*conn=*/7);

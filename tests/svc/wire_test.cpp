@@ -391,5 +391,29 @@ TEST(Wire, DerivedResponseCarriesBaseFingerprint) {
   EXPECT_EQ(v1doc.find("base"), nullptr);
 }
 
+TEST(Wire, IsStreamFrameMatchesVersionMemberNotSubstring) {
+  // Genuine stream frames match regardless of key order or whitespace
+  // around the colon.
+  EXPECT_TRUE(is_stream_frame(
+      R"({"v":"mwc.svc.stream.v1","op":"open","id":"x","base":"1"})"));
+  EXPECT_TRUE(is_stream_frame(
+      R"({"op":"observe","session":1,"v":"mwc.svc.stream.v1"})"));
+  EXPECT_TRUE(is_stream_frame("{\"v\" : \"mwc.svc.stream.v1\"}"));
+
+  // A v1/v2 request whose id (or any other string) merely contains the
+  // stream version string is NOT a stream frame — it must reach the
+  // solver instead of being misrouted to the session hub.
+  EXPECT_FALSE(is_stream_frame(
+      R"({"v":"mwc.svc.v1","id":"mwc.svc.stream.v1-canary",)"
+      R"("network":{"preset":{"n":2,"q":1}}})"));
+  EXPECT_FALSE(is_stream_frame(
+      R"({"v":"mwc.svc.v2","id":"ask about mwc.svc.stream.v1"})"));
+  EXPECT_FALSE(is_stream_frame(R"({"v":"mwc.svc.v1","id":"r1"})"));
+  // A "v" key whose value is something else, plus a decoy string value
+  // equal to "v", must not match either.
+  EXPECT_FALSE(is_stream_frame(
+      R"({"x":"v","id":"v","v":"mwc.svc.v2"})"));
+}
+
 }  // namespace
 }  // namespace mwc::svc
